@@ -1,0 +1,28 @@
+"""Figure 4 — performance (in)stability of bucket/radix/bitonic across UD/ND/CD.
+
+Paper shape: radix and bucket top-k times move with the value distribution
+(CD is the worst case for bucket), while bitonic top-k is distribution
+independent but collapses for k > 256.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig04_baseline_instability(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "fig04",
+        experiments.fig04_baseline_instability,
+        n=scaled(1 << 18),
+        ks=[1, 1 << 4, 1 << 8, 1 << 12],
+    )
+    by = {(r["dataset"], r["algorithm"], r["k"]): r["time_ms"] for r in rows}
+    # Bucket top-k suffers on the adversarial CD distribution.
+    assert by[("CD", "bucket", 1 << 12)] > by[("UD", "bucket", 1 << 12)]
+    # Bitonic is distribution independent: UD and ND times match closely.
+    assert abs(by[("UD", "bitonic", 1 << 8)] - by[("ND", "bitonic", 1 << 8)]) < 0.25 * by[
+        ("UD", "bitonic", 1 << 8)
+    ]
+    # Bitonic collapses once k exceeds the shared-memory limit (k > 256).
+    assert by[("UD", "bitonic", 1 << 12)] > 2 * by[("UD", "bitonic", 1 << 8)]

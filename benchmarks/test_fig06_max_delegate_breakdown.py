@@ -1,0 +1,28 @@
+"""Figure 6 — time breakdown of the maximum-delegate-only design vs k.
+
+Paper shape: delegate-vector construction stays near the cost of one scan of
+the input for small k, and every stage grows once k passes ~2^15 (scaled down
+here); the second top-k becomes the dominant cost at large k because no
+filtering is applied yet.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig06_max_delegate_breakdown(benchmark, record_rows):
+    ks = [1 << 2, 1 << 6, 1 << 10, 1 << 13]
+    rows = record_rows(
+        benchmark,
+        "fig06",
+        experiments.fig06_max_delegate_breakdown,
+        n=scaled(1 << 19),
+        ks=ks,
+    )
+    small_k = rows[0]
+    large_k = rows[-1]
+    # Construction cost is roughly k independent (it always scans the input).
+    assert small_k["delegate_ms"] > 0
+    # Without filtering the second top-k grows sharply with k.
+    assert large_k["second_topk_ms"] > small_k["second_topk_ms"]
+    assert large_k["total_ms"] > small_k["total_ms"]

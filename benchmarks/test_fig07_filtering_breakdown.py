@@ -1,0 +1,23 @@
+"""Figure 7 — adding delegate-top-k-enabled filtering (Rule 2).
+
+Paper shape: compared with Figure 6, the second top-k's share shrinks
+substantially (28.7 ms -> 6.1 ms at k = 2^24 in the paper) while the other
+stages stay put.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig07_filtering_shrinks_second_topk(benchmark, record_rows):
+    ks = [1 << 10, 1 << 13]
+    n = scaled(1 << 19)
+    baseline = experiments.fig06_max_delegate_breakdown(n=n, ks=ks)
+    rows = record_rows(
+        benchmark, "fig07", experiments.fig07_filtering_breakdown, n=n, ks=ks
+    )
+    for unfiltered, filtered in zip(baseline, rows):
+        assert filtered["second_topk_ms"] <= unfiltered["second_topk_ms"] * 1.05
+    # The largest k benefits the most in absolute terms.
+    gain = baseline[-1]["second_topk_ms"] - rows[-1]["second_topk_ms"]
+    assert gain >= 0

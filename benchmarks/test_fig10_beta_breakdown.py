@@ -1,0 +1,26 @@
+"""Figure 10 — time breakdown with β delegate + filtering (pre-optimisation).
+
+Paper shape: β delegate shifts cost from concatenation/second top-k into
+delegate-vector construction and the first top-k; at k = 2^24 construction
+reaches 31.4 ms with the warp-centric kernel.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig10_beta_breakdown(benchmark, record_rows):
+    ks = [1 << 10, 1 << 13]
+    n = scaled(1 << 19)
+    filtering_only = experiments.fig07_filtering_breakdown(n=n, ks=ks)
+    rows = record_rows(
+        benchmark, "fig10", experiments.fig10_beta_breakdown, n=n, ks=ks
+    )
+    for beta1, beta2 in zip(filtering_only, rows):
+        # beta=2 must not increase the concatenation + second top-k cost.
+        assert (
+            beta2["concat_ms"] + beta2["second_topk_ms"]
+            <= (beta1["concat_ms"] + beta1["second_topk_ms"]) * 1.1
+        )
+        # ... at the price of a heavier delegate vector (2x the delegates).
+        assert beta2["delegate_ms"] >= beta1["delegate_ms"] * 0.9

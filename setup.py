@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists only so
+``pip install -e .`` works in offline environments whose setuptools lacks the
+``wheel`` package required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""Dr. Top-k: delegate-centric top-k — Python reproduction of Gaihre et al., SC'21.
+
+The package is organised around the paper's system decomposition:
+
+``repro.core``
+    The delegate-centric top-k pipeline (the paper's primary contribution):
+    subrange partitioning, maximum/β delegate vector construction, delegate
+    top-k enabled filtering, concatenation and the two top-k passes.
+
+``repro.algorithms``
+    The top-k algorithm substrate the pipeline accelerates: priority-queue,
+    sort-and-choose, bucket, radix (out-of-place, in-place, flag-optimised
+    in-place) and bitonic top-k.
+
+``repro.gpusim``
+    A simulated GPU: device specifications (V100S, Titan Xp, A100), memory
+    transaction / shuffle / atomic counters and the Section 5.2 analytic cost
+    model used to convert counters into estimated kernel times.
+
+``repro.distributed``
+    Multi-GPU Dr. Top-k (Figure 16): sub-vector partitioning, a simulated GPU
+    fleet with capacity + host-reload modelling and an MPI-like communicator.
+
+``repro.bmw``
+    The Block-Max WAND information-retrieval baseline used by Figure 24.
+
+``repro.datasets``
+    The paper's synthetic distributions (UD/ND/CD) and surrogates for its three
+    real-world workloads (ANN_SIFT1B, ClueWeb09, TwitterCOVID-19).
+
+``repro.apps``
+    End-to-end applications (k-NN search, degree centrality, tweet ranking).
+
+``repro.analysis``
+    The Section 5.2 theory: per-step cost equations, convexity, optimal-α
+    (Rule 4), oracle search and the auto-tuner.
+
+``repro.harness``
+    One experiment runner per paper figure/table.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import drtopk
+>>> v = np.random.default_rng(0).integers(0, 2**32, size=1 << 18, dtype=np.uint32)
+>>> result = drtopk(v, k=64)
+>>> np.array_equal(np.sort(result.values), np.sort(v)[-64:])
+True
+"""
+
+from repro._version import __version__
+from repro.types import TopKResult, WorkloadStats
+from repro.errors import ReproError, ConfigurationError, CapacityError
+from repro.core.config import DrTopKConfig
+from repro.core.drtopk import DrTopK, drtopk
+from repro.algorithms import topk, kth_value, get_algorithm, available_algorithms
+
+__all__ = [
+    "__version__",
+    "TopKResult",
+    "WorkloadStats",
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "DrTopKConfig",
+    "DrTopK",
+    "drtopk",
+    "topk",
+    "kth_value",
+    "get_algorithm",
+    "available_algorithms",
+]

@@ -1,0 +1,126 @@
+"""Top-k algorithm substrate.
+
+This package contains from-scratch implementations of every top-k /
+k-selection algorithm the paper builds on or compares against:
+
+================  ==========================================================
+``heap``          textbook priority-queue top-k (CPU baseline, Section 1)
+``sortchoose``    sort-and-choose (THRUST-style, Section 2.2)
+``bucket``        bucket top-k / k-selection (Alabi et al., GGKS)
+``radix``         MSD radix top-k: out-of-place, naive in-place (GGKS) and
+                  the paper's flag-optimised in-place variant (Section 5.1)
+``bitonic``       bitonic top-k (Shanbhag et al.) with the shared-memory
+                  capacity limit modelled
+================  ==========================================================
+
+Every algorithm implements the :class:`~repro.algorithms.base.TopKAlgorithm`
+interface, works on arbitrary real dtypes through the order-preserving key
+transforms in :mod:`repro.algorithms.keys`, supports both largest- and
+smallest-k queries, and can record its simulated GPU traffic into an
+:class:`~repro.algorithms.base.ExecutionTrace`.
+
+The module-level :func:`topk` / :func:`kth_value` helpers dispatch by
+algorithm name through a registry, which is also how the Dr. Top-k pipeline
+selects its first/second top-k algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import ExecutionTrace, TopKAlgorithm, register_algorithm
+from repro.algorithms.heap import HeapTopK
+from repro.algorithms.sort_choose import SortAndChooseTopK
+from repro.algorithms.bucket import BucketTopK
+from repro.algorithms.radix import RadixTopK, InPlaceRadixTopK, FlagRadixTopK
+from repro.algorithms.bitonic import BitonicTopK
+from repro.errors import ConfigurationError
+from repro.types import TopKResult
+
+__all__ = [
+    "TopKAlgorithm",
+    "ExecutionTrace",
+    "HeapTopK",
+    "SortAndChooseTopK",
+    "BucketTopK",
+    "RadixTopK",
+    "InPlaceRadixTopK",
+    "FlagRadixTopK",
+    "BitonicTopK",
+    "get_algorithm",
+    "available_algorithms",
+    "topk",
+    "kth_value",
+    "register_algorithm",
+]
+
+# Registry population: one canonical instance per algorithm name.
+_DEFAULTS = (
+    HeapTopK(),
+    SortAndChooseTopK(),
+    BucketTopK(),
+    RadixTopK(),
+    InPlaceRadixTopK(),
+    FlagRadixTopK(),
+    BitonicTopK(),
+)
+for _algo in _DEFAULTS:
+    register_algorithm(_algo)
+
+
+def available_algorithms() -> Tuple[str, ...]:
+    """Names of every registered top-k algorithm."""
+    from repro.algorithms.base import _REGISTRY
+
+    return tuple(sorted(_REGISTRY))
+
+
+def get_algorithm(name: str) -> TopKAlgorithm:
+    """Look up a registered algorithm by name (case insensitive)."""
+    from repro.algorithms.base import _REGISTRY
+
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown top-k algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        ) from None
+
+
+def topk(
+    v: np.ndarray,
+    k: int,
+    largest: bool = True,
+    algorithm: str = "radix",
+    trace: Optional[ExecutionTrace] = None,
+) -> TopKResult:
+    """Find the top ``k`` elements of ``v`` with the named algorithm.
+
+    Parameters
+    ----------
+    v:
+        One dimensional input vector (any real dtype).
+    k:
+        Number of elements to select.
+    largest:
+        Select the largest (default) or smallest elements.
+    algorithm:
+        Registered algorithm name (see :func:`available_algorithms`).
+    trace:
+        Optional :class:`ExecutionTrace` that receives the simulated GPU
+        kernel steps the algorithm performed.
+    """
+    return get_algorithm(algorithm).topk(v, k, largest=largest, trace=trace)
+
+
+def kth_value(
+    v: np.ndarray,
+    k: int,
+    largest: bool = True,
+    algorithm: str = "radix",
+    trace: Optional[ExecutionTrace] = None,
+):
+    """Return the k-th largest (or smallest) value of ``v`` (k-selection)."""
+    return get_algorithm(algorithm).kth_value(v, k, largest=largest, trace=trace)

@@ -1,0 +1,186 @@
+"""Common interface, execution tracing and registry for top-k algorithms.
+
+Every algorithm solves the *canonical key problem*: given an array of unsigned
+integer keys (produced by :mod:`repro.algorithms.keys`), return the indices of
+``k`` keys such that no excluded key is strictly greater than an included one.
+The public :meth:`TopKAlgorithm.topk` wrapper handles dtype conversion, the
+largest/smallest criterion, result assembly and (optionally) simulated-GPU
+traffic tracing, so concrete algorithms only implement
+:meth:`TopKAlgorithm._select` on keys.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.keys import to_keys
+from repro.errors import ConfigurationError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import DeviceSpec, V100S
+from repro.gpusim.kernel import KernelStep
+from repro.gpusim.memory import MemoryCounters
+from repro.types import TopKResult
+from repro.utils import check_k, ensure_1d
+
+__all__ = ["ExecutionTrace", "TopKAlgorithm", "register_algorithm"]
+
+
+@dataclass
+class ExecutionTrace:
+    """Accumulates the simulated GPU kernel steps an algorithm performed.
+
+    Algorithms call :meth:`add` with element-granularity traffic counts; the
+    trace converts them into :class:`~repro.gpusim.kernel.KernelStep` records
+    which can later be priced on any device.
+    """
+
+    itemsize: int = 4
+    steps: List[KernelStep] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        *,
+        loads: float = 0.0,
+        stores: float = 0.0,
+        shared_loads: float = 0.0,
+        shared_stores: float = 0.0,
+        shuffles: float = 0.0,
+        atomics: float = 0.0,
+        utilization: float = 1.0,
+        kernels: int = 1,
+    ) -> KernelStep:
+        """Append one kernel step with the given traffic counts (in elements)."""
+        counters = MemoryCounters(
+            global_loads=float(loads),
+            global_stores=float(stores),
+            shared_loads=float(shared_loads),
+            shared_stores=float(shared_stores),
+            shuffles=float(shuffles),
+            atomics=float(atomics),
+            itemsize=self.itemsize,
+            utilization=utilization,
+        )
+        step = KernelStep(name=name, counters=counters, kernels=kernels)
+        self.steps.append(step)
+        return step
+
+    def extend(self, steps: List[KernelStep]) -> None:
+        """Append already-built kernel steps."""
+        self.steps.extend(steps)
+
+    def total_counters(self) -> MemoryCounters:
+        """Aggregate traffic over every recorded step."""
+        return MemoryCounters.total(s.counters for s in self.steps)
+
+    def step_times_ms(self, device: DeviceSpec = V100S) -> Dict[str, float]:
+        """Estimated per-step-name milliseconds on ``device``."""
+        model = CostModel(device)
+        out: Dict[str, float] = {}
+        for step in self.steps:
+            out[step.name] = out.get(step.name, 0.0) + model.estimate_ms(
+                step.counters, kernels=step.kernels
+            )
+        return out
+
+    def total_time_ms(self, device: DeviceSpec = V100S) -> float:
+        """Estimated total milliseconds on ``device``."""
+        return float(sum(self.step_times_ms(device).values()))
+
+
+#: Global algorithm registry, keyed by lower-case algorithm name.
+_REGISTRY: Dict[str, "TopKAlgorithm"] = {}
+
+
+def register_algorithm(algo: "TopKAlgorithm") -> "TopKAlgorithm":
+    """Register ``algo`` under its :attr:`~TopKAlgorithm.name`."""
+    if not algo.name:
+        raise ConfigurationError("algorithm must define a non-empty name")
+    _REGISTRY[algo.name.lower()] = algo
+    return algo
+
+
+class TopKAlgorithm(ABC):
+    """Abstract base class for all top-k algorithms.
+
+    Subclasses implement :meth:`_select`, which works purely on unsigned keys
+    and returns the indices of a valid top-k set (largest keys win).  The base
+    class provides the user-facing :meth:`topk` / :meth:`kth_value` API.
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = ""
+    #: Whether the algorithm is stable under value-distribution changes
+    #: (bitonic is; bucket and radix are not — Figure 4).
+    distribution_stable: bool = False
+
+    # -- subclass contract ----------------------------------------------------
+    @abstractmethod
+    def _select(
+        self, keys: np.ndarray, k: int, trace: Optional[ExecutionTrace]
+    ) -> np.ndarray:
+        """Return indices of ``k`` keys forming a valid top-k (largest) set."""
+
+    # -- public API -----------------------------------------------------------
+    def topk(
+        self,
+        v: np.ndarray,
+        k: int,
+        largest: bool = True,
+        trace: Optional[ExecutionTrace] = None,
+    ) -> TopKResult:
+        """Select the top ``k`` elements of ``v``.
+
+        The returned values are sorted by preference (most extreme first) and
+        ``indices`` point into ``v``.
+        """
+        v = ensure_1d(v)
+        k = check_k(k, v.shape[0])
+        keys = to_keys(v, largest=largest)
+        idx = np.asarray(self._select(keys, k, trace), dtype=np.int64)
+        if idx.shape[0] != k:
+            raise ConfigurationError(
+                f"{self.name} returned {idx.shape[0]} indices for k={k}"
+            )
+        # Order the selected elements by preference (descending key).
+        order = np.argsort(keys[idx], kind="stable")[::-1]
+        idx = idx[order]
+        return TopKResult(values=v[idx], indices=idx, k=k, largest=largest)
+
+    def kth_value(
+        self,
+        v: np.ndarray,
+        k: int,
+        largest: bool = True,
+        trace: Optional[ExecutionTrace] = None,
+    ):
+        """Return only the k-th element (k-selection)."""
+        return self.topk(v, k, largest=largest, trace=trace).kth_value
+
+    # -- helpers shared by subclasses -----------------------------------------
+    @staticmethod
+    def _complete_with_ties(
+        keys: np.ndarray,
+        above_idx: np.ndarray,
+        tie_idx: np.ndarray,
+        k: int,
+    ) -> np.ndarray:
+        """Combine indices strictly above the threshold with tie indices.
+
+        ``above_idx`` are positions whose keys are strictly greater than the
+        k-th key; ``tie_idx`` are positions equal to it.  The result keeps all
+        of ``above_idx`` and fills the remainder from ``tie_idx``.
+        """
+        need = k - above_idx.shape[0]
+        if need < 0:
+            raise ConfigurationError("internal error: more than k elements above threshold")
+        if need > tie_idx.shape[0]:
+            raise ConfigurationError("internal error: not enough tie elements to fill top-k")
+        return np.concatenate([above_idx, tie_idx[:need]])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,159 @@
+"""Bitonic top-k (Shanbhag et al.).
+
+The algorithm arranges the input into sorted runs of length ``k`` and then
+repeatedly merges pairs of adjacent runs: the ``2k`` elements of a pair form a
+bitonic sequence from which the top ``k`` survive, halving the vector at every
+level until a single run of ``k`` elements remains (Section 2.2, Figure 2).
+
+The workload reduction is therefore exactly 2x per level, independent of the
+value distribution — bitonic top-k is the *stable* baseline of Figure 4 — but
+the merge must keep the ``2k``-element working set in GPU shared memory to be
+fast.  The original CUDA kernel overflows shared memory for ``k > 256``
+(Section 6.1); this implementation models that limit by charging the merge's
+intermediate traffic to global memory once the working set no longer fits,
+which reproduces the dramatic slow-down of bitonic top-k for large ``k``
+(Figures 4 and 18).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import ExecutionTrace, TopKAlgorithm
+from repro.errors import ConfigurationError
+from repro.utils import next_power_of_two
+
+__all__ = ["BitonicTopK"]
+
+#: Largest k for which the 2k-element merge working set (keys + payload
+#: indices, double buffered) still fits in one SM's shared memory at a usable
+#: occupancy.  The paper states the released kernel supports k <= 256.
+SHARED_MEMORY_MAX_K = 256
+
+
+class BitonicTopK(TopKAlgorithm):
+    """Bitonic merge based top-k."""
+
+    name = "bitonic"
+    distribution_stable = True
+
+    def __init__(self, shared_memory_max_k: int = SHARED_MEMORY_MAX_K):
+        if shared_memory_max_k < 1:
+            raise ConfigurationError("shared_memory_max_k must be positive")
+        self.shared_memory_max_k = int(shared_memory_max_k)
+
+    def _select(
+        self, keys: np.ndarray, k: int, trace: Optional[ExecutionTrace]
+    ) -> np.ndarray:
+        n = keys.shape[0]
+        run = next_power_of_two(k)
+        # Pad the input to a power-of-two multiple of the run length with
+        # minimal keys; padded slots carry index -1 and are repaired at the end.
+        num_runs = next_power_of_two(max((n + run - 1) // run, 1))
+        padded = num_runs * run
+        pad = padded - n
+        if pad:
+            work_keys = np.concatenate([keys, np.zeros(pad, dtype=keys.dtype)])
+            work_idx = np.concatenate(
+                [np.arange(n, dtype=np.int64), np.full(pad, -1, dtype=np.int64)]
+            )
+        else:
+            work_keys = keys.copy()
+            work_idx = np.arange(n, dtype=np.int64)
+
+        # Level 0: sort every run of `run` elements (ascending).
+        mat_keys = work_keys.reshape(num_runs, run)
+        mat_idx = work_idx.reshape(num_runs, run)
+        order = np.argsort(mat_keys, axis=1, kind="stable")
+        mat_keys = np.take_along_axis(mat_keys, order, axis=1)
+        mat_idx = np.take_along_axis(mat_idx, order, axis=1)
+        spill = run > self.shared_memory_max_k
+        if trace is not None:
+            self._trace_level(trace, "bitonic_local_sort", padded, run, spill)
+
+        # Merge levels: pairs of runs -> top `run` of each 2*run bitonic block.
+        while mat_keys.shape[0] > 1:
+            rows = mat_keys.shape[0]
+            merged_keys = np.concatenate(
+                [mat_keys[0::2], mat_keys[1::2]], axis=1
+            )  # (rows/2, 2*run)
+            merged_idx = np.concatenate([mat_idx[0::2], mat_idx[1::2]], axis=1)
+            part = np.argpartition(merged_keys, merged_keys.shape[1] - run, axis=1)
+            top = part[:, -run:]
+            mat_keys = np.take_along_axis(merged_keys, top, axis=1)
+            mat_idx = np.take_along_axis(merged_idx, top, axis=1)
+            # Keep rows sorted ascending so later merges remain bitonic.
+            order = np.argsort(mat_keys, axis=1, kind="stable")
+            mat_keys = np.take_along_axis(mat_keys, order, axis=1)
+            mat_idx = np.take_along_axis(mat_idx, order, axis=1)
+            if trace is not None:
+                self._trace_level(trace, "bitonic_merge", rows * run, run, spill)
+
+        final_keys = mat_keys[0]
+        final_idx = mat_idx[0]
+        # Take the k largest of the final run (run >= k by construction).
+        take = np.argsort(final_keys, kind="stable")[-k:]
+        selected = final_idx[take]
+        selected_keys = final_keys[take]
+        if np.any(selected == -1):
+            selected = self._repair_padding(keys, selected, selected_keys)
+        return selected.astype(np.int64)
+
+    # -- helpers -------------------------------------------------------------
+    def _trace_level(
+        self,
+        trace: ExecutionTrace,
+        name: str,
+        elements: int,
+        run: int,
+        spill: bool,
+    ) -> None:
+        """Charge the traffic of one merge/sort level.
+
+        When the 2k working set fits in shared memory the level reads the
+        participating elements once and writes half of them back; the
+        log2(2k) bitonic stages happen in shared memory.  When it does not
+        fit, every bitonic stage round-trips through global memory.
+        """
+        pairs = float(elements)
+        stages = max(int(np.log2(max(2 * run, 2))), 1)
+        if spill:
+            trace.add(
+                name,
+                loads=pairs * stages,
+                stores=pairs * stages / 2.0,
+                kernels=stages,
+            )
+        else:
+            trace.add(
+                name,
+                loads=pairs,
+                stores=pairs / 2.0,
+                shared_loads=pairs * stages,
+                shared_stores=pairs * stages,
+                kernels=1,
+            )
+
+    @staticmethod
+    def _repair_padding(
+        keys: np.ndarray, selected: np.ndarray, selected_keys: np.ndarray
+    ) -> np.ndarray:
+        """Replace padded slots (-1) by real, unselected elements of equal key.
+
+        A padded slot can only displace a real element whose key equals the
+        padding key (the dtype minimum), so equal-key replacements always
+        exist while the input length is >= k.
+        """
+        pad_positions = np.nonzero(selected == -1)[0]
+        needed = pad_positions.shape[0]
+        pad_key = selected_keys[pad_positions[0]]
+        candidates = np.nonzero(keys == pad_key)[0]
+        already = set(selected[selected >= 0].tolist())
+        replacements = [c for c in candidates.tolist() if c not in already][:needed]
+        if len(replacements) < needed:
+            raise ConfigurationError("bitonic padding repair failed (internal error)")
+        repaired = selected.copy()
+        repaired[pad_positions] = np.asarray(replacements, dtype=np.int64)
+        return repaired

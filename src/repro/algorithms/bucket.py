@@ -1,0 +1,133 @@
+"""Bucket top-k (Alabi et al. / GGKS style).
+
+The algorithm repeatedly narrows a value range around the k-th element
+(Section 2.2, Figure 1):
+
+1. find the ``min``/``max`` of the current candidate set,
+2. split that value range into ``num_buckets`` equal sub-ranges,
+3. histogram the candidates into the buckets,
+4. every element in a bucket strictly above the bucket containing the k-th
+   element is *accepted* into the answer; the bucket containing the k-th
+   element becomes the next candidate set,
+5. repeat until the candidate range collapses or exactly enough candidates
+   remain.
+
+The number of iterations — and therefore the amount of data re-scanned — is
+sensitive to the value distribution, which is why bucket top-k is unstable
+across UD/ND/CD (Figure 4) and why the paper's CD dataset is constructed to
+maximise its iteration count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import ExecutionTrace, TopKAlgorithm
+from repro.errors import ConfigurationError
+
+__all__ = ["BucketTopK"]
+
+#: Hard iteration cap: a 64-bit value range divided by 256 buckets collapses in
+#: at most ceil(64 / 8) = 8 iterations, so anything above this indicates a bug.
+_MAX_ITERATIONS = 128
+
+
+class BucketTopK(TopKAlgorithm):
+    """Iterative equal-width bucket partitioning top-k."""
+
+    name = "bucket"
+    distribution_stable = False
+
+    def __init__(self, num_buckets: int = 256):
+        if num_buckets < 2:
+            raise ConfigurationError("num_buckets must be at least 2")
+        self.num_buckets = int(num_buckets)
+
+    # -- internals -------------------------------------------------------------
+    def _bucket_edges(self, lo: int, hi: int) -> np.ndarray:
+        """Internal bucket boundaries (ascending, length ``num_buckets - 1``).
+
+        Element with value ``v`` falls in bucket ``searchsorted(edges, v,
+        'right')``; bucket ``num_buckets - 1`` therefore holds the largest
+        values.  Edges are computed with Python integer arithmetic to stay
+        exact for 64-bit keys.
+        """
+        span = int(hi) - int(lo) + 1
+        edges = [
+            int(lo) + (span * b) // self.num_buckets for b in range(1, self.num_buckets)
+        ]
+        return np.array(edges, dtype=np.uint64)
+
+    def _select(
+        self, keys: np.ndarray, k: int, trace: Optional[ExecutionTrace]
+    ) -> np.ndarray:
+        n = keys.shape[0]
+        if k == 1:
+            # The min/max pass already yields the answer (the paper notes
+            # bucket top-k "performs fairly well when k = 1" for this reason).
+            self.last_iterations = 1
+            if trace is not None:
+                trace.add("bucket_topk", loads=float(n), stores=1.0, kernels=1)
+            return np.array([int(np.argmax(keys))], dtype=np.int64)
+        candidates = np.arange(n, dtype=np.int64)
+        accepted: List[np.ndarray] = []
+        need = k
+        self.last_iterations = 0
+
+        for _ in range(_MAX_ITERATIONS):
+            m = candidates.shape[0]
+            vals = keys[candidates]
+            if m <= need:
+                accepted.append(candidates)
+                need -= m
+                break
+            lo = int(vals.min())
+            hi = int(vals.max())
+            self.last_iterations += 1
+            if lo == hi:
+                if trace is not None:
+                    trace.add("bucket_topk", loads=m, stores=need, kernels=1)
+                accepted.append(candidates[:need])
+                need = 0
+                break
+            edges = self._bucket_edges(lo, hi)
+            bucket = np.searchsorted(edges, vals.astype(np.uint64), side="right")
+            counts = np.bincount(bucket, minlength=self.num_buckets)
+            # Elements in buckets >= b, for every b (non-increasing in b).
+            from_top = np.cumsum(counts[::-1])[::-1]
+            # Bucket of interest: the largest bucket index whose suffix count
+            # still covers what we need.
+            bucket_of_interest = int(np.max(np.nonzero(from_top >= need)[0]))
+            above_mask = bucket > bucket_of_interest
+            above_count = int(np.count_nonzero(above_mask))
+            if trace is not None:
+                # GGKS bucket select: a min/max + histogram pass, a pass that
+                # scatters every candidate into its bucket bin (atomic counter
+                # per bucket), and the compaction of the accepted elements and
+                # of the bucket of interest.
+                trace.add(
+                    "bucket_topk",
+                    loads=2.0 * m,
+                    stores=float(m + above_count + int(counts[bucket_of_interest])),
+                    atomics=float(m),
+                    kernels=3,
+                )
+            if above_count:
+                accepted.append(candidates[above_mask])
+                need -= above_count
+            candidates = candidates[bucket == bucket_of_interest]
+            if need == 0:
+                break
+            if candidates.shape[0] == need:
+                accepted.append(candidates)
+                need = 0
+                break
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError("bucket top-k failed to converge")
+
+        if need > 0:
+            # Remaining candidates all share one value; take any `need` of them.
+            accepted.append(candidates[:need])
+        return np.concatenate(accepted) if accepted else np.empty(0, dtype=np.int64)

@@ -1,0 +1,80 @@
+"""Order-preserving key transforms.
+
+The paper's algorithms (radix, bucket, the delegate pipeline) operate on
+unsigned 32-bit integers.  To support arbitrary real dtypes — the kNN
+application produces float distances, the degree-centrality application
+produces int64 counts — inputs are mapped to unsigned integer *keys* whose
+unsigned ordering matches the original total ordering:
+
+* unsigned ints: identity,
+* signed ints: flip the sign bit,
+* IEEE-754 floats: flip the sign bit for non-negative values, flip every bit
+  for negative values (the classic radix-sortable float encoding).
+
+Smallest-k queries reuse largest-k machinery by complementing the key
+(``~key``), which reverses the unsigned order.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["to_keys", "key_bits", "supported_dtype"]
+
+_UINT_FOR_SIZE = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+def supported_dtype(dtype: np.dtype) -> bool:
+    """Whether ``dtype`` can be converted to sortable unsigned keys."""
+    dtype = np.dtype(dtype)
+    return dtype.kind in "uif" and dtype.itemsize in _UINT_FOR_SIZE
+
+
+def key_bits(dtype: np.dtype) -> int:
+    """Number of key bits used for a given input dtype."""
+    dtype = np.dtype(dtype)
+    if not supported_dtype(dtype):
+        raise ConfigurationError(f"unsupported dtype for top-k keys: {dtype}")
+    return dtype.itemsize * 8
+
+
+def to_keys(v: np.ndarray, largest: bool = True) -> np.ndarray:
+    """Map ``v`` to unsigned keys whose ascending order ranks the query.
+
+    The returned array ``key`` satisfies: element ``i`` is preferred over
+    element ``j`` (i.e. ranks earlier in the top-k answer) exactly when
+    ``key[i] > key[j]``, regardless of ``largest``.  NaNs are not supported
+    and raise :class:`ConfigurationError` (the paper's inputs are integral).
+    """
+    v = np.asarray(v)
+    dtype = v.dtype
+    if not supported_dtype(dtype):
+        raise ConfigurationError(f"unsupported dtype for top-k keys: {dtype}")
+    utype = _UINT_FOR_SIZE[dtype.itemsize]
+    nbits = dtype.itemsize * 8
+    if dtype.kind == "u":
+        keys = v.astype(utype, copy=True)
+    elif dtype.kind == "i":
+        keys = v.view(utype) ^ utype(1 << (nbits - 1))
+    else:  # float
+        if np.isnan(v).any():
+            raise ConfigurationError("NaN values are not supported in top-k inputs")
+        bits = v.view(utype)
+        sign = utype(1 << (nbits - 1))
+        # Negative floats: flip all bits.  Non-negative: set the sign bit.
+        keys = np.where(bits & sign != 0, ~bits, bits | sign)
+    if not largest:
+        keys = ~keys
+    return keys.astype(utype, copy=False)
+
+
+def split_key_value(
+    v: np.ndarray, largest: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(keys, original_indices)`` for a 1-D input vector."""
+    keys = to_keys(v, largest=largest)
+    return keys, np.arange(v.shape[0], dtype=np.int64)

@@ -1,0 +1,268 @@
+"""Radix top-k: out-of-place, naive in-place (GGKS) and flag-optimised in-place.
+
+Radix top-k walks the key's digits from the Most Significant Digit to the
+Least Significant Digit, ``bits_per_pass`` (default 8) bits at a time
+(Section 2.2).  At every pass it histograms the current candidates by digit,
+accepts every element whose digit is larger than the digit of the k-th
+element, and recurses into the digit bucket containing the k-th element.
+
+Three variants are implemented because the paper distinguishes them:
+
+``RadixTopK`` (out-of-place)
+    Candidates for the next pass are compacted into a new, smaller array.
+    Fast when the digit distribution spreads values out, but each pass pays a
+    store of the surviving candidates.
+
+``InPlaceRadixTopK`` (GGKS in-place)
+    Never compacts.  Every pass re-scans the whole input and *overwrites*
+    ineligible elements with a value outside the range of interest (zero).
+    The scattered writes are the "excessive random memory accesses" the paper
+    criticises; they are modelled as low-utilisation store traffic.
+
+``FlagRadixTopK`` (Dr. Top-k's optimised in-place, Section 5.1)
+    Keeps a single ``(flag, mask)`` pair describing the digits selected so
+    far; each pass filters elements with ``(key & mask) == flag`` on the fly
+    and never writes to the input.  Figure 12 reports this variant to be on
+    average 10.7x faster than the GGKS in-place design.
+
+All variants share the digit-selection logic in :class:`_RadixBase` and return
+identical results; only their memory-traffic behaviour differs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import ExecutionTrace, TopKAlgorithm
+from repro.errors import ConfigurationError
+
+__all__ = ["RadixTopK", "InPlaceRadixTopK", "FlagRadixTopK"]
+
+
+class _RadixBase(TopKAlgorithm):
+    """Shared machinery for the radix top-k variants."""
+
+    def __init__(self, bits_per_pass: int = 8):
+        if bits_per_pass < 1 or bits_per_pass > 16:
+            raise ConfigurationError("bits_per_pass must be in [1, 16]")
+        self.bits_per_pass = int(bits_per_pass)
+
+    # -- helpers ----------------------------------------------------------------
+    def _shifts(self, keys: np.ndarray) -> List[int]:
+        """MSD-to-LSD bit shifts for the key dtype."""
+        total_bits = keys.dtype.itemsize * 8
+        shifts = list(range(total_bits - self.bits_per_pass, -1, -self.bits_per_pass))
+        if shifts and shifts[-1] != 0:
+            shifts.append(0)
+        return shifts
+
+    def _digit_of_interest(
+        self, digits: np.ndarray, need: int
+    ) -> Tuple[int, int]:
+        """Return ``(digit, count_above)`` for the digit holding the k-th element."""
+        radix = 1 << self.bits_per_pass
+        counts = np.bincount(digits, minlength=radix)
+        from_top = np.cumsum(counts[::-1])[::-1]
+        digit = int(np.max(np.nonzero(from_top >= need)[0]))
+        count_above = int(from_top[digit + 1]) if digit + 1 < radix else 0
+        return digit, count_above
+
+
+class RadixTopK(_RadixBase):
+    """Out-of-place MSD radix top-k (candidates compacted every pass)."""
+
+    name = "radix"
+    distribution_stable = False
+
+    def _select(
+        self, keys: np.ndarray, k: int, trace: Optional[ExecutionTrace]
+    ) -> np.ndarray:
+        candidates = np.arange(keys.shape[0], dtype=np.int64)
+        accepted: List[np.ndarray] = []
+        need = k
+        self.last_iterations = 0
+        mask_digit = (1 << self.bits_per_pass) - 1
+
+        for shift in self._shifts(keys):
+            m = candidates.shape[0]
+            if m <= need:
+                break
+            self.last_iterations += 1
+            digits = ((keys[candidates] >> shift) & mask_digit).astype(np.int64)
+            digit, count_above = self._digit_of_interest(digits, need)
+            above = candidates[digits > digit]
+            nxt = candidates[digits == digit]
+            if trace is not None:
+                trace.add(
+                    "radix_topk",
+                    loads=float(m),
+                    stores=float(above.shape[0] + nxt.shape[0]),
+                    kernels=2,
+                )
+            if above.shape[0]:
+                accepted.append(above)
+                need -= above.shape[0]
+            candidates = nxt
+            if need == 0 or candidates.shape[0] == need:
+                break
+
+        if need > 0:
+            accepted.append(candidates[:need])
+        return np.concatenate(accepted) if accepted else np.empty(0, dtype=np.int64)
+
+
+class InPlaceRadixTopK(_RadixBase):
+    """GGKS-style in-place radix top-k (re-scans and overwrites ineligible data).
+
+    The user's input is never actually modified (a working copy of the key
+    array is used), but the traffic of zeroing out ineligible elements is
+    charged exactly as the original kernel would incur it: one scattered store
+    per newly-ineligible element at poor memory utilisation.
+    """
+
+    name = "radix_inplace"
+    distribution_stable = False
+    #: Effective bandwidth fraction for scattered single-element writes: a
+    #: 4-byte random write moves a full 32-byte sector and, with ECC, becomes
+    #: a read-modify-write, so the achieved bandwidth is a small fraction of
+    #: the streaming rate (this is the "excessive random memory accesses"
+    #: penalty behind Figure 12).
+    scatter_utilization = 0.0625
+
+    def _select(
+        self, keys: np.ndarray, k: int, trace: Optional[ExecutionTrace]
+    ) -> np.ndarray:
+        n = keys.shape[0]
+        work = keys.copy()
+        indices = np.arange(n, dtype=np.int64)
+        live = np.ones(n, dtype=bool)  # not yet zeroed out
+        accepted: List[np.ndarray] = []
+        need = k
+        self.last_iterations = 0
+        mask_digit = (1 << self.bits_per_pass) - 1
+
+        for shift in self._shifts(keys):
+            live_idx = indices[live]
+            m = live_idx.shape[0]
+            if m <= need:
+                break
+            self.last_iterations += 1
+            digits = ((work[live_idx] >> shift) & mask_digit).astype(np.int64)
+            digit, _ = self._digit_of_interest(digits, need)
+            above_idx = live_idx[digits > digit]
+            keep_idx = live_idx[digits == digit]
+            drop_idx = live_idx[digits < digit]
+            if above_idx.shape[0]:
+                accepted.append(above_idx)
+                need -= above_idx.shape[0]
+            # "Modify the ineligible element ... into a value that is assured
+            # to fall out of the value range of interest (e.g., zero)".
+            work[drop_idx] = 0
+            work[above_idx] = 0  # accepted elements also leave the range of interest
+            live[drop_idx] = False
+            live[above_idx] = False
+            if trace is not None:
+                # The kernel always streams the full input vector ...
+                trace.add("radix_inplace_scan", loads=float(n), kernels=1)
+                # ... and scatters zeros over the newly ineligible elements
+                # (read-modify-write of the touched sectors).
+                zeroed = float(drop_idx.shape[0] + above_idx.shape[0])
+                trace.add(
+                    "radix_inplace_zero",
+                    loads=zeroed,
+                    stores=zeroed,
+                    utilization=self.scatter_utilization,
+                    kernels=1,
+                )
+            if need == 0 or keep_idx.shape[0] == need:
+                if keep_idx.shape[0] == need and need > 0:
+                    accepted.append(keep_idx)
+                    need = 0
+                break
+
+        if need > 0:
+            remaining = indices[live][: need]
+            accepted.append(remaining)
+        return np.concatenate(accepted) if accepted else np.empty(0, dtype=np.int64)
+
+
+class FlagRadixTopK(_RadixBase):
+    """Dr. Top-k's flag-based in-place radix top-k (Section 5.1).
+
+    A single ``(flag, mask)`` pair tracks the radix prefix of interest.  Every
+    pass streams the input once and evaluates ``(key & mask) == flag`` to
+    decide whether an element is still a candidate — no stores, no scattered
+    writes.  A final pass extracts the top-k elements.
+    """
+
+    name = "radix_flag"
+    distribution_stable = False
+
+    def _select(
+        self, keys: np.ndarray, k: int, trace: Optional[ExecutionTrace]
+    ) -> np.ndarray:
+        n = keys.shape[0]
+        dtype = keys.dtype
+        need_type = np.uint64  # wide enough for any supported key dtype
+        flag = need_type(0)
+        mask = need_type(0)
+        accepted_count_by_value = 0
+        self.last_iterations = 0
+        mask_digit = (1 << self.bits_per_pass) - 1
+        keys64 = keys.astype(need_type, copy=False)
+
+        # The number of elements still needed from inside the current prefix.
+        need = k
+        for shift in self._shifts(keys):
+            candidate_mask = (keys64 & mask) == flag
+            cand = keys64[candidate_mask]
+            m = cand.shape[0]
+            if trace is not None:
+                trace.add("radix_flag_scan", loads=float(n), kernels=1)
+            if m <= need:
+                break
+            self.last_iterations += 1
+            digits = ((cand >> need_type(shift)) & need_type(mask_digit)).astype(np.int64)
+            digit, count_above = self._digit_of_interest(digits, need)
+            need -= count_above
+            accepted_count_by_value += count_above
+            # Extend the prefix of interest by this pass's digit.
+            mask = mask | (need_type(mask_digit) << need_type(shift))
+            flag = flag | (need_type(digit) << need_type(shift))
+            if need == 0:
+                break
+
+        # Final extraction pass: elements above the prefix's upper bound were
+        # accepted "by value" during the digit passes; elements matching the
+        # prefix fill the remaining `need` slots.
+        threshold_mask = (keys64 & mask) == flag
+        prefix_candidates = np.nonzero(threshold_mask)[0]
+        if need > 0:
+            order = np.argsort(keys64[prefix_candidates], kind="stable")
+            inside = prefix_candidates[order[-need:]]
+        else:
+            inside = np.empty(0, dtype=np.int64)
+        if int(mask):
+            above_prefix = np.nonzero(keys64 > _prefix_upper_bound(flag, mask))[0]
+        else:
+            above_prefix = np.empty(0, dtype=np.int64)
+        if trace is not None:
+            trace.add("radix_flag_extract", loads=float(n), stores=float(k), kernels=1)
+        result = np.concatenate([above_prefix, inside])
+        if result.shape[0] != k:
+            # Defensive fallback; should not happen but guarantees correctness.
+            order_all = np.argsort(keys64, kind="stable")
+            result = order_all[-k:]
+        return result.astype(np.int64)
+
+
+def _prefix_upper_bound(flag: np.uint64, mask: np.uint64) -> np.uint64:
+    """Largest key value inside the prefix ``(flag, mask)``.
+
+    Keys strictly greater than this bound were accepted "by value" in earlier
+    passes (their digit exceeded the digit of interest).
+    """
+    full = np.uint64(np.iinfo(np.uint64).max)
+    return np.uint64(flag | (~mask & full))

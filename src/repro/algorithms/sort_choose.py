@@ -1,0 +1,47 @@
+"""Sort-and-choose top-k (THRUST-style baseline).
+
+Sort the whole input and take the last ``k`` elements.  This performs far more
+work than necessary — there is no need to order the elements outside the top-k
+range — which is exactly the inefficiency the partitioning top-k algorithms
+(and Dr. Top-k) remove.  It is included because Figure 17 compares against it
+and because it is the configuration real GPU applications most commonly ship.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import ExecutionTrace, TopKAlgorithm
+
+__all__ = ["SortAndChooseTopK"]
+
+#: A GPU radix sort of 32-bit keys performs this many full passes over the
+#: data (8 bits per pass), each reading and writing every element.  Used for
+#: the traffic model only.
+RADIX_SORT_PASSES = 4
+
+
+class SortAndChooseTopK(TopKAlgorithm):
+    """Full sort followed by choosing the top ``k`` elements."""
+
+    name = "sortchoose"
+    distribution_stable = True
+
+    def _select(
+        self, keys: np.ndarray, k: int, trace: Optional[ExecutionTrace]
+    ) -> np.ndarray:
+        n = keys.shape[0]
+        order = np.argsort(keys, kind="stable")
+        if trace is not None:
+            # Model as an LSD radix sort of (key, index) pairs: every pass
+            # streams the full array in and out, plus the final k-element gather.
+            per_pass = float(n) * 2.0  # key + payload
+            trace.add(
+                "sort_and_choose",
+                loads=per_pass * RADIX_SORT_PASSES + k,
+                stores=per_pass * RADIX_SORT_PASSES + k,
+                kernels=RADIX_SORT_PASSES + 1,
+            )
+        return order[-k:]

@@ -1,0 +1,46 @@
+"""Theory and analysis tools (paper Section 5.2).
+
+* :mod:`repro.analysis.theory` — the per-step cost Equations 2-6 and the total
+  cost Equation 6, evaluated for arbitrary ``|V|``, ``k``, ``alpha`` and
+  device constants.
+* :mod:`repro.analysis.alpha_tuning` — Rule 4: the closed-form optimal
+  subrange size, convexity verification, oracle grid search and the
+  auto-tuner used by the pipeline.
+* :mod:`repro.analysis.speedup` — helpers to build the speedup tables/series
+  of Figures 17-19.
+"""
+
+from repro.analysis.theory import (
+    CostParameters,
+    t_delegate,
+    t_first_k,
+    t_concat,
+    t_second_k,
+    total_time,
+)
+from repro.analysis.alpha_tuning import (
+    optimal_alpha,
+    optimal_alpha_exact,
+    rule4_const,
+    oracle_alpha,
+    alpha_sweep,
+    is_convex_in_alpha,
+)
+from repro.analysis.speedup import speedup_series, SpeedupPoint
+
+__all__ = [
+    "CostParameters",
+    "t_delegate",
+    "t_first_k",
+    "t_concat",
+    "t_second_k",
+    "total_time",
+    "optimal_alpha",
+    "optimal_alpha_exact",
+    "rule4_const",
+    "oracle_alpha",
+    "alpha_sweep",
+    "is_convex_in_alpha",
+    "speedup_series",
+    "SpeedupPoint",
+]

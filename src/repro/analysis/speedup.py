@@ -1,0 +1,135 @@
+"""Speedup computation helpers (Figures 17-19).
+
+The paper reports Dr. Top-k's benefit as the speedup of the Dr. Top-k-assisted
+algorithm over the corresponding stand-alone algorithm.  In this reproduction
+both quantities can be measured either as wall-clock time of the NumPy
+implementations or as estimated time on a simulated device; the helpers here
+take care of running both sides consistently and assembling the series the
+benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.base import ExecutionTrace
+from repro.errors import ConfigurationError
+from repro.gpusim.device import DeviceSpec, V100S
+
+if False:  # pragma: no cover - type-checking only; a runtime import would be circular
+    from repro.core.config import DrTopKConfig
+
+__all__ = ["SpeedupPoint", "speedup_series", "wall_clock", "estimated_time_ms"]
+
+
+@dataclass
+class SpeedupPoint:
+    """One point of a speedup curve."""
+
+    k: int
+    baseline_ms: float
+    drtopk_ms: float
+
+    @property
+    def speedup(self) -> float:
+        """Baseline time divided by Dr. Top-k time (> 1 means Dr. Top-k wins)."""
+        if self.drtopk_ms <= 0:
+            return float("inf")
+        return self.baseline_ms / self.drtopk_ms
+
+
+def wall_clock(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall-clock milliseconds of ``fn`` over ``repeats`` runs."""
+    if repeats < 1:
+        raise ConfigurationError("repeats must be >= 1")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1e3)
+    return float(np.median(samples))
+
+
+def estimated_time_ms(
+    v: np.ndarray,
+    k: int,
+    algorithm: str,
+    device: DeviceSpec = V100S,
+) -> float:
+    """Estimated time of a stand-alone algorithm run on the simulated device."""
+    trace = ExecutionTrace(itemsize=v.dtype.itemsize)
+    get_algorithm(algorithm).topk(v, k, trace=trace)
+    return trace.total_time_ms(device)
+
+
+def speedup_series(
+    v: np.ndarray,
+    ks: Iterable[int],
+    baseline_algorithm: str,
+    config: Optional["DrTopKConfig"] = None,
+    use_simulated_time: bool = True,
+    repeats: int = 1,
+    assisted_algorithm: Optional[str] = None,
+) -> List[SpeedupPoint]:
+    """Speedup of Dr. Top-k over ``baseline_algorithm`` for each ``k``.
+
+    Parameters
+    ----------
+    v:
+        The input vector (shared across all ``k`` values, as in the paper).
+    ks:
+        Values of k to sweep.
+    baseline_algorithm:
+        Stand-alone algorithm name; by default the Dr. Top-k configuration
+        uses the same algorithm for its first/second top-k so the comparison
+        isolates the delegate machinery (as the paper does).
+    assisted_algorithm:
+        Algorithm used *inside* the Dr. Top-k pipeline when it differs from
+        the stand-alone baseline — e.g. the paper compares against the GGKS
+        in-place radix baseline while Dr. Top-k runs its own flag-optimised
+        in-place radix (Section 5.1).
+    config:
+        Base pipeline configuration; its first/second algorithms are replaced
+        by ``baseline_algorithm``.
+    use_simulated_time:
+        ``True`` (default) compares estimated simulated-GPU times;
+        ``False`` compares wall-clock times of the NumPy implementations.
+    repeats:
+        Wall-clock repetitions (ignored for simulated time).
+    """
+    # Imported here to avoid a circular dependency (core imports the analysis
+    # package for Rule-4 alpha tuning).
+    from repro.core.config import DrTopKConfig
+    from repro.core.drtopk import DrTopK
+
+    inner = assisted_algorithm or baseline_algorithm
+    cfg = (config or DrTopKConfig()).replace(
+        first_algorithm=inner, second_algorithm=inner
+    )
+    device = cfg.device
+    points: List[SpeedupPoint] = []
+    for k in ks:
+        k = int(k)
+        engine = DrTopK(cfg)
+        if use_simulated_time:
+            baseline_ms = estimated_time_ms(v, k, baseline_algorithm, device=device)
+            result = engine.topk(v, k)
+            assert result.stats is not None
+            dr_ms = result.stats.total_time_ms
+        else:
+            baseline_ms = wall_clock(
+                lambda: get_algorithm(baseline_algorithm).topk(v, k), repeats=repeats
+            )
+            dr_ms = wall_clock(lambda: engine.topk(v, k), repeats=repeats)
+        points.append(SpeedupPoint(k=k, baseline_ms=baseline_ms, drtopk_ms=dr_ms))
+    return points
+
+
+def speedup_table(points: List[SpeedupPoint]) -> Dict[int, float]:
+    """Convenience: map k -> speedup."""
+    return {p.k: p.speedup for p in points}

@@ -1,0 +1,145 @@
+"""The Section 5.2 analytic cost model (Equations 1-6).
+
+The paper models the time of each Dr. Top-k stage purely in terms of global
+memory accesses (cost :math:`C_{global}` cycles each) and CUDA shuffle
+instructions (cost :math:`C_{shfl}` cycles each):
+
+.. math::
+
+    T_{Delegate} &= (1 + 2^{-\\alpha})\\,|V|\\,C_{global}
+                    + 31\\,|V|\\,2^{-\\alpha}\\,C_{shfl}          \\\\
+    T_{FirstK}   &= 5\\,|V|\\,2^{-\\alpha}\\,C_{global} + 2 k C_{global} \\\\
+    T_{Concat}   &= k\\,C_{global} + 2 k 2^{\\alpha} C_{global}   \\\\
+    T_{SecondK}  &= 4 k 2^{\\alpha} C_{global}
+
+and the total (Equation 6)
+
+.. math::
+
+    T = 31 |V| 2^{-\\alpha} C_{shfl}
+        + (6 |V| 2^{-\\alpha} + 6 k 2^{\\alpha} + 2k + |V|)\\,C_{global}.
+
+Times returned here are in *cycles* (the unit the paper's derivation uses);
+only ratios and the location of the minimum matter, which is what Rule 4 and
+the Figure 13/14 experiments rely on.  Device-specific millisecond estimates
+come from :mod:`repro.gpusim.costmodel` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import DeviceSpec, V100S
+
+__all__ = [
+    "CostParameters",
+    "t_delegate",
+    "t_first_k",
+    "t_concat",
+    "t_second_k",
+    "total_time",
+]
+
+#: Shuffle instructions per subrange reduction (sum_{i=1..5} 32 / 2^i).
+SHUFFLES_PER_SUBRANGE = 31
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """The two latency constants of the Section 5.2 model."""
+
+    c_global: float = 400.0
+    c_shfl: float = 30.0
+
+    @classmethod
+    def from_device(cls, device: DeviceSpec = V100S) -> "CostParameters":
+        """Take the constants from a simulated device specification."""
+        return cls(c_global=device.c_global, c_shfl=device.c_shfl)
+
+    def __post_init__(self) -> None:
+        if self.c_global <= 0 or self.c_shfl <= 0:
+            raise ConfigurationError("latency constants must be positive")
+
+
+def _validate(n: float, k: float, alpha: float) -> None:
+    if n < 1 or k < 1:
+        raise ConfigurationError("|V| and k must be >= 1")
+    if alpha < 0:
+        raise ConfigurationError("alpha must be non-negative")
+
+
+def t_delegate(n: float, alpha: float, params: CostParameters = CostParameters()) -> float:
+    """Equation 2: delegate-vector construction cost (cycles)."""
+    _validate(n, 1, alpha)
+    subranges = n / (2.0 ** alpha)
+    return (n + subranges) * params.c_global + SHUFFLES_PER_SUBRANGE * subranges * params.c_shfl
+
+
+def t_first_k(
+    n: float, k: float, alpha: float, params: CostParameters = CostParameters()
+) -> float:
+    """Equation 3: first top-k cost (cycles)."""
+    _validate(n, k, alpha)
+    subranges = n / (2.0 ** alpha)
+    return 5.0 * subranges * params.c_global + 2.0 * k * params.c_global
+
+
+def t_concat(k: float, alpha: float, params: CostParameters = CostParameters()) -> float:
+    """Equation 4: concatenation cost (cycles)."""
+    _validate(1, k, alpha)
+    return k * params.c_global + 2.0 * k * (2.0 ** alpha) * params.c_global
+
+
+def t_second_k(k: float, alpha: float, params: CostParameters = CostParameters()) -> float:
+    """Equation 5: second top-k cost (cycles)."""
+    _validate(1, k, alpha)
+    return 4.0 * k * (2.0 ** alpha) * params.c_global
+
+
+def total_time(
+    n: float, k: float, alpha: float, params: CostParameters = CostParameters()
+) -> float:
+    """Equation 6: total Dr. Top-k cost (cycles)."""
+    return (
+        t_delegate(n, alpha, params)
+        + t_first_k(n, k, alpha, params)
+        + t_concat(k, alpha, params)
+        + t_second_k(k, alpha, params)
+    )
+
+
+def breakdown(
+    n: float, k: float, alpha: float, params: CostParameters = CostParameters()
+) -> dict:
+    """All four stage costs plus the total, keyed by stage name."""
+    parts = {
+        "delegate_construction": t_delegate(n, alpha, params),
+        "first_topk": t_first_k(n, k, alpha, params),
+        "concatenation": t_concat(k, alpha, params),
+        "second_topk": t_second_k(k, alpha, params),
+    }
+    parts["total"] = float(sum(parts.values()))
+    return parts
+
+
+def second_derivative_in_alpha(
+    n: float, k: float, alpha: float, params: CostParameters = CostParameters()
+) -> float:
+    """Equation 8: the second derivative of the total cost w.r.t. alpha.
+
+    Positive for every positive ``n``, ``k``, ``C_global`` and ``C_shfl``,
+    which is the convexity argument behind Rule 4.
+    """
+    _validate(n, k, alpha)
+    ln2sq = np.log(2.0) ** 2
+    term_decreasing = (
+        (SHUFFLES_PER_SUBRANGE * params.c_shfl + 6.0 * params.c_global)
+        * n
+        * ln2sq
+        * 2.0 ** (-alpha)
+    )
+    term_increasing = 6.0 * k * params.c_global * ln2sq * 2.0 ** alpha
+    return term_decreasing + term_increasing

@@ -1,0 +1,25 @@
+"""End-to-end applications built on the public top-k API.
+
+These mirror the three real-world uses the paper's benchmark targets
+(Section 6.1, Table 1):
+
+* :mod:`repro.apps.knn` — k-nearest-neighbour search over SIFT-like
+  descriptors (ANN_SIFT1B's role),
+* :mod:`repro.apps.degree_centrality` — top-k most connected vertices of a
+  web graph (ClueWeb09's role),
+* :mod:`repro.apps.tweet_ranking` — the k least fearful COVID tweets
+  (TwitterCOVID-19's role).
+"""
+
+from repro.apps.knn import KNNSearch, knn_search
+from repro.apps.degree_centrality import top_degree_nodes, degree_centrality_report
+from repro.apps.tweet_ranking import least_fearful_tweets, most_fearful_tweets
+
+__all__ = [
+    "KNNSearch",
+    "knn_search",
+    "top_degree_nodes",
+    "degree_centrality_report",
+    "least_fearful_tweets",
+    "most_fearful_tweets",
+]

@@ -1,0 +1,64 @@
+"""k-nearest-neighbour search application (paper Table 1, "AN").
+
+The application computes the (squared) Euclidean distance from a query
+descriptor to every descriptor in the collection and selects the ``k``
+smallest distances with the delegate-centric pipeline — exactly the workload
+the paper derives from ANN_SIFT1B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import DrTopKConfig
+from repro.core.drtopk import DrTopK
+from repro.datasets.ann import SiftLikeDataset
+from repro.errors import ConfigurationError
+from repro.types import TopKResult
+from repro.utils import RngLike
+
+__all__ = ["KNNSearch", "knn_search"]
+
+
+@dataclass
+class KNNSearch:
+    """Nearest-neighbour searcher over a descriptor collection.
+
+    Attributes
+    ----------
+    dataset:
+        The descriptor collection.
+    config:
+        Dr. Top-k configuration used for the selection step.
+    """
+
+    dataset: SiftLikeDataset
+    config: Optional[DrTopKConfig] = None
+
+    @classmethod
+    def from_random(cls, n: int, seed: RngLike = None, config: Optional[DrTopKConfig] = None):
+        """Build a searcher over ``n`` synthetic SIFT-like descriptors."""
+        return cls(dataset=SiftLikeDataset.generate(n, seed=seed), config=config)
+
+    def query(self, query_vector: Optional[np.ndarray], k: int) -> TopKResult:
+        """Return the ``k`` nearest descriptors to ``query_vector``.
+
+        The result's ``values`` are squared distances in ascending order and
+        ``indices`` identify the matching descriptors.
+        """
+        if k < 1 or k > len(self.dataset):
+            raise ConfigurationError(f"k must be in [1, {len(self.dataset)}]")
+        distances = self.dataset.distances_from(query_vector)
+        engine = DrTopK(self.config)
+        return engine.topk(distances, k, largest=False)
+
+
+def knn_search(
+    vectors: np.ndarray, query: np.ndarray, k: int, config: Optional[DrTopKConfig] = None
+) -> TopKResult:
+    """One-shot k-NN: ``vectors`` is ``(n, 128)`` uint8, ``query`` is ``(128,)``."""
+    dataset = SiftLikeDataset(vectors=np.asarray(vectors))
+    return KNNSearch(dataset=dataset, config=config).query(np.asarray(query), k)

@@ -1,0 +1,36 @@
+"""COVID tweet ranking application (paper Table 1, "TR").
+
+The paper's TwitterCOVID-19 workload ranks tweets by a fear score and uses
+top-k (smallest) to find the ``k`` *least fearful* tweets.  The functions here
+accept any score vector — the surrogate generator in
+:func:`repro.datasets.twitter.covid_fear_scores` or real scores — and run the
+selection through the delegate-centric pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import DrTopKConfig
+from repro.core.drtopk import DrTopK
+from repro.types import TopKResult
+
+__all__ = ["least_fearful_tweets", "most_fearful_tweets"]
+
+
+def least_fearful_tweets(
+    scores: np.ndarray, k: int, config: Optional[DrTopKConfig] = None
+) -> TopKResult:
+    """The ``k`` tweets with the lowest fear scores (the paper's query)."""
+    engine = DrTopK(config)
+    return engine.topk(np.asarray(scores), k, largest=False)
+
+
+def most_fearful_tweets(
+    scores: np.ndarray, k: int, config: Optional[DrTopKConfig] = None
+) -> TopKResult:
+    """The ``k`` tweets with the highest fear scores (the complementary query)."""
+    engine = DrTopK(config)
+    return engine.topk(np.asarray(scores), k, largest=True)

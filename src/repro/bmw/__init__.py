@@ -1,0 +1,37 @@
+"""Block-Max WAND (BMW) information-retrieval baseline (Section 4.4, Figure 24).
+
+BMW answers top-k *document* queries over an inverted index: posting lists are
+split into blocks carrying the maximum score of the block, and a document is
+fully evaluated only when the sum of the block maxima of the blocks containing
+it can exceed the current top-k threshold.
+
+The paper contrasts BMW's element-centric skipping with Dr. Top-k's
+delegate-centric subrange skipping and reports (Figure 24) how much more data
+BMW still fully evaluates.  This package provides:
+
+* a posting-list / block-max substrate (:mod:`repro.bmw.postings`),
+* WAND and Block-Max WAND query evaluation with full workload counters
+  (:mod:`repro.bmw.bmw`), and
+* the single-term vector adaptation used for the Figure 24 comparison
+  (:func:`repro.bmw.bmw.bmw_vector_workload`).
+"""
+
+from repro.bmw.postings import Posting, Block, PostingList, InvertedIndex, build_corpus_index
+from repro.bmw.bmw import (
+    BMWSearcher,
+    QueryResult,
+    EvaluationCounters,
+    bmw_vector_workload,
+)
+
+__all__ = [
+    "Posting",
+    "Block",
+    "PostingList",
+    "InvertedIndex",
+    "build_corpus_index",
+    "BMWSearcher",
+    "QueryResult",
+    "EvaluationCounters",
+    "bmw_vector_workload",
+]

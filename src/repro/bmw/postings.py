@@ -1,0 +1,159 @@
+"""Posting lists, blocks and the inverted index substrate for BMW.
+
+The model follows Figure 11: every query term owns a posting list of
+``(document id, score)`` pairs sorted by document id; the list is partitioned
+into fixed-size blocks, and each block stores the maximum score it contains
+(the *block max*).  The searcher uses the per-term maximum score for WAND
+pivoting and the block maxima for the BMW refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils import as_rng, RngLike
+
+__all__ = ["Posting", "Block", "PostingList", "InvertedIndex", "build_corpus_index"]
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One ``(document, score)`` entry of a posting list."""
+
+    doc_id: int
+    score: float
+
+
+@dataclass(frozen=True)
+class Block:
+    """A contiguous run of postings with its maximum score (the block max)."""
+
+    start: int          # index of the first posting within the list
+    stop: int           # one past the last posting
+    max_score: float
+    first_doc: int
+    last_doc: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+class PostingList:
+    """Postings of one term, sorted by document id and split into blocks."""
+
+    def __init__(self, doc_ids: Sequence[int], scores: Sequence[float], block_size: int = 64):
+        doc_ids = np.asarray(doc_ids, dtype=np.int64)
+        scores = np.asarray(scores, dtype=np.float64)
+        if doc_ids.shape != scores.shape:
+            raise ConfigurationError("doc_ids and scores must have the same length")
+        if doc_ids.shape[0] == 0:
+            raise ConfigurationError("a posting list must not be empty")
+        if block_size < 1:
+            raise ConfigurationError("block_size must be positive")
+        order = np.argsort(doc_ids, kind="stable")
+        self.doc_ids = doc_ids[order]
+        self.scores = scores[order]
+        if np.any(np.diff(self.doc_ids) == 0):
+            raise ConfigurationError("duplicate document ids in a posting list")
+        self.block_size = int(block_size)
+        self.blocks: List[Block] = self._build_blocks()
+
+    def _build_blocks(self) -> List[Block]:
+        blocks = []
+        n = self.doc_ids.shape[0]
+        for start in range(0, n, self.block_size):
+            stop = min(start + self.block_size, n)
+            blocks.append(
+                Block(
+                    start=start,
+                    stop=stop,
+                    max_score=float(self.scores[start:stop].max()),
+                    first_doc=int(self.doc_ids[start]),
+                    last_doc=int(self.doc_ids[stop - 1]),
+                )
+            )
+        return blocks
+
+    def __len__(self) -> int:
+        return int(self.doc_ids.shape[0])
+
+    @property
+    def max_score(self) -> float:
+        """Term-wide maximum score (the WAND upper bound)."""
+        return float(self.scores.max())
+
+    def block_of(self, position: int) -> Block:
+        """Block containing the posting at ``position``."""
+        if not (0 <= position < len(self)):
+            raise ConfigurationError("posting position out of range")
+        return self.blocks[position // self.block_size]
+
+    def seek(self, position: int, doc_id: int) -> int:
+        """Smallest posting position ``>= position`` whose document id is ``>= doc_id``."""
+        return int(position + np.searchsorted(self.doc_ids[position:], doc_id, side="left"))
+
+    def score_at(self, position: int) -> float:
+        return float(self.scores[position])
+
+    def doc_at(self, position: int) -> int:
+        return int(self.doc_ids[position])
+
+
+class InvertedIndex:
+    """Term → posting-list mapping with shared block size."""
+
+    def __init__(self, postings: Mapping[str, PostingList]):
+        if not postings:
+            raise ConfigurationError("an inverted index needs at least one term")
+        self.postings: Dict[str, PostingList] = dict(postings)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self.postings
+
+    def __getitem__(self, term: str) -> PostingList:
+        try:
+            return self.postings[term]
+        except KeyError:
+            raise ConfigurationError(f"unknown term {term!r}") from None
+
+    def terms(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.postings))
+
+    @property
+    def num_documents(self) -> int:
+        """Highest document id referenced plus one."""
+        return int(max(pl.doc_ids.max() for pl in self.postings.values()) + 1)
+
+
+def build_corpus_index(
+    num_documents: int,
+    terms: Iterable[str],
+    block_size: int = 64,
+    density: float = 0.3,
+    max_occurrences: int = 20,
+    seed: RngLike = None,
+) -> InvertedIndex:
+    """Generate a synthetic corpus index.
+
+    Each term appears in a random ``density`` fraction of the documents with a
+    score equal to its occurrence count (the scoring used in the paper's
+    Figure 11 example).  Used by the IR example application and the BMW tests.
+    """
+    if num_documents < 1:
+        raise ConfigurationError("num_documents must be positive")
+    if not (0.0 < density <= 1.0):
+        raise ConfigurationError("density must be in (0, 1]")
+    rng = as_rng(seed)
+    postings: Dict[str, PostingList] = {}
+    for term in terms:
+        count = max(int(round(num_documents * density)), 1)
+        doc_ids = rng.choice(num_documents, size=count, replace=False)
+        scores = rng.integers(1, max_occurrences + 1, size=count).astype(np.float64)
+        postings[str(term)] = PostingList(doc_ids, scores, block_size=block_size)
+    if not postings:
+        raise ConfigurationError("at least one term is required")
+    return InvertedIndex(postings)

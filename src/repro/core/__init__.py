@@ -1,0 +1,41 @@
+"""Delegate-centric top-k: the paper's primary contribution.
+
+The pipeline (Figure 3b) is::
+
+    input vector V
+      └─ 1. delegate-vector construction      (repro.core.delegate)
+      └─ 2. first top-k on the delegate vector
+      └─ 3. concatenation of qualified subranges,
+            with delegate-top-k-enabled filtering  (repro.core.concatenate /
+                                                    repro.core.filtering)
+      └─ 4. second top-k on the concatenated vector
+      → top-k of V
+
+:class:`~repro.core.drtopk.DrTopK` orchestrates the four steps, records the
+workload statistics of Section 6.2 and the simulated GPU time breakdown of
+Figures 6-15, and returns a standard :class:`~repro.types.TopKResult`.
+"""
+
+from repro.core.config import DrTopKConfig, ConstructionStrategy
+from repro.core.subrange import SubrangePartition
+from repro.core.delegate import DelegateVector, build_delegate_vector
+from repro.core.filtering import qualification_threshold, filter_by_threshold
+from repro.core.concatenate import Concatenation, concatenate_subranges
+from repro.core.drtopk import DrTopK, drtopk
+from repro.core.workload import expected_workload, measure_workload
+
+__all__ = [
+    "DrTopKConfig",
+    "ConstructionStrategy",
+    "SubrangePartition",
+    "DelegateVector",
+    "build_delegate_vector",
+    "qualification_threshold",
+    "filter_by_threshold",
+    "Concatenation",
+    "concatenate_subranges",
+    "DrTopK",
+    "drtopk",
+    "expected_workload",
+    "measure_workload",
+]

@@ -1,0 +1,150 @@
+"""Concatenation of qualified subranges (Sections 4.1-4.3, 5.1).
+
+After the first top-k has identified the qualified subranges, the
+concatenation step copies their (optionally Rule-2 filtered) elements into a
+new, much smaller vector on which the second top-k runs.  On the GPU this is a
+warp-centric scatter whose output positions are claimed with atomic
+operations because the number of surviving elements per subrange is unknown
+in advance (Section 5.1); the simulated traffic accounting reflects that.
+
+With β delegates (Rule 3) only the *fully taken* subranges are scanned; the
+remaining candidates are delegates that already live in the delegate vector,
+so they are appended without touching the input vector again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import ExecutionTrace
+from repro.core.delegate import DelegateVector
+from repro.core.subrange import SubrangePartition
+from repro.errors import ConfigurationError
+
+__all__ = ["Concatenation", "concatenate_subranges"]
+
+
+@dataclass
+class Concatenation:
+    """Result of the concatenation step.
+
+    Attributes
+    ----------
+    keys:
+        Concatenated candidate keys (the second top-k input).
+    indices:
+        Original element positions aligned with :attr:`keys`.
+    scanned_elements:
+        Number of input elements read while scanning the fully-qualified
+        subranges (the concatenation read workload).
+    filtered_out:
+        Elements read but dropped by Rule-2 filtering.
+    scanned_subranges:
+        Number of subranges that were scanned.
+    """
+
+    keys: np.ndarray
+    indices: np.ndarray
+    scanned_elements: int
+    filtered_out: int
+    scanned_subranges: int
+
+    @property
+    def size(self) -> int:
+        """Concatenated-vector length (the second top-k workload)."""
+        return int(self.keys.shape[0])
+
+
+def concatenate_subranges(
+    keys: np.ndarray,
+    delegates: DelegateVector,
+    scan_mask: np.ndarray,
+    threshold=None,
+    extra_candidate_mask: Optional[np.ndarray] = None,
+    trace: Optional[ExecutionTrace] = None,
+) -> Concatenation:
+    """Build the concatenated vector.
+
+    Parameters
+    ----------
+    keys:
+        The full key vector.
+    delegates:
+        Delegate vector previously built from ``keys``.
+    scan_mask:
+        Boolean mask (one entry per subrange) of subranges that must be
+        scanned in full.
+    threshold:
+        Rule-2 threshold; when ``None`` no filtering is applied and every
+        element of a scanned subrange is copied.
+    extra_candidate_mask:
+        Boolean mask over the delegate vector's *valid* flat entries selecting
+        delegates that must be added as candidates even though their subrange
+        is not scanned (the partially-taken subranges of Rule 3).
+    trace:
+        Optional execution trace for the simulated GPU traffic.
+    """
+    keys = np.asarray(keys)
+    partition: SubrangePartition = delegates.partition
+    scan_mask = np.asarray(scan_mask, dtype=bool)
+    if scan_mask.shape[0] != partition.num_subranges:
+        raise ConfigurationError("scan_mask must have one entry per subrange")
+
+    scanned_ids = np.nonzero(scan_mask)[0]
+    pieces_keys = []
+    pieces_idx = []
+    scanned_elements = 0
+    filtered_out = 0
+
+    if scanned_ids.shape[0]:
+        # Gather the scanned subranges through the padded 2-D view, then strip
+        # padding and apply the Rule-2 filter in one vectorised pass.
+        view = partition.reshape_padded(keys, pad_value=keys.dtype.type(0))
+        block = view[scanned_ids]  # (s, subrange_size)
+        positions = (scanned_ids[:, None] << partition.alpha) + np.arange(
+            partition.subrange_size, dtype=np.int64
+        )
+        real = positions < partition.n
+        scanned_elements = int(np.count_nonzero(real))
+        if threshold is not None:
+            keep = real & (block >= keys.dtype.type(threshold))
+        else:
+            keep = real
+        filtered_out = scanned_elements - int(np.count_nonzero(keep))
+        pieces_keys.append(block[keep])
+        pieces_idx.append(positions[keep])
+
+    if extra_candidate_mask is not None and np.any(extra_candidate_mask):
+        extra_keys = delegates.flat_keys()[extra_candidate_mask]
+        extra_idx = delegates.flat_indices()[extra_candidate_mask]
+        pieces_keys.append(extra_keys)
+        pieces_idx.append(extra_idx)
+
+    if pieces_keys:
+        out_keys = np.concatenate(pieces_keys)
+        out_idx = np.concatenate(pieces_idx).astype(np.int64)
+    else:
+        out_keys = np.empty(0, dtype=keys.dtype)
+        out_idx = np.empty(0, dtype=np.int64)
+
+    if trace is not None:
+        copied = float(out_keys.shape[0])
+        trace.add(
+            "concatenation",
+            # Read the qualified-subrange id list plus the scanned elements.
+            loads=float(scanned_ids.shape[0]) + float(scanned_elements),
+            stores=2.0 * copied,  # key + original index
+            atomics=copied,
+            kernels=1,
+        )
+
+    return Concatenation(
+        keys=out_keys,
+        indices=out_idx,
+        scanned_elements=scanned_elements,
+        filtered_out=filtered_out,
+        scanned_subranges=int(scanned_ids.shape[0]),
+    )

@@ -1,0 +1,106 @@
+"""Configuration of the Dr. Top-k pipeline."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import DeviceSpec, V100S
+
+__all__ = ["DrTopKConfig", "ConstructionStrategy", "RULE4_CONST"]
+
+#: The paper sets the Rule-4 constant to 3 "according to performance tuning"
+#: (Section 5.2, Figure 14).
+RULE4_CONST = 3.0
+
+
+class ConstructionStrategy(str, enum.Enum):
+    """How the delegate-vector construction kernel is organised (Section 5.1/5.3).
+
+    ``WARP_CENTRIC``
+        One warp per subrange; lanes scan stripes of the subrange and combine
+        with ``__shfl_sync`` butterfly reductions.  Near peak bandwidth for
+        large subranges but wastes lanes and floods the SM with shuffles when
+        subranges are small.
+    ``COALESCED_STRIDED``
+        A warp stages 32 subranges into shared memory with coalesced loads and
+        each lane then reduces one whole subrange privately — no shuffles,
+        full lane utilisation.  The fix introduced in Section 5.3 for small
+        subranges (alpha <= 5).
+    ``AUTO``
+        Pick ``COALESCED_STRIDED`` when the subrange is at most 32 elements
+        (alpha <= 5), ``WARP_CENTRIC`` otherwise, which is the paper's final
+        configuration.
+    """
+
+    WARP_CENTRIC = "warp_centric"
+    COALESCED_STRIDED = "coalesced_strided"
+    AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class DrTopKConfig:
+    """Tunable parameters of the delegate-centric pipeline.
+
+    Attributes
+    ----------
+    alpha:
+        Subrange-size exponent (subranges hold ``2**alpha`` elements).  When
+        ``None`` the Rule-4 closed form selects it from ``|V|`` and ``k``.
+    beta:
+        Number of delegates extracted per subrange (Section 4.3).  ``beta=1``
+        is the maximum-delegate design; the paper finds ``beta=2`` best.
+    use_filtering:
+        Enable delegate-top-k-enabled filtering (Rule 2, Section 4.2).
+    use_beta_rule:
+        Enable the β-delegate concatenation rule (Rule 3).  Only meaningful
+        for ``beta >= 2``; disabling it with ``beta >= 2`` reproduces the
+        "filtering only" ablation of Figure 22.
+    first_algorithm / second_algorithm:
+        Registered algorithm names used for the first and second top-k.
+    construction:
+        Delegate-vector construction strategy (see
+        :class:`ConstructionStrategy`).
+    device:
+        Simulated device used to price the pipeline's kernel steps.
+    rule4_const:
+        The ``Const`` term of Rule 4.
+    skip_second_when_possible:
+        Return the first top-k directly when Rule 3 proves no subrange needs
+        scanning (Figure 8b's shortcut).
+    collect_trace:
+        Record per-step simulated GPU traffic and estimated times.
+    """
+
+    alpha: Optional[int] = None
+    beta: int = 2
+    use_filtering: bool = True
+    use_beta_rule: bool = True
+    first_algorithm: str = "radix_flag"
+    second_algorithm: str = "radix_flag"
+    construction: ConstructionStrategy = ConstructionStrategy.AUTO
+    device: DeviceSpec = field(default=V100S)
+    rule4_const: float = RULE4_CONST
+    skip_second_when_possible: bool = True
+    collect_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alpha is not None and self.alpha < 0:
+            raise ConfigurationError("alpha must be non-negative")
+        if self.beta < 1:
+            raise ConfigurationError("beta must be >= 1")
+        if not isinstance(self.construction, ConstructionStrategy):
+            object.__setattr__(
+                self, "construction", ConstructionStrategy(str(self.construction))
+            )
+
+    def replace(self, **kwargs) -> "DrTopKConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def maximum_delegate_only(self) -> bool:
+        """True when running the plain Rule-1 design (beta = 1)."""
+        return self.beta == 1

@@ -1,0 +1,242 @@
+"""The Dr. Top-k pipeline (Figure 3b).
+
+:class:`DrTopK` glues the four stages together:
+
+1. **Delegate-vector construction** — :mod:`repro.core.delegate`.
+2. **First top-k** on the delegate vector, using any registered algorithm.
+   The delegate vector is a (key, subrange-id) pair vector and the pass must
+   produce the full top-k (not just the k-th value) because every qualified
+   subrange is needed for concatenation (Section 5.1).
+3. **Concatenation** of qualified subranges with Rule-2 filtering and the
+   Rule-3 β-delegate pruning — :mod:`repro.core.concatenate`.
+4. **Second top-k** on the concatenated vector.
+
+The class records per-step simulated-GPU traffic (priced on the configured
+device) and the workload statistics reported in the paper's Section 6.2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.base import ExecutionTrace
+from repro.algorithms.keys import to_keys
+from repro.analysis.alpha_tuning import optimal_alpha
+from repro.core.concatenate import concatenate_subranges
+from repro.core.config import DrTopKConfig
+from repro.core.delegate import build_delegate_vector
+from repro.core.filtering import qualification_threshold, qualify_subranges
+from repro.core.subrange import SubrangePartition
+from repro.errors import ConfigurationError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.kernel import KernelStep
+from repro.gpusim.memory import MemoryCounters
+from repro.types import TopKResult, WorkloadStats
+from repro.utils import check_k, ensure_1d, log2_int
+
+__all__ = ["DrTopK", "drtopk"]
+
+
+class DrTopK:
+    """Delegate-centric top-k engine.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration; defaults to the paper's final design
+        (``beta=2``, filtering on, Rule 3 on, flag-optimised in-place radix
+        for both top-k passes, automatic construction strategy and automatic
+        Rule-4 α).
+    """
+
+    def __init__(self, config: Optional[DrTopKConfig] = None):
+        self.config = config or DrTopKConfig()
+        # Fail fast on unknown algorithm names.
+        get_algorithm(self.config.first_algorithm)
+        get_algorithm(self.config.second_algorithm)
+
+    # -- public API -----------------------------------------------------------
+    def topk(self, v: np.ndarray, k: int, largest: bool = True) -> TopKResult:
+        """Compute the top-``k`` of ``v`` with the delegate-centric pipeline."""
+        v = ensure_1d(v)
+        k = check_k(k, v.shape[0])
+        keys = to_keys(v, largest=largest)
+        n = keys.shape[0]
+        cfg = self.config
+
+        alpha = self._resolve_alpha(n, k)
+        partition = SubrangePartition(n=n, alpha=alpha)
+        # Tiny inputs can leave subranges narrower than the configured beta;
+        # extracting every element of such a subrange is the correct limit.
+        beta = min(cfg.beta, partition.subrange_size)
+        stats = WorkloadStats(
+            input_size=n,
+            subrange_size=partition.subrange_size,
+            alpha=alpha,
+            beta=beta,
+            num_subranges=partition.num_subranges,
+        )
+
+        # Degenerate regime: the delegate vector would not be smaller than k,
+        # so the delegate machinery cannot prune anything.  Fall back to the
+        # second-top-k algorithm on the raw input (still a valid answer).
+        if partition.num_subranges * beta <= k:
+            return self._degenerate(v, keys, k, largest, stats)
+
+        trace = ExecutionTrace(itemsize=v.dtype.itemsize) if cfg.collect_trace else None
+
+        # 1. Delegate-vector construction.
+        delegates = build_delegate_vector(
+            keys,
+            partition,
+            beta=beta,
+            strategy=cfg.construction,
+            trace=trace,
+        )
+        stats.delegate_vector_size = delegates.size
+
+        # 2. First top-k on the delegate vector (keys are already unsigned).
+        first_algo = get_algorithm(cfg.first_algorithm)
+        first_trace = ExecutionTrace(itemsize=v.dtype.itemsize) if cfg.collect_trace else None
+        flat_keys = delegates.flat_keys()
+        first = first_algo.topk(flat_keys, k, largest=True, trace=first_trace)
+        if trace is not None and first_trace is not None:
+            trace.extend([_collapse_steps("first_topk", first_trace)])
+        threshold = qualification_threshold(first)
+
+        # 3. Qualification and concatenation.
+        qualified, scan = qualify_subranges(
+            delegates.maxima(),
+            delegates.beta_th(),
+            threshold,
+            use_beta_rule=cfg.use_beta_rule and beta > 1,
+        )
+        stats.qualified_subranges = int(np.count_nonzero(qualified))
+        stats.fully_qualified_subranges = int(np.count_nonzero(scan))
+
+        flat_sub_ids = delegates.flat_subrange_ids()
+        delegate_above = delegates.flat_keys() >= flat_keys.dtype.type(threshold)
+        extra_mask = delegate_above & ~scan[flat_sub_ids]
+
+        if (
+            cfg.skip_second_when_possible
+            and not np.any(scan)
+            and first.values.shape[0] == k
+        ):
+            # Figure 8(b): no subrange is fully taken, so the first top-k is
+            # already the answer; map its indices back to the input vector.
+            original_idx = delegates.flat_indices()[first.indices]
+            stats.second_topk_skipped = True
+            stats.concatenated_size = 0
+            self._finalise_stats(stats, trace)
+            result = TopKResult(
+                values=v[original_idx], indices=original_idx, k=k, largest=largest, stats=stats
+            )
+            self.last_stats = stats
+            return result
+
+        concat = concatenate_subranges(
+            keys,
+            delegates,
+            scan_mask=scan,
+            threshold=threshold if cfg.use_filtering else None,
+            extra_candidate_mask=extra_mask,
+            trace=trace,
+        )
+        stats.concatenated_size = concat.size
+        stats.filtered_out = concat.filtered_out
+
+        # 4. Second top-k on the concatenated vector.
+        if concat.size < k:
+            raise ConfigurationError(
+                "internal error: concatenated vector smaller than k "
+                f"({concat.size} < {k})"
+            )
+        second_algo = get_algorithm(cfg.second_algorithm)
+        second_trace = ExecutionTrace(itemsize=v.dtype.itemsize) if cfg.collect_trace else None
+        second = second_algo.topk(concat.keys, k, largest=True, trace=second_trace)
+        if trace is not None and second_trace is not None:
+            trace.extend([_collapse_steps("second_topk", second_trace)])
+
+        original_idx = concat.indices[second.indices]
+        self._finalise_stats(stats, trace)
+        result = TopKResult(
+            values=v[original_idx], indices=original_idx, k=k, largest=largest, stats=stats
+        )
+        self.last_stats = stats
+        return result
+
+    def kth_value(self, v: np.ndarray, k: int, largest: bool = True):
+        """k-selection: return only the k-th element."""
+        return self.topk(v, k, largest=largest).kth_value
+
+    # -- internals --------------------------------------------------------------
+    def _resolve_alpha(self, n: int, k: int) -> int:
+        cfg = self.config
+        if cfg.alpha is not None:
+            alpha = int(cfg.alpha)
+        else:
+            alpha = optimal_alpha(n, k, const=cfg.rule4_const)
+        # A subrange can never exceed the vector itself, and must hold >= beta
+        # elements so that beta delegates exist.
+        max_alpha = max(int(np.floor(np.log2(n))), 0)
+        min_alpha = max(int(np.ceil(np.log2(max(cfg.beta, 1)))), 0)
+        return int(np.clip(alpha, min_alpha, max_alpha))
+
+    def _degenerate(
+        self,
+        v: np.ndarray,
+        keys: np.ndarray,
+        k: int,
+        largest: bool,
+        stats: WorkloadStats,
+    ) -> TopKResult:
+        """Fallback when the delegate vector could not be smaller than k."""
+        cfg = self.config
+        trace = ExecutionTrace(itemsize=v.dtype.itemsize) if cfg.collect_trace else None
+        algo = get_algorithm(cfg.second_algorithm)
+        base = algo.topk(keys, k, largest=True, trace=trace)
+        stats.delegate_vector_size = 0
+        stats.concatenated_size = stats.input_size
+        self._finalise_stats(stats, trace)
+        result = TopKResult(
+            values=v[base.indices], indices=base.indices, k=k, largest=largest, stats=stats
+        )
+        self.last_stats = stats
+        return result
+
+    def _finalise_stats(self, stats: WorkloadStats, trace: Optional[ExecutionTrace]) -> None:
+        if trace is None:
+            return
+        stats.step_times_ms = trace.step_times_ms(self.config.device)
+        self.last_trace = trace
+
+
+def _collapse_steps(name: str, trace: ExecutionTrace) -> KernelStep:
+    """Collapse an algorithm's internal steps into a single named pipeline step."""
+    counters = trace.total_counters()
+    kernels = sum(step.kernels for step in trace.steps) or 1
+    if not trace.steps:
+        counters = MemoryCounters(itemsize=trace.itemsize)
+    return KernelStep(name=name, counters=counters, kernels=kernels)
+
+
+def drtopk(
+    v: np.ndarray,
+    k: int,
+    largest: bool = True,
+    config: Optional[DrTopKConfig] = None,
+    **config_overrides,
+) -> TopKResult:
+    """Convenience wrapper: run Dr. Top-k with an optional configuration.
+
+    Keyword overrides are applied on top of ``config`` (or the default
+    configuration), e.g. ``drtopk(v, 100, beta=1, use_filtering=False)``.
+    """
+    cfg = config or DrTopKConfig()
+    if config_overrides:
+        cfg = cfg.replace(**config_overrides)
+    return DrTopK(cfg).topk(v, k, largest=largest)

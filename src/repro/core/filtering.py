@@ -1,0 +1,77 @@
+"""Delegate top-k enabled filtering (Rule 2, Section 4.2).
+
+Rule 2: the k-th element of the delegate vector is the minimum possible value
+of the final k-th element, i.e. ``min(topk(D)) <= min(topk(V))``.  Every
+element strictly below that threshold can therefore be dropped during
+concatenation.
+
+This implementation uses *greater-or-equal* comparisons against the threshold
+instead of membership in one particular top-k set: with duplicated values an
+exact top-k of the delegate vector is ambiguous, and ``>=`` keeps a superset
+of every valid choice, so ties can never prune a correct answer (the
+test-suite's property tests exercise exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import TopKResult
+
+__all__ = ["qualification_threshold", "filter_by_threshold", "qualify_subranges"]
+
+
+def qualification_threshold(first_topk: TopKResult):
+    """The Rule-2 threshold: the k-th value of the delegate-vector top-k."""
+    return first_topk.kth_value
+
+
+def filter_by_threshold(keys: np.ndarray, threshold) -> np.ndarray:
+    """Boolean mask of elements that survive Rule-2 filtering (``key >= threshold``)."""
+    keys = np.asarray(keys)
+    return keys >= keys.dtype.type(threshold)
+
+
+def qualify_subranges(
+    maxima: np.ndarray,
+    beta_th: np.ndarray,
+    threshold,
+    use_beta_rule: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Classify subranges for the concatenation step.
+
+    Parameters
+    ----------
+    maxima:
+        Maximum delegate key of every subrange (Rule 1 input).
+    beta_th:
+        β-th delegate key of every subrange (Rule 3 input).
+    threshold:
+        Rule-2 threshold (k-th value of the delegate-vector top-k).
+    use_beta_rule:
+        When ``True`` a subrange must have *all* β delegates at or above the
+        threshold to require scanning (Rule 3); when ``False`` the
+        maximum-delegate criterion (Rule 1) is used.
+
+    Returns
+    -------
+    (qualified, scan)
+        ``qualified`` — subranges whose maximum delegate reaches the
+        threshold (they may contribute elements to the answer).
+        ``scan`` — subranges that must be scanned during concatenation.
+        ``scan`` is always a subset of ``qualified``.
+    """
+    maxima = np.asarray(maxima)
+    beta_th = np.asarray(beta_th)
+    if maxima.shape != beta_th.shape:
+        raise ConfigurationError("maxima and beta_th must have the same shape")
+    t = maxima.dtype.type(threshold)
+    qualified = maxima >= t
+    if use_beta_rule:
+        scan = beta_th >= t
+    else:
+        scan = qualified.copy()
+    return qualified, scan

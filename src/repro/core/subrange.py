@@ -1,0 +1,110 @@
+"""Subrange partitioning of the input vector.
+
+Dr. Top-k divides the input vector into subranges of ``2**alpha`` elements
+(Section 5.1).  The partition is purely logical — no data is moved — but the
+pipeline needs a uniform way to reason about subrange boundaries, the final
+(possibly partial) subrange, and the mapping between a flattened
+``(num_subranges, subrange_size)`` view and original element positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils import ceil_div
+
+__all__ = ["SubrangePartition"]
+
+
+@dataclass(frozen=True)
+class SubrangePartition:
+    """Logical partition of an ``n``-element vector into ``2**alpha`` blocks.
+
+    Attributes
+    ----------
+    n:
+        Input vector length.
+    alpha:
+        Subrange-size exponent; subranges hold ``2**alpha`` elements.
+    """
+
+    n: int
+    alpha: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError("partition requires a non-empty vector")
+        if self.alpha < 0:
+            raise ConfigurationError("alpha must be non-negative")
+        if self.subrange_size > self.n:
+            raise ConfigurationError(
+                f"subrange size 2**{self.alpha} exceeds the vector length {self.n}"
+            )
+
+    # -- geometry --------------------------------------------------------------
+    @property
+    def subrange_size(self) -> int:
+        """Elements per (full) subrange."""
+        return 1 << self.alpha
+
+    @property
+    def num_subranges(self) -> int:
+        """Total number of subranges, counting the final partial one."""
+        return ceil_div(self.n, self.subrange_size)
+
+    @property
+    def padded_length(self) -> int:
+        """Length after padding to a whole number of subranges."""
+        return self.num_subranges * self.subrange_size
+
+    @property
+    def pad(self) -> int:
+        """Number of padding slots in the final subrange."""
+        return self.padded_length - self.n
+
+    @property
+    def last_subrange_size(self) -> int:
+        """Real (unpadded) size of the final subrange."""
+        return self.n - (self.num_subranges - 1) * self.subrange_size
+
+    # -- index mapping -----------------------------------------------------------
+    def bounds(self, subrange_id: int) -> Tuple[int, int]:
+        """``(start, stop)`` element positions of a subrange (clipped to ``n``)."""
+        if not (0 <= subrange_id < self.num_subranges):
+            raise ConfigurationError(
+                f"subrange_id {subrange_id} out of range [0, {self.num_subranges})"
+            )
+        start = subrange_id * self.subrange_size
+        return start, min(start + self.subrange_size, self.n)
+
+    def subrange_of(self, index) -> np.ndarray:
+        """Subrange id(s) containing element position(s) ``index``."""
+        idx = np.asarray(index)
+        if np.any(idx < 0) or np.any(idx >= self.n):
+            raise ConfigurationError("element index out of range")
+        return idx >> self.alpha
+
+    def sizes(self) -> np.ndarray:
+        """Real size of every subrange (all equal except possibly the last)."""
+        sizes = np.full(self.num_subranges, self.subrange_size, dtype=np.int64)
+        sizes[-1] = self.last_subrange_size
+        return sizes
+
+    def reshape_padded(self, keys: np.ndarray, pad_value) -> np.ndarray:
+        """Return ``keys`` padded with ``pad_value`` and reshaped to the 2-D view."""
+        keys = np.asarray(keys)
+        if keys.shape[0] != self.n:
+            raise ConfigurationError(
+                f"expected a vector of length {self.n}, got {keys.shape[0]}"
+            )
+        if self.pad:
+            padded = np.concatenate(
+                [keys, np.full(self.pad, pad_value, dtype=keys.dtype)]
+            )
+        else:
+            padded = keys
+        return padded.reshape(self.num_subranges, self.subrange_size)

@@ -1,0 +1,115 @@
+"""Workload accounting helpers (paper Section 6.2, Figures 20-22).
+
+The paper defines the Dr. Top-k *workload* as the sizes of the vectors the two
+top-k passes actually process: the delegate vector (first top-k) and the
+concatenated vector (second top-k).  :func:`measure_workload` runs the real
+pipeline and reports the measured sizes; :func:`expected_workload` evaluates
+the closed-form expectation for a uniform input, which is what lets the
+workload figures be reproduced at the paper's ``|V| = 2^30`` scale without
+materialising the vector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.alpha_tuning import optimal_alpha
+from repro.core.config import DrTopKConfig
+from repro.errors import ConfigurationError
+from repro.types import WorkloadStats
+
+__all__ = ["measure_workload", "expected_workload"]
+
+
+def measure_workload(
+    v: np.ndarray, k: int, config: Optional[DrTopKConfig] = None
+) -> WorkloadStats:
+    """Run the pipeline on ``v`` and return its measured workload statistics."""
+    from repro.core.drtopk import DrTopK  # local import to avoid a cycle
+
+    engine = DrTopK(config)
+    result = engine.topk(v, k)
+    assert result.stats is not None
+    return result.stats
+
+
+def expected_workload(
+    n: int,
+    k: int,
+    alpha: Optional[int] = None,
+    beta: int = 2,
+    const: float = 3.0,
+    use_filtering: bool = True,
+) -> WorkloadStats:
+    """Analytic expected workload for a uniformly distributed input.
+
+    Model
+    -----
+    * The delegate vector holds ``beta`` delegates for each of the
+      ``ceil(n / 2^alpha)`` subranges.
+    * A subrange must be scanned when all of its ``beta`` delegates reach the
+      Rule-2 threshold.  For i.i.d. uniform data the top-k delegate threshold
+      is (in expectation) the value with ``k`` elements of the delegate vector
+      above it; the probability that a given subrange contributes ``beta`` of
+      those ``k`` delegates is well approximated by a balls-into-bins model:
+      each of the ``k`` qualifying delegates lands in a uniformly random
+      subrange, and a subrange is scanned when it receives ``>= beta`` of
+      them.  The expected number of scanned subranges follows the binomial
+      tail of ``Binomial(k, 1/num_subranges)``.
+    * Rule-2 filtering keeps, from each scanned subrange, only elements above
+      the threshold — in expectation ``k / num_subranges`` elements per
+      subrange — plus the partially-taken delegates.
+
+    The function mirrors the measured statistics closely for UD inputs (the
+    workload tests assert agreement within a factor of two) and is used by
+    the Figure 20/21 benchmarks to extend the measured curves to ``2^30``.
+    """
+    if n < 1 or k < 1 or k > n:
+        raise ConfigurationError("invalid n/k for expected_workload")
+    if beta < 1:
+        raise ConfigurationError("beta must be >= 1")
+    if alpha is None:
+        alpha = optimal_alpha(n, k, const=const)
+    alpha = int(np.clip(alpha, max(int(np.ceil(np.log2(beta))), 0), int(np.floor(np.log2(n)))))
+    subrange = 1 << alpha
+    num_subranges = -(-n // subrange)
+    delegate_size = min(num_subranges * beta, n)
+
+    stats = WorkloadStats(
+        input_size=n,
+        subrange_size=subrange,
+        alpha=alpha,
+        beta=beta,
+        num_subranges=num_subranges,
+        delegate_vector_size=delegate_size,
+    )
+    if delegate_size <= k:
+        # Degenerate regime: the pipeline falls back to a plain top-k.
+        stats.delegate_vector_size = 0
+        stats.concatenated_size = n
+        return stats
+
+    # Balls-into-bins: the k threshold-qualifying delegates land uniformly
+    # over the subranges.  p_scan = P[Binomial(k, 1/m) >= beta].
+    m = num_subranges
+    p = 1.0 / m
+    from scipy import stats as sps
+
+    p_scan = float(sps.binom.sf(beta - 1, k, p))
+    expected_scanned = m * p_scan
+    stats.fully_qualified_subranges = int(round(expected_scanned))
+    stats.qualified_subranges = int(round(m * sps.binom.sf(0, k, p)))
+
+    if use_filtering:
+        # Elements above the threshold are ~k overall; those inside scanned
+        # subranges survive the filter, the rest enter as bare delegates.
+        expected_above_per_subrange = k / m
+        concatenated = expected_scanned * max(expected_above_per_subrange, beta) + (
+            k - expected_scanned * expected_above_per_subrange
+        )
+    else:
+        concatenated = expected_scanned * subrange + k
+    stats.concatenated_size = int(round(min(max(concatenated, 0.0), n)))
+    return stats

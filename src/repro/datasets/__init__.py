@@ -1,0 +1,42 @@
+"""Dataset generators for the paper's evaluation workloads.
+
+Synthetic distributions (Section 6):
+
+* **UD** — uniform over ``[0, 2^32 - 1]`` unsigned integers,
+* **ND** — normal with mean ``1e8`` and standard deviation ``10`` (a very
+  narrow value range, which stresses the value-partitioning algorithms),
+* **CD** — a customised adversarial distribution that maximises the number of
+  bucket top-k iterations (every non-interesting bucket keeps at least one
+  element at every refinement level while the bulk of the data stays in the
+  bucket of the k-th element).
+
+Real-world workload surrogates (Table 1): the paper's datasets are multi-GB
+downloads (ANN_SIFT1B, ClueWeb09, TwitterCOVID-19) that are unavailable
+offline, so each is replaced by a generator that reproduces the property that
+matters for top-k — the value distribution of the derived input vector — as
+documented in DESIGN.md.
+"""
+
+from repro.datasets.synthetic import (
+    uniform_distribution,
+    normal_distribution,
+    customized_distribution,
+)
+from repro.datasets.ann import SiftLikeDataset, knn_distance_vector
+from repro.datasets.webgraph import webgraph_degree_vector, synthetic_power_law_degrees
+from repro.datasets.twitter import covid_fear_scores
+from repro.datasets.registry import get_dataset, available_datasets, DatasetSpec
+
+__all__ = [
+    "uniform_distribution",
+    "normal_distribution",
+    "customized_distribution",
+    "SiftLikeDataset",
+    "knn_distance_vector",
+    "webgraph_degree_vector",
+    "synthetic_power_law_degrees",
+    "covid_fear_scores",
+    "get_dataset",
+    "available_datasets",
+    "DatasetSpec",
+]

@@ -1,0 +1,125 @@
+"""Name-based dataset registry used by the benchmark harness.
+
+The harness refers to workloads by the paper's abbreviations — ``UD``, ``ND``,
+``CD`` for the synthetic distributions and ``AN``, ``CW``, ``TR`` for the
+real-world surrogates (Table 1) — and instantiates them at a configurable
+size so the same experiment code can run at laptop scale or at the paper's
+2^30 scale when only the analytic cost model is exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.datasets.ann import knn_distance_vector
+from repro.datasets.synthetic import (
+    customized_distribution,
+    normal_distribution,
+    uniform_distribution,
+)
+from repro.datasets.twitter import covid_fear_scores
+from repro.datasets.webgraph import synthetic_power_law_degrees
+from repro.errors import ConfigurationError
+from repro.utils import RngLike
+
+__all__ = ["DatasetSpec", "get_dataset", "available_datasets", "register_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named workload generator.
+
+    Attributes
+    ----------
+    name:
+        Paper abbreviation (``UD``, ``ND``, ``CD``, ``AN``, ``CW``, ``TR``).
+    description:
+        One-line description (reported by the harness).
+    generator:
+        Callable ``(n, seed) -> np.ndarray`` producing the top-k input vector.
+    largest:
+        Whether the associated application asks for the largest (default) or
+        smallest elements: k-NN and tweet ranking are smallest-k queries.
+    """
+
+    name: str
+    description: str
+    generator: Callable[[int, RngLike], np.ndarray]
+    largest: bool = True
+
+    def generate(self, n: int, seed: RngLike = None) -> np.ndarray:
+        """Materialise the workload at size ``n``."""
+        return self.generator(n, seed)
+
+
+_REGISTRY: Dict[str, DatasetSpec] = {}
+
+
+def register_dataset(spec: DatasetSpec) -> DatasetSpec:
+    """Register a dataset spec under its (case-insensitive) name."""
+    _REGISTRY[spec.name.lower()] = spec
+    return spec
+
+
+register_dataset(
+    DatasetSpec(
+        name="UD",
+        description="uniform distribution over [0, 2^32 - 1]",
+        generator=lambda n, seed=None: uniform_distribution(n, seed=seed),
+    )
+)
+register_dataset(
+    DatasetSpec(
+        name="ND",
+        description="normal distribution N(1e8, 10)",
+        generator=lambda n, seed=None: normal_distribution(n, seed=seed),
+    )
+)
+register_dataset(
+    DatasetSpec(
+        name="CD",
+        description="customised adversarial distribution for bucket top-k",
+        generator=lambda n, seed=None: customized_distribution(n, seed=seed),
+    )
+)
+register_dataset(
+    DatasetSpec(
+        name="AN",
+        description="ANN_SIFT1B surrogate: k-NN distance vector",
+        generator=lambda n, seed=None: knn_distance_vector(n, seed=seed),
+        largest=False,
+    )
+)
+register_dataset(
+    DatasetSpec(
+        name="CW",
+        description="ClueWeb09 surrogate: power-law web-graph degrees",
+        generator=lambda n, seed=None: synthetic_power_law_degrees(n, seed=seed),
+    )
+)
+register_dataset(
+    DatasetSpec(
+        name="TR",
+        description="TwitterCOVID-19 surrogate: fear scores",
+        generator=lambda n, seed=None: covid_fear_scores(n, seed=seed),
+        largest=False,
+    )
+)
+
+
+def available_datasets() -> Tuple[str, ...]:
+    """Registered dataset abbreviations."""
+    return tuple(sorted(spec.name for spec in _REGISTRY.values()))
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look a dataset up by abbreviation (case insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        ) from None

@@ -1,0 +1,115 @@
+"""Synthetic input-vector distributions (paper Section 6).
+
+All generators return one dimensional ``uint32`` vectors (the paper's default
+element type) and accept a seed or :class:`numpy.random.Generator` for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils import as_rng, RngLike
+
+__all__ = [
+    "uniform_distribution",
+    "normal_distribution",
+    "customized_distribution",
+    "UINT32_MAX",
+]
+
+#: Upper bound of the paper's uniform distribution: values span [0, 2^32 - 1].
+UINT32_MAX = np.uint32(0xFFFFFFFF)
+
+
+def uniform_distribution(n: int, seed: RngLike = None) -> np.ndarray:
+    """UD: ``n`` values drawn uniformly from ``[0, 2^32 - 1]``."""
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    rng = as_rng(seed)
+    return rng.integers(0, int(UINT32_MAX) + 1, size=n, dtype=np.uint32)
+
+
+def normal_distribution(
+    n: int, mean: float = 1e8, std: float = 10.0, seed: RngLike = None
+) -> np.ndarray:
+    """ND: ``n`` values from N(mean, std), rounded and clipped to uint32.
+
+    With the paper's parameters (mean ``1e8``, std ``10``) the values collapse
+    onto a few dozen distinct integers, which is what makes the radix/bucket
+    partitioning algorithms carry most elements from one iteration to the
+    next.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    if std < 0:
+        raise ConfigurationError("std must be non-negative")
+    rng = as_rng(seed)
+    vals = rng.normal(loc=mean, scale=std, size=n)
+    vals = np.clip(np.rint(vals), 0, float(UINT32_MAX))
+    return vals.astype(np.uint32)
+
+
+def customized_distribution(
+    n: int,
+    num_buckets: int = 256,
+    levels: int = 4,
+    seed: RngLike = None,
+) -> np.ndarray:
+    """CD: adversarial distribution for bucket top-k (paper Section 6).
+
+    The construction follows the paper's description: at every refinement
+    level, "every bucket other than the bucket containing the k-th element
+    will always have at least one element ... and the majority of the
+    elements is present in the bucket with the k-th element".  The generator
+    therefore plants one element in each of the ``num_buckets - 1`` lower
+    buckets of the current value range and recurses into the top bucket with
+    the remaining elements, for ``levels`` levels (matching the number of
+    iterations a 32-bit key needs with 8-bit buckets).
+
+    Parameters
+    ----------
+    n:
+        Total number of elements; must allow at least one element per lower
+        bucket per level plus a non-empty core.
+    num_buckets:
+        Buckets per iteration of the attacked bucket top-k (256 matches both
+        the paper's bucket count and one radix digit).
+    levels:
+        Number of nested refinement levels to poison.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    if num_buckets < 2:
+        raise ConfigurationError("num_buckets must be at least 2")
+    if levels < 1:
+        raise ConfigurationError("levels must be at least 1")
+    planted_per_level = num_buckets - 1
+    if n <= planted_per_level * levels:
+        raise ConfigurationError(
+            f"n={n} too small for {levels} levels of {planted_per_level} planted elements"
+        )
+    rng = as_rng(seed)
+    pieces = []
+    lo = 0
+    hi = int(UINT32_MAX)
+    remaining = n
+    for _ in range(levels):
+        width = (hi - lo + 1) // num_buckets
+        if width < num_buckets:
+            # Stop refining before the core range collapses onto a handful of
+            # distinct values: the paper's CD stresses bucket top-k's iteration
+            # count, it does not degenerate into a single repeated value.
+            break
+        # One random element inside each of the lower (non-interesting) buckets.
+        base = lo + width * np.arange(planted_per_level, dtype=np.int64)
+        jitter = rng.integers(0, width, size=planted_per_level, dtype=np.int64)
+        pieces.append((base + jitter).astype(np.uint32))
+        remaining -= planted_per_level
+        lo = lo + width * planted_per_level  # recurse into the top bucket
+    core = rng.integers(lo, hi + 1, size=remaining, dtype=np.int64).astype(np.uint32)
+    pieces.append(core)
+    out = np.concatenate(pieces)
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,62 @@
+"""ClueWeb09 surrogate: web-graph degree vectors.
+
+The paper's CW workload ranks webpages by degree: the input vector for top-k
+is the degree of every vertex of the ClueWeb09 webgraph (4.8 B pages).  The
+graph itself is unavailable offline, so two surrogates are provided:
+
+* :func:`synthetic_power_law_degrees` — draw degrees directly from a
+  discrete power-law (Zipf) distribution, the well established model for web
+  in-degree, at any requested size.  This is what the benchmarks use.
+* :func:`webgraph_degree_vector` — build an actual scale-free graph with
+  :mod:`networkx` (Barabási–Albert preferential attachment) and return its
+  degree sequence.  This exercises a real graph substrate end to end and is
+  used by the degree-centrality application and its tests at moderate sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.utils import as_rng, RngLike
+
+__all__ = ["synthetic_power_law_degrees", "webgraph_degree_vector"]
+
+
+def synthetic_power_law_degrees(
+    n: int, exponent: float = 2.1, max_degree: int = 10_000_000, seed: RngLike = None
+) -> np.ndarray:
+    """Draw ``n`` vertex degrees from a Zipf(power-law) distribution.
+
+    ``exponent`` ~2.1 matches measured web-graph in-degree exponents.  Values
+    are clipped to ``max_degree`` and returned as ``uint32``.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    if exponent <= 1.0:
+        raise ConfigurationError("power-law exponent must be > 1")
+    rng = as_rng(seed)
+    degrees = rng.zipf(a=exponent, size=n)
+    return np.clip(degrees, 1, max_degree).astype(np.uint32)
+
+
+def webgraph_degree_vector(
+    num_nodes: int, attachment: int = 4, seed: RngLike = None
+) -> np.ndarray:
+    """Degree sequence of a Barabási–Albert scale-free graph.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of vertices in the generated graph (keep moderate: the graph
+        is materialised in memory).
+    attachment:
+        Number of edges each new vertex attaches with (the BA ``m``).
+    """
+    if num_nodes <= attachment:
+        raise ConfigurationError("num_nodes must exceed the attachment parameter")
+    rng = as_rng(seed)
+    graph = nx.barabasi_albert_graph(num_nodes, attachment, seed=int(rng.integers(0, 2**31)))
+    degrees = np.fromiter((d for _, d in graph.degree()), dtype=np.uint32, count=num_nodes)
+    return degrees

@@ -1,0 +1,35 @@
+"""Distributed (multi-GPU) Dr. Top-k (Section 5.4, Figure 16, Table 2).
+
+The paper scales Dr. Top-k across up to 16 V100 GPUs with MPI: the input
+vector is split into sub-vectors of at most 2^30 elements, every GPU computes
+the top-k of its sub-vectors (reloading additional sub-vectors from the host
+when the data does not fit on the fleet), the local top-k's are gathered on
+the primary GPU asynchronously, and the primary computes the final top-k.
+
+No GPUs or MPI are available here, so the fleet is simulated:
+
+* :mod:`repro.distributed.comm` — an in-process MPI-like communicator that
+  both moves the data and charges a latency/bandwidth cost per message.
+* :mod:`repro.distributed.partition` — sub-vector partitioning with the 2^30
+  capacity cap and GPU assignment.
+* :mod:`repro.distributed.multigpu` — the Figure 16 workflow over real data
+  plus an analytic estimator that reproduces Table 2 at the paper's scales.
+"""
+
+from repro.distributed.comm import SimulatedComm, CommCost
+from repro.distributed.partition import PartitionPlan, plan_partition
+from repro.distributed.multigpu import (
+    MultiGpuDrTopK,
+    MultiGpuReport,
+    estimate_scalability_row,
+)
+
+__all__ = [
+    "SimulatedComm",
+    "CommCost",
+    "PartitionPlan",
+    "plan_partition",
+    "MultiGpuDrTopK",
+    "MultiGpuReport",
+    "estimate_scalability_row",
+]

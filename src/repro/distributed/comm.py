@@ -1,0 +1,141 @@
+"""Simulated MPI-like communication between GPUs.
+
+The communicator moves NumPy arrays between simulated ranks in process (so the
+distributed pipeline produces real results) while charging each message the
+latency + bandwidth cost an MPI transfer over NVLink/PCIe + InfiniBand would
+incur.  Asynchronous gathers — the mode the paper uses to collect local top-k
+results on the primary GPU — overlap across senders, so their modelled cost is
+the maximum of the individual transfers plus a per-participant latency, which
+is how Table 2's communication column stays in the low milliseconds even at 16
+GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicationError, ConfigurationError
+
+__all__ = ["CommCost", "SimulatedComm"]
+
+
+@dataclass(frozen=True)
+class CommCost:
+    """Latency/bandwidth model of one interconnect hop."""
+
+    latency_ms: float = 0.01
+    bandwidth_gbps: float = 32.0  # NVLink-class intra-node bandwidth
+    inter_node_latency_ms: float = 0.12
+    inter_node_bandwidth_gbps: float = 12.0  # InfiniBand-class inter-node bandwidth
+
+    def transfer_ms(self, nbytes: float, inter_node: bool = False) -> float:
+        """Time to move ``nbytes`` over one hop."""
+        if nbytes < 0:
+            raise ConfigurationError("message size must be non-negative")
+        if inter_node:
+            return self.inter_node_latency_ms + nbytes / (self.inter_node_bandwidth_gbps * 1e9) * 1e3
+        return self.latency_ms + nbytes / (self.bandwidth_gbps * 1e9) * 1e3
+
+
+@dataclass
+class SimulatedComm:
+    """An in-process stand-in for an MPI communicator over ``num_ranks`` GPUs.
+
+    ``gpus_per_node`` controls which transfers are intra-node (NVLink) versus
+    inter-node (network), matching the paper's 4-GPUs-per-node platform.
+    """
+
+    num_ranks: int
+    gpus_per_node: int = 4
+    cost: CommCost = field(default_factory=CommCost)
+    total_comm_ms: float = 0.0
+    messages: List[Dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise ConfigurationError("num_ranks must be positive")
+        if self.gpus_per_node < 1:
+            raise ConfigurationError("gpus_per_node must be positive")
+
+    # -- helpers -----------------------------------------------------------------
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        self._check_rank(rank)
+        return rank // self.gpus_per_node
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.num_ranks):
+            raise CommunicationError(f"rank {rank} out of range [0, {self.num_ranks})")
+
+    def _record(self, kind: str, src: int, dst: int, nbytes: float, ms: float) -> None:
+        self.messages.append(
+            {"kind": kind, "src": src, "dst": dst, "bytes": float(nbytes), "ms": float(ms)}
+        )
+
+    # -- point to point ------------------------------------------------------------
+    def send(self, array: np.ndarray, src: int, dst: int) -> np.ndarray:
+        """Synchronous send: returns the received array and charges its cost."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        nbytes = float(np.asarray(array).nbytes)
+        inter = self.node_of(src) != self.node_of(dst)
+        ms = self.cost.transfer_ms(nbytes, inter_node=inter) if src != dst else 0.0
+        self.total_comm_ms += ms
+        self._record("send", src, dst, nbytes, ms)
+        return np.array(array, copy=True)
+
+    # -- collectives -----------------------------------------------------------------
+    def gather(
+        self, arrays: Sequence[np.ndarray], root: int = 0, asynchronous: bool = True
+    ) -> List[np.ndarray]:
+        """Gather one array from every rank onto ``root``.
+
+        ``asynchronous=True`` models the paper's overlapped asynchronous MPI
+        gathers: the charged time is the slowest single transfer (plus per
+        sender latency), not the sum.
+        """
+        if len(arrays) != self.num_ranks:
+            raise CommunicationError(
+                f"gather needs one array per rank ({self.num_ranks}), got {len(arrays)}"
+            )
+        self._check_rank(root)
+        per_transfer = []
+        for rank, arr in enumerate(arrays):
+            if rank == root:
+                continue
+            nbytes = float(np.asarray(arr).nbytes)
+            inter = self.node_of(rank) != self.node_of(root)
+            ms = self.cost.transfer_ms(nbytes, inter_node=inter)
+            per_transfer.append(ms)
+            self._record("gather", rank, root, nbytes, ms)
+        if per_transfer:
+            if asynchronous:
+                charged = max(per_transfer) + self.cost.latency_ms * (len(per_transfer) - 1)
+            else:
+                charged = float(sum(per_transfer))
+            self.total_comm_ms += charged
+        return [np.array(a, copy=True) for a in arrays]
+
+    def bcast(self, array: np.ndarray, root: int = 0) -> List[np.ndarray]:
+        """Broadcast ``array`` from ``root`` to every rank (tree-structured cost)."""
+        self._check_rank(root)
+        nbytes = float(np.asarray(array).nbytes)
+        rounds = int(np.ceil(np.log2(max(self.num_ranks, 2))))
+        ms = rounds * self.cost.transfer_ms(nbytes, inter_node=self.num_ranks > self.gpus_per_node)
+        self.total_comm_ms += ms
+        self._record("bcast", root, -1, nbytes, ms)
+        return [np.array(array, copy=True) for _ in range(self.num_ranks)]
+
+    def allreduce_max(self, values: Sequence[float]) -> float:
+        """All-reduce (max) of one scalar per rank — the k-th element exchange
+        the paper evaluates and ultimately disables (Section 5.4)."""
+        if len(values) != self.num_ranks:
+            raise CommunicationError("allreduce needs one value per rank")
+        rounds = int(np.ceil(np.log2(max(self.num_ranks, 2))))
+        ms = rounds * self.cost.transfer_ms(8.0, inter_node=self.num_ranks > self.gpus_per_node)
+        self.total_comm_ms += ms
+        self._record("allreduce", -1, -1, 8.0 * self.num_ranks, ms)
+        return float(max(values))

@@ -1,0 +1,295 @@
+"""Multi-GPU Dr. Top-k workflow (Figure 16) and the Table 2 scalability model.
+
+Two entry points:
+
+* :class:`MultiGpuDrTopK` — runs the full distributed workflow on real data
+  with simulated GPUs: partition, per-GPU Dr. Top-k over its sub-vectors
+  (with host-reload accounting for sub-vectors beyond the first), an
+  asynchronous gather of the local top-k results to the primary GPU, and the
+  final top-k on the primary.  Produces a correct :class:`TopKResult` plus a
+  :class:`MultiGpuReport` with the same columns as Table 2.
+* :func:`estimate_scalability_row` — the analytic version of one Table 2 cell
+  at the paper's |V| = 2^30 … 2^33 scales, where materialising the data is
+  impossible; it uses the Section 5.2 cost structure for per-GPU compute, the
+  PCIe bandwidth for reload overhead and the communicator's cost model for
+  the gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import DrTopKConfig
+from repro.core.drtopk import DrTopK
+from repro.core.workload import expected_workload
+from repro.distributed.comm import CommCost, SimulatedComm
+from repro.distributed.partition import MAX_SUBVECTOR_ELEMENTS, PartitionPlan, plan_partition
+from repro.errors import ConfigurationError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import DeviceSpec, V100S
+from repro.types import TopKResult
+from repro.utils import check_k, ensure_1d
+
+__all__ = ["MultiGpuDrTopK", "MultiGpuReport", "estimate_scalability_row"]
+
+
+@dataclass
+class MultiGpuReport:
+    """Timing breakdown of one distributed run (Table 2 columns)."""
+
+    num_gpus: int
+    total_elements: int
+    k: int
+    communication_ms: float
+    reload_ms: float
+    compute_ms: float
+    final_topk_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end estimated time."""
+        return self.compute_ms + self.reload_ms + self.communication_ms + self.final_topk_ms
+
+    def speedup_over(self, single_gpu: "MultiGpuReport") -> float:
+        """Speedup relative to a single-GPU report (Table 2's parenthesised column)."""
+        if self.total_ms <= 0:
+            return float("inf")
+        return single_gpu.total_ms / self.total_ms
+
+
+@dataclass
+class MultiGpuDrTopK:
+    """Distributed Dr. Top-k over a simulated GPU fleet.
+
+    Parameters
+    ----------
+    num_gpus:
+        Fleet size.
+    config:
+        Per-GPU pipeline configuration (defaults to the paper's final design).
+    capacity_elements:
+        Per-sub-vector cap; lower it in tests to exercise the reload path on
+        small data.
+    gpus_per_node:
+        GPUs per compute node (4 on the paper's platform), which decides
+        whether gather transfers are intra- or inter-node.
+    comm_cost:
+        Interconnect cost model.
+    """
+
+    num_gpus: int
+    config: Optional[DrTopKConfig] = None
+    capacity_elements: int = MAX_SUBVECTOR_ELEMENTS
+    gpus_per_node: int = 4
+    comm_cost: CommCost = field(default_factory=CommCost)
+    use_hierarchical_reduction: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigurationError("num_gpus must be positive")
+        self.config = self.config or DrTopKConfig()
+        self.last_report: Optional[MultiGpuReport] = None
+        self.last_plan: Optional[PartitionPlan] = None
+
+    # -- execution ------------------------------------------------------------------
+    def topk(self, v: np.ndarray, k: int, largest: bool = True) -> TopKResult:
+        """Run the Figure 16 workflow on ``v`` and return the global top-k."""
+        v = ensure_1d(v)
+        k = check_k(k, v.shape[0])
+        plan = plan_partition(v.shape[0], self.num_gpus, self.capacity_elements)
+        self.last_plan = plan
+        device = self.config.device
+        model = CostModel(device)
+        comm = SimulatedComm(
+            num_ranks=self.num_gpus, gpus_per_node=self.gpus_per_node, cost=self.comm_cost
+        )
+
+        per_gpu_compute: List[float] = []
+        per_gpu_reload: List[float] = []
+        local_values: List[np.ndarray] = []
+        local_indices: List[np.ndarray] = []
+
+        for gpu, sub_ids in enumerate(plan.assignments):
+            compute_ms = 0.0
+            reload_ms = 0.0
+            gpu_vals: List[np.ndarray] = []
+            gpu_idx: List[np.ndarray] = []
+            for order, sub in enumerate(sub_ids):
+                start, stop = plan.subvector_bounds[sub]
+                sub_v = v[start:stop]
+                if stop - start < k:
+                    # A sub-vector smaller than k cannot answer a local top-k
+                    # on its own; contribute every element instead.
+                    gpu_vals.append(sub_v)
+                    gpu_idx.append(np.arange(start, stop, dtype=np.int64))
+                    continue
+                engine = DrTopK(self.config)
+                local = engine.topk(sub_v, k, largest=largest)
+                assert local.stats is not None
+                compute_ms += local.stats.total_time_ms
+                if order > 0:
+                    reload_ms += model.host_transfer_ms(stop - start, v.dtype.itemsize)
+                gpu_vals.append(local.values)
+                gpu_idx.append(local.indices + start)
+            if gpu_vals:
+                local_values.append(np.concatenate(gpu_vals))
+                local_indices.append(np.concatenate(gpu_idx))
+            else:
+                local_values.append(np.empty(0, dtype=v.dtype))
+                local_indices.append(np.empty(0, dtype=np.int64))
+            per_gpu_compute.append(compute_ms)
+            per_gpu_reload.append(reload_ms)
+
+        # Gather the local top-k's (values and positions) on the primary GPU.
+        # With hierarchical reduction (Section 5.4's multi-node variant) the
+        # gather happens in two stages: GPUs of each node combine onto their
+        # node leader over NVLink, then only the leaders talk to the primary.
+        if self.use_hierarchical_reduction and self.num_gpus > self.gpus_per_node:
+            all_values, all_indices = self._hierarchical_gather(
+                comm, local_values, local_indices
+            )
+        else:
+            gathered_values = comm.gather(local_values, root=0, asynchronous=True)
+            gathered_indices = comm.gather(local_indices, root=0, asynchronous=True)
+            all_values = np.concatenate(gathered_values)
+            all_indices = np.concatenate(gathered_indices)
+
+        # Final top-k on the primary GPU.
+        final_engine = DrTopK(self.config)
+        final = final_engine.topk(all_values, k, largest=largest)
+        assert final.stats is not None
+        final_ms = final.stats.total_time_ms
+        global_indices = all_indices[final.indices]
+
+        report = MultiGpuReport(
+            num_gpus=self.num_gpus,
+            total_elements=v.shape[0],
+            k=k,
+            communication_ms=comm.total_comm_ms,
+            reload_ms=float(max(per_gpu_reload) if per_gpu_reload else 0.0),
+            compute_ms=float(max(per_gpu_compute) if per_gpu_compute else 0.0),
+            final_topk_ms=final_ms,
+        )
+        self.last_report = report
+        return TopKResult(
+            values=v[global_indices],
+            indices=global_indices,
+            k=k,
+            largest=largest,
+            stats=final.stats,
+        )
+
+    def _hierarchical_gather(self, comm, local_values, local_indices):
+        """Two-stage (node-leader) gather of the per-GPU top-k candidates.
+
+        Each node's GPUs first combine onto the node's first rank over the
+        fast intra-node links; only the node leaders then send to the primary
+        GPU, so the number of cross-node messages drops from ``num_gpus - 1``
+        to ``num_nodes - 1``.
+        """
+        num_nodes = -(-self.num_gpus // self.gpus_per_node)
+        leader_values = []
+        leader_indices = []
+        for node in range(num_nodes):
+            ranks = range(
+                node * self.gpus_per_node,
+                min((node + 1) * self.gpus_per_node, self.num_gpus),
+            )
+            vals = [local_values[r] for r in ranks]
+            idxs = [local_indices[r] for r in ranks]
+            # Intra-node stage: every member sends to the node leader.
+            for member, (rank, v_arr) in enumerate(zip(ranks, vals)):
+                if member:
+                    comm.send(v_arr, src=rank, dst=ranks[0])
+                    comm.send(idxs[member], src=rank, dst=ranks[0])
+            leader_values.append(np.concatenate(vals) if vals else np.empty(0))
+            leader_indices.append(
+                np.concatenate(idxs) if idxs else np.empty(0, dtype=np.int64)
+            )
+        # Inter-node stage: node leaders send their combined candidates to rank 0.
+        for node in range(1, num_nodes):
+            comm.send(leader_values[node], src=node * self.gpus_per_node, dst=0)
+            comm.send(leader_indices[node], src=node * self.gpus_per_node, dst=0)
+        return np.concatenate(leader_values), np.concatenate(leader_indices)
+
+
+# -- analytic Table 2 model -------------------------------------------------------
+
+
+def _single_gpu_pipeline_ms(
+    n: int, k: int, device: DeviceSpec, beta: int = 2, const: float = 3.0
+) -> float:
+    """Estimated Dr. Top-k time on one GPU for an ``n``-element sub-vector.
+
+    Uses the expected workload model for the delegate / concatenated vector
+    sizes and the device cost model for the traffic of the four stages
+    (the same accounting the real pipeline records, evaluated analytically).
+    """
+    stats = expected_workload(n, k, beta=beta, const=const)
+    model = CostModel(device)
+    m = stats.delegate_vector_size
+    if m == 0:
+        return model.streaming_scan_ms(n) * 5.0  # degenerate fallback: plain radix top-k
+    scanned = stats.fully_qualified_subranges * stats.subrange_size
+    construction = model.streaming_scan_ms(n) + model.streaming_scan_ms(2 * m)
+    first = model.streaming_scan_ms(5 * m + 2 * k)
+    concat = model.streaming_scan_ms(k + scanned + 2 * stats.concatenated_size)
+    second = model.streaming_scan_ms(5 * stats.concatenated_size + k)
+    launch = 4 * model.launch_overhead_ms
+    return construction + first + concat + second + launch
+
+
+def estimate_scalability_row(
+    total_elements: int,
+    k: int,
+    num_gpus: int,
+    device: DeviceSpec = V100S,
+    capacity_elements: int = MAX_SUBVECTOR_ELEMENTS,
+    gpus_per_node: int = 4,
+    comm_cost: Optional[CommCost] = None,
+    beta: int = 2,
+) -> MultiGpuReport:
+    """One cell of Table 2, evaluated analytically at paper scale."""
+    if total_elements < 1 or num_gpus < 1:
+        raise ConfigurationError("total_elements and num_gpus must be positive")
+    plan = plan_partition(total_elements, num_gpus, capacity_elements)
+    model = CostModel(device)
+    comm_cost = comm_cost or CommCost()
+
+    per_gpu_compute = []
+    per_gpu_reload = []
+    for sub_ids in plan.assignments:
+        compute = 0.0
+        reload = 0.0
+        for order, sub in enumerate(sub_ids):
+            start, stop = plan.subvector_bounds[sub]
+            size = stop - start
+            compute += _single_gpu_pipeline_ms(size, min(k, size), device, beta=beta)
+            if order > 0:
+                reload += model.host_transfer_ms(size)
+        per_gpu_compute.append(compute)
+        per_gpu_reload.append(reload)
+
+    # Asynchronous gather of k (key, index) pairs from every secondary GPU.
+    message_bytes = float(k) * 8.0
+    transfers = []
+    for rank in range(1, num_gpus):
+        inter = (rank // gpus_per_node) != 0
+        transfers.append(comm_cost.transfer_ms(message_bytes, inter_node=inter))
+    communication = (
+        max(transfers) + comm_cost.latency_ms * (len(transfers) - 1) if transfers else 0.0
+    )
+    final_ms = model.streaming_scan_ms(5 * num_gpus * k) + model.launch_overhead_ms
+
+    return MultiGpuReport(
+        num_gpus=num_gpus,
+        total_elements=total_elements,
+        k=k,
+        communication_ms=communication,
+        reload_ms=float(max(per_gpu_reload)),
+        compute_ms=float(max(per_gpu_compute)),
+        final_topk_ms=final_ms,
+    )

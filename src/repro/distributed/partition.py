@@ -1,0 +1,131 @@
+"""Sub-vector partitioning and GPU assignment (Section 5.4).
+
+The paper's rules:
+
+* sub-vectors are no longer than ``2^30`` elements (the largest vector that
+  fits comfortably in a 32 GB V100's memory next to the pipeline's scratch
+  buffers);
+* when ``#GPUs x 2^30 >= |V|`` the vector is split into ``#GPUs`` equal
+  sub-vectors, one per GPU;
+* otherwise the vector is split into ``|V| / 2^30`` sub-vectors and GPUs own
+  more than one, loading the extra sub-vectors from the host during
+  computation (the *reload overhead* column of Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils import ceil_div
+
+__all__ = ["PartitionPlan", "plan_partition", "MAX_SUBVECTOR_ELEMENTS"]
+
+#: The paper's per-GPU sub-vector cap (2^30 unsigned integers).
+MAX_SUBVECTOR_ELEMENTS = 1 << 30
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Assignment of sub-vectors to GPUs.
+
+    Attributes
+    ----------
+    total_elements:
+        Input vector length.
+    num_gpus:
+        Number of participating GPUs.
+    subvector_bounds:
+        ``(start, stop)`` element ranges of every sub-vector, in order.
+    assignments:
+        For every GPU, the list of sub-vector indices it processes (in
+        processing order; the first is resident, later ones must be reloaded).
+    """
+
+    total_elements: int
+    num_gpus: int
+    subvector_bounds: Tuple[Tuple[int, int], ...]
+    assignments: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def num_subvectors(self) -> int:
+        return len(self.subvector_bounds)
+
+    def reloads_per_gpu(self) -> List[int]:
+        """Number of host reloads each GPU performs (sub-vectors beyond the first)."""
+        return [max(len(a) - 1, 0) for a in self.assignments]
+
+    def reload_elements(self) -> int:
+        """Total elements loaded from the host after the initial placement."""
+        total = 0
+        for gpu_subs in self.assignments:
+            for sub in gpu_subs[1:]:
+                start, stop = self.subvector_bounds[sub]
+                total += stop - start
+        return total
+
+    def elements_per_gpu(self) -> List[int]:
+        """Total elements each GPU processes across all of its sub-vectors."""
+        out = []
+        for gpu_subs in self.assignments:
+            out.append(
+                sum(self.subvector_bounds[s][1] - self.subvector_bounds[s][0] for s in gpu_subs)
+            )
+        return out
+
+
+def plan_partition(
+    total_elements: int,
+    num_gpus: int,
+    capacity_elements: int = MAX_SUBVECTOR_ELEMENTS,
+) -> PartitionPlan:
+    """Build the Section 5.4 partition plan.
+
+    Parameters
+    ----------
+    total_elements:
+        Input vector length ``|V|``.
+    num_gpus:
+        Participating GPUs.
+    capacity_elements:
+        Per-sub-vector cap (defaults to the paper's 2^30; tests use smaller
+        values so the reload path is exercised on laptop-size data).
+    """
+    if total_elements < 1:
+        raise ConfigurationError("total_elements must be positive")
+    if num_gpus < 1:
+        raise ConfigurationError("num_gpus must be positive")
+    if capacity_elements < 1:
+        raise ConfigurationError("capacity_elements must be positive")
+
+    if num_gpus * capacity_elements >= total_elements:
+        # One sub-vector per GPU (possibly fewer sub-vectors than GPUs for
+        # tiny inputs: never create empty sub-vectors).
+        num_subvectors = min(num_gpus, total_elements)
+    else:
+        num_subvectors = ceil_div(total_elements, capacity_elements)
+
+    bounds = []
+    base = total_elements // num_subvectors
+    extra = total_elements % num_subvectors
+    start = 0
+    for i in range(num_subvectors):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+
+    # Round-robin assignment: sub-vector i goes to GPU i % num_gpus, so every
+    # GPU's first sub-vector is resident and later ones require reloads.
+    assignments: List[List[int]] = [[] for _ in range(num_gpus)]
+    for i in range(num_subvectors):
+        assignments[i % num_gpus].append(i)
+
+    return PartitionPlan(
+        total_elements=total_elements,
+        num_gpus=num_gpus,
+        subvector_bounds=tuple(bounds),
+        assignments=tuple(tuple(a) for a in assignments),
+    )

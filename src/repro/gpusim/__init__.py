@@ -1,0 +1,43 @@
+"""Simulated GPU substrate.
+
+The paper runs CUDA kernels on V100S and Titan Xp GPUs.  No GPU is available
+to this reproduction, so this package models the two quantities the paper's
+own performance analysis (Section 5.2) reduces kernel time to:
+
+* global-memory traffic (load/store transactions), and
+* intra-warp communication (CUDA ``__shfl_sync`` instructions),
+
+plus the secondary effects the paper discusses (atomic operations during
+concatenation, shared-memory traffic and warp-utilisation loss for small
+subranges).  Every pipeline step in :mod:`repro.core` records its traffic into
+a :class:`~repro.gpusim.memory.MemoryCounters` instance; a
+:class:`~repro.gpusim.costmodel.CostModel` bound to a
+:class:`~repro.gpusim.device.DeviceSpec` converts the counters into an
+estimated kernel time.  A :class:`~repro.gpusim.profiler.Profiler` aggregates
+per-step records into an nvprof-like report (used for Table 3).
+"""
+
+from repro.gpusim.device import DeviceSpec, V100S, TITAN_XP, A100, get_device, available_devices
+from repro.gpusim.memory import MemoryCounters, GlobalMemory, SharedMemory
+from repro.gpusim.warp import WarpModel, WARP_SIZE
+from repro.gpusim.kernel import KernelStep
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.profiler import Profiler, ProfileRecord
+
+__all__ = [
+    "DeviceSpec",
+    "V100S",
+    "TITAN_XP",
+    "A100",
+    "get_device",
+    "available_devices",
+    "MemoryCounters",
+    "GlobalMemory",
+    "SharedMemory",
+    "WarpModel",
+    "WARP_SIZE",
+    "KernelStep",
+    "CostModel",
+    "Profiler",
+    "ProfileRecord",
+]

@@ -1,0 +1,212 @@
+"""Device specifications for the simulated GPUs.
+
+The constants mirror the hardware the paper evaluates on (Section 2.1 and 6.5):
+
+* **V100S** — 80 SMs x 64 CUDA cores @ 1.5 GHz, 32 GB HBM2 at 1,134 GB/s peak,
+  96 KB configurable shared memory per SM.
+* **Titan Xp** — the platform-II GPU, 547.7 GB/s peak memory throughput.
+* **A100** — mentioned in the introduction (2,039 GB/s); included so the
+  device-comparison experiment can extrapolate beyond the paper.
+
+Latency constants ``c_global`` and ``c_shfl`` correspond to the
+:math:`C_{global}` and :math:`C_{shfl}` clock-cycle costs used by Rule 4
+(Section 5.2).  ``shuffle_throughput`` and ``atomic_throughput`` are effective
+aggregate rates used to convert instruction counts into time; they are fitted
+so that the reproduction's time breakdowns match the shape of Figures 6-15
+(e.g. delegate-vector construction of a 2^30 vector ~4.2 ms at 84% of peak
+bandwidth, growing to ~31 ms when shuffle pressure dominates at alpha=4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DeviceSpec",
+    "V100S",
+    "TITAN_XP",
+    "A100",
+    "get_device",
+    "available_devices",
+    "register_device",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Human readable device name (also the registry key).
+    num_sms:
+        Number of streaming multiprocessors.
+    cores_per_sm:
+        CUDA cores per SM.
+    clock_ghz:
+        SM clock in GHz.
+    global_memory_gb:
+        Device (global) memory capacity in GiB.
+    peak_bandwidth_gbps:
+        Peak global-memory throughput in GB/s.
+    achievable_fraction:
+        Fraction of peak bandwidth a well coalesced streaming kernel achieves
+        (the paper reports 84% for delegate-vector construction on V100S).
+    shared_memory_per_sm_kb:
+        Shared memory (L1-configurable) per SM in KiB.
+    l2_cache_kb:
+        L2 cache size in KiB.
+    c_global:
+        Clock cycles for one global memory access (Rule 4 constant).
+    c_shfl:
+        Clock cycles for one CUDA shuffle instruction (Rule 4 constant).
+    shuffle_throughput:
+        Effective aggregate shuffle instructions per second for the whole
+        device (accounts for the reduced throughput the paper observes when
+        shuffles dominate delegate construction).
+    atomic_throughput:
+        Effective aggregate global atomic operations per second.
+    pcie_bandwidth_gbps:
+        Host-to-device transfer bandwidth, used by the distributed reload
+        model (Table 2).
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_ghz: float
+    global_memory_gb: float
+    peak_bandwidth_gbps: float
+    achievable_fraction: float = 0.84
+    shared_memory_per_sm_kb: int = 96
+    l2_cache_kb: int = 6144
+    c_global: float = 400.0
+    c_shfl: float = 30.0
+    shuffle_throughput: float = 7.7e10
+    atomic_throughput: float = 2.0e10
+    pcie_bandwidth_gbps: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.cores_per_sm <= 0:
+            raise ConfigurationError("device must have a positive number of SMs and cores")
+        if self.peak_bandwidth_gbps <= 0 or self.clock_ghz <= 0:
+            raise ConfigurationError("device bandwidth and clock must be positive")
+        if not (0.0 < self.achievable_fraction <= 1.0):
+            raise ConfigurationError("achievable_fraction must be in (0, 1]")
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA cores on the device."""
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        """Sustained streaming bandwidth (peak x achievable fraction)."""
+        return self.peak_bandwidth_gbps * self.achievable_fraction
+
+    @property
+    def global_memory_bytes(self) -> int:
+        """Global memory capacity in bytes."""
+        return int(self.global_memory_gb * (1 << 30))
+
+    @property
+    def shared_memory_per_sm_bytes(self) -> int:
+        """Shared memory per SM in bytes."""
+        return self.shared_memory_per_sm_kb * 1024
+
+    def capacity_elements(self, itemsize: int = 4, reserve_fraction: float = 0.0625) -> int:
+        """How many elements of ``itemsize`` bytes fit in global memory.
+
+        ``reserve_fraction`` of the memory is held back for the delegate /
+        concatenated vectors and kernel scratch space, matching the paper's
+        practice of capping sub-vectors at 2^30 elements on a 32 GB V100S.
+        """
+        usable = self.global_memory_bytes * (1.0 - reserve_fraction)
+        return int(usable // itemsize)
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Return a copy of this spec with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+V100S = DeviceSpec(
+    name="V100S",
+    num_sms=80,
+    cores_per_sm=64,
+    clock_ghz=1.5,
+    global_memory_gb=32.0,
+    peak_bandwidth_gbps=1134.0,
+    achievable_fraction=0.84,
+    shared_memory_per_sm_kb=96,
+    l2_cache_kb=6144,
+    c_global=400.0,
+    c_shfl=30.0,
+    shuffle_throughput=7.7e10,
+    atomic_throughput=2.0e10,
+    pcie_bandwidth_gbps=12.0,
+)
+
+TITAN_XP = DeviceSpec(
+    name="TitanXp",
+    num_sms=30,
+    cores_per_sm=128,
+    clock_ghz=1.58,
+    global_memory_gb=12.0,
+    peak_bandwidth_gbps=547.7,
+    achievable_fraction=0.80,
+    shared_memory_per_sm_kb=96,
+    l2_cache_kb=3072,
+    c_global=440.0,
+    c_shfl=33.0,
+    shuffle_throughput=3.6e10,
+    atomic_throughput=1.2e10,
+    pcie_bandwidth_gbps=12.0,
+)
+
+A100 = DeviceSpec(
+    name="A100",
+    num_sms=108,
+    cores_per_sm=64,
+    clock_ghz=1.41,
+    global_memory_gb=80.0,
+    peak_bandwidth_gbps=2039.0,
+    achievable_fraction=0.86,
+    shared_memory_per_sm_kb=164,
+    l2_cache_kb=40960,
+    c_global=380.0,
+    c_shfl=28.0,
+    shuffle_throughput=1.4e11,
+    atomic_throughput=4.0e10,
+    pcie_bandwidth_gbps=24.0,
+)
+
+_REGISTRY: Dict[str, DeviceSpec] = {}
+
+
+def register_device(spec: DeviceSpec) -> DeviceSpec:
+    """Add a device specification to the lookup registry."""
+    _REGISTRY[spec.name.lower()] = spec
+    return spec
+
+
+for _spec in (V100S, TITAN_XP, A100):
+    register_device(_spec)
+
+
+def available_devices() -> Tuple[str, ...]:
+    """Names of all registered devices."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look a device up by (case insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown device {name!r}; available: {', '.join(available_devices())}"
+        ) from None

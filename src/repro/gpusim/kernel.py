@@ -1,0 +1,46 @@
+"""Kernel-step abstraction: a named unit of simulated GPU work.
+
+Every stage of the Dr. Top-k pipeline (delegate-vector construction, first
+top-k, concatenation, second top-k) and every baseline algorithm records the
+work it performed as one or more :class:`KernelStep` objects.  A step couples
+a name, the traffic counters it generated, the number of kernel launches it
+corresponds to, and (once priced by a :class:`~repro.gpusim.costmodel.CostModel`)
+its estimated duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.memory import MemoryCounters
+
+__all__ = ["KernelStep"]
+
+
+@dataclass
+class KernelStep:
+    """One simulated kernel (or small fixed sequence of kernels)."""
+
+    name: str
+    counters: MemoryCounters = field(default_factory=MemoryCounters)
+    kernels: int = 1
+    estimated_ms: Optional[float] = None
+
+    def price(self, model: CostModel) -> float:
+        """Estimate and cache this step's duration under ``model``."""
+        self.estimated_ms = model.estimate_ms(self.counters, kernels=self.kernels)
+        return self.estimated_ms
+
+    def merge(self, other: "KernelStep") -> "KernelStep":
+        """Combine two steps (used when a logical stage launches several kernels)."""
+        return KernelStep(
+            name=self.name,
+            counters=self.counters + other.counters,
+            kernels=self.kernels + other.kernels,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ms = f"{self.estimated_ms:.3f} ms" if self.estimated_ms is not None else "unpriced"
+        return f"KernelStep({self.name!r}, {ms})"

@@ -1,0 +1,203 @@
+"""Memory traffic accounting for the simulated GPU.
+
+The central type is :class:`MemoryCounters`, a plain additive record of the
+traffic a kernel-equivalent step generated:
+
+* global memory loads / stores (in *elements*, converted to bytes and to
+  32-byte transactions on demand — nvprof's ``gld_transactions`` /
+  ``gst_transactions`` counters used by Table 3),
+* shared memory loads / stores,
+* CUDA shuffle instructions,
+* global atomic operations.
+
+:class:`GlobalMemory` and :class:`SharedMemory` are thin allocation trackers
+used by the device fleet (distributed runs) and by the bitonic kernel to raise
+:class:`~repro.errors.CapacityError` when a real GPU would have run out of
+space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, Optional
+
+from repro.errors import CapacityError, ConfigurationError
+
+__all__ = ["MemoryCounters", "GlobalMemory", "SharedMemory", "TRANSACTION_BYTES"]
+
+#: Size of one global-memory transaction in bytes (32-byte sectors, the unit
+#: nvprof reports load/store transactions in).
+TRANSACTION_BYTES = 32
+
+
+@dataclass
+class MemoryCounters:
+    """Additive record of the memory traffic of one or more kernel steps.
+
+    All element counters are expressed in *elements*; ``itemsize`` gives the
+    element width in bytes so byte and transaction totals can be derived.
+    """
+
+    global_loads: float = 0.0
+    global_stores: float = 0.0
+    shared_loads: float = 0.0
+    shared_stores: float = 0.0
+    shuffles: float = 0.0
+    atomics: float = 0.0
+    itemsize: int = 4
+    #: Fraction of the theoretical load/store bandwidth actually achieved by
+    #: this step (models warp under-utilisation for tiny subranges).
+    utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.itemsize <= 0:
+            raise ConfigurationError("itemsize must be positive")
+        if not (0.0 < self.utilization <= 1.0):
+            raise ConfigurationError("utilization must be in (0, 1]")
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def global_load_bytes(self) -> float:
+        return self.global_loads * self.itemsize
+
+    @property
+    def global_store_bytes(self) -> float:
+        return self.global_stores * self.itemsize
+
+    @property
+    def global_bytes(self) -> float:
+        """Total global-memory traffic in bytes."""
+        return self.global_load_bytes + self.global_store_bytes
+
+    @property
+    def load_transactions(self) -> int:
+        """Number of 32-byte global load transactions (nvprof ``gld_transactions``)."""
+        return int(round(self.global_load_bytes / TRANSACTION_BYTES))
+
+    @property
+    def store_transactions(self) -> int:
+        """Number of 32-byte global store transactions (nvprof ``gst_transactions``)."""
+        return int(round(self.global_store_bytes / TRANSACTION_BYTES))
+
+    @property
+    def shared_bytes(self) -> float:
+        return (self.shared_loads + self.shared_stores) * self.itemsize
+
+    # -- combination --------------------------------------------------------
+    def __add__(self, other: "MemoryCounters") -> "MemoryCounters":
+        if not isinstance(other, MemoryCounters):
+            return NotImplemented
+        if other.itemsize != self.itemsize:
+            raise ConfigurationError("cannot combine counters with different itemsize")
+        total_bytes = self.global_bytes + other.global_bytes
+        if total_bytes > 0:
+            # Weighted harmonic-style blend: the combined utilisation is the
+            # traffic-weighted average of the two steps' utilisations.
+            util = (
+                self.global_bytes * self.utilization + other.global_bytes * other.utilization
+            ) / total_bytes
+        else:
+            util = 1.0
+        return MemoryCounters(
+            global_loads=self.global_loads + other.global_loads,
+            global_stores=self.global_stores + other.global_stores,
+            shared_loads=self.shared_loads + other.shared_loads,
+            shared_stores=self.shared_stores + other.shared_stores,
+            shuffles=self.shuffles + other.shuffles,
+            atomics=self.atomics + other.atomics,
+            itemsize=self.itemsize,
+            utilization=util,
+        )
+
+    def scaled(self, factor: float) -> "MemoryCounters":
+        """Return a copy with every traffic counter multiplied by ``factor``."""
+        if factor < 0:
+            raise ConfigurationError("scale factor must be non-negative")
+        return MemoryCounters(
+            global_loads=self.global_loads * factor,
+            global_stores=self.global_stores * factor,
+            shared_loads=self.shared_loads * factor,
+            shared_stores=self.shared_stores * factor,
+            shuffles=self.shuffles * factor,
+            atomics=self.atomics * factor,
+            itemsize=self.itemsize,
+            utilization=self.utilization,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten into a dictionary (used by the profiler report)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["load_transactions"] = self.load_transactions
+        out["store_transactions"] = self.store_transactions
+        out["global_bytes"] = self.global_bytes
+        return out
+
+    @classmethod
+    def total(cls, counters: Iterable["MemoryCounters"]) -> "MemoryCounters":
+        """Sum an iterable of counters (empty iterable yields zeros)."""
+        result: Optional[MemoryCounters] = None
+        for c in counters:
+            result = c if result is None else result + c
+        return result if result is not None else cls()
+
+
+@dataclass
+class GlobalMemory:
+    """Byte-accurate allocation tracker for a simulated device's global memory."""
+
+    capacity_bytes: int
+    used_bytes: int = 0
+    _allocations: Dict[str, int] = field(default_factory=dict)
+
+    def allocate(self, name: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` under ``name``; raises :class:`CapacityError` when full."""
+        if nbytes < 0:
+            raise ConfigurationError("allocation size must be non-negative")
+        if name in self._allocations:
+            raise ConfigurationError(f"allocation {name!r} already exists")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise CapacityError(
+                f"global memory exhausted: requested {nbytes} bytes for {name!r}, "
+                f"{self.capacity_bytes - self.used_bytes} bytes free of {self.capacity_bytes}"
+            )
+        self._allocations[name] = nbytes
+        self.used_bytes += nbytes
+
+    def free(self, name: str) -> None:
+        """Release a named allocation."""
+        try:
+            nbytes = self._allocations.pop(name)
+        except KeyError:
+            raise ConfigurationError(f"no allocation named {name!r}") from None
+        self.used_bytes -= nbytes
+
+    def free_all(self) -> None:
+        """Release every allocation."""
+        self._allocations.clear()
+        self.used_bytes = 0
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def holds(self, name: str) -> bool:
+        return name in self._allocations
+
+
+@dataclass
+class SharedMemory:
+    """Per-SM shared-memory tracker (used to model the bitonic k<=256 limit)."""
+
+    capacity_bytes: int
+
+    def check_fit(self, nbytes: int, what: str = "buffer") -> None:
+        """Raise :class:`CapacityError` if ``nbytes`` does not fit in one SM's shared memory."""
+        if nbytes > self.capacity_bytes:
+            raise CapacityError(
+                f"shared memory overflow: {what} needs {nbytes} bytes but only "
+                f"{self.capacity_bytes} bytes are available per SM"
+            )
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` fits without raising."""
+        return nbytes <= self.capacity_bytes

@@ -1,0 +1,111 @@
+"""nvprof-like aggregation of simulated kernel steps.
+
+The paper uses ``nvprof`` to collect global load/store transaction counts
+(Table 3) and per-step time breakdowns (Figures 6, 7, 10, 13, 15).  The
+:class:`Profiler` collects :class:`~repro.gpusim.kernel.KernelStep` records,
+prices them with a :class:`~repro.gpusim.costmodel.CostModel` and exposes the
+same two views: a per-step time table and device-wide transaction totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import DeviceSpec, V100S
+from repro.gpusim.kernel import KernelStep
+from repro.gpusim.memory import MemoryCounters
+
+__all__ = ["Profiler", "ProfileRecord"]
+
+
+@dataclass
+class ProfileRecord:
+    """A priced kernel step as stored by the profiler."""
+
+    name: str
+    counters: MemoryCounters
+    kernels: int
+    time_ms: float
+
+
+@dataclass
+class Profiler:
+    """Collects kernel steps and reports times and memory transactions."""
+
+    device: DeviceSpec = V100S
+    records: List[ProfileRecord] = field(default_factory=list)
+    _model: CostModel = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._model = CostModel(self.device)
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model used to price recorded steps."""
+        return self._model
+
+    # -- recording ------------------------------------------------------------
+    def record(self, step: KernelStep) -> ProfileRecord:
+        """Price ``step`` on this profiler's device and store it."""
+        time_ms = step.price(self._model)
+        rec = ProfileRecord(
+            name=step.name, counters=step.counters, kernels=step.kernels, time_ms=time_ms
+        )
+        self.records.append(rec)
+        return rec
+
+    def record_all(self, steps: Iterable[KernelStep]) -> List[ProfileRecord]:
+        """Record every step in ``steps`` in order."""
+        return [self.record(s) for s in steps]
+
+    def reset(self) -> None:
+        """Drop all recorded steps."""
+        self.records.clear()
+
+    # -- reports ---------------------------------------------------------------
+    def step_times_ms(self) -> Dict[str, float]:
+        """Total estimated milliseconds per step name."""
+        out: Dict[str, float] = {}
+        for rec in self.records:
+            out[rec.name] = out.get(rec.name, 0.0) + rec.time_ms
+        return out
+
+    def total_time_ms(self) -> float:
+        """Sum of all recorded step times."""
+        return float(sum(rec.time_ms for rec in self.records))
+
+    def total_counters(self) -> MemoryCounters:
+        """Sum of traffic counters across every recorded step."""
+        return MemoryCounters.total(rec.counters for rec in self.records)
+
+    def load_transactions(self) -> int:
+        """Total global load transactions (Table 3's ``#load``)."""
+        return self.total_counters().load_transactions
+
+    def store_transactions(self) -> int:
+        """Total global store transactions (Table 3's ``#store``)."""
+        return self.total_counters().store_transactions
+
+    def report(self) -> str:
+        """Human-readable per-step table, similar to an nvprof summary."""
+        lines = [
+            f"== simulated profile on {self.device.name} ==",
+            f"{'step':<32}{'kernels':>8}{'ms':>12}{'ld xact':>14}{'st xact':>14}",
+        ]
+        for name, ms in self.step_times_ms().items():
+            recs = [r for r in self.records if r.name == name]
+            total = MemoryCounters.total(r.counters for r in recs)
+            kernels = sum(r.kernels for r in recs)
+            lines.append(
+                f"{name:<32}{kernels:>8}{ms:>12.3f}"
+                f"{total.load_transactions:>14,}{total.store_transactions:>14,}"
+            )
+        total = self.total_counters()
+        lines.append(
+            f"{'TOTAL':<32}{sum(r.kernels for r in self.records):>8}"
+            f"{self.total_time_ms():>12.3f}"
+            f"{total.load_transactions:>14,}{total.store_transactions:>14,}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Warp-level execution model.
+
+The paper's delegate-vector construction is *warp-centric*: one warp of 32
+threads cooperatively extracts the delegate of each subrange, using
+``__shfl_sync`` butterfly reductions (31 shuffles per 32-wide reduction, i.e.
+``sum_{i=1..5} 32/2^i = 31``).  This module captures warp arithmetic needed by
+the cost model:
+
+* how many shuffle instructions a warp reduction of a subrange costs,
+* the warp-utilisation factor when a subrange is narrower than a warp
+  (Section 5.3's "small subrange size fails to saturate a GPU warp"), and
+* how many warps a kernel launches for a given element count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils import ceil_div
+
+__all__ = ["WARP_SIZE", "WarpModel", "shuffles_per_reduction"]
+
+#: Threads per warp on every NVIDIA architecture the paper uses.
+WARP_SIZE = 32
+
+
+def shuffles_per_reduction(width: int = WARP_SIZE) -> int:
+    """Shuffle instructions for one butterfly max-reduction of ``width`` lanes.
+
+    A full 32-lane reduction takes ``16 + 8 + 4 + 2 + 1 = 31`` shuffles, the
+    count used in the paper's Equation 2.  Narrower (power-of-two) reductions
+    take ``width - 1`` shuffles.
+    """
+    if width < 1 or width > WARP_SIZE:
+        raise ConfigurationError(f"reduction width must be in [1, {WARP_SIZE}], got {width}")
+    return max(int(width) - 1, 0)
+
+
+@dataclass(frozen=True)
+class WarpModel:
+    """Warp-granularity helper bound to a warp width (32 unless testing)."""
+
+    warp_size: int = WARP_SIZE
+
+    def warps_for(self, num_threads: int) -> int:
+        """Number of warps needed to cover ``num_threads`` threads."""
+        if num_threads < 0:
+            raise ConfigurationError("num_threads must be non-negative")
+        return ceil_div(num_threads, self.warp_size)
+
+    def utilization_for_subrange(self, subrange_size: int) -> float:
+        """Fraction of warp lanes doing useful work in warp-centric construction.
+
+        A warp assigned to a subrange of ``2^alpha`` elements keeps
+        ``min(2^alpha, 32)`` lanes busy; smaller subranges leave lanes idle,
+        which is the first problem Section 5.3 identifies.
+        """
+        if subrange_size <= 0:
+            raise ConfigurationError("subrange_size must be positive")
+        return min(subrange_size, self.warp_size) / self.warp_size
+
+    def reduction_shuffles(self, subrange_size: int, beta: int = 1) -> int:
+        """Shuffle instructions to extract ``beta`` delegates from one subrange.
+
+        The maximum delegate needs one butterfly reduction (31 shuffles for a
+        full warp).  The paper notes the beta-delegate variant "needs
+        approximately beta x more shuffle instructions" because the reduction
+        is repeated after masking out already-selected delegates.
+        """
+        if beta < 1:
+            raise ConfigurationError("beta must be >= 1")
+        width = min(max(subrange_size, 1), self.warp_size)
+        return shuffles_per_reduction(width) * beta
+
+    def elements_per_thread(self, subrange_size: int) -> int:
+        """Elements each active lane scans when a warp covers one subrange."""
+        if subrange_size <= 0:
+            raise ConfigurationError("subrange_size must be positive")
+        return ceil_div(subrange_size, min(subrange_size, self.warp_size))

@@ -1,0 +1,22 @@
+"""Experiment harness: one runner per paper figure/table.
+
+Every function in :mod:`repro.harness.experiments` regenerates the data behind
+one figure or table of the paper's evaluation section, at a configurable scale
+(the paper's |V| = 2^30 runs are reproduced by the analytic cost model, the
+measured runs default to laptop-friendly sizes).  The benchmark suite under
+``benchmarks/`` is a thin wrapper that executes these runners under
+pytest-benchmark; :mod:`repro.harness.runner` exposes them for direct use
+(``python -m repro.harness.runner fig18``).
+"""
+
+from repro.harness.reporting import format_table, rows_to_csv
+from repro.harness import experiments
+from repro.harness.runner import run_experiment, available_experiments
+
+__all__ = [
+    "format_table",
+    "rows_to_csv",
+    "experiments",
+    "run_experiment",
+    "available_experiments",
+]

@@ -1,0 +1,64 @@
+"""Plain-text and CSV rendering of experiment results.
+
+Experiment runners return lists of dictionaries (one per table row / plotted
+point).  These helpers render them for the terminal and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "rows_to_csv", "format_value"]
+
+
+def format_value(value) -> str:
+    """Compact human-readable rendering of one cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append("  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text (used to persist experiment outputs)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(str(c) for c in columns)]
+    for row in rows:
+        lines.append(",".join(str(row.get(col, "")) for col in columns))
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Shared result and statistics containers used across the package.
+
+The containers are deliberately plain dataclasses wrapping NumPy arrays so they
+can be produced by any algorithm backend (pure NumPy, the simulated GPU
+pipeline, or a distributed run) and consumed uniformly by the applications,
+benchmark harness and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["TopKResult", "WorkloadStats", "StepTiming"]
+
+
+@dataclass
+class TopKResult:
+    """Outcome of a top-k query.
+
+    Attributes
+    ----------
+    values:
+        The ``k`` selected values, sorted in descending order of preference
+        (largest first for ``largest=True`` queries, smallest first
+        otherwise).
+    indices:
+        Positions of the selected values in the original input vector.  When a
+        value occurs multiple times any valid set of positions may be
+        returned; ``values[i] == input[indices[i]]`` always holds.
+    k:
+        Number of requested elements.
+    largest:
+        ``True`` when the query asked for the largest elements.
+    stats:
+        Optional :class:`WorkloadStats` describing how much work the producing
+        pipeline performed (populated by :class:`repro.core.drtopk.DrTopK`).
+    """
+
+    values: np.ndarray
+    indices: np.ndarray
+    k: int
+    largest: bool = True
+    stats: Optional["WorkloadStats"] = None
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values)
+        self.indices = np.asarray(self.indices)
+
+    @property
+    def kth_value(self):
+        """The k-th element (the selection threshold), i.e. the last value."""
+        return self.values[-1]
+
+    def sorted_values(self) -> np.ndarray:
+        """Return the selected values sorted ascending (for comparisons)."""
+        return np.sort(self.values)
+
+    def __len__(self) -> int:
+        return int(self.k)
+
+
+@dataclass
+class StepTiming:
+    """Estimated time of one pipeline step on the simulated device."""
+
+    name: str
+    milliseconds: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StepTiming({self.name!r}, {self.milliseconds:.3f} ms)"
+
+
+@dataclass
+class WorkloadStats:
+    """Work performed by a delegate-centric top-k run.
+
+    The quantities mirror the paper's workload discussion (Section 6.2): the
+    *workload* of the first top-k is the delegate vector size and the workload
+    of the second top-k is the concatenated vector size.  All counts are in
+    elements of the input dtype.
+    """
+
+    input_size: int = 0
+    subrange_size: int = 0
+    alpha: int = 0
+    beta: int = 1
+    num_subranges: int = 0
+    delegate_vector_size: int = 0
+    qualified_subranges: int = 0
+    fully_qualified_subranges: int = 0
+    concatenated_size: int = 0
+    second_topk_skipped: bool = False
+    filtered_out: int = 0
+    step_times_ms: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def first_topk_workload(self) -> int:
+        """Number of elements processed by the first top-k."""
+        return self.delegate_vector_size
+
+    @property
+    def second_topk_workload(self) -> int:
+        """Number of elements processed by the second top-k."""
+        return self.concatenated_size
+
+    @property
+    def total_workload(self) -> int:
+        """Sum of the first and second top-k workloads (paper Fig. 20/21)."""
+        return self.first_topk_workload + self.second_topk_workload
+
+    @property
+    def workload_fraction(self) -> float:
+        """Total workload as a fraction of the input size."""
+        if self.input_size == 0:
+            return 0.0
+        return self.total_workload / self.input_size
+
+    @property
+    def reduction_fraction(self) -> float:
+        """Fraction of the input-vector workload removed by Dr. Top-k."""
+        return 1.0 - self.workload_fraction
+
+    @property
+    def total_time_ms(self) -> float:
+        """Sum of all recorded per-step estimated times."""
+        return float(sum(self.step_times_ms.values()))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten the statistics into a plain dictionary (for reports)."""
+        out: Dict[str, float] = {
+            "input_size": self.input_size,
+            "subrange_size": self.subrange_size,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "num_subranges": self.num_subranges,
+            "delegate_vector_size": self.delegate_vector_size,
+            "qualified_subranges": self.qualified_subranges,
+            "fully_qualified_subranges": self.fully_qualified_subranges,
+            "concatenated_size": self.concatenated_size,
+            "second_topk_skipped": self.second_topk_skipped,
+            "filtered_out": self.filtered_out,
+            "first_topk_workload": self.first_topk_workload,
+            "second_topk_workload": self.second_topk_workload,
+            "total_workload": self.total_workload,
+            "workload_fraction": self.workload_fraction,
+        }
+        for name, ms in self.step_times_ms.items():
+            out[f"time_ms[{name}]"] = ms
+        out["total_time_ms"] = self.total_time_ms
+        return out

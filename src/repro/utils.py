@@ -1,0 +1,74 @@
+"""Small shared helpers: validation, power-of-two math and RNG handling."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "as_rng",
+    "check_k",
+    "is_power_of_two",
+    "next_power_of_two",
+    "log2_int",
+    "ceil_div",
+    "ensure_1d",
+]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from ``None``/int/Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def ensure_1d(v: np.ndarray, name: str = "v") -> np.ndarray:
+    """Validate that ``v`` is a non-empty one dimensional array."""
+    arr = np.asarray(v)
+    if arr.ndim != 1:
+        raise ConfigurationError(f"{name} must be one dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ConfigurationError(f"{name} must not be empty")
+    return arr
+
+
+def check_k(k: int, n: int) -> int:
+    """Validate a top-k parameter against an input length ``n``."""
+    if not isinstance(k, (int, np.integer)):
+        raise ConfigurationError(f"k must be an integer, got {type(k).__name__}")
+    k = int(k)
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if k > n:
+        raise ConfigurationError(f"k={k} exceeds the input length {n}")
+    return k
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return ``True`` when ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def next_power_of_two(x: int) -> int:
+    """Smallest power of two ``>= x`` (``1`` for ``x <= 1``)."""
+    if x <= 1:
+        return 1
+    return 1 << (int(x) - 1).bit_length()
+
+
+def log2_int(x: int) -> int:
+    """Exact integer ``log2`` of a power of two."""
+    if not is_power_of_two(x):
+        raise ConfigurationError(f"{x} is not a power of two")
+    return int(x).bit_length() - 1
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division."""
+    return -(-int(a) // int(b))

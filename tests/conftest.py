@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for every test."""
+    return np.random.default_rng(20210916)  # the paper's arXiv date
+
+
+@pytest.fixture
+def uniform_u32(rng):
+    """A moderately sized uniform uint32 vector (the paper's default dtype)."""
+    return rng.integers(0, 2**32, size=1 << 14, dtype=np.uint32)
+
+
+@pytest.fixture
+def tied_u32(rng):
+    """A vector with heavy duplication to exercise tie handling."""
+    return rng.integers(0, 64, size=1 << 13).astype(np.uint32)

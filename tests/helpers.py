@@ -1,0 +1,29 @@
+"""Assertion helpers shared across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reference_topk_values(v: np.ndarray, k: int, largest: bool = True) -> np.ndarray:
+    """Oracle top-k values (sorted ascending) computed with a full sort."""
+    s = np.sort(v)
+    return s[-k:] if largest else s[:k]
+
+
+def assert_topk_correct(result, v: np.ndarray, k: int, largest: bool = True) -> None:
+    """Assert a TopKResult is a valid top-k answer for ``v``.
+
+    Checks: the value multiset matches the sort-based oracle, indices point at
+    matching values, and indices are unique.
+    """
+    v = np.asarray(v)
+    expected = reference_topk_values(v, k, largest)
+    got = np.sort(np.asarray(result.values))
+    if np.issubdtype(v.dtype, np.floating):
+        np.testing.assert_allclose(got, expected)
+    else:
+        np.testing.assert_array_equal(got, expected)
+    assert len(result.indices) == k
+    assert len(np.unique(result.indices)) == k, "indices must be unique"
+    np.testing.assert_array_equal(np.asarray(result.values), v[result.indices])

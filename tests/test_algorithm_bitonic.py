@@ -1,0 +1,76 @@
+"""Behavioural tests specific to bitonic top-k."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import ExecutionTrace
+from repro.algorithms.bitonic import SHARED_MEMORY_MAX_K, BitonicTopK
+from repro.errors import ConfigurationError
+from tests.helpers import assert_topk_correct
+
+
+class TestConstruction:
+    def test_invalid_limit(self):
+        with pytest.raises(ConfigurationError):
+            BitonicTopK(shared_memory_max_k=0)
+
+
+class TestCorrectnessEdges:
+    def test_non_power_of_two_input(self, rng):
+        v = rng.integers(0, 2**32, size=10_001, dtype=np.uint32)
+        result = BitonicTopK().topk(v, 100)
+        assert_topk_correct(result, v, 100)
+
+    def test_non_power_of_two_k(self, rng):
+        v = rng.integers(0, 2**32, size=4096, dtype=np.uint32)
+        result = BitonicTopK().topk(v, 100)
+        assert_topk_correct(result, v, 100)
+
+    def test_input_smaller_than_padded_run(self, rng):
+        v = rng.integers(0, 2**32, size=70, dtype=np.uint32)
+        result = BitonicTopK().topk(v, 64)
+        assert_topk_correct(result, v, 64)
+
+    def test_padding_repair_with_zero_ties(self):
+        # Many zeros, k large enough that padded slots compete with real zeros.
+        v = np.zeros(100, dtype=np.uint32)
+        v[:5] = [10, 20, 30, 40, 50]
+        result = BitonicTopK().topk(v, 70)
+        assert_topk_correct(result, v, 70)
+        assert np.all(result.indices >= 0)
+        assert np.all(result.indices < 100)
+
+    def test_stability_flag(self):
+        assert BitonicTopK.distribution_stable is True
+
+
+class TestSharedMemoryModel:
+    def test_small_k_uses_shared_memory(self, uniform_u32):
+        trace = ExecutionTrace()
+        BitonicTopK().topk(uniform_u32, 128, trace=trace)
+        merged = [s for s in trace.steps if s.name == "bitonic_merge"]
+        assert merged
+        assert all(s.counters.shared_loads > 0 for s in merged)
+
+    def test_large_k_spills_to_global_memory(self, uniform_u32):
+        trace = ExecutionTrace()
+        BitonicTopK().topk(uniform_u32, SHARED_MEMORY_MAX_K * 4, trace=trace)
+        merged = [s for s in trace.steps if s.name == "bitonic_merge"]
+        assert merged
+        assert all(s.counters.shared_loads == 0 for s in merged)
+
+    def test_large_k_costs_much_more(self, uniform_u32):
+        """The paper's k > 256 performance cliff (Figures 4 and 18)."""
+        t_small = ExecutionTrace()
+        BitonicTopK().topk(uniform_u32, 256, trace=t_small)
+        t_large = ExecutionTrace()
+        BitonicTopK().topk(uniform_u32, 1024, trace=t_large)
+        assert t_large.total_time_ms() > 2.0 * t_small.total_time_ms()
+
+    def test_workload_halves_each_level(self, rng):
+        v = rng.integers(0, 2**32, size=1 << 12, dtype=np.uint32)
+        trace = ExecutionTrace()
+        BitonicTopK().topk(v, 64, trace=trace)
+        merge_loads = [s.counters.global_loads for s in trace.steps if s.name == "bitonic_merge"]
+        for earlier, later in zip(merge_loads, merge_loads[1:]):
+            assert later == pytest.approx(earlier / 2)

@@ -1,0 +1,62 @@
+"""Behavioural tests specific to bucket top-k."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import ExecutionTrace
+from repro.algorithms.bucket import BucketTopK
+from repro.datasets.synthetic import customized_distribution, uniform_distribution
+from repro.errors import ConfigurationError
+from tests.helpers import assert_topk_correct
+
+
+class TestConstruction:
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ConfigurationError):
+            BucketTopK(num_buckets=1)
+
+    @pytest.mark.parametrize("buckets", [2, 7, 16, 256, 1024])
+    def test_any_bucket_count_correct(self, buckets, rng):
+        v = rng.integers(0, 2**32, size=4096, dtype=np.uint32)
+        result = BucketTopK(num_buckets=buckets).topk(v, 50)
+        assert_topk_correct(result, v, 50)
+
+
+class TestIterationBehaviour:
+    def test_k_equals_one_terminates_quickly(self, uniform_u32):
+        algo = BucketTopK()
+        result = algo.topk(uniform_u32, 1)
+        assert result.values[0] == uniform_u32.max()
+        assert algo.last_iterations <= 2
+
+    def test_adversarial_distribution_needs_more_iterations(self):
+        """The CD dataset is built to inflate bucket top-k's iteration count."""
+        n, k = 1 << 15, 256
+        ud = uniform_distribution(n, seed=1)
+        cd = customized_distribution(n, seed=1)
+        algo_ud, algo_cd = BucketTopK(), BucketTopK()
+        assert_topk_correct(algo_ud.topk(ud, k), ud, k)
+        assert_topk_correct(algo_cd.topk(cd, k), cd, k)
+        assert algo_cd.last_iterations >= algo_ud.last_iterations
+
+    def test_adversarial_distribution_costs_more(self):
+        n, k = 1 << 15, 256
+        ud = uniform_distribution(n, seed=2)
+        cd = customized_distribution(n, seed=2)
+        t_ud, t_cd = ExecutionTrace(), ExecutionTrace()
+        BucketTopK().topk(ud, k, trace=t_ud)
+        BucketTopK().topk(cd, k, trace=t_cd)
+        assert t_cd.total_counters().global_loads > t_ud.total_counters().global_loads
+
+    def test_narrow_range_still_correct(self, rng):
+        v = (rng.normal(1e8, 10, size=1 << 14)).astype(np.uint32)
+        result = BucketTopK().topk(v, 777)
+        assert_topk_correct(result, v, 777)
+
+    def test_trace_records_atomics(self, uniform_u32):
+        trace = ExecutionTrace()
+        BucketTopK().topk(uniform_u32, 32, trace=trace)
+        assert trace.total_counters().atomics > 0
+
+    def test_distribution_instability_flag(self):
+        assert BucketTopK.distribution_stable is False

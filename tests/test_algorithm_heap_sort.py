@@ -1,0 +1,54 @@
+"""Tests for the priority-queue and sort-and-choose baselines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import ExecutionTrace
+from repro.algorithms.heap import HeapTopK
+from repro.algorithms.sort_choose import SortAndChooseTopK
+from tests.helpers import assert_topk_correct
+
+
+class TestHeapTopK:
+    def test_blocked_matches_reference(self, rng):
+        v = rng.integers(0, 1000, size=5000, dtype=np.uint32)
+        result = HeapTopK(block_size=512).topk(v, 25)
+        reference = HeapTopK.reference_topk(v.tolist(), 25)
+        np.testing.assert_array_equal(result.values, reference)
+
+    def test_block_size_does_not_change_answer(self, uniform_u32):
+        answers = [
+            np.sort(HeapTopK(block_size=bs).topk(uniform_u32, 77).values)
+            for bs in (64, 1000, 1 << 20)
+        ]
+        np.testing.assert_array_equal(answers[0], answers[1])
+        np.testing.assert_array_equal(answers[0], answers[2])
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            HeapTopK(block_size=0)
+
+    def test_reference_oracle_small(self):
+        assert HeapTopK.reference_topk([5, 1, 9, 3], 2) == [9, 5]
+
+    def test_trace_single_streaming_pass(self, uniform_u32):
+        trace = ExecutionTrace()
+        HeapTopK().topk(uniform_u32, 10, trace=trace)
+        total = trace.total_counters()
+        assert total.global_loads == pytest.approx(uniform_u32.shape[0])
+        assert total.global_stores == pytest.approx(10)
+
+
+class TestSortAndChoose:
+    def test_correct(self, uniform_u32):
+        result = SortAndChooseTopK().topk(uniform_u32, 50)
+        assert_topk_correct(result, uniform_u32, 50)
+
+    def test_traffic_far_exceeds_streaming(self, uniform_u32):
+        """Sort-and-choose does much more memory work than one pass (Figure 17)."""
+        trace = ExecutionTrace()
+        SortAndChooseTopK().topk(uniform_u32, 50, trace=trace)
+        total = trace.total_counters()
+        n = uniform_u32.shape[0]
+        assert total.global_loads > 4 * n
+        assert total.global_stores > 4 * n

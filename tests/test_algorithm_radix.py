@@ -1,0 +1,87 @@
+"""Behavioural tests specific to the radix top-k variants."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.base import ExecutionTrace
+from repro.algorithms.radix import FlagRadixTopK, InPlaceRadixTopK, RadixTopK
+from repro.errors import ConfigurationError
+from tests.helpers import assert_topk_correct
+
+
+class TestConstruction:
+    def test_bad_bits_per_pass(self):
+        with pytest.raises(ConfigurationError):
+            RadixTopK(bits_per_pass=0)
+        with pytest.raises(ConfigurationError):
+            RadixTopK(bits_per_pass=20)
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8, 11, 16])
+    def test_any_bits_per_pass_is_correct(self, bits, rng):
+        v = rng.integers(0, 2**32, size=4096, dtype=np.uint32)
+        result = RadixTopK(bits_per_pass=bits).topk(v, 77)
+        assert_topk_correct(result, v, 77)
+
+
+class TestVariantEquivalence:
+    @pytest.mark.parametrize("k", [1, 32, 500])
+    def test_all_variants_agree_on_values(self, rng, k):
+        v = rng.integers(0, 2**20, size=8192, dtype=np.uint32)  # narrow range -> ties
+        results = [
+            np.sort(cls().topk(v, k).values)
+            for cls in (RadixTopK, InPlaceRadixTopK, FlagRadixTopK)
+        ]
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+
+    def test_flag_variant_handles_single_pass_exit(self, rng):
+        # All elements equal: the prefix never narrows and the extraction path
+        # must still return exactly k elements.
+        v = np.full(2048, 123456, dtype=np.uint32)
+        result = FlagRadixTopK().topk(v, 10)
+        assert_topk_correct(result, v, 10)
+
+
+class TestTrafficModel:
+    def test_flag_scans_do_not_store(self, uniform_u32):
+        trace = ExecutionTrace()
+        FlagRadixTopK().topk(uniform_u32, 128, trace=trace)
+        scan_steps = [s for s in trace.steps if s.name == "radix_flag_scan"]
+        assert scan_steps, "flag radix must record scan steps"
+        assert all(s.counters.global_stores == 0 for s in scan_steps)
+
+    def test_inplace_charges_scattered_stores(self, uniform_u32):
+        trace = ExecutionTrace()
+        InPlaceRadixTopK().topk(uniform_u32, 128, trace=trace)
+        zero_steps = [s for s in trace.steps if s.name == "radix_inplace_zero"]
+        assert zero_steps
+        assert all(s.counters.utilization < 1.0 for s in zero_steps)
+        total_zeroed = sum(s.counters.global_stores for s in zero_steps)
+        # Nearly the whole vector is eventually zeroed out.
+        assert total_zeroed > uniform_u32.shape[0] * 0.5
+
+    def test_flag_is_faster_than_inplace_in_simulated_time(self, rng):
+        """The Figure 12 effect: the flag optimisation wins by a clear margin.
+
+        The advantage comes from removing the scattered zeroing stores, so it
+        shows once the input is large enough for traffic (rather than kernel
+        launch overhead) to dominate — the paper uses |V| = 2^21.
+        """
+        v = rng.integers(0, 2**32, size=1 << 19, dtype=np.uint32)
+        t_flag = ExecutionTrace()
+        FlagRadixTopK().topk(v, 256, trace=t_flag)
+        t_inplace = ExecutionTrace()
+        InPlaceRadixTopK().topk(v, 256, trace=t_inplace)
+        assert t_inplace.total_time_ms() > 2.0 * t_flag.total_time_ms()
+
+    def test_outofplace_loads_shrink_across_passes(self, uniform_u32):
+        trace = ExecutionTrace()
+        RadixTopK().topk(uniform_u32, 64, trace=trace)
+        loads = [s.counters.global_loads for s in trace.steps if s.name == "radix_topk"]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_iteration_counter_exposed(self, uniform_u32):
+        algo = RadixTopK()
+        algo.topk(uniform_u32, 64)
+        assert 1 <= algo.last_iterations <= 4

@@ -1,0 +1,156 @@
+"""Cross-cutting correctness tests for every registered top-k algorithm.
+
+These tests treat each algorithm as a black box and compare it against the
+sort-based oracle across dtypes, query directions, heavy ties and edge cases
+(k = 1, k = n, tiny inputs).
+"""
+
+import numpy as np
+import pytest
+
+from tests.helpers import assert_topk_correct
+from repro.algorithms import available_algorithms, get_algorithm, kth_value, topk
+from repro.algorithms.base import ExecutionTrace
+from repro.errors import ConfigurationError
+
+ALL_ALGORITHMS = sorted(available_algorithms())
+
+
+@pytest.fixture(params=ALL_ALGORITHMS)
+def algorithm(request):
+    return request.param
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        expected = {"heap", "sortchoose", "bucket", "radix", "radix_inplace", "radix_flag", "bitonic"}
+        assert expected.issubset(set(ALL_ALGORITHMS))
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_algorithm("does-not-exist")
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_algorithm("RADIX").name == "radix"
+
+
+class TestUniformCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 17, 128, 1000])
+    def test_uint32_largest(self, algorithm, uniform_u32, k):
+        result = topk(uniform_u32, k, algorithm=algorithm)
+        assert_topk_correct(result, uniform_u32, k, largest=True)
+
+    @pytest.mark.parametrize("k", [1, 63, 500])
+    def test_uint32_smallest(self, algorithm, uniform_u32, k):
+        result = topk(uniform_u32, k, largest=False, algorithm=algorithm)
+        assert_topk_correct(result, uniform_u32, k, largest=False)
+
+    def test_values_sorted_by_preference(self, algorithm, uniform_u32):
+        result = topk(uniform_u32, 50, algorithm=algorithm)
+        assert np.all(np.diff(result.values.astype(np.int64)) <= 0)
+
+    def test_k_equals_n(self, algorithm, rng):
+        v = rng.integers(0, 1000, size=257, dtype=np.uint32)
+        result = topk(v, v.shape[0], algorithm=algorithm)
+        assert_topk_correct(result, v, v.shape[0])
+
+
+class TestTiesAndDistributions:
+    @pytest.mark.parametrize("k", [1, 100, 1000])
+    def test_heavy_ties(self, algorithm, tied_u32, k):
+        result = topk(tied_u32, k, algorithm=algorithm)
+        assert_topk_correct(result, tied_u32, k)
+
+    def test_all_equal(self, algorithm):
+        v = np.full(4096, 7, dtype=np.uint32)
+        result = topk(v, 17, algorithm=algorithm)
+        assert_topk_correct(result, v, 17)
+
+    def test_sorted_ascending_input(self, algorithm):
+        v = np.arange(5000, dtype=np.uint32)
+        result = topk(v, 10, algorithm=algorithm)
+        np.testing.assert_array_equal(np.sort(result.values), np.arange(4990, 5000))
+
+    def test_sorted_descending_input(self, algorithm):
+        v = np.arange(5000, dtype=np.uint32)[::-1].copy()
+        result = topk(v, 10, algorithm=algorithm)
+        np.testing.assert_array_equal(np.sort(result.values), np.arange(4990, 5000))
+
+    def test_narrow_normal_distribution(self, algorithm, rng):
+        v = np.clip(np.rint(rng.normal(1e8, 10, size=20000)), 0, 2**32 - 1).astype(np.uint32)
+        result = topk(v, 333, algorithm=algorithm)
+        assert_topk_correct(result, v, 333)
+
+    def test_extreme_values_present(self, algorithm):
+        v = np.array([0, 2**32 - 1, 5, 2**32 - 1, 0], dtype=np.uint32)
+        result = topk(v, 2, algorithm=algorithm)
+        np.testing.assert_array_equal(result.values, [2**32 - 1, 2**32 - 1])
+
+
+class TestDtypes:
+    def test_int64(self, algorithm, rng):
+        v = rng.integers(-(10**12), 10**12, size=8192, dtype=np.int64)
+        result = topk(v, 99, algorithm=algorithm)
+        assert_topk_correct(result, v, 99)
+
+    def test_float64(self, algorithm, rng):
+        v = rng.normal(size=8192)
+        result = topk(v, 99, algorithm=algorithm)
+        assert_topk_correct(result, v, 99)
+
+    def test_float32_smallest(self, algorithm, rng):
+        v = rng.normal(size=4096).astype(np.float32)
+        result = topk(v, 40, largest=False, algorithm=algorithm)
+        assert_topk_correct(result, v, 40, largest=False)
+
+    def test_negative_floats(self, algorithm):
+        v = np.array([-1.0, -2.0, -3.0, -0.5, -10.0])
+        result = topk(v, 2, algorithm=algorithm)
+        np.testing.assert_allclose(np.sort(result.values), [-1.0, -0.5])
+
+    def test_uint64_large_values(self, algorithm, rng):
+        v = rng.integers(0, 2**63, size=4096, dtype=np.uint64)
+        result = topk(v, 64, algorithm=algorithm)
+        assert_topk_correct(result, v, 64)
+
+
+class TestValidation:
+    def test_k_zero_rejected(self, algorithm, uniform_u32):
+        with pytest.raises(ConfigurationError):
+            topk(uniform_u32, 0, algorithm=algorithm)
+
+    def test_k_too_large_rejected(self, algorithm, uniform_u32):
+        with pytest.raises(ConfigurationError):
+            topk(uniform_u32, uniform_u32.shape[0] + 1, algorithm=algorithm)
+
+    def test_empty_rejected(self, algorithm):
+        with pytest.raises(ConfigurationError):
+            topk(np.array([], dtype=np.uint32), 1, algorithm=algorithm)
+
+    def test_2d_rejected(self, algorithm):
+        with pytest.raises(ConfigurationError):
+            topk(np.zeros((4, 4), dtype=np.uint32), 1, algorithm=algorithm)
+
+
+class TestKthValue:
+    @pytest.mark.parametrize("k", [1, 5, 64])
+    def test_matches_sort(self, algorithm, uniform_u32, k):
+        expected = np.sort(uniform_u32)[-k]
+        assert kth_value(uniform_u32, k, algorithm=algorithm) == expected
+
+    def test_smallest(self, algorithm, uniform_u32):
+        assert kth_value(uniform_u32, 3, largest=False, algorithm=algorithm) == np.sort(uniform_u32)[2]
+
+
+class TestTracing:
+    def test_trace_records_traffic(self, algorithm, uniform_u32):
+        trace = ExecutionTrace()
+        topk(uniform_u32, 64, algorithm=algorithm, trace=trace)
+        assert len(trace.steps) >= 1
+        total = trace.total_counters()
+        assert total.global_loads >= uniform_u32.shape[0] * 0.5
+
+    def test_trace_times_positive(self, algorithm, uniform_u32):
+        trace = ExecutionTrace()
+        topk(uniform_u32, 64, algorithm=algorithm, trace=trace)
+        assert trace.total_time_ms() > 0

@@ -1,0 +1,78 @@
+"""Property-based tests (hypothesis) for the top-k algorithm substrate.
+
+The central invariant: for any input vector and any valid k, every algorithm
+returns a multiset of values identical to the sort-based oracle, with unique
+indices that point at matching elements.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms import available_algorithms, topk
+from tests.helpers import assert_topk_correct
+
+ALGORITHMS = sorted(available_algorithms())
+
+uint32_vectors = hnp.arrays(
+    dtype=np.uint32,
+    shape=st.integers(min_value=1, max_value=300),
+    elements=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+small_value_vectors = hnp.arrays(
+    dtype=np.uint32,
+    shape=st.integers(min_value=1, max_value=200),
+    elements=st.integers(min_value=0, max_value=7),
+)
+
+float_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=150),
+    elements=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestTopKProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(v=uint32_vectors, data=st.data())
+    def test_matches_oracle_uint32(self, algorithm, v, data):
+        k = data.draw(st.integers(1, v.shape[0]))
+        result = topk(v, k, algorithm=algorithm)
+        assert_topk_correct(result, v, k)
+
+    @settings(max_examples=25, deadline=None)
+    @given(v=small_value_vectors, data=st.data())
+    def test_matches_oracle_with_heavy_ties(self, algorithm, v, data):
+        k = data.draw(st.integers(1, v.shape[0]))
+        result = topk(v, k, algorithm=algorithm)
+        assert_topk_correct(result, v, k)
+
+    @settings(max_examples=25, deadline=None)
+    @given(v=float_vectors, data=st.data())
+    def test_matches_oracle_floats_both_directions(self, algorithm, v, data):
+        k = data.draw(st.integers(1, v.shape[0]))
+        largest = data.draw(st.booleans())
+        result = topk(v, k, largest=largest, algorithm=algorithm)
+        assert_topk_correct(result, v, k, largest=largest)
+
+    @settings(max_examples=20, deadline=None)
+    @given(v=uint32_vectors)
+    def test_k1_is_extremum(self, algorithm, v):
+        assert topk(v, 1, algorithm=algorithm).values[0] == v.max()
+        assert topk(v, 1, largest=False, algorithm=algorithm).values[0] == v.min()
+
+    @settings(max_examples=20, deadline=None)
+    @given(v=uint32_vectors, data=st.data())
+    def test_monotone_in_k(self, algorithm, v, data):
+        """top-(k) values are a sub-multiset of top-(k+1) values."""
+        if v.shape[0] < 2:
+            return
+        k = data.draw(st.integers(1, v.shape[0] - 1))
+        small = np.sort(topk(v, k, algorithm=algorithm).values)
+        large = np.sort(topk(v, k + 1, algorithm=algorithm).values)
+        # Removing the smallest element of the larger answer yields the smaller.
+        np.testing.assert_array_equal(small, large[1:])

@@ -1,0 +1,101 @@
+"""Tests for the end-to-end applications (kNN, degree centrality, tweet ranking)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import (
+    KNNSearch,
+    degree_centrality_report,
+    knn_search,
+    least_fearful_tweets,
+    most_fearful_tweets,
+    top_degree_nodes,
+)
+from repro.datasets.ann import SiftLikeDataset
+from repro.datasets.twitter import covid_fear_scores
+from repro.errors import ConfigurationError
+
+
+class TestKNN:
+    def test_query_returns_nearest(self):
+        searcher = KNNSearch.from_random(2000, seed=1)
+        result = searcher.query(None, 10)
+        distances = searcher.dataset.distances_from()
+        expected = np.sort(distances)[:10]
+        np.testing.assert_array_equal(np.sort(result.values), expected)
+        # The query vector itself (distance 0) must be among the neighbours.
+        assert 0 in result.indices
+
+    def test_values_ascending(self):
+        searcher = KNNSearch.from_random(1000, seed=2)
+        result = searcher.query(None, 25)
+        assert np.all(np.diff(result.values.astype(np.int64)) >= 0)
+
+    def test_explicit_query_vector(self):
+        searcher = KNNSearch.from_random(500, seed=3)
+        q = searcher.dataset.vectors[42]
+        result = searcher.query(q, 5)
+        assert 42 in result.indices
+
+    def test_one_shot_helper(self):
+        ds = SiftLikeDataset.generate(300, seed=4)
+        result = knn_search(ds.vectors, ds.vectors[7], 3)
+        assert 7 in result.indices
+
+    def test_invalid_k(self):
+        searcher = KNNSearch.from_random(100, seed=5)
+        with pytest.raises(ConfigurationError):
+            searcher.query(None, 0)
+        with pytest.raises(ConfigurationError):
+            searcher.query(None, 101)
+
+
+class TestDegreeCentrality:
+    def test_star_graph_center_wins(self):
+        g = nx.star_graph(50)  # node 0 connected to 1..50
+        result = top_degree_nodes(g, 1)
+        assert result.indices[0] == 0
+        assert result.values[0] == 50
+
+    def test_matches_networkx_ranking(self):
+        g = nx.barabasi_albert_graph(500, 3, seed=1)
+        result = top_degree_nodes(g, 10)
+        degrees = np.array([d for _, d in g.degree()])
+        np.testing.assert_array_equal(np.sort(result.values), np.sort(degrees)[-10:])
+
+    def test_accepts_degree_array(self):
+        degrees = np.array([5, 1, 9, 9, 2], dtype=np.uint32)
+        result = top_degree_nodes(degrees, 2)
+        np.testing.assert_array_equal(np.sort(result.values), [9, 9])
+
+    def test_report_mapping(self):
+        degrees = np.array([5, 1, 9], dtype=np.uint32)
+        report = degree_centrality_report(degrees, 2)
+        assert report == {2: 9, 0: 5}
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            top_degree_nodes(nx.Graph(), 1)
+
+    def test_bad_degree_input(self):
+        with pytest.raises(ConfigurationError):
+            top_degree_nodes(np.zeros((2, 2)), 1)
+
+
+class TestTweetRanking:
+    def test_least_fearful_are_minimum_scores(self):
+        scores = covid_fear_scores(20_000, seed=1)
+        result = least_fearful_tweets(scores, 50)
+        np.testing.assert_array_equal(np.sort(result.values), np.sort(scores)[:50])
+
+    def test_most_fearful_are_maximum_scores(self):
+        scores = covid_fear_scores(20_000, seed=2)
+        result = most_fearful_tweets(scores, 50)
+        np.testing.assert_array_equal(np.sort(result.values), np.sort(scores)[-50:])
+
+    def test_least_and_most_disjoint_for_spread_scores(self):
+        scores = np.arange(1000, dtype=np.uint32)
+        least = set(least_fearful_tweets(scores, 10).indices.tolist())
+        most = set(most_fearful_tweets(scores, 10).indices.tolist())
+        assert not least & most

@@ -1,0 +1,138 @@
+"""Tests for the posting-list substrate and the WAND / Block-Max WAND searcher."""
+
+import numpy as np
+import pytest
+
+from repro.bmw import (
+    BMWSearcher,
+    InvertedIndex,
+    PostingList,
+    bmw_vector_workload,
+    build_corpus_index,
+)
+from repro.datasets.synthetic import normal_distribution, uniform_distribution
+from repro.errors import ConfigurationError
+
+
+class TestPostingList:
+    def test_sorted_by_doc_id(self):
+        pl = PostingList([5, 1, 3], [1.0, 2.0, 3.0], block_size=2)
+        np.testing.assert_array_equal(pl.doc_ids, [1, 3, 5])
+        np.testing.assert_array_equal(pl.scores, [2.0, 3.0, 1.0])
+
+    def test_blocks_and_block_max(self):
+        pl = PostingList(range(10), [float(i) for i in range(10)], block_size=4)
+        assert len(pl.blocks) == 3
+        assert pl.blocks[0].max_score == 3.0
+        assert pl.blocks[2].max_score == 9.0
+        assert len(pl.blocks[2]) == 2
+
+    def test_block_of_and_seek(self):
+        pl = PostingList(range(0, 20, 2), [1.0] * 10, block_size=4)
+        assert pl.block_of(5).start == 4
+        assert pl.seek(0, 7) == 4  # first posting with doc id >= 7 is doc 8
+        assert pl.doc_at(pl.seek(0, 8)) == 8
+
+    def test_max_score(self):
+        pl = PostingList([1, 2], [3.0, 7.0])
+        assert pl.max_score == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PostingList([], [])
+        with pytest.raises(ConfigurationError):
+            PostingList([1, 2], [1.0])
+        with pytest.raises(ConfigurationError):
+            PostingList([1, 1], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            PostingList([1], [1.0], block_size=0)
+
+
+class TestInvertedIndex:
+    def test_terms_and_lookup(self):
+        idx = build_corpus_index(500, ["a", "b"], seed=1)
+        assert idx.terms() == ("a", "b")
+        assert "a" in idx and "z" not in idx
+        assert idx.num_documents <= 500
+
+    def test_unknown_term(self):
+        idx = build_corpus_index(100, ["a"], seed=1)
+        with pytest.raises(ConfigurationError):
+            idx["missing"]
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InvertedIndex({})
+
+
+def brute_force_scores(index, terms):
+    """Oracle: summed score per document over the query terms."""
+    scores = {}
+    for t in terms:
+        pl = index[t]
+        for doc, s in zip(pl.doc_ids.tolist(), pl.scores.tolist()):
+            scores[doc] = scores.get(doc, 0.0) + s
+    return scores
+
+
+class TestBMWSearcher:
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_matches_brute_force(self, k):
+        idx = build_corpus_index(800, ["the", "search", "engine"], density=0.4, seed=7)
+        result = BMWSearcher(idx).search(["the", "search", "engine"], k)
+        oracle = brute_force_scores(idx, ["the", "search", "engine"])
+        expected = sorted(oracle.values(), reverse=True)[:k]
+        assert result.scores == pytest.approx(expected)
+
+    def test_single_term_query(self):
+        idx = build_corpus_index(300, ["only"], density=0.5, seed=3)
+        result = BMWSearcher(idx).search(["only"], 10)
+        oracle = brute_force_scores(idx, ["only"])
+        assert result.scores == pytest.approx(sorted(oracle.values(), reverse=True)[:10])
+
+    def test_pruning_skips_documents(self):
+        idx = build_corpus_index(3000, ["a", "b"], density=0.5, seed=5)
+        result = BMWSearcher(idx).search(["a", "b"], 10)
+        c = result.counters
+        assert c.fully_evaluated < 3000
+        assert c.blockmax_skipped + c.wand_skipped > 0
+        assert c.total_considered > 0
+
+    def test_empty_query_rejected(self):
+        idx = build_corpus_index(100, ["a"], seed=1)
+        with pytest.raises(ConfigurationError):
+            BMWSearcher(idx).search([], 5)
+
+
+class TestVectorWorkload:
+    def test_counts_cover_whole_vector(self):
+        v = uniform_distribution(1 << 14, seed=1)
+        c = bmw_vector_workload(v, 128, block_size=256)
+        assert c.fully_evaluated + c.blockmax_skipped == v.shape[0]
+
+    def test_skips_grow_as_threshold_rises(self):
+        v = uniform_distribution(1 << 15, seed=2)
+        c_small_k = bmw_vector_workload(v, 16, block_size=256)
+        c_large_k = bmw_vector_workload(v, 4096, block_size=256)
+        assert c_small_k.blockmax_skipped > c_large_k.blockmax_skipped
+
+    def test_narrow_distribution_evaluates_most_blocks(self):
+        """The Figure 24 effect: on ND the block maxima tie with the threshold
+        so the vast majority of the vector is still fully evaluated."""
+        n, k = 1 << 15, 256
+        nd = normal_distribution(n, seed=3)
+        c_nd = bmw_vector_workload(nd, k, block_size=256)
+        assert c_nd.fully_evaluated > 0.9 * n
+
+    def test_bmw_workload_exceeds_drtopk_workload(self):
+        from repro.core.drtopk import drtopk
+
+        v = uniform_distribution(1 << 15, seed=4)
+        k = 64
+        stats = drtopk(v, k).stats
+        c = bmw_vector_workload(v, k, block_size=stats.subrange_size)
+        assert c.fully_evaluated > stats.total_workload
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ConfigurationError):
+            bmw_vector_workload(np.arange(10, dtype=np.uint32), 2, block_size=0)

@@ -1,0 +1,174 @@
+"""Tests for delegate-vector construction (maximum and β delegates)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import ExecutionTrace
+from repro.core.config import ConstructionStrategy
+from repro.core.delegate import (
+    COALESCED_ALPHA_THRESHOLD,
+    build_delegate_vector,
+    resolve_strategy,
+)
+from repro.core.subrange import SubrangePartition
+from repro.errors import ConfigurationError
+
+
+def make_keys(rng, n=1 << 12):
+    return rng.integers(0, 2**32, size=n, dtype=np.uint32)
+
+
+class TestMaximumDelegate:
+    def test_maxima_match_numpy(self, rng):
+        keys = make_keys(rng)
+        p = SubrangePartition(n=keys.shape[0], alpha=6)
+        d = build_delegate_vector(keys, p, beta=1)
+        expected = keys.reshape(-1, 64).max(axis=1)
+        np.testing.assert_array_equal(d.maxima(), expected)
+
+    def test_indices_point_at_maxima(self, rng):
+        keys = make_keys(rng)
+        p = SubrangePartition(n=keys.shape[0], alpha=5)
+        d = build_delegate_vector(keys, p, beta=1)
+        np.testing.assert_array_equal(keys[d.indices[:, 0]], d.maxima())
+
+    def test_partial_last_subrange(self, rng):
+        keys = make_keys(rng, n=1000)
+        p = SubrangePartition(n=1000, alpha=6)
+        d = build_delegate_vector(keys, p, beta=1)
+        last = keys[(p.num_subranges - 1) * 64 :]
+        assert d.maxima()[-1] == last.max()
+        assert d.valid.all()
+
+    def test_size_counts_valid_entries(self, rng):
+        keys = make_keys(rng)
+        p = SubrangePartition(n=keys.shape[0], alpha=4)
+        d = build_delegate_vector(keys, p, beta=1)
+        assert d.size == p.num_subranges
+
+
+class TestBetaDelegate:
+    def test_top_beta_per_subrange(self, rng):
+        keys = make_keys(rng)
+        p = SubrangePartition(n=keys.shape[0], alpha=6)
+        d = build_delegate_vector(keys, p, beta=3)
+        view = keys.reshape(-1, 64)
+        expected = np.sort(view, axis=1)[:, -3:][:, ::-1]
+        np.testing.assert_array_equal(d.keys, expected)
+
+    def test_columns_sorted_descending(self, rng):
+        keys = make_keys(rng)
+        p = SubrangePartition(n=keys.shape[0], alpha=5)
+        d = build_delegate_vector(keys, p, beta=4)
+        assert np.all(np.diff(d.keys.astype(np.int64), axis=1) <= 0)
+
+    def test_beta_th_is_row_minimum_of_valid(self, rng):
+        keys = make_keys(rng)
+        p = SubrangePartition(n=keys.shape[0], alpha=5)
+        d = build_delegate_vector(keys, p, beta=2)
+        np.testing.assert_array_equal(d.beta_th(), d.keys[:, 1])
+
+    def test_flat_views_align(self, rng):
+        keys = make_keys(rng)
+        p = SubrangePartition(n=keys.shape[0], alpha=5)
+        d = build_delegate_vector(keys, p, beta=2)
+        np.testing.assert_array_equal(keys[d.flat_indices()], d.flat_keys())
+        sub_ids = d.flat_subrange_ids()
+        np.testing.assert_array_equal(d.flat_indices() >> 5, sub_ids)
+
+    def test_partial_subrange_smaller_than_beta(self, rng):
+        keys = make_keys(rng, n=130)  # last subrange has 2 real elements
+        p = SubrangePartition(n=130, alpha=6)
+        d = build_delegate_vector(keys, p, beta=4)
+        # The last subrange can contribute at most its 2 real elements.
+        assert d.valid[-1].sum() <= 2
+        assert d.size == d.valid.sum()
+
+    def test_beta_larger_than_subrange_rejected(self, rng):
+        keys = make_keys(rng, n=64)
+        p = SubrangePartition(n=64, alpha=2)
+        with pytest.raises(ConfigurationError):
+            build_delegate_vector(keys, p, beta=5)
+
+    def test_invalid_beta(self, rng):
+        keys = make_keys(rng, n=64)
+        p = SubrangePartition(n=64, alpha=3)
+        with pytest.raises(ConfigurationError):
+            build_delegate_vector(keys, p, beta=0)
+
+    def test_length_mismatch_rejected(self, rng):
+        keys = make_keys(rng, n=64)
+        p = SubrangePartition(n=128, alpha=3)
+        with pytest.raises(ConfigurationError):
+            build_delegate_vector(keys, p, beta=1)
+
+
+class TestStrategies:
+    def test_auto_resolution(self):
+        assert (
+            resolve_strategy(ConstructionStrategy.AUTO, COALESCED_ALPHA_THRESHOLD)
+            is ConstructionStrategy.COALESCED_STRIDED
+        )
+        assert (
+            resolve_strategy(ConstructionStrategy.AUTO, COALESCED_ALPHA_THRESHOLD + 1)
+            is ConstructionStrategy.WARP_CENTRIC
+        )
+
+    def test_explicit_strategy_respected(self):
+        assert (
+            resolve_strategy(ConstructionStrategy.WARP_CENTRIC, 2)
+            is ConstructionStrategy.WARP_CENTRIC
+        )
+
+    def test_result_identical_across_strategies(self, rng):
+        keys = make_keys(rng)
+        p = SubrangePartition(n=keys.shape[0], alpha=4)
+        d_warp = build_delegate_vector(
+            keys, p, beta=2, strategy=ConstructionStrategy.WARP_CENTRIC
+        )
+        d_coal = build_delegate_vector(
+            keys, p, beta=2, strategy=ConstructionStrategy.COALESCED_STRIDED
+        )
+        np.testing.assert_array_equal(d_warp.keys, d_coal.keys)
+        np.testing.assert_array_equal(d_warp.indices, d_coal.indices)
+
+    def test_warp_centric_records_shuffles(self, rng):
+        keys = make_keys(rng)
+        p = SubrangePartition(n=keys.shape[0], alpha=6)
+        trace = ExecutionTrace()
+        build_delegate_vector(
+            keys, p, beta=1, strategy=ConstructionStrategy.WARP_CENTRIC, trace=trace
+        )
+        counters = trace.total_counters()
+        assert counters.shuffles == 31 * p.num_subranges
+        assert counters.shared_loads == 0
+
+    def test_coalesced_strategy_avoids_shuffles(self, rng):
+        keys = make_keys(rng)
+        p = SubrangePartition(n=keys.shape[0], alpha=4)
+        trace = ExecutionTrace()
+        build_delegate_vector(
+            keys, p, beta=2, strategy=ConstructionStrategy.COALESCED_STRIDED, trace=trace
+        )
+        counters = trace.total_counters()
+        assert counters.shuffles == 0
+        assert counters.shared_loads > 0
+        assert counters.utilization == 1.0
+
+    def test_warp_centric_small_subrange_underutilised(self, rng):
+        keys = make_keys(rng)
+        p = SubrangePartition(n=keys.shape[0], alpha=3)
+        trace = ExecutionTrace()
+        build_delegate_vector(
+            keys, p, beta=1, strategy=ConstructionStrategy.WARP_CENTRIC, trace=trace
+        )
+        assert trace.total_counters().utilization == pytest.approx(8 / 32)
+
+    def test_optimisation_reduces_construction_time_for_small_alpha(self, rng):
+        """The Section 5.3 optimisation: faster construction when alpha is small."""
+        keys = make_keys(rng, n=1 << 16)
+        p = SubrangePartition(n=keys.shape[0], alpha=4)
+        t_warp, t_coal = ExecutionTrace(), ExecutionTrace()
+        build_delegate_vector(keys, p, beta=2, strategy=ConstructionStrategy.WARP_CENTRIC, trace=t_warp)
+        build_delegate_vector(keys, p, beta=2, strategy=ConstructionStrategy.COALESCED_STRIDED, trace=t_coal)
+        assert t_coal.total_time_ms() < t_warp.total_time_ms()

@@ -1,0 +1,187 @@
+"""End-to-end tests for the Dr. Top-k pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConstructionStrategy, DrTopKConfig
+from repro.core.drtopk import DrTopK, drtopk
+from repro.datasets.synthetic import customized_distribution, normal_distribution
+from repro.errors import ConfigurationError
+from repro.gpusim.device import TITAN_XP
+from tests.helpers import assert_topk_correct
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 37, 512, 4000])
+    def test_uniform(self, uniform_u32, k):
+        assert_topk_correct(drtopk(uniform_u32, k), uniform_u32, k)
+
+    @pytest.mark.parametrize("beta", [1, 2, 3, 4])
+    def test_beta_variants(self, uniform_u32, beta):
+        result = drtopk(uniform_u32, 200, beta=beta)
+        assert_topk_correct(result, uniform_u32, 200)
+        assert result.stats.beta == beta
+
+    @pytest.mark.parametrize("use_filtering,use_beta_rule", [(False, False), (True, False), (False, True), (True, True)])
+    def test_feature_toggles(self, uniform_u32, use_filtering, use_beta_rule):
+        result = drtopk(
+            uniform_u32, 300, use_filtering=use_filtering, use_beta_rule=use_beta_rule
+        )
+        assert_topk_correct(result, uniform_u32, 300)
+
+    @pytest.mark.parametrize("algorithm", ["radix", "radix_flag", "radix_inplace", "bucket", "bitonic", "heap", "sortchoose"])
+    def test_any_inner_algorithm(self, uniform_u32, algorithm):
+        result = drtopk(
+            uniform_u32, 100, first_algorithm=algorithm, second_algorithm=algorithm
+        )
+        assert_topk_correct(result, uniform_u32, 100)
+
+    def test_smallest(self, uniform_u32):
+        result = drtopk(uniform_u32, 64, largest=False)
+        assert_topk_correct(result, uniform_u32, 64, largest=False)
+
+    def test_float_input(self, rng):
+        v = rng.normal(size=1 << 13)
+        assert_topk_correct(drtopk(v, 99), v, 99)
+
+    def test_signed_input(self, rng):
+        v = rng.integers(-(2**31), 2**31, size=1 << 13, dtype=np.int64)
+        assert_topk_correct(drtopk(v, 99), v, 99)
+
+    def test_heavy_ties(self, tied_u32):
+        assert_topk_correct(drtopk(tied_u32, 500), tied_u32, 500)
+
+    def test_all_equal_values(self):
+        v = np.full(1 << 12, 42, dtype=np.uint32)
+        assert_topk_correct(drtopk(v, 100), v, 100)
+
+    def test_normal_distribution(self):
+        v = normal_distribution(1 << 14, seed=5)
+        assert_topk_correct(drtopk(v, 333), v, 333)
+
+    def test_customized_distribution(self):
+        v = customized_distribution(1 << 14, seed=5)
+        assert_topk_correct(drtopk(v, 333), v, 333)
+
+    @pytest.mark.parametrize("n", [5, 17, 100, 1025])
+    def test_small_inputs(self, rng, n):
+        v = rng.integers(0, 1000, size=n, dtype=np.uint32)
+        k = max(n // 3, 1)
+        assert_topk_correct(drtopk(v, k), v, k)
+
+    def test_explicit_alpha(self, uniform_u32):
+        for alpha in (3, 6, 9):
+            result = drtopk(uniform_u32, 128, alpha=alpha)
+            assert_topk_correct(result, uniform_u32, 128)
+            assert result.stats.alpha == alpha
+
+    def test_non_power_of_two_length(self, rng):
+        v = rng.integers(0, 2**32, size=12_345, dtype=np.uint32)
+        assert_topk_correct(drtopk(v, 77), v, 77)
+
+    @pytest.mark.parametrize("strategy", list(ConstructionStrategy))
+    def test_construction_strategies(self, uniform_u32, strategy):
+        result = drtopk(uniform_u32, 128, construction=strategy)
+        assert_topk_correct(result, uniform_u32, 128)
+
+
+class TestDegenerateAndSkipPaths:
+    def test_degenerate_large_k(self, rng):
+        """k close to n forces the plain-algorithm fallback."""
+        v = rng.integers(0, 2**32, size=4096, dtype=np.uint32)
+        result = drtopk(v, 4000)
+        assert_topk_correct(result, v, 4000)
+        assert result.stats.delegate_vector_size == 0
+
+    def test_skip_second_topk_possible_for_tiny_k(self, uniform_u32):
+        """With k=1 no subrange is ever fully taken (Figure 8b's shortcut)."""
+        result = drtopk(uniform_u32, 1, beta=2)
+        assert result.values[0] == uniform_u32.max()
+        assert result.stats.second_topk_skipped
+        assert result.stats.concatenated_size == 0
+
+    def test_skip_disabled(self, uniform_u32):
+        result = drtopk(uniform_u32, 1, beta=2, skip_second_when_possible=False)
+        assert result.values[0] == uniform_u32.max()
+        assert not result.stats.second_topk_skipped
+
+    def test_kth_value(self, uniform_u32):
+        assert DrTopK().kth_value(uniform_u32, 10) == np.sort(uniform_u32)[-10]
+
+
+class TestConfigValidation:
+    def test_invalid_beta(self):
+        with pytest.raises(ConfigurationError):
+            DrTopKConfig(beta=0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            DrTopKConfig(alpha=-3)
+
+    def test_unknown_algorithm_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            DrTopK(DrTopKConfig(first_algorithm="nope"))
+
+    def test_string_strategy_coerced(self):
+        cfg = DrTopKConfig(construction="warp_centric")
+        assert cfg.construction is ConstructionStrategy.WARP_CENTRIC
+
+    def test_replace_returns_new_config(self):
+        cfg = DrTopKConfig()
+        other = cfg.replace(beta=3)
+        assert cfg.beta == 2 and other.beta == 3
+
+    def test_invalid_k(self, uniform_u32):
+        with pytest.raises(ConfigurationError):
+            drtopk(uniform_u32, 0)
+        with pytest.raises(ConfigurationError):
+            drtopk(uniform_u32, uniform_u32.shape[0] + 1)
+
+
+class TestStatsAndTrace:
+    def test_workload_much_smaller_than_input(self, rng):
+        """The headline claim: the delegate machinery prunes most of the work."""
+        v = rng.integers(0, 2**32, size=1 << 16, dtype=np.uint32)
+        result = drtopk(v, 64)
+        stats = result.stats
+        assert stats.total_workload < 0.2 * stats.input_size
+        assert stats.reduction_fraction > 0.8
+
+    def test_step_times_present(self, uniform_u32):
+        stats = drtopk(uniform_u32, 128).stats
+        assert {"delegate_construction", "first_topk", "concatenation", "second_topk"}.issubset(
+            stats.step_times_ms
+        )
+        assert stats.total_time_ms > 0
+
+    def test_trace_disabled(self, uniform_u32):
+        result = drtopk(uniform_u32, 128, collect_trace=False)
+        assert result.stats.step_times_ms == {}
+
+    def test_device_affects_estimated_time(self, uniform_u32):
+        fast = drtopk(uniform_u32, 128).stats.total_time_ms
+        slow = drtopk(uniform_u32, 128, device=TITAN_XP).stats.total_time_ms
+        assert slow > fast
+
+    def test_alpha_auto_tuned_by_rule4(self, rng):
+        v = rng.integers(0, 2**32, size=1 << 16, dtype=np.uint32)
+        small_k = drtopk(v, 4).stats.alpha
+        large_k = drtopk(v, 1 << 10).stats.alpha
+        assert small_k > large_k  # Rule 4: alpha shrinks as k grows
+
+    def test_filtering_reduces_concatenated_size(self, rng):
+        v = rng.integers(0, 2**32, size=1 << 16, dtype=np.uint32)
+        with_filter = drtopk(v, 1024, beta=1, use_filtering=True).stats.concatenated_size
+        without = drtopk(v, 1024, beta=1, use_filtering=False).stats.concatenated_size
+        assert with_filter < without
+
+    def test_beta_rule_reduces_scanned_subranges(self, rng):
+        v = rng.integers(0, 2**32, size=1 << 16, dtype=np.uint32)
+        beta_on = drtopk(v, 1024, beta=2, use_beta_rule=True).stats.fully_qualified_subranges
+        beta_off = drtopk(v, 1024, beta=2, use_beta_rule=False).stats.fully_qualified_subranges
+        assert beta_on <= beta_off
+
+    def test_qualified_counts_consistent(self, uniform_u32):
+        stats = drtopk(uniform_u32, 256).stats
+        assert stats.fully_qualified_subranges <= stats.qualified_subranges
+        assert stats.qualified_subranges <= stats.num_subranges

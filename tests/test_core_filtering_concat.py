@@ -1,0 +1,132 @@
+"""Tests for Rule-2 filtering, Rule-1/Rule-3 qualification and concatenation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import topk
+from repro.algorithms.base import ExecutionTrace
+from repro.core.concatenate import concatenate_subranges
+from repro.core.delegate import build_delegate_vector
+from repro.core.filtering import (
+    filter_by_threshold,
+    qualification_threshold,
+    qualify_subranges,
+)
+from repro.core.subrange import SubrangePartition
+from repro.errors import ConfigurationError
+
+
+class TestThreshold:
+    def test_threshold_is_kth_of_delegate_topk(self, rng):
+        keys = rng.integers(0, 2**32, size=1 << 12, dtype=np.uint32)
+        p = SubrangePartition(n=keys.shape[0], alpha=5)
+        d = build_delegate_vector(keys, p, beta=1)
+        first = topk(d.flat_keys(), 16)
+        t = qualification_threshold(first)
+        assert t == np.sort(d.flat_keys())[-16]
+
+    def test_rule2_bound(self, rng):
+        """min(topk(D)) <= min(topk(V)) — the basis of Rule 2."""
+        v = rng.integers(0, 2**32, size=1 << 12, dtype=np.uint32)
+        p = SubrangePartition(n=v.shape[0], alpha=5)
+        d = build_delegate_vector(v, p, beta=1)
+        k = 32
+        t_delegates = np.sort(d.flat_keys())[-k]
+        t_input = np.sort(v)[-k]
+        assert t_delegates <= t_input
+
+    def test_filter_by_threshold_keeps_ge(self):
+        keys = np.array([1, 5, 5, 9], dtype=np.uint32)
+        np.testing.assert_array_equal(
+            filter_by_threshold(keys, 5), [False, True, True, True]
+        )
+
+
+class TestQualification:
+    def test_rule1_uses_maxima(self):
+        maxima = np.array([10, 3, 7], dtype=np.uint32)
+        beta_th = np.array([1, 1, 1], dtype=np.uint32)
+        qualified, scan = qualify_subranges(maxima, beta_th, 7, use_beta_rule=False)
+        np.testing.assert_array_equal(qualified, [True, False, True])
+        np.testing.assert_array_equal(scan, qualified)
+
+    def test_rule3_requires_all_beta_delegates(self):
+        maxima = np.array([10, 9, 7], dtype=np.uint32)
+        beta_th = np.array([8, 2, 7], dtype=np.uint32)
+        qualified, scan = qualify_subranges(maxima, beta_th, 7, use_beta_rule=True)
+        np.testing.assert_array_equal(qualified, [True, True, True])
+        np.testing.assert_array_equal(scan, [True, False, True])
+
+    def test_scan_is_subset_of_qualified(self, rng):
+        maxima = rng.integers(0, 100, size=50).astype(np.uint32)
+        beta_th = np.minimum(maxima, rng.integers(0, 100, size=50).astype(np.uint32))
+        qualified, scan = qualify_subranges(maxima, beta_th, 40, use_beta_rule=True)
+        assert np.all(qualified[scan])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            qualify_subranges(np.zeros(3, dtype=np.uint32), np.zeros(4, dtype=np.uint32), 1, True)
+
+
+class TestConcatenation:
+    def _setup(self, rng, n=1 << 12, alpha=5, beta=2, k=32):
+        keys = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        p = SubrangePartition(n=n, alpha=alpha)
+        d = build_delegate_vector(keys, p, beta=beta)
+        first = topk(d.flat_keys(), k)
+        threshold = qualification_threshold(first)
+        qualified, scan = qualify_subranges(d.maxima(), d.beta_th(), threshold, True)
+        return keys, p, d, threshold, scan
+
+    def test_filtered_concatenation_contains_all_topk(self, rng):
+        keys, p, d, threshold, scan = self._setup(rng)
+        extra = (d.flat_keys() >= threshold) & ~scan[d.flat_subrange_ids()]
+        concat = concatenate_subranges(keys, d, scan, threshold, extra_candidate_mask=extra)
+        k = 32
+        expected = np.sort(keys)[-k:]
+        assert set(expected.tolist()).issubset(set(concat.keys.tolist()))
+
+    def test_indices_align_with_keys(self, rng):
+        keys, p, d, threshold, scan = self._setup(rng)
+        concat = concatenate_subranges(keys, d, scan, threshold)
+        np.testing.assert_array_equal(keys[concat.indices], concat.keys)
+
+    def test_no_duplicate_indices(self, rng):
+        keys, p, d, threshold, scan = self._setup(rng)
+        extra = (d.flat_keys() >= threshold) & ~scan[d.flat_subrange_ids()]
+        concat = concatenate_subranges(keys, d, scan, threshold, extra_candidate_mask=extra)
+        assert len(np.unique(concat.indices)) == concat.size
+
+    def test_filtering_shrinks_concatenation(self, rng):
+        keys, p, d, threshold, scan = self._setup(rng)
+        with_filter = concatenate_subranges(keys, d, scan, threshold)
+        without_filter = concatenate_subranges(keys, d, scan, None)
+        assert with_filter.size <= without_filter.size
+        assert with_filter.filtered_out > 0
+        assert without_filter.filtered_out == 0
+
+    def test_scanned_elements_counts_real_extent(self, rng):
+        keys = rng.integers(0, 2**32, size=100, dtype=np.uint32)
+        p = SubrangePartition(n=100, alpha=5)
+        d = build_delegate_vector(keys, p, beta=1)
+        scan = np.array([False, False, False, True])  # last (partial) subrange
+        concat = concatenate_subranges(keys, d, scan, None)
+        assert concat.scanned_elements == 4
+        assert concat.scanned_subranges == 1
+
+    def test_empty_scan_mask(self, rng):
+        keys, p, d, threshold, scan = self._setup(rng)
+        none = np.zeros_like(scan)
+        concat = concatenate_subranges(keys, d, none, threshold)
+        assert concat.size == 0
+
+    def test_wrong_mask_length_rejected(self, rng):
+        keys, p, d, threshold, scan = self._setup(rng)
+        with pytest.raises(ConfigurationError):
+            concatenate_subranges(keys, d, scan[:-1], threshold)
+
+    def test_trace_records_atomics_per_copied_element(self, rng):
+        keys, p, d, threshold, scan = self._setup(rng)
+        trace = ExecutionTrace()
+        concat = concatenate_subranges(keys, d, scan, threshold, trace=trace)
+        assert trace.total_counters().atomics == pytest.approx(concat.size)

@@ -1,0 +1,82 @@
+"""Property-based tests of the Dr. Top-k pipeline invariants.
+
+The pipeline must produce exactly the same value multiset as a full sort for
+*every* combination of input data, k, beta, filtering switches and alpha —
+including adversarial tie patterns, because the delegate rules (Rules 1-3)
+are the part of the system where a subtle tie-handling bug could silently
+prune a correct answer.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.config import DrTopKConfig
+from repro.core.drtopk import DrTopK, drtopk
+from tests.helpers import assert_topk_correct
+
+vectors = hnp.arrays(
+    dtype=np.uint32,
+    shape=st.integers(min_value=2, max_value=600),
+    elements=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+tie_heavy_vectors = hnp.arrays(
+    dtype=np.uint32,
+    shape=st.integers(min_value=2, max_value=400),
+    elements=st.integers(min_value=0, max_value=4),
+)
+
+
+class TestPipelineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(v=vectors, data=st.data())
+    def test_matches_oracle(self, v, data):
+        k = data.draw(st.integers(1, v.shape[0]))
+        beta = data.draw(st.integers(1, 3))
+        use_filtering = data.draw(st.booleans())
+        result = drtopk(v, k, beta=beta, use_filtering=use_filtering)
+        assert_topk_correct(result, v, k)
+
+    @settings(max_examples=60, deadline=None)
+    @given(v=tie_heavy_vectors, data=st.data())
+    def test_ties_never_prune_answers(self, v, data):
+        k = data.draw(st.integers(1, v.shape[0]))
+        beta = data.draw(st.integers(1, 3))
+        result = drtopk(v, k, beta=beta)
+        assert_topk_correct(result, v, k)
+
+    @settings(max_examples=40, deadline=None)
+    @given(v=vectors, data=st.data())
+    def test_explicit_alpha_never_changes_answer(self, v, data):
+        k = data.draw(st.integers(1, v.shape[0]))
+        max_alpha = int(np.floor(np.log2(v.shape[0])))
+        alpha = data.draw(st.integers(0, max_alpha))
+        expected = np.sort(drtopk(v, k).values)
+        got = np.sort(drtopk(v, k, alpha=alpha).values)
+        np.testing.assert_array_equal(expected, got)
+
+    @settings(max_examples=40, deadline=None)
+    @given(v=vectors, data=st.data())
+    def test_largest_smallest_duality(self, v, data):
+        k = data.draw(st.integers(1, v.shape[0]))
+        smallest = drtopk(v, k, largest=False)
+        negated = drtopk((2**32 - 1) - v, k, largest=True)
+        np.testing.assert_array_equal(
+            np.sort(smallest.values), np.sort((2**32 - 1) - negated.values)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(v=vectors, data=st.data())
+    def test_workload_invariants(self, v, data):
+        k = data.draw(st.integers(1, v.shape[0]))
+        result = DrTopK(DrTopKConfig()).topk(v, k)
+        stats = result.stats
+        assert stats is not None
+        # The delegate vector can never exceed the input, and the concatenated
+        # vector is bounded by the input size.
+        assert 0 <= stats.delegate_vector_size <= stats.input_size
+        assert 0 <= stats.concatenated_size <= stats.input_size
+        assert stats.fully_qualified_subranges <= stats.num_subranges
+        assert 0.0 <= stats.workload_fraction <= 2.0

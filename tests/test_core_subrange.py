@@ -1,0 +1,74 @@
+"""Tests for subrange partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.subrange import SubrangePartition
+from repro.errors import ConfigurationError
+
+
+class TestGeometry:
+    def test_exact_division(self):
+        p = SubrangePartition(n=1024, alpha=5)
+        assert p.subrange_size == 32
+        assert p.num_subranges == 32
+        assert p.pad == 0
+        assert p.last_subrange_size == 32
+
+    def test_partial_last_subrange(self):
+        p = SubrangePartition(n=1000, alpha=5)
+        assert p.num_subranges == 32
+        assert p.pad == 24
+        assert p.last_subrange_size == 8
+        assert p.padded_length == 1024
+
+    def test_alpha_zero(self):
+        p = SubrangePartition(n=10, alpha=0)
+        assert p.subrange_size == 1
+        assert p.num_subranges == 10
+
+    def test_sizes_vector(self):
+        p = SubrangePartition(n=70, alpha=5)
+        np.testing.assert_array_equal(p.sizes(), [32, 32, 6])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SubrangePartition(n=0, alpha=3)
+        with pytest.raises(ConfigurationError):
+            SubrangePartition(n=16, alpha=-1)
+        with pytest.raises(ConfigurationError):
+            SubrangePartition(n=16, alpha=5)  # subrange larger than vector
+
+
+class TestIndexMapping:
+    def test_bounds(self):
+        p = SubrangePartition(n=100, alpha=5)
+        assert p.bounds(0) == (0, 32)
+        assert p.bounds(3) == (96, 100)
+
+    def test_bounds_out_of_range(self):
+        p = SubrangePartition(n=100, alpha=5)
+        with pytest.raises(ConfigurationError):
+            p.bounds(4)
+
+    def test_subrange_of(self):
+        p = SubrangePartition(n=100, alpha=5)
+        np.testing.assert_array_equal(p.subrange_of([0, 31, 32, 99]), [0, 0, 1, 3])
+
+    def test_subrange_of_out_of_range(self):
+        p = SubrangePartition(n=100, alpha=5)
+        with pytest.raises(ConfigurationError):
+            p.subrange_of(100)
+
+    def test_reshape_padded_roundtrip(self):
+        p = SubrangePartition(n=10, alpha=2)
+        keys = np.arange(10, dtype=np.uint32)
+        view = p.reshape_padded(keys, pad_value=np.uint32(0))
+        assert view.shape == (3, 4)
+        np.testing.assert_array_equal(view.ravel()[:10], keys)
+        np.testing.assert_array_equal(view.ravel()[10:], [0, 0])
+
+    def test_reshape_rejects_wrong_length(self):
+        p = SubrangePartition(n=10, alpha=2)
+        with pytest.raises(ConfigurationError):
+            p.reshape_padded(np.arange(9, dtype=np.uint32), pad_value=np.uint32(0))

@@ -1,0 +1,77 @@
+"""Tests for workload measurement and the analytic expected-workload model."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import expected_workload, measure_workload
+from repro.datasets.synthetic import uniform_distribution
+from repro.errors import ConfigurationError
+
+
+class TestMeasureWorkload:
+    def test_returns_stats_of_real_run(self):
+        v = uniform_distribution(1 << 14, seed=1)
+        stats = measure_workload(v, 128)
+        assert stats.input_size == v.shape[0]
+        assert stats.total_workload > 0
+
+    def test_workload_fraction_decreases_with_n(self):
+        """Figure 20's trend: bigger vectors are pruned proportionally more."""
+        k = 256
+        fractions = []
+        for exp in (12, 14, 16):
+            v = uniform_distribution(1 << exp, seed=2)
+            fractions.append(measure_workload(v, k).workload_fraction)
+        assert fractions[0] > fractions[1] > fractions[2]
+
+    def test_workload_fraction_increases_with_k(self):
+        """Figure 21's trend: larger k leaves less room for pruning."""
+        v = uniform_distribution(1 << 16, seed=3)
+        small = measure_workload(v, 16).workload_fraction
+        large = measure_workload(v, 1 << 12).workload_fraction
+        assert large > small
+
+
+class TestExpectedWorkload:
+    def test_matches_measured_within_factor_two(self):
+        n, k = 1 << 16, 512
+        v = uniform_distribution(n, seed=4)
+        measured = measure_workload(v, k)
+        model = expected_workload(n, k, alpha=measured.alpha)
+        assert model.delegate_vector_size == pytest.approx(
+            measured.delegate_vector_size, rel=0.01
+        )
+        assert model.concatenated_size <= 2 * max(measured.concatenated_size, 1)
+        assert measured.concatenated_size <= 2 * max(model.concatenated_size, 1)
+
+    def test_paper_scale_reduction(self):
+        """At |V| = 2^30 the combined workload is a small fraction of the input."""
+        stats = expected_workload(1 << 30, 1 << 19)
+        assert stats.workload_fraction < 0.05
+
+    def test_fraction_decreases_with_n(self):
+        k = 1 << 19
+        fracs = [expected_workload(1 << e, k).workload_fraction for e in (24, 27, 30)]
+        assert fracs[0] > fracs[1] > fracs[2]
+
+    def test_fraction_increases_with_k(self):
+        n = 1 << 30
+        fracs = [expected_workload(n, 1 << e).workload_fraction for e in (4, 14, 24)]
+        assert fracs[0] < fracs[1] < fracs[2]
+
+    def test_degenerate_when_k_huge(self):
+        stats = expected_workload(1 << 10, 1 << 9, alpha=6)
+        assert stats.concatenated_size == 1 << 10
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            expected_workload(0, 1)
+        with pytest.raises(ConfigurationError):
+            expected_workload(100, 200)
+        with pytest.raises(ConfigurationError):
+            expected_workload(100, 10, beta=0)
+
+    def test_filtering_toggle_changes_concatenated_size(self):
+        with_f = expected_workload(1 << 26, 1 << 16, use_filtering=True)
+        without_f = expected_workload(1 << 26, 1 << 16, use_filtering=False)
+        assert with_f.concatenated_size < without_f.concatenated_size

@@ -1,0 +1,155 @@
+"""Tests for the synthetic distributions and real-world workload surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SiftLikeDataset,
+    available_datasets,
+    covid_fear_scores,
+    customized_distribution,
+    get_dataset,
+    knn_distance_vector,
+    normal_distribution,
+    synthetic_power_law_degrees,
+    uniform_distribution,
+    webgraph_degree_vector,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSyntheticDistributions:
+    def test_uniform_shape_dtype_range(self):
+        v = uniform_distribution(10_000, seed=1)
+        assert v.dtype == np.uint32 and v.shape == (10_000,)
+        assert v.min() < 2**28 and v.max() > 2**31  # spans the range
+
+    def test_uniform_reproducible(self):
+        np.testing.assert_array_equal(uniform_distribution(100, seed=5), uniform_distribution(100, seed=5))
+
+    def test_normal_narrow_value_range(self):
+        v = normal_distribution(10_000, seed=1)
+        assert v.dtype == np.uint32
+        assert abs(float(v.mean()) - 1e8) < 1.0
+        assert np.unique(v).shape[0] < 200  # sigma=10 collapses onto few values
+
+    def test_normal_clipping(self):
+        v = normal_distribution(1000, mean=5, std=100, seed=2)
+        assert v.min() >= 0
+
+    def test_customized_majority_in_top_bucket(self):
+        v = customized_distribution(100_000, seed=3)
+        width = (2**32) // 256
+        top_bucket = v >= np.uint32(2**32 - width)
+        # The construction recurses into the top bucket, so most mass ends high.
+        assert np.count_nonzero(v >= np.uint32(255 * width)) > 0.9 * v.shape[0]
+
+    def test_customized_lower_buckets_nonempty(self):
+        v = customized_distribution(100_000, num_buckets=256, levels=1, seed=4)
+        width = (2**32) // 256
+        buckets = (v // width).astype(np.int64)
+        assert np.unique(buckets).shape[0] >= 250
+
+    def test_customized_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            customized_distribution(100, levels=4)
+
+    @pytest.mark.parametrize("fn", [uniform_distribution, normal_distribution])
+    def test_invalid_sizes(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn(0)
+
+
+class TestSiftSurrogate:
+    def test_generate_shape_and_dtype(self):
+        ds = SiftLikeDataset.generate(500, seed=1)
+        assert ds.vectors.shape == (500, 128)
+        assert ds.vectors.dtype == np.uint8
+        assert len(ds) == 500
+
+    def test_distances_match_numpy(self):
+        ds = SiftLikeDataset.generate(200, seed=2)
+        d = ds.distances_from()
+        q = ds.vectors[0].astype(np.int64)
+        expected = ((ds.vectors.astype(np.int64) - q) ** 2).sum(axis=1)
+        np.testing.assert_array_equal(d, expected.astype(np.uint32))
+        assert d[0] == 0  # distance to itself
+
+    def test_custom_query(self):
+        ds = SiftLikeDataset.generate(50, seed=3)
+        q = np.zeros(128, dtype=np.uint8)
+        d = ds.distances_from(q)
+        assert d.shape == (50,)
+
+    def test_bad_query_shape(self):
+        ds = SiftLikeDataset.generate(10, seed=4)
+        with pytest.raises(ConfigurationError):
+            ds.distances_from(np.zeros(64))
+
+    def test_bad_vector_shape(self):
+        with pytest.raises(ConfigurationError):
+            SiftLikeDataset(vectors=np.zeros((10, 64), dtype=np.uint8))
+
+    def test_knn_distance_vector_convenience(self):
+        v = knn_distance_vector(300, seed=5)
+        assert v.shape == (300,) and v.dtype == np.uint32
+
+
+class TestGraphSurrogate:
+    def test_power_law_degrees_skewed(self):
+        d = synthetic_power_law_degrees(50_000, seed=1)
+        assert d.dtype == np.uint32
+        assert d.min() >= 1
+        # Heavy tail: the max dwarfs the median.
+        assert d.max() > 50 * np.median(d)
+
+    def test_power_law_invalid_exponent(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_power_law_degrees(100, exponent=1.0)
+
+    def test_webgraph_degrees_from_real_graph(self):
+        d = webgraph_degree_vector(2000, attachment=3, seed=2)
+        assert d.shape == (2000,)
+        assert d.sum() == 2 * 3 * (2000 - 3)  # 2 * edge count for BA graphs
+        assert d.max() > 3 * np.median(d)
+
+    def test_webgraph_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            webgraph_degree_vector(3, attachment=4)
+
+
+class TestTwitterSurrogate:
+    def test_scores_bounded_and_duplicated(self):
+        v = covid_fear_scores(100_000, seed=1)
+        assert v.dtype == np.uint32
+        assert v.max() < 100_000
+        # Replication of the original block creates heavy duplication.
+        assert np.unique(v).shape[0] < 0.5 * v.shape[0]
+
+    def test_zero_fear_spike_exists(self):
+        v = covid_fear_scores(50_000, seed=2)
+        assert np.count_nonzero(v == 0) > 0.01 * v.shape[0]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            covid_fear_scores(100, original_fraction=0.0)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        assert set(available_datasets()) == {"UD", "ND", "CD", "AN", "CW", "TR"}
+
+    def test_generate_via_registry(self):
+        for name in available_datasets():
+            v = get_dataset(name).generate(2000, seed=7)
+            assert v.shape == (2000,)
+            assert v.dtype == np.uint32
+
+    def test_knn_and_twitter_are_smallest_queries(self):
+        assert get_dataset("AN").largest is False
+        assert get_dataset("TR").largest is False
+        assert get_dataset("CW").largest is True
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            get_dataset("XX")

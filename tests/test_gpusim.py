@@ -1,0 +1,203 @@
+"""Tests for the simulated GPU substrate: devices, counters, warps, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.gpusim import (
+    A100,
+    TITAN_XP,
+    V100S,
+    CostModel,
+    DeviceSpec,
+    GlobalMemory,
+    KernelStep,
+    MemoryCounters,
+    Profiler,
+    SharedMemory,
+    WarpModel,
+    available_devices,
+    get_device,
+)
+from repro.gpusim.warp import WARP_SIZE, shuffles_per_reduction
+
+
+class TestDeviceSpec:
+    def test_registry_contains_paper_devices(self):
+        assert {"a100", "titanxp", "v100s"}.issubset(set(available_devices()))
+
+    def test_lookup_case_insensitive(self):
+        assert get_device("v100s") is V100S
+        assert get_device("TITANXP") is TITAN_XP
+
+    def test_unknown_device(self):
+        with pytest.raises(ConfigurationError):
+            get_device("h100")
+
+    def test_v100s_matches_paper_numbers(self):
+        assert V100S.num_sms == 80
+        assert V100S.cores_per_sm == 64
+        assert V100S.total_cores == 5120
+        assert V100S.peak_bandwidth_gbps == pytest.approx(1134.0)
+        assert V100S.global_memory_gb == pytest.approx(32.0)
+
+    def test_bandwidth_ratio_v100s_titanxp(self):
+        """Figure 23 attributes the speed difference to the bandwidth ratio (~2x)."""
+        ratio = V100S.peak_bandwidth_gbps / TITAN_XP.peak_bandwidth_gbps
+        assert 1.8 < ratio < 2.3
+
+    def test_capacity_holds_2_30_elements(self):
+        assert V100S.capacity_elements(itemsize=4) >= 1 << 30
+
+    def test_with_overrides(self):
+        slow = V100S.with_overrides(peak_bandwidth_gbps=100.0)
+        assert slow.peak_bandwidth_gbps == 100.0
+        assert V100S.peak_bandwidth_gbps == pytest.approx(1134.0)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(
+                name="bad", num_sms=0, cores_per_sm=64, clock_ghz=1.0,
+                global_memory_gb=1, peak_bandwidth_gbps=100,
+            )
+
+
+class TestMemoryCounters:
+    def test_transactions_are_32_bytes(self):
+        c = MemoryCounters(global_loads=16, global_stores=8, itemsize=4)
+        assert c.load_transactions == 2
+        assert c.store_transactions == 1
+
+    def test_addition_accumulates(self):
+        a = MemoryCounters(global_loads=10, shuffles=5)
+        b = MemoryCounters(global_stores=3, atomics=2)
+        c = a + b
+        assert c.global_loads == 10 and c.global_stores == 3
+        assert c.shuffles == 5 and c.atomics == 2
+
+    def test_addition_blends_utilization_by_traffic(self):
+        a = MemoryCounters(global_loads=100, utilization=1.0)
+        b = MemoryCounters(global_loads=100, utilization=0.5)
+        assert (a + b).utilization == pytest.approx(0.75)
+
+    def test_mixed_itemsize_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryCounters(itemsize=4) + MemoryCounters(itemsize=8)
+
+    def test_scaled(self):
+        c = MemoryCounters(global_loads=10, shuffles=4).scaled(2.5)
+        assert c.global_loads == 25 and c.shuffles == 10
+
+    def test_total_of_empty_is_zero(self):
+        assert MemoryCounters.total([]).global_bytes == 0
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ConfigurationError):
+            MemoryCounters(utilization=0.0)
+
+
+class TestMemories:
+    def test_global_allocation_and_free(self):
+        mem = GlobalMemory(capacity_bytes=1000)
+        mem.allocate("a", 600)
+        assert mem.free_bytes == 400
+        mem.free("a")
+        assert mem.free_bytes == 1000
+
+    def test_global_over_allocation_raises(self):
+        mem = GlobalMemory(capacity_bytes=100)
+        with pytest.raises(CapacityError):
+            mem.allocate("big", 101)
+
+    def test_duplicate_allocation_name(self):
+        mem = GlobalMemory(capacity_bytes=100)
+        mem.allocate("x", 10)
+        with pytest.raises(ConfigurationError):
+            mem.allocate("x", 10)
+
+    def test_shared_memory_check(self):
+        shared = SharedMemory(capacity_bytes=96 * 1024)
+        shared.check_fit(1024)
+        assert not shared.fits(200 * 1024)
+        with pytest.raises(CapacityError):
+            shared.check_fit(200 * 1024)
+
+
+class TestWarpModel:
+    def test_full_reduction_is_31_shuffles(self):
+        """The constant used by Equation 2."""
+        assert shuffles_per_reduction(WARP_SIZE) == 31
+
+    def test_utilization_small_subrange(self):
+        warp = WarpModel()
+        assert warp.utilization_for_subrange(8) == pytest.approx(0.25)
+        assert warp.utilization_for_subrange(32) == 1.0
+        assert warp.utilization_for_subrange(4096) == 1.0
+
+    def test_beta_multiplies_shuffles(self):
+        warp = WarpModel()
+        assert warp.reduction_shuffles(64, beta=2) == 2 * warp.reduction_shuffles(64, beta=1)
+
+    def test_warps_for(self):
+        assert WarpModel().warps_for(33) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            WarpModel().utilization_for_subrange(0)
+        with pytest.raises(ConfigurationError):
+            WarpModel().reduction_shuffles(32, beta=0)
+
+
+class TestCostModel:
+    def test_streaming_scan_matches_paper_magnitude(self):
+        """Scanning 2^30 uint32 on V100S takes ~4-5 ms (Section 4.1)."""
+        model = CostModel(V100S)
+        ms = model.streaming_scan_ms(1 << 30)
+        assert 3.0 < ms < 6.0
+
+    def test_devices_rank_by_bandwidth(self):
+        counters = MemoryCounters(global_loads=1 << 24)
+        t_v100 = CostModel(V100S).estimate_ms(counters)
+        t_titan = CostModel(TITAN_XP).estimate_ms(counters)
+        t_a100 = CostModel(A100).estimate_ms(counters)
+        assert t_a100 < t_v100 < t_titan
+
+    def test_utilization_penalty(self):
+        fast = MemoryCounters(global_loads=1 << 22, utilization=1.0)
+        slow = MemoryCounters(global_loads=1 << 22, utilization=0.25)
+        model = CostModel(V100S)
+        assert model.global_time_ms(slow) == pytest.approx(4 * model.global_time_ms(fast))
+
+    def test_shuffle_and_atomic_terms_positive(self):
+        model = CostModel(V100S)
+        c = MemoryCounters(shuffles=1e6, atomics=1e5)
+        assert model.shuffle_time_ms(c) > 0
+        assert model.atomic_time_ms(c) > 0
+
+    def test_host_transfer_slower_than_device_scan(self):
+        model = CostModel(V100S)
+        assert model.host_transfer_ms(1 << 26) > model.streaming_scan_ms(1 << 26)
+
+
+class TestProfiler:
+    def test_records_and_totals(self):
+        profiler = Profiler(V100S)
+        profiler.record(KernelStep("a", MemoryCounters(global_loads=1024, global_stores=256)))
+        profiler.record(KernelStep("b", MemoryCounters(global_loads=2048)))
+        assert profiler.total_time_ms() > 0
+        assert profiler.load_transactions() == (1024 + 2048) * 4 // 32
+        assert profiler.store_transactions() == 256 * 4 // 32
+        assert set(profiler.step_times_ms()) == {"a", "b"}
+
+    def test_report_mentions_device_and_steps(self):
+        profiler = Profiler(TITAN_XP)
+        profiler.record(KernelStep("delegate", MemoryCounters(global_loads=64)))
+        report = profiler.report()
+        assert "TitanXp" in report and "delegate" in report and "TOTAL" in report
+
+    def test_reset(self):
+        profiler = Profiler()
+        profiler.record(KernelStep("x", MemoryCounters(global_loads=1)))
+        profiler.reset()
+        assert profiler.records == []
+        assert profiler.total_time_ms() == 0

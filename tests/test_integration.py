@@ -1,0 +1,114 @@
+"""Cross-module integration tests.
+
+These exercise realistic end-to-end paths: dataset generator → pipeline →
+application → reporting, the public package namespace, and consistency between
+the different ways of computing the same answer (stand-alone algorithm,
+single-GPU pipeline, multi-GPU pipeline).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import DrTopK, DrTopKConfig, drtopk, topk
+from repro.datasets import get_dataset
+from repro.distributed import MultiGpuDrTopK
+from repro.gpusim.profiler import Profiler
+from repro.harness import format_table, run_experiment
+from tests.helpers import assert_topk_correct
+
+
+class TestPublicNamespace:
+    def test_version_exposed(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_symbols_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_example_runs(self):
+        v = np.random.default_rng(0).integers(0, 2**32, size=1 << 14, dtype=np.uint32)
+        result = drtopk(v, k=64)
+        assert np.array_equal(np.sort(result.values), np.sort(v)[-64:])
+
+
+class TestConsistencyAcrossEngines:
+    @pytest.mark.parametrize("dataset", ["UD", "ND", "CD", "AN", "CW", "TR"])
+    def test_all_engines_agree_on_every_dataset(self, dataset):
+        spec = get_dataset(dataset)
+        v = spec.generate(1 << 14, seed=99)
+        k = 200
+        largest = spec.largest
+        reference = np.sort(topk(v, k, largest=largest, algorithm="sortchoose").values)
+        single = np.sort(DrTopK().topk(v, k, largest=largest).values)
+        multi = np.sort(
+            MultiGpuDrTopK(num_gpus=3, capacity_elements=1 << 12).topk(v, k, largest=largest).values
+        )
+        np.testing.assert_array_equal(reference, single)
+        np.testing.assert_array_equal(reference, multi)
+
+    def test_every_algorithm_pairing_inside_pipeline(self, uniform_u32):
+        """The first and second top-k can use different algorithms."""
+        cfg = DrTopKConfig(first_algorithm="bucket", second_algorithm="bitonic")
+        result = DrTopK(cfg).topk(uniform_u32, 128)
+        assert_topk_correct(result, uniform_u32, 128)
+
+    def test_repeated_queries_share_engine(self, uniform_u32):
+        engine = DrTopK()
+        for k in (1, 10, 100, 1000):
+            assert_topk_correct(engine.topk(uniform_u32, k), uniform_u32, k)
+
+
+class TestProfilerIntegration:
+    def test_pipeline_trace_feeds_profiler(self, uniform_u32):
+        engine = DrTopK()
+        engine.topk(uniform_u32, 256)
+        profiler = Profiler()
+        profiler.record_all(engine.last_trace.steps)
+        report = profiler.report()
+        for step in ("delegate_construction", "first_topk", "concatenation", "second_topk"):
+            assert step in report
+        assert profiler.load_transactions() > 0
+
+    def test_harness_rows_render(self):
+        rows = run_experiment("fig21", n=1 << 14, ks=[16, 256], include_paper_scale=False)
+        text = format_table(rows, title="fig21")
+        assert "total_fraction" in text
+        assert len(text.splitlines()) == len(rows) + 3
+
+
+class TestHeadlineClaims:
+    def test_workload_reduction_above_99_percent_at_scale(self):
+        """The abstract's claim: delegate machinery removes >99% of the work
+        (holds from ~2^20 elements upward for moderate k)."""
+        v = get_dataset("UD").generate(1 << 20, seed=1)
+        stats = drtopk(v, 256).stats
+        assert stats.reduction_fraction > 0.99
+
+    def test_drtopk_never_does_more_memory_work_than_sortchoose(self, uniform_u32):
+        from repro.algorithms.base import ExecutionTrace
+        from repro.algorithms import get_algorithm
+
+        trace = ExecutionTrace()
+        get_algorithm("sortchoose").topk(uniform_u32, 512, trace=trace)
+        engine = DrTopK()
+        engine.topk(uniform_u32, 512)
+        assert (
+            engine.last_trace.total_counters().global_bytes
+            < trace.total_counters().global_bytes
+        )
+
+    def test_stability_across_distributions(self):
+        """Dr. Top-k's workload is value-distribution independent (Section 3):
+        for fixed |V| and k the delegate vector size is identical and the
+        concatenated vector stays within a small band across UD/ND/CD."""
+        k = 512
+        sizes = {}
+        for name in ("UD", "ND", "CD"):
+            v = get_dataset(name).generate(1 << 16, seed=5)
+            stats = drtopk(v, k).stats
+            sizes[name] = stats
+        delegate_sizes = {s.delegate_vector_size for s in sizes.values()}
+        assert len(delegate_sizes) == 1
+        concat = [s.concatenated_size for s in sizes.values()]
+        assert max(concat) < 10 * max(min(concat), 1)

@@ -1,0 +1,84 @@
+"""Tests for the order-preserving key transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms.keys import key_bits, supported_dtype, to_keys
+from repro.errors import ConfigurationError
+
+
+class TestSupportedDtypes:
+    @pytest.mark.parametrize(
+        "dtype", [np.uint8, np.uint16, np.uint32, np.uint64, np.int32, np.int64, np.float32, np.float64]
+    )
+    def test_supported(self, dtype):
+        assert supported_dtype(np.dtype(dtype))
+
+    @pytest.mark.parametrize("dtype", [np.complex128, np.bool_, object])
+    def test_unsupported(self, dtype):
+        assert not supported_dtype(np.dtype(dtype))
+
+    def test_key_bits(self):
+        assert key_bits(np.uint32) == 32
+        assert key_bits(np.float64) == 64
+
+    def test_key_bits_rejects_unsupported(self):
+        with pytest.raises(ConfigurationError):
+            key_bits(np.complex64)
+
+
+class TestOrderPreservation:
+    def test_uint_identity(self):
+        v = np.array([3, 1, 2], dtype=np.uint32)
+        np.testing.assert_array_equal(to_keys(v), v)
+
+    def test_signed_ordering(self):
+        v = np.array([-5, 0, 5, -1], dtype=np.int32)
+        keys = to_keys(v)
+        assert np.argmax(keys) == 2
+        assert np.argmin(keys) == 0
+
+    def test_float_ordering(self):
+        v = np.array([-1.5, 0.0, 2.25, -0.25], dtype=np.float64)
+        keys = to_keys(v)
+        assert np.argmax(keys) == 2
+        assert np.argmin(keys) == 0
+
+    def test_smallest_flips_order(self):
+        v = np.array([10, 20, 30], dtype=np.uint32)
+        keys = to_keys(v, largest=False)
+        assert np.argmax(keys) == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            to_keys(np.array([1.0, np.nan]))
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ConfigurationError):
+            to_keys(np.array([True, False]))
+
+
+class TestOrderPreservationProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(1, 64),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        st.booleans(),
+    )
+    def test_pairwise_order_preserved(self, values, largest):
+        keys = to_keys(values, largest=largest)
+        # For every pair, the key comparison must agree with the value
+        # comparison (respecting the direction of the query).
+        v = values.astype(np.float64)
+        for i in range(min(len(v), 10)):
+            for j in range(min(len(v), 10)):
+                if v[i] == v[j]:
+                    continue
+                prefer_i = v[i] > v[j] if largest else v[i] < v[j]
+                assert (keys[i] > keys[j]) == prefer_i

@@ -1,0 +1,67 @@
+"""Tests for the shared result/statistics containers."""
+
+import numpy as np
+import pytest
+
+from repro.types import StepTiming, TopKResult, WorkloadStats
+
+
+class TestTopKResult:
+    def test_kth_value_is_last(self):
+        r = TopKResult(values=np.array([9, 7, 5]), indices=np.array([1, 0, 2]), k=3)
+        assert r.kth_value == 5
+
+    def test_len(self):
+        r = TopKResult(values=np.array([1]), indices=np.array([0]), k=1)
+        assert len(r) == 1
+
+    def test_sorted_values(self):
+        r = TopKResult(values=np.array([9, 7, 5]), indices=np.array([1, 0, 2]), k=3)
+        np.testing.assert_array_equal(r.sorted_values(), [5, 7, 9])
+
+    def test_arrays_coerced(self):
+        r = TopKResult(values=[3, 2], indices=[0, 1], k=2)
+        assert isinstance(r.values, np.ndarray)
+        assert isinstance(r.indices, np.ndarray)
+
+
+class TestWorkloadStats:
+    def make(self):
+        return WorkloadStats(
+            input_size=1000,
+            subrange_size=32,
+            alpha=5,
+            beta=2,
+            num_subranges=32,
+            delegate_vector_size=64,
+            concatenated_size=36,
+            step_times_ms={"delegate_construction": 1.0, "first_topk": 0.5},
+        )
+
+    def test_workloads(self):
+        s = self.make()
+        assert s.first_topk_workload == 64
+        assert s.second_topk_workload == 36
+        assert s.total_workload == 100
+
+    def test_fractions(self):
+        s = self.make()
+        assert s.workload_fraction == pytest.approx(0.1)
+        assert s.reduction_fraction == pytest.approx(0.9)
+
+    def test_empty_input_fraction_is_zero(self):
+        assert WorkloadStats().workload_fraction == 0.0
+
+    def test_total_time(self):
+        assert self.make().total_time_ms == pytest.approx(1.5)
+
+    def test_as_dict_has_step_times(self):
+        d = self.make().as_dict()
+        assert d["time_ms[first_topk]"] == pytest.approx(0.5)
+        assert d["total_workload"] == 100
+        assert d["total_time_ms"] == pytest.approx(1.5)
+
+
+class TestStepTiming:
+    def test_repr_contains_name(self):
+        assert "foo" in repr(StepTiming("foo", 1.23))

@@ -1,0 +1,92 @@
+"""Tests for repro.utils."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils import (
+    as_rng,
+    ceil_div,
+    check_k,
+    ensure_1d,
+    is_power_of_two,
+    log2_int,
+    next_power_of_two,
+)
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(7).integers(0, 100) == as_rng(7).integers(0, 100)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+
+
+class TestEnsure1d:
+    def test_accepts_vector(self):
+        out = ensure_1d([1, 2, 3])
+        assert out.shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ConfigurationError):
+            ensure_1d(np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ensure_1d(np.array([]))
+
+
+class TestCheckK:
+    def test_valid(self):
+        assert check_k(5, 10) == 5
+
+    def test_numpy_integer_accepted(self):
+        assert check_k(np.int64(3), 10) == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_k(0, 10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_k(-1, 10)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_k(11, 10)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_k(2.5, 10)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("x", [1, 2, 4, 1024, 1 << 30])
+    def test_powers(self, x):
+        assert is_power_of_two(x)
+
+    @pytest.mark.parametrize("x", [0, -2, 3, 6, 1023])
+    def test_non_powers(self, x):
+        assert not is_power_of_two(x)
+
+    @pytest.mark.parametrize("x,expected", [(0, 1), (1, 1), (2, 2), (3, 4), (1025, 2048)])
+    def test_next_power_of_two(self, x, expected):
+        assert next_power_of_two(x) == expected
+
+    def test_log2_int(self):
+        assert log2_int(1024) == 10
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            log2_int(12)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize("a,b,expected", [(10, 3, 4), (9, 3, 3), (1, 5, 1), (0, 5, 0)])
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
