@@ -5,7 +5,6 @@ concatenation and the second top-k grow, and the total is a U-shaped (convex)
 curve whose minimum Rule 4 predicts.
 """
 
-import numpy as np
 
 from repro.analysis.alpha_tuning import alpha_sweep, is_convex_in_alpha
 from repro.harness import experiments

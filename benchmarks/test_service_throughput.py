@@ -1,0 +1,41 @@
+"""Service layer — simulated bytes moved per query, batched vs naive loop.
+
+Not a paper figure: this benchmark covers the serving layer built on top of
+the reproduction.  A batch of 16 identical queries over one shared vector
+must (a) return element-wise identical results to looping ``DrTopK.topk``
+and (b) pay for delegate construction once — the recorded construction
+traffic is that of a *single* construction, not 16 of them — which is what
+makes batched serving cheaper per query than the naive loop.
+"""
+
+from benchmarks.conftest import scaled
+from repro.harness import experiments
+
+BATCH = 16
+
+
+def test_service_throughput(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "service_throughput",
+        experiments.service_throughput,
+        n=scaled(1 << 18),
+        batch=BATCH,
+        k=1 << 10,
+    )
+    by = {r["mode"]: r for r in rows}
+    naive, batched = by["naive_loop"], by["batched"]
+
+    # Results are element-wise identical to the per-query loop.
+    assert batched["identical"]
+
+    # One construction for the whole batch, not one per query.
+    assert batched["constructions"] == 1
+    assert naive["constructions"] == BATCH
+    single_construction = naive["construction_bytes"] / BATCH
+    assert batched["construction_bytes"] == single_construction
+
+    # Amortisation is the dominant saving: the batch moves well under half
+    # the naive loop's bytes at this shape, and never more.
+    assert batched["total_bytes"] < 0.5 * naive["total_bytes"]
+    assert batched["bytes_per_query"] < naive["bytes_per_query"]

@@ -38,6 +38,11 @@ The package is organised around the paper's system decomposition:
 ``repro.harness``
     One experiment runner per paper figure/table.
 
+``repro.service``
+    The query-serving layer: batched top-k with amortised delegate
+    construction, streaming/out-of-core top-k, and a dispatcher routing
+    batches over the simulated multi-GPU fleet.
+
 Quickstart
 ----------
 >>> import numpy as np
@@ -54,6 +59,7 @@ from repro.errors import ReproError, ConfigurationError, CapacityError
 from repro.core.config import DrTopKConfig
 from repro.core.drtopk import DrTopK, drtopk
 from repro.algorithms import topk, kth_value, get_algorithm, available_algorithms
+from repro.service import BatchTopK, StreamingTopK, ServiceDispatcher, batch_topk, streaming_topk
 
 __all__ = [
     "__version__",
@@ -69,4 +75,9 @@ __all__ = [
     "kth_value",
     "get_algorithm",
     "available_algorithms",
+    "BatchTopK",
+    "StreamingTopK",
+    "ServiceDispatcher",
+    "batch_topk",
+    "streaming_topk",
 ]

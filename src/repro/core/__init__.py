@@ -21,6 +21,7 @@ from repro.core.subrange import SubrangePartition
 from repro.core.delegate import DelegateVector, build_delegate_vector
 from repro.core.filtering import qualification_threshold, filter_by_threshold
 from repro.core.concatenate import Concatenation, concatenate_subranges
+from repro.core.plan import QueryPlan
 from repro.core.drtopk import DrTopK, drtopk
 from repro.core.workload import expected_workload, measure_workload
 
@@ -34,6 +35,7 @@ __all__ = [
     "filter_by_threshold",
     "Concatenation",
     "concatenate_subranges",
+    "QueryPlan",
     "DrTopK",
     "drtopk",
     "expected_workload",

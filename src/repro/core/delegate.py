@@ -29,7 +29,7 @@ from repro.algorithms.base import ExecutionTrace
 from repro.core.config import ConstructionStrategy
 from repro.core.subrange import SubrangePartition
 from repro.errors import ConfigurationError
-from repro.gpusim.warp import WARP_SIZE, WarpModel
+from repro.gpusim.warp import WarpModel
 
 __all__ = ["DelegateVector", "build_delegate_vector", "resolve_strategy"]
 
@@ -164,6 +164,21 @@ def build_delegate_vector(
         part_vals = np.take_along_axis(view, part, axis=1)
         order = np.argsort(part_vals, axis=1)[:, ::-1]
         local = np.take_along_axis(part, order, axis=1)
+        if partition.pad:
+            # Padded slots share the pad value with real zero keys, so the
+            # tie-arbitrary selection above may pick padding in the final
+            # subrange and silently lose real delegates.  Re-select that one
+            # row within its real prefix; leftover columns point at padding
+            # and are marked invalid below.
+            real = partition.last_subrange_size
+            row = view[-1, :real]
+            bb = min(beta, real)
+            if bb < real:
+                top = np.argpartition(row, real - bb)[-bb:]
+            else:
+                top = np.arange(real)
+            chosen = top[np.argsort(row[top], kind="stable")[::-1]]
+            local[-1] = np.concatenate([chosen, np.arange(real, real + beta - bb)])
     delegate_keys = np.take_along_axis(view, local, axis=1)
     global_idx = local + (np.arange(num_subranges, dtype=np.int64)[:, None] << partition.alpha)
 

@@ -13,6 +13,15 @@
 
 The class records per-step simulated-GPU traffic (priced on the configured
 device) and the workload statistics reported in the paper's Section 6.2.
+
+Step 1 is the only stage that touches the full input vector, and it depends
+solely on the vector, the key order and the subrange geometry — not on ``k``
+once ``alpha`` is fixed.  :meth:`DrTopK.prepare` therefore factors it into a
+reusable :class:`~repro.core.plan.QueryPlan` that
+:meth:`DrTopK.topk_prepared` can answer many queries from, paying for
+construction once; :meth:`DrTopK.topk` simply chains the two for the one-shot
+case.  The batched/streaming service layer (:mod:`repro.service`) builds on
+this split.
 """
 
 from __future__ import annotations
@@ -29,13 +38,13 @@ from repro.core.concatenate import concatenate_subranges
 from repro.core.config import DrTopKConfig
 from repro.core.delegate import build_delegate_vector
 from repro.core.filtering import qualification_threshold, qualify_subranges
+from repro.core.plan import QueryPlan
 from repro.core.subrange import SubrangePartition
 from repro.errors import ConfigurationError
-from repro.gpusim.costmodel import CostModel
 from repro.gpusim.kernel import KernelStep
 from repro.gpusim.memory import MemoryCounters
 from repro.types import TopKResult, WorkloadStats
-from repro.utils import check_k, ensure_1d, log2_int
+from repro.utils import check_k, ensure_1d
 
 __all__ = ["DrTopK", "drtopk"]
 
@@ -63,32 +72,51 @@ class DrTopK:
         """Compute the top-``k`` of ``v`` with the delegate-centric pipeline."""
         v = ensure_1d(v)
         k = check_k(k, v.shape[0])
-        keys = to_keys(v, largest=largest)
-        n = keys.shape[0]
-        cfg = self.config
+        plan = self.prepare(v, k, largest=largest)
+        return self.topk_prepared(plan, k)
 
-        alpha = self._resolve_alpha(n, k)
-        partition = SubrangePartition(n=n, alpha=alpha)
+    def kth_value(self, v: np.ndarray, k: int, largest: bool = True):
+        """k-selection: return only the k-th element."""
+        return self.topk(v, k, largest=largest).kth_value
+
+    def prepare(self, v: np.ndarray, k: int, largest: bool = True) -> QueryPlan:
+        """Build a reusable :class:`QueryPlan` for queries over ``v``.
+
+        ``k`` is used to resolve the Rule-4 ``alpha`` (and to skip
+        construction entirely in the degenerate regime where the delegate
+        vector could not beat a plain top-k); the returned plan then serves
+        any ``k`` whose resolved ``alpha`` matches.
+        """
+        v = ensure_1d(v)
+        k = check_k(k, v.shape[0])
+        alpha = self._resolve_alpha(v.shape[0], k)
+        return self.prepare_with_alpha(v, alpha, largest=largest, k=k)
+
+    def prepare_with_alpha(
+        self,
+        v: np.ndarray,
+        alpha: int,
+        largest: bool = True,
+        k: Optional[int] = None,
+    ) -> QueryPlan:
+        """Build a :class:`QueryPlan` for an explicitly chosen ``alpha``.
+
+        When ``k`` is given and the partition's delegate vector could not be
+        smaller than ``k`` (the degenerate regime), construction is skipped
+        and the plan answers through the plain-top-k fallback.
+        """
+        v = ensure_1d(v)
+        cfg = self.config
+        keys = to_keys(v, largest=largest)
+        partition = SubrangePartition(n=keys.shape[0], alpha=alpha)
         # Tiny inputs can leave subranges narrower than the configured beta;
         # extracting every element of such a subrange is the correct limit.
         beta = min(cfg.beta, partition.subrange_size)
-        stats = WorkloadStats(
-            input_size=n,
-            subrange_size=partition.subrange_size,
-            alpha=alpha,
-            beta=beta,
-            num_subranges=partition.num_subranges,
-        )
 
-        # Degenerate regime: the delegate vector would not be smaller than k,
-        # so the delegate machinery cannot prune anything.  Fall back to the
-        # second-top-k algorithm on the raw input (still a valid answer).
-        if partition.num_subranges * beta <= k:
-            return self._degenerate(v, keys, k, largest, stats)
+        if k is not None and partition.num_subranges * beta <= k:
+            return QueryPlan(v=v, keys=keys, largest=largest, partition=partition, beta=beta)
 
         trace = ExecutionTrace(itemsize=v.dtype.itemsize) if cfg.collect_trace else None
-
-        # 1. Delegate-vector construction.
         delegates = build_delegate_vector(
             keys,
             partition,
@@ -96,6 +124,62 @@ class DrTopK:
             strategy=cfg.construction,
             trace=trace,
         )
+        return QueryPlan(
+            v=v,
+            keys=keys,
+            largest=largest,
+            partition=partition,
+            beta=beta,
+            delegates=delegates,
+            construction_steps=list(trace.steps) if trace is not None else [],
+        )
+
+    def topk_prepared(
+        self, plan: QueryPlan, k: int, charge_construction: bool = True
+    ) -> TopKResult:
+        """Answer one query from a prebuilt :class:`QueryPlan`.
+
+        Parameters
+        ----------
+        plan:
+            Plan previously built over the query's input vector.
+        k:
+            Number of elements to select.
+        charge_construction:
+            When ``True`` (the one-shot default) the plan's construction
+            traffic is included in this query's trace and step times.  Batch
+            callers that amortise one construction across many queries pass
+            ``False`` and account for the construction once at the batch
+            level instead.
+        """
+        v = plan.v
+        k = check_k(k, plan.n)
+        cfg = self.config
+        partition = plan.partition
+        beta = plan.beta
+        stats = WorkloadStats(
+            input_size=plan.n,
+            subrange_size=partition.subrange_size,
+            alpha=partition.alpha,
+            beta=beta,
+            num_subranges=partition.num_subranges,
+        )
+
+        # Degenerate regime: the delegate vector would not be smaller than k,
+        # so the delegate machinery cannot prune anything.  Fall back to the
+        # second-top-k algorithm on the raw input (still a valid answer).  A
+        # plan may carry a constructed delegate vector this query cannot use
+        # (valid delegates <= k under padding); that construction work still
+        # happened, so charge it to whoever owns it.
+        if not plan.answers(k):
+            prior = plan.construction_steps if charge_construction else None
+            return self._degenerate(v, plan.keys, k, plan.largest, stats, prior_steps=prior)
+
+        delegates = plan.delegates
+        assert delegates is not None
+        trace = ExecutionTrace(itemsize=v.dtype.itemsize) if cfg.collect_trace else None
+        if trace is not None and charge_construction:
+            trace.extend(list(plan.construction_steps))
         stats.delegate_vector_size = delegates.size
 
         # 2. First top-k on the delegate vector (keys are already unsigned).
@@ -133,13 +217,17 @@ class DrTopK:
             stats.concatenated_size = 0
             self._finalise_stats(stats, trace)
             result = TopKResult(
-                values=v[original_idx], indices=original_idx, k=k, largest=largest, stats=stats
+                values=v[original_idx],
+                indices=original_idx,
+                k=k,
+                largest=plan.largest,
+                stats=stats,
             )
             self.last_stats = stats
             return result
 
         concat = concatenate_subranges(
-            keys,
+            plan.keys,
             delegates,
             scan_mask=scan,
             threshold=threshold if cfg.use_filtering else None,
@@ -164,14 +252,14 @@ class DrTopK:
         original_idx = concat.indices[second.indices]
         self._finalise_stats(stats, trace)
         result = TopKResult(
-            values=v[original_idx], indices=original_idx, k=k, largest=largest, stats=stats
+            values=v[original_idx],
+            indices=original_idx,
+            k=k,
+            largest=plan.largest,
+            stats=stats,
         )
         self.last_stats = stats
         return result
-
-    def kth_value(self, v: np.ndarray, k: int, largest: bool = True):
-        """k-selection: return only the k-th element."""
-        return self.topk(v, k, largest=largest).kth_value
 
     # -- internals --------------------------------------------------------------
     def _resolve_alpha(self, n: int, k: int) -> int:
@@ -193,10 +281,13 @@ class DrTopK:
         k: int,
         largest: bool,
         stats: WorkloadStats,
+        prior_steps: Optional[list] = None,
     ) -> TopKResult:
         """Fallback when the delegate vector could not be smaller than k."""
         cfg = self.config
         trace = ExecutionTrace(itemsize=v.dtype.itemsize) if cfg.collect_trace else None
+        if trace is not None and prior_steps:
+            trace.extend(list(prior_steps))
         algo = get_algorithm(cfg.second_algorithm)
         base = algo.topk(keys, k, largest=True, trace=trace)
         stats.delegate_vector_size = 0

@@ -1,0 +1,124 @@
+"""Reusable query plans: amortising delegate construction across queries.
+
+A single :meth:`repro.core.drtopk.DrTopK.topk` call spends most of its memory
+traffic on step 1 — scanning the full input vector to build the delegate
+vector.  That work depends only on the input vector, the key order
+(``largest``) and the subrange geometry ``(alpha, beta)``; it is completely
+independent of ``k`` once ``alpha`` is fixed.  A :class:`QueryPlan` captures
+exactly that reusable state so a *batch* of queries against one shared vector
+pays for construction once (the amortised hot-path win the service layer in
+:mod:`repro.service` is built on):
+
+* the unsigned key vector (``to_keys`` of the input for one ``largest`` flag),
+* the :class:`~repro.core.subrange.SubrangePartition`,
+* the constructed :class:`~repro.core.delegate.DelegateVector`, and
+* the construction's simulated kernel steps, so callers can decide per query
+  whether to charge the one-time construction traffic or account for it once
+  at the batch level.
+
+Plans are produced by :meth:`DrTopK.prepare` / :meth:`DrTopK.prepare_with_alpha`
+and consumed by :meth:`DrTopK.topk_prepared`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.delegate import DelegateVector
+from repro.core.subrange import SubrangePartition
+from repro.gpusim.device import DeviceSpec, V100S
+from repro.gpusim.kernel import KernelStep
+from repro.gpusim.memory import MemoryCounters
+
+__all__ = ["QueryPlan"]
+
+
+@dataclass
+class QueryPlan:
+    """Reusable preprocessing state for top-k queries over one vector.
+
+    Attributes
+    ----------
+    v:
+        The original input vector (needed to materialise result values).
+    keys:
+        Unsigned keys of ``v`` for the plan's ``largest`` flag.
+    largest:
+        Key order the plan was built for; a plan answers only queries with a
+        matching ``largest`` flag.
+    partition:
+        The subrange partition (fixes ``alpha``).
+    beta:
+        Delegates per subrange, already clipped to the subrange size.
+    delegates:
+        The constructed delegate vector, or ``None`` when the plan was
+        prepared for a degenerate regime (the delegate vector could not be
+        smaller than the preparing query's ``k``) and construction was
+        skipped.
+    construction_steps:
+        Simulated kernel steps of the one-time construction (empty when the
+        plan is degenerate or tracing is disabled).
+    """
+
+    v: np.ndarray
+    keys: np.ndarray
+    largest: bool
+    partition: SubrangePartition
+    beta: int
+    delegates: Optional[DelegateVector] = None
+    construction_steps: List[KernelStep] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        """Input vector length."""
+        return int(self.keys.shape[0])
+
+    @property
+    def alpha(self) -> int:
+        """Subrange-size exponent the plan was built with."""
+        return self.partition.alpha
+
+    @property
+    def is_degenerate(self) -> bool:
+        """Whether construction was skipped at preparation time."""
+        return self.delegates is None
+
+    def answers(self, k: int) -> bool:
+        """Whether this plan can serve a query of ``k`` through the pipeline.
+
+        A plan serves ``k`` when its delegate vector exists and is genuinely
+        smaller than ``k`` — otherwise the delegate machinery cannot prune
+        anything (and a partially filled final subrange can leave fewer valid
+        delegates than the ``num_subranges * beta`` slots suggest).  Queries
+        a plan cannot serve fall back to a plain top-k on the raw keys.
+        """
+        if self.delegates is None or self.partition.num_subranges * self.beta <= k:
+            return False
+        return self.delegates.size > k
+
+    # -- construction accounting -------------------------------------------------
+    def construction_counters(self) -> MemoryCounters:
+        """Aggregate simulated traffic of the one-time construction."""
+        if not self.construction_steps:
+            return MemoryCounters(itemsize=int(self.v.dtype.itemsize))
+        return MemoryCounters.total(step.counters for step in self.construction_steps)
+
+    @property
+    def construction_bytes(self) -> float:
+        """Simulated global-memory bytes moved by the construction."""
+        return self.construction_counters().global_bytes
+
+    def construction_ms(self, device: DeviceSpec = V100S) -> float:
+        """Estimated construction time on ``device``."""
+        from repro.gpusim.costmodel import CostModel
+
+        model = CostModel(device)
+        return float(
+            sum(
+                model.estimate_ms(step.counters, kernels=step.kernels)
+                for step in self.construction_steps
+            )
+        )

@@ -19,7 +19,7 @@ bandwidth, growing to ~31 ms when shuffle pressure dominates at alpha=4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError

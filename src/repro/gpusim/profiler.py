@@ -10,7 +10,7 @@ same two views: a per-step time table and device-wide transaction totals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import DeviceSpec, V100S

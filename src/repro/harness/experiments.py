@@ -10,24 +10,21 @@ larger sizes explicitly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.algorithms import get_algorithm
 from repro.algorithms.base import ExecutionTrace
-from repro.analysis.alpha_tuning import alpha_sweep, optimal_alpha, oracle_alpha
+from repro.analysis.alpha_tuning import optimal_alpha, oracle_alpha
 from repro.analysis.speedup import estimated_time_ms, speedup_series
-from repro.analysis.theory import CostParameters, breakdown
 from repro.bmw.bmw import bmw_vector_workload
 from repro.core.config import ConstructionStrategy, DrTopKConfig
 from repro.core.drtopk import DrTopK
 from repro.core.workload import expected_workload
 from repro.datasets.registry import get_dataset
 from repro.distributed.multigpu import MultiGpuDrTopK, estimate_scalability_row
-from repro.gpusim.device import DeviceSpec, TITAN_XP, V100S, get_device
-from repro.gpusim.kernel import KernelStep
-from repro.gpusim.profiler import Profiler
+from repro.gpusim.device import DeviceSpec, V100S, get_device
 
 __all__ = [
     "fig04_baseline_instability",
@@ -49,6 +46,7 @@ __all__ = [
     "fig24_bmw_ratio",
     "table2_multigpu_scalability",
     "table3_memory_transactions",
+    "service_throughput",
 ]
 
 #: Default measured input size (kept modest so the full harness runs quickly).
@@ -741,3 +739,81 @@ def table3_memory_transactions(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Service layer — batched serving traffic vs a naive per-query loop
+# ---------------------------------------------------------------------------
+
+
+def service_throughput(
+    n: int = DEFAULT_N,
+    batch: int = 16,
+    k: int = 1 << 10,
+    dataset: str = "UD",
+    seed: int = DEFAULT_SEED,
+) -> List[Dict]:
+    """Simulated bytes moved per query: naive per-query loop vs one batch.
+
+    Both modes answer the same ``batch`` identical ``(k, largest)`` queries
+    over one shared vector.  The naive loop re-runs the full pipeline per
+    query (including delegate construction); the batched mode builds the
+    shared plan once.  The ``identical`` column records whether the batched
+    results matched the loop element-wise (values *and* indices).
+    """
+    from repro.service.batch import BatchTopK  # local import to avoid a cycle
+
+    v = _dataset_vector(dataset, n, seed)
+    queries = [(int(k), True)] * int(batch)
+
+    # Naive loop: one full pipeline run per query.
+    engine = DrTopK()
+    loop_results = []
+    loop_bytes = 0.0
+    loop_construction_bytes = 0.0
+    loop_ms = 0.0
+    for kk, largest in queries:
+        result = engine.topk(v, kk, largest=largest)
+        loop_results.append(result)
+        assert result.stats is not None
+        loop_ms += result.stats.total_time_ms
+        counters = engine.last_trace.total_counters()
+        loop_bytes += counters.global_bytes
+        loop_construction_bytes += sum(
+            step.counters.global_bytes
+            for step in engine.last_trace.steps
+            if step.name == "delegate_construction"
+        )
+
+    # Batched: the shared plan is constructed once for the whole batch.
+    service = BatchTopK()
+    batch_results = service.run(v, queries)
+    report = service.last_report
+    assert report is not None
+    identical = all(
+        np.array_equal(a.values, b.values) and np.array_equal(a.indices, b.indices)
+        for a, b in zip(loop_results, batch_results)
+    )
+
+    return [
+        {
+            "mode": "naive_loop",
+            "queries": len(queries),
+            "constructions": len(queries),
+            "construction_bytes": loop_construction_bytes,
+            "total_bytes": loop_bytes,
+            "bytes_per_query": loop_bytes / len(queries),
+            "est_ms": loop_ms,
+            "identical": True,
+        },
+        {
+            "mode": "batched",
+            "queries": len(queries),
+            "constructions": report.constructions,
+            "construction_bytes": report.construction_bytes,
+            "total_bytes": report.total_bytes,
+            "bytes_per_query": report.bytes_per_query,
+            "est_ms": report.total_ms,
+            "identical": identical,
+        },
+    ]

@@ -2,13 +2,29 @@
 
 Experiment runners return lists of dictionaries (one per table row / plotted
 point).  These helpers render them for the terminal and for EXPERIMENTS.md.
+
+The service layer's batch reports reuse the same row shape:
+:func:`workload_rows` flattens a sequence of per-query
+:class:`~repro.types.WorkloadStats` into table rows and
+:func:`summarize_workloads` aggregates them into one summary row, so batched
+runs render with the same :func:`format_table` / :func:`rows_to_csv` pipeline
+as the paper experiments.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-__all__ = ["format_table", "rows_to_csv", "format_value"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.types import WorkloadStats
+
+__all__ = [
+    "format_table",
+    "rows_to_csv",
+    "format_value",
+    "workload_rows",
+    "summarize_workloads",
+]
 
 
 def format_value(value) -> str:
@@ -62,3 +78,61 @@ def rows_to_csv(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -
     for row in rows:
         lines.append(",".join(str(row.get(col, "")) for col in columns))
     return "\n".join(lines)
+
+
+def workload_rows(
+    stats: Sequence[WorkloadStats], labels: Optional[Sequence] = None
+) -> List[Dict]:
+    """One table row per :class:`~repro.types.WorkloadStats` (per query).
+
+    ``labels`` optionally names each row (defaults to the query position);
+    render the result with :func:`format_table` or :func:`rows_to_csv`.
+    """
+    rows: List[Dict] = []
+    for i, s in enumerate(stats):
+        label = labels[i] if labels is not None else i
+        rows.append(
+            {
+                "query": label,
+                "input_size": s.input_size,
+                "alpha": s.alpha,
+                "beta": s.beta,
+                "delegate_vector_size": s.delegate_vector_size,
+                "concatenated_size": s.concatenated_size,
+                "total_workload": s.total_workload,
+                "workload_fraction": s.workload_fraction,
+                "second_topk_skipped": s.second_topk_skipped,
+                "total_time_ms": s.total_time_ms,
+            }
+        )
+    return rows
+
+
+def summarize_workloads(stats: Sequence[WorkloadStats]) -> Dict:
+    """Aggregate a sequence of per-query workload statistics into one row.
+
+    Used by the service layer's batch reports: totals are summed over the
+    queries, fractions are averaged, and the merged per-step time map sums
+    the estimated milliseconds of equally named steps.
+    """
+    stats = list(stats)
+    count = len(stats)
+    step_times: Dict[str, float] = {}
+    for s in stats:
+        for name, ms in s.step_times_ms.items():
+            step_times[name] = step_times.get(name, 0.0) + ms
+    row: Dict = {
+        "queries": count,
+        "total_input": sum(s.input_size for s in stats),
+        "total_delegate": sum(s.delegate_vector_size for s in stats),
+        "total_concatenated": sum(s.concatenated_size for s in stats),
+        "total_workload": sum(s.total_workload for s in stats),
+        "mean_workload_fraction": (
+            sum(s.workload_fraction for s in stats) / count if count else 0.0
+        ),
+        "second_topk_skipped": sum(1 for s in stats if s.second_topk_skipped),
+        "total_time_ms": sum(s.total_time_ms for s in stats),
+    }
+    for name, ms in step_times.items():
+        row[f"time_ms[{name}]"] = ms
+    return row

@@ -43,6 +43,7 @@ _EXPERIMENTS: Dict[str, Tuple[Callable[..., List[dict]], str]] = {
     "fig24": (experiments.fig24_bmw_ratio, "BMW vs Dr. Top-k workload ratio"),
     "table2": (experiments.table2_multigpu_scalability, "multi-GPU scalability"),
     "table3": (experiments.table3_memory_transactions, "global memory transactions"),
+    "service": (experiments.service_throughput, "batched vs naive serving traffic"),
 }
 
 

@@ -1,0 +1,43 @@
+"""Query-serving layer: batched, streaming and dispatched top-k.
+
+The core engine answers one ``topk(v, k)`` call at a time; this package turns
+it into a serving substrate for heavy query traffic:
+
+* :class:`~repro.service.batch.BatchTopK` — a batch of ``(k, largest)``
+  queries over one shared vector, building the delegate vector and subrange
+  partition once per ``(alpha, largest)`` group and reusing them across
+  queries (amortised construction).
+* :class:`~repro.service.streaming.StreamingTopK` — chunked / out-of-core
+  top-k over inputs larger than the paper's 2^30 single-device scale, with a
+  running candidate pool and a final second pass.
+* :class:`~repro.service.dispatcher.ServiceDispatcher` — routes batches
+  across the simulated multi-GPU workers of :mod:`repro.distributed`, with a
+  shared LRU cache of resolved ``(n, k) → alpha`` partitions
+  (:class:`~repro.service.cache.PartitionCache`).
+"""
+
+from repro.service.batch import BatchReport, BatchTopK, TopKQuery, batch_topk
+from repro.service.cache import CacheInfo, PartitionCache
+from repro.service.dispatcher import (
+    DispatchReport,
+    ServiceDispatcher,
+    WorkerReport,
+    dispatch_topk,
+)
+from repro.service.streaming import StreamingTopK, StreamReport, streaming_topk
+
+__all__ = [
+    "TopKQuery",
+    "BatchTopK",
+    "BatchReport",
+    "batch_topk",
+    "StreamingTopK",
+    "StreamReport",
+    "streaming_topk",
+    "ServiceDispatcher",
+    "DispatchReport",
+    "WorkerReport",
+    "dispatch_topk",
+    "PartitionCache",
+    "CacheInfo",
+]

@@ -1,0 +1,98 @@
+"""LRU cache of resolved ``(n, k) → alpha`` subrange geometry.
+
+Rule 4 (Section 5.2) resolves the subrange-size exponent ``alpha`` from the
+input size and ``k``; a serving layer sees the same ``(n, k)`` shapes over and
+over, so the resolution is cached and the engines rebuild the (trivial)
+:class:`~repro.core.subrange.SubrangePartition` from the cached exponent.  The
+cache key also covers the configuration fields the resolution depends on
+(``beta``, a fixed ``alpha`` override and the Rule-4 constant), so one cache
+can safely be shared by engines with different configurations, e.g. across
+the dispatcher's workers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.config import DrTopKConfig
+from repro.core.drtopk import DrTopK
+from repro.errors import ConfigurationError
+
+__all__ = ["PartitionCache", "CacheInfo"]
+
+#: Cache key: (n, k, beta, alpha-override, rule4 constant).
+_Key = Tuple[int, int, int, Optional[int], float]
+
+
+@dataclass
+class CacheInfo:
+    """Hit/miss/eviction counters of a :class:`PartitionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+
+class PartitionCache:
+    """Bounded LRU map from query shape to the resolved partition exponent.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached ``(n, k) → alpha`` entries; the least
+        recently used entry is evicted beyond that.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ConfigurationError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[_Key, int]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def resolve(self, n: int, k: int, engine: DrTopK) -> int:
+        """Resolved ``alpha`` for an ``n``-element, ``k``-query shape.
+
+        ``engine`` supplies the Rule-4 resolution and the configuration
+        fields the result depends on.
+        """
+        cfg: DrTopKConfig = engine.config
+        key: _Key = (int(n), int(k), cfg.beta, cfg.alpha, cfg.rule4_const)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return cached
+        self._misses += 1
+        alpha = engine._resolve_alpha(int(n), int(k))
+        self._entries[key] = alpha
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        return alpha
+
+    def info(self) -> CacheInfo:
+        """Current hit/miss/eviction statistics."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: _Key) -> bool:
+        return key in self._entries

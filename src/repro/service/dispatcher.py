@@ -1,0 +1,253 @@
+"""Dispatching query batches across the simulated multi-GPU fleet.
+
+:class:`ServiceDispatcher` is the serving front end that ties the service
+layer to :mod:`repro.distributed`:
+
+* **Batched route** — when the shared vector fits one device's sub-vector
+  capacity, queries are grouped exactly like :class:`~repro.service.batch.BatchTopK`
+  (shared ``(alpha, largest)`` plans) and whole groups are placed on workers
+  with a greedy least-loaded assignment, so plan reuse is never split across
+  workers.  Workers run in parallel in the modelled fleet: the dispatch's
+  compute time is the *maximum* worker time, and the per-worker results are
+  gathered to the primary through the
+  :class:`~repro.distributed.comm.SimulatedComm` cost model.
+* **Sharded route** — when the vector exceeds the capacity, each query runs
+  the Figure 16 multi-GPU workflow
+  (:class:`~repro.distributed.multigpu.MultiGpuDrTopK`) over the whole fleet.
+
+Both routes share one :class:`~repro.service.cache.PartitionCache`, so the
+Rule-4 ``(n, k) → alpha`` resolution is computed once per query shape across
+the fleet's lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import DrTopKConfig
+from repro.distributed.comm import CommCost, SimulatedComm
+from repro.distributed.multigpu import MultiGpuDrTopK
+from repro.distributed.partition import MAX_SUBVECTOR_ELEMENTS
+from repro.errors import ConfigurationError
+from repro.service.batch import BatchTopK, QueryLike, TopKQuery
+from repro.service.cache import CacheInfo, PartitionCache
+from repro.types import TopKResult
+from repro.utils import check_k, ensure_1d
+
+__all__ = ["ServiceDispatcher", "DispatchReport", "WorkerReport", "dispatch_topk"]
+
+
+@dataclass
+class WorkerReport:
+    """One worker's share of a dispatched batch."""
+
+    worker: int
+    queries: int = 0
+    groups: int = 0
+    constructions: int = 0
+    compute_ms: float = 0.0
+    bytes_moved: float = 0.0
+
+
+@dataclass
+class DispatchReport:
+    """Fleet-level accounting of one :meth:`ServiceDispatcher.dispatch` call."""
+
+    num_queries: int = 0
+    num_workers: int = 0
+    route: str = "batched"
+    workers: List[WorkerReport] = field(default_factory=list)
+    communication_ms: float = 0.0
+    constructions: int = 0
+    bytes_moved: float = 0.0
+    cache: Optional[CacheInfo] = None
+
+    @property
+    def compute_ms(self) -> float:
+        """Modelled compute time: workers run in parallel, so the maximum."""
+        return max((w.compute_ms for w in self.workers), default=0.0)
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end modelled time (parallel compute plus the gather)."""
+        return self.compute_ms + self.communication_ms
+
+
+class ServiceDispatcher:
+    """Route top-k query batches over a simulated multi-GPU worker fleet.
+
+    Parameters
+    ----------
+    num_workers:
+        Fleet size (one :class:`BatchTopK` engine per worker).
+    config:
+        Pipeline configuration shared by the fleet.
+    capacity_elements:
+        Per-device sub-vector capacity; inputs above it take the sharded
+        multi-GPU route (defaults to the paper's 2^30 cap — lower it in
+        tests to exercise sharding on small data).
+    cache_capacity:
+        Entries of the shared LRU ``(n, k) → alpha`` partition cache.
+    gpus_per_node / comm_cost:
+        Interconnect topology and cost model for the result gather.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        config: Optional[DrTopKConfig] = None,
+        capacity_elements: int = MAX_SUBVECTOR_ELEMENTS,
+        cache_capacity: int = 128,
+        gpus_per_node: int = 4,
+        comm_cost: Optional[CommCost] = None,
+    ):
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be positive")
+        if capacity_elements < 1:
+            raise ConfigurationError("capacity_elements must be positive")
+        self.num_workers = int(num_workers)
+        self.config = config or DrTopKConfig()
+        self.capacity_elements = int(capacity_elements)
+        self.gpus_per_node = int(gpus_per_node)
+        self.comm_cost = comm_cost or CommCost()
+        self.cache = PartitionCache(cache_capacity)
+        self.workers = [
+            BatchTopK(self.config, cache=self.cache) for _ in range(self.num_workers)
+        ]
+        self.last_report: Optional[DispatchReport] = None
+
+    # -- public API -----------------------------------------------------------
+    def dispatch(self, v: np.ndarray, queries: Sequence[QueryLike]) -> List[TopKResult]:
+        """Answer every query against ``v``; results align with ``queries``."""
+        parsed = [TopKQuery.of(q) for q in queries]
+        report = DispatchReport(num_queries=len(parsed), num_workers=self.num_workers)
+        if not parsed:
+            report.cache = self.cache.info()
+            self.last_report = report
+            return []
+
+        v = ensure_1d(v)
+        n = v.shape[0]
+        for q in parsed:
+            check_k(q.k, n)
+
+        if n > self.capacity_elements:
+            results = self._dispatch_sharded(v, parsed, report)
+        else:
+            results = self._dispatch_batched(v, parsed, report)
+        report.cache = self.cache.info()
+        self.last_report = report
+        return results
+
+    # -- batched route ------------------------------------------------------------
+    def _dispatch_batched(
+        self, v: np.ndarray, parsed: List[TopKQuery], report: DispatchReport
+    ) -> List[TopKResult]:
+        report.route = "batched"
+        n = v.shape[0]
+        # Same grouping as BatchTopK: a group shares one plan, so it must
+        # stay on one worker.
+        groups: dict = {}
+        for pos, q in enumerate(parsed):
+            alpha = self.cache.resolve(n, q.k, self.workers[0].engine)
+            groups.setdefault((alpha, q.largest), []).append(pos)
+
+        # Greedy least-loaded placement of whole groups (largest first).
+        load = [0] * self.num_workers
+        placement: List[List[int]] = [[] for _ in range(self.num_workers)]
+        for positions in sorted(groups.values(), key=len, reverse=True):
+            target = min(range(self.num_workers), key=load.__getitem__)
+            placement[target].extend(positions)
+            load[target] += len(positions)
+
+        results: List[Optional[TopKResult]] = [None] * len(parsed)
+        worker_values: List[np.ndarray] = []
+        worker_indices: List[np.ndarray] = []
+        for w, positions in enumerate(placement):
+            wreport = WorkerReport(worker=w, queries=len(positions))
+            if positions:
+                worker = self.workers[w]
+                sub_queries = [parsed[p] for p in positions]
+                sub_results, batch_report = worker.run_with_report(v, sub_queries)
+                for pos, res in zip(positions, sub_results):
+                    results[pos] = res
+                wreport.groups = batch_report.num_groups
+                wreport.constructions = batch_report.constructions
+                wreport.compute_ms = batch_report.total_ms
+                wreport.bytes_moved = batch_report.total_bytes
+                worker_values.append(np.concatenate([r.values for r in sub_results]))
+                worker_indices.append(np.concatenate([r.indices for r in sub_results]))
+            else:
+                worker_values.append(np.empty(0, dtype=v.dtype))
+                worker_indices.append(np.empty(0, dtype=np.int64))
+            report.workers.append(wreport)
+            report.constructions += wreport.constructions
+            report.bytes_moved += wreport.bytes_moved
+
+        # Gather every worker's answers on the primary (asynchronous, like
+        # the Figure 16 result collection).
+        comm = SimulatedComm(
+            num_ranks=self.num_workers,
+            gpus_per_node=self.gpus_per_node,
+            cost=self.comm_cost,
+        )
+        comm.gather(worker_values, root=0, asynchronous=True)
+        comm.gather(worker_indices, root=0, asynchronous=True)
+        report.communication_ms = comm.total_comm_ms
+
+        final = [r for r in results if r is not None]
+        if len(final) != len(parsed):
+            raise ConfigurationError("internal error: dispatcher lost queries")
+        return final
+
+    # -- sharded route ------------------------------------------------------------
+    def _dispatch_sharded(
+        self, v: np.ndarray, parsed: List[TopKQuery], report: DispatchReport
+    ) -> List[TopKResult]:
+        report.route = "sharded"
+        fleet = MultiGpuDrTopK(
+            num_gpus=self.num_workers,
+            config=self.config,
+            capacity_elements=self.capacity_elements,
+            gpus_per_node=self.gpus_per_node,
+            comm_cost=self.comm_cost,
+        )
+        per_worker_ms = [0.0] * self.num_workers
+        results: List[TopKResult] = []
+        for q in parsed:
+            results.append(fleet.topk(v, q.k, largest=q.largest))
+            assert fleet.last_report is not None
+            run = fleet.last_report
+            report.communication_ms += run.communication_ms
+            # The fleet model reports the critical-path worker; fold each
+            # query's compute + reload into every worker's budget since all
+            # ranks participate in a sharded run.
+            for w in range(self.num_workers):
+                per_worker_ms[w] += run.compute_ms + run.reload_ms
+            per_worker_ms[0] += run.final_topk_ms
+        for w in range(self.num_workers):
+            report.workers.append(
+                WorkerReport(
+                    worker=w,
+                    queries=len(parsed),
+                    compute_ms=per_worker_ms[w],
+                )
+            )
+        return results
+
+
+def dispatch_topk(
+    v: np.ndarray,
+    queries: Sequence[QueryLike],
+    num_workers: int = 4,
+    config: Optional[DrTopKConfig] = None,
+    **kwargs,
+) -> Tuple[List[TopKResult], DispatchReport]:
+    """One-call convenience: dispatch a batch and return results + report."""
+    dispatcher = ServiceDispatcher(num_workers=num_workers, config=config, **kwargs)
+    results = dispatcher.dispatch(v, queries)
+    assert dispatcher.last_report is not None
+    return results, dispatcher.last_report

@@ -1,0 +1,253 @@
+"""Streaming / out-of-core top-k: consume a vector in fixed-size chunks.
+
+The paper's pipeline is bounded by what fits next to the scratch buffers of
+one device (sub-vectors of at most 2^30 elements, Section 5.4).
+:class:`StreamingTopK` removes the bound on the *input* side: the vector is
+consumed chunk by chunk — from an iterator, a generator reading from disk, or
+an in-memory array sliced lazily — so only ``chunk_elements`` values plus a
+``k``-bounded candidate pool are ever resident.
+
+Each chunk runs the delegate-centric pipeline (construction, first top-k,
+filtered concatenation, second top-k) to distil the chunk into at most ``k``
+candidates; the candidates merge into a running pool that is trimmed to the
+exact top-k of everything seen so far, which doubles as a streaming Rule-2
+threshold — any later element below the pool's k-th key can never reach the
+answer.  :meth:`finalize` runs the configured second top-k pass over the pool
+to order the final answer and map indices back to global input positions.
+
+The result is equivalent to a one-shot :meth:`~repro.core.drtopk.DrTopK.topk`
+over the concatenated input: the top-k *value multiset* is unique, so the
+returned values match element-wise; indices are one valid choice under ties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.base import ExecutionTrace
+from repro.algorithms.keys import to_keys
+from repro.core.config import DrTopKConfig
+from repro.core.drtopk import DrTopK
+from repro.errors import ConfigurationError
+from repro.types import TopKResult, WorkloadStats
+
+__all__ = ["StreamingTopK", "StreamReport", "streaming_topk"]
+
+#: Default chunk size (elements); far below the paper's 2^30 device cap so
+#: streaming runs comfortably anywhere, while still amortising per-chunk
+#: pipeline overheads.
+DEFAULT_CHUNK_ELEMENTS = 1 << 20
+
+
+@dataclass
+class StreamReport:
+    """Progress and accounting of one streaming run."""
+
+    chunks: int = 0
+    total_elements: int = 0
+    pool_peak: int = 0
+    chunk_bytes: float = 0.0
+    finalize_bytes: float = 0.0
+    chunk_stats: List[WorkloadStats] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> float:
+        """Simulated bytes moved across all chunks plus the final pass."""
+        return self.chunk_bytes + self.finalize_bytes
+
+
+class StreamingTopK:
+    """Incremental top-k over a chunked input stream.
+
+    Parameters
+    ----------
+    k:
+        Number of elements to select from the whole stream.
+    largest:
+        Selection criterion, fixed for the stream's lifetime.
+    config:
+        Per-chunk pipeline configuration (defaults to the paper's final
+        design).
+    chunk_elements:
+        Maximum elements handed to one pipeline invocation; larger arrays
+        pushed in are sliced transparently.  Smaller chunks lower peak
+        memory at the cost of more per-chunk overhead.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        largest: bool = True,
+        config: Optional[DrTopKConfig] = None,
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    ):
+        if not isinstance(k, (int, np.integer)) or int(k) < 1:
+            raise ConfigurationError(f"k must be a positive integer, got {k!r}")
+        if chunk_elements < 1:
+            raise ConfigurationError("chunk_elements must be >= 1")
+        self.k = int(k)
+        self.largest = bool(largest)
+        self.chunk_elements = int(chunk_elements)
+        self.engine = DrTopK(config)
+        self.report = StreamReport()
+        self._pool_values: Optional[np.ndarray] = None
+        self._pool_indices = np.empty(0, dtype=np.int64)
+        self._count = 0
+        self._result: Optional[TopKResult] = None
+
+    @property
+    def config(self) -> DrTopKConfig:
+        return self.engine.config
+
+    @property
+    def elements_seen(self) -> int:
+        """Total input elements consumed so far."""
+        return self._count
+
+    @property
+    def pool_size(self) -> int:
+        """Current candidate-pool size (at most ``k``)."""
+        return int(self._pool_indices.shape[0])
+
+    # -- ingestion -------------------------------------------------------------
+    def push(self, chunk: np.ndarray) -> "StreamingTopK":
+        """Consume one chunk of the input stream (returns ``self`` to chain).
+
+        Arrays longer than ``chunk_elements`` are sliced so each pipeline
+        invocation stays within the configured budget; empty chunks are
+        ignored.
+        """
+        if self._result is not None:
+            raise ConfigurationError("cannot push after finalize()")
+        chunk = np.asarray(chunk)
+        if chunk.ndim != 1:
+            raise ConfigurationError(
+                f"chunks must be one dimensional, got shape {chunk.shape}"
+            )
+        for start in range(0, chunk.shape[0], self.chunk_elements):
+            piece = chunk[start : start + self.chunk_elements]
+            if piece.shape[0]:
+                self._consume_piece(piece)
+        return self
+
+    def consume(self, chunks: Union[np.ndarray, Iterable[np.ndarray]]) -> "StreamingTopK":
+        """Push a whole stream: one array or any iterable of arrays."""
+        if isinstance(chunks, np.ndarray):
+            return self.push(chunks)
+        for chunk in chunks:
+            self.push(chunk)
+        return self
+
+    def _consume_piece(self, piece: np.ndarray) -> None:
+        offset = self._count
+        n = piece.shape[0]
+        # Distil the chunk to its local top-k candidates; a chunk smaller
+        # than k contributes everything it has.
+        kk = min(self.k, n)
+        local = self.engine.topk(piece, kk, largest=self.largest)
+        assert local.stats is not None
+        self.report.chunks += 1
+        self.report.chunk_stats.append(local.stats)
+        if self.config.collect_trace:
+            self.report.chunk_bytes += self.engine.last_trace.total_counters().global_bytes
+        self._merge(local.values, local.indices + offset)
+        self._count += n
+        self.report.total_elements = self._count
+
+    def _merge(self, values: np.ndarray, global_indices: np.ndarray) -> None:
+        """Fold chunk candidates into the running pool, trimmed to top-k."""
+        if self._pool_values is None:
+            pool_v, pool_i = values, global_indices
+        else:
+            pool_v = np.concatenate([self._pool_values, values])
+            pool_i = np.concatenate([self._pool_indices, global_indices])
+        self.report.pool_peak = max(self.report.pool_peak, int(pool_v.shape[0]))
+        if pool_v.shape[0] > self.k:
+            # Keep the exact top-k of everything seen: the pool's k-th key is
+            # the stream's running Rule-2 threshold.
+            keys = to_keys(pool_v, largest=self.largest)
+            keep = np.argpartition(keys, pool_v.shape[0] - self.k)[-self.k :]
+            pool_v, pool_i = pool_v[keep], pool_i[keep]
+        self._pool_values = pool_v
+        self._pool_indices = pool_i.astype(np.int64)
+
+    # -- completion -------------------------------------------------------------
+    def finalize(self) -> TopKResult:
+        """Run the second pass over the candidate pool and return the answer.
+
+        Idempotent: repeated calls return the same result object.
+        """
+        if self._result is not None:
+            return self._result
+        if self._count == 0:
+            raise ConfigurationError("finalize() before any data was pushed")
+        if self.k > self._count:
+            raise ConfigurationError(
+                f"k={self.k} exceeds the {self._count} elements streamed"
+            )
+        assert self._pool_values is not None
+        algo = get_algorithm(self.config.second_algorithm)
+        trace = (
+            ExecutionTrace(itemsize=self._pool_values.dtype.itemsize)
+            if self.config.collect_trace
+            else None
+        )
+        ordered = algo.topk(self._pool_values, self.k, largest=self.largest, trace=trace)
+        if trace is not None:
+            self.report.finalize_bytes = trace.total_counters().global_bytes
+        global_idx = self._pool_indices[ordered.indices]
+        self._result = TopKResult(
+            values=ordered.values,
+            indices=global_idx,
+            k=self.k,
+            largest=self.largest,
+            stats=self._aggregate_stats(),
+        )
+        return self._result
+
+    def _aggregate_stats(self) -> WorkloadStats:
+        """Merge the per-chunk statistics into one stream-level record.
+
+        Sizes and counts are summed over chunks; the subrange geometry
+        (``alpha``, ``beta``, ``subrange_size``) reports the last chunk's
+        values, since chunks may legitimately resolve different geometries.
+        """
+        chunks = self.report.chunk_stats
+        last = chunks[-1]
+        merged = WorkloadStats(
+            input_size=self._count,
+            subrange_size=last.subrange_size,
+            alpha=last.alpha,
+            beta=last.beta,
+            num_subranges=sum(s.num_subranges for s in chunks),
+            delegate_vector_size=sum(s.delegate_vector_size for s in chunks),
+            qualified_subranges=sum(s.qualified_subranges for s in chunks),
+            fully_qualified_subranges=sum(s.fully_qualified_subranges for s in chunks),
+            concatenated_size=sum(s.concatenated_size for s in chunks),
+            filtered_out=sum(s.filtered_out for s in chunks),
+        )
+        step_times: dict = {}
+        for s in chunks:
+            for name, ms in s.step_times_ms.items():
+                step_times[name] = step_times.get(name, 0.0) + ms
+        merged.step_times_ms = step_times
+        return merged
+
+
+def streaming_topk(
+    stream: Union[np.ndarray, Iterable[np.ndarray]],
+    k: int,
+    largest: bool = True,
+    config: Optional[DrTopKConfig] = None,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+) -> TopKResult:
+    """One-call streaming top-k over an array or an iterable of chunks."""
+    return (
+        StreamingTopK(k, largest=largest, config=config, chunk_elements=chunk_elements)
+        .consume(stream)
+        .finalize()
+    )

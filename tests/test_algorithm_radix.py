@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.algorithms import get_algorithm
 from repro.algorithms.base import ExecutionTrace
 from repro.algorithms.radix import FlagRadixTopK, InPlaceRadixTopK, RadixTopK
 from repro.errors import ConfigurationError

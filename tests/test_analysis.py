@@ -1,6 +1,5 @@
 """Tests for the Section 5.2 theory: cost equations, convexity, Rule 4, speedups."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -22,7 +21,6 @@ from repro.analysis.theory import (
     t_delegate,
     t_first_k,
     t_second_k,
-    total_time,
 )
 from repro.datasets.synthetic import uniform_distribution
 from repro.errors import ConfigurationError

@@ -172,3 +172,28 @@ class TestStrategies:
         build_delegate_vector(keys, p, beta=2, strategy=ConstructionStrategy.WARP_CENTRIC, trace=t_warp)
         build_delegate_vector(keys, p, beta=2, strategy=ConstructionStrategy.COALESCED_STRIDED, trace=t_coal)
         assert t_coal.total_time_ms() < t_warp.total_time_ms()
+
+
+class TestPaddedTieSelection:
+    """Regression: padded slots share the pad value with real zero keys, so
+    β-delegate selection must never pick padding over a real element in the
+    final subrange (it used to, shrinking the delegate vector below k and
+    crashing the first top-k on all-zero inputs)."""
+
+    def test_padded_final_subrange_keeps_real_delegates(self):
+        keys = np.zeros(5, dtype=np.uint32)
+        p = SubrangePartition(n=5, alpha=2)  # subranges [0..3] and [4] + 3 pads
+        d = build_delegate_vector(keys, p, beta=2)
+        # The final subrange has one real element: exactly one valid delegate.
+        assert d.valid[-1].sum() == 1
+        assert d.indices[-1, 0] == 4
+        assert d.size == 3
+
+    def test_all_zero_vector_full_pipeline(self):
+        from repro.core.drtopk import drtopk
+
+        v = np.zeros(5, dtype=np.uint32)
+        for k in (1, 3, 5):
+            result = drtopk(v, k)
+            assert result.values.shape[0] == k
+            assert (result.values == 0).all()

@@ -1,0 +1,108 @@
+"""Query plans: prepare/topk_prepared must match the one-shot pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DrTopKConfig
+from repro.core.drtopk import DrTopK
+from repro.core.plan import QueryPlan
+from repro.errors import ConfigurationError
+
+from tests.helpers import assert_topk_correct
+
+
+def test_prepare_then_execute_matches_one_shot(uniform_u32):
+    engine = DrTopK()
+    for k in (1, 16, 500):
+        plan = engine.prepare(uniform_u32, k)
+        prepared = engine.topk_prepared(plan, k)
+        one_shot = engine.topk(uniform_u32, k)
+        np.testing.assert_array_equal(prepared.values, one_shot.values)
+        np.testing.assert_array_equal(prepared.indices, one_shot.indices)
+
+
+def test_plan_serves_multiple_ks(uniform_u32):
+    engine = DrTopK()
+    plan = engine.prepare(uniform_u32, 128)
+    for k in (1, 64, 128):
+        result = engine.topk_prepared(plan, k)
+        assert_topk_correct(result, uniform_u32, k)
+
+
+def test_plan_records_construction_traffic(uniform_u32):
+    engine = DrTopK()
+    plan = engine.prepare(uniform_u32, 64)
+    assert not plan.is_degenerate
+    assert plan.construction_bytes > 0
+    assert plan.construction_ms() > 0
+    # Construction reads the whole vector at least once.
+    assert plan.construction_counters().global_loads >= uniform_u32.shape[0]
+
+
+def test_uncharged_construction_excluded_from_query_trace(uniform_u32):
+    engine = DrTopK()
+    plan = engine.prepare(uniform_u32, 64)
+
+    charged = engine.topk_prepared(plan, 64, charge_construction=True)
+    assert "delegate_construction" in charged.stats.step_times_ms
+
+    uncharged = engine.topk_prepared(plan, 64, charge_construction=False)
+    assert "delegate_construction" not in uncharged.stats.step_times_ms
+    np.testing.assert_array_equal(charged.values, uncharged.values)
+
+
+def test_degenerate_plan_falls_back(uniform_u32):
+    engine = DrTopK()
+    n = uniform_u32.shape[0]
+    plan = engine.prepare(uniform_u32, n)  # k == n cannot be pruned
+    assert plan.is_degenerate
+    assert plan.construction_bytes == 0
+    result = engine.topk_prepared(plan, n)
+    assert_topk_correct(result, uniform_u32, n)
+    assert result.stats.delegate_vector_size == 0
+
+
+def test_plan_answers_predicate(uniform_u32):
+    engine = DrTopK()
+    plan = engine.prepare(uniform_u32, 64)
+    assert plan.answers(64)
+    assert not plan.answers(uniform_u32.shape[0])
+
+
+def test_plan_for_smallest_queries(uniform_u32):
+    engine = DrTopK()
+    plan = engine.prepare(uniform_u32, 32, largest=False)
+    assert plan.largest is False
+    result = engine.topk_prepared(plan, 32)
+    assert_topk_correct(result, uniform_u32, 32, largest=False)
+
+
+def test_prepare_with_alpha_respects_geometry(uniform_u32):
+    engine = DrTopK()
+    plan = engine.prepare_with_alpha(uniform_u32, alpha=6)
+    assert isinstance(plan, QueryPlan)
+    assert plan.alpha == 6
+    assert plan.partition.subrange_size == 64
+    result = engine.topk_prepared(plan, 10)
+    assert_topk_correct(result, uniform_u32, 10)
+
+
+def test_plan_without_trace_has_no_steps(uniform_u32):
+    engine = DrTopK(DrTopKConfig(collect_trace=False))
+    plan = engine.prepare(uniform_u32, 64)
+    assert plan.construction_steps == []
+    assert plan.construction_bytes == 0
+    result = engine.topk_prepared(plan, 64)
+    assert result.stats.step_times_ms == {}
+    assert_topk_correct(result, uniform_u32, 64)
+
+
+def test_topk_prepared_validates_k(uniform_u32):
+    engine = DrTopK()
+    plan = engine.prepare(uniform_u32, 16)
+    with pytest.raises(ConfigurationError):
+        engine.topk_prepared(plan, 0)
+    with pytest.raises(ConfigurationError):
+        engine.topk_prepared(plan, uniform_u32.shape[0] + 1)

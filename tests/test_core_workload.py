@@ -1,6 +1,5 @@
 """Tests for workload measurement and the analytic expected-workload model."""
 
-import numpy as np
 import pytest
 
 from repro.core.workload import expected_workload, measure_workload

@@ -60,3 +60,10 @@ def test_bmw_document_retrieval(monkeypatch, capsys):
     out = run_example(monkeypatch, capsys, "bmw_document_retrieval.py", [3000, 5])
     assert "top 5 documents" in out
     assert "ratio" in out
+
+
+def test_batch_service(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "batch_service.py", [15, 8])
+    assert "constructions              : 1 (loop pays 8)" in out
+    assert "traffic saved" in out
+    assert "matches the one-shot answer" in out

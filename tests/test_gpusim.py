@@ -1,6 +1,5 @@
 """Tests for the simulated GPU substrate: devices, counters, warps, cost model."""
 
-import numpy as np
 import pytest
 
 from repro.errors import CapacityError, ConfigurationError

@@ -1,6 +1,5 @@
 """Tests for the experiment harness: runners, reporting and the CLI."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -39,6 +38,7 @@ class TestRunnerRegistry:
             "fig04", "fig06", "fig07", "fig09", "fig10", "fig12", "fig13", "fig14",
             "fig15", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
             "fig24", "table2", "table3",
+            "service",  # batched serving traffic (not a paper figure)
         }
         assert expected == names
 

@@ -1,0 +1,151 @@
+"""BatchTopK: amortised batched serving over one shared vector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DrTopKConfig
+from repro.core.drtopk import DrTopK
+from repro.errors import ConfigurationError
+from repro.harness.reporting import format_table, workload_rows
+from repro.service.batch import BatchTopK, TopKQuery, batch_topk
+from repro.service.cache import PartitionCache
+
+from tests.helpers import assert_topk_correct
+
+
+def _assert_matches_loop(v, queries, results, config=None):
+    engine = DrTopK(config)
+    assert len(results) == len(queries)
+    for q, res in zip(queries, results):
+        q = TopKQuery.of(q)
+        solo = engine.topk(v, q.k, largest=q.largest)
+        np.testing.assert_array_equal(res.values, solo.values)
+        np.testing.assert_array_equal(res.indices, solo.indices)
+
+
+def test_batch_identical_to_loop(uniform_u32):
+    queries = [(64, True), (1, True), (500, False), (64, True), (4096, True)]
+    results = batch_topk(uniform_u32, queries)
+    _assert_matches_loop(uniform_u32, queries, results)
+
+
+def test_empty_batch(uniform_u32):
+    service = BatchTopK()
+    results, report = service.run_with_report(uniform_u32, [])
+    assert results == []
+    assert report.num_queries == 0
+    assert report.constructions == 0
+    assert report.total_bytes == 0.0
+    assert report.bytes_per_query == 0.0
+
+
+def test_k_equals_n(uniform_u32):
+    n = uniform_u32.shape[0]
+    service = BatchTopK()
+    results, report = service.run_with_report(uniform_u32, [(n, True), (n, False)])
+    _assert_matches_loop(uniform_u32, [(n, True), (n, False)], results)
+    # k == n is the degenerate regime: nothing to construct.
+    assert report.constructions == 0
+
+
+def test_mixed_largest_flags_share_nothing_but_still_group(uniform_u32):
+    queries = [(128, True)] * 3 + [(128, False)] * 3
+    service = BatchTopK()
+    results, report = service.run_with_report(uniform_u32, queries)
+    _assert_matches_loop(uniform_u32, queries, results)
+    # Same alpha but opposite key orders: exactly two plans, two constructions.
+    assert report.num_groups == 2
+    assert report.constructions == 2
+
+
+def test_homogeneous_batch_constructs_once(uniform_u32):
+    service = BatchTopK()
+    results, report = service.run_with_report(uniform_u32, [(256, True)] * 16)
+    _assert_matches_loop(uniform_u32, [(256, True)] * 16, results)
+    assert report.num_groups == 1
+    assert report.constructions == 1
+    # The loop would have paid 16 constructions; the batch pays one.
+    assert report.total_bytes < report.naive_bytes
+    assert report.traffic_saved_fraction > 0.5
+
+
+def test_query_spellings(uniform_u32):
+    queries = [64, (64,), (64, False), TopKQuery(64)]
+    results = BatchTopK().run(uniform_u32, queries)
+    _assert_matches_loop(uniform_u32, queries, results)
+    with pytest.raises(ConfigurationError):
+        TopKQuery.of("sixty-four")
+    with pytest.raises(ConfigurationError):
+        TopKQuery.of((1, 2, 3))
+
+
+def test_invalid_k_rejected_before_any_work(uniform_u32):
+    service = BatchTopK()
+    with pytest.raises(ConfigurationError):
+        service.run(uniform_u32, [(16, True), (uniform_u32.shape[0] + 1, True)])
+    with pytest.raises(ConfigurationError):
+        service.run(uniform_u32, [(0, True)])
+
+
+def test_batch_results_are_correct_topk(tied_u32):
+    # Heavy duplication: indices may differ from the loop's under ties, but
+    # every answer must still be a valid top-k.
+    queries = [(10, True), (100, False), (1, True)]
+    results = BatchTopK().run(tied_u32, queries)
+    for q, res in zip(queries, results):
+        assert_topk_correct(res, tied_u32, q[0], largest=q[1])
+
+
+def test_shared_cache_is_reused(uniform_u32):
+    cache = PartitionCache(capacity=8)
+    service = BatchTopK(cache=cache)
+    service.run(uniform_u32, [(64, True)] * 4)
+    first = cache.info()
+    assert first.misses == 1
+    assert first.hits == 3
+    service.run(uniform_u32, [(64, True)] * 4)
+    second = cache.info()
+    assert second.misses == 1
+    assert second.hits == 7
+
+
+def test_report_summary_renders(uniform_u32):
+    service = BatchTopK()
+    _, report = service.run_with_report(uniform_u32, [(32, True), (512, False)])
+    summary = report.summary()
+    assert summary["queries"] == 2
+    assert summary["total_input"] == 2 * uniform_u32.shape[0]
+    assert summary["total_bytes"] == report.total_bytes
+    # The per-query rows plug into the standard reporting pipeline.
+    table = format_table(workload_rows(report.stats), title="batch")
+    assert "workload_fraction" in table
+
+
+def test_batch_without_trace_collects_no_bytes(uniform_u32):
+    service = BatchTopK(DrTopKConfig(collect_trace=False))
+    results, report = service.run_with_report(uniform_u32, [(64, True)] * 3)
+    _assert_matches_loop(
+        uniform_u32, [(64, True)] * 3, results, config=DrTopKConfig(collect_trace=False)
+    )
+    assert report.total_bytes == 0.0
+    assert report.constructions == 1
+
+
+def test_gap_regime_accounting_never_negative():
+    """Regression: a padded partition can leave valid delegates <= k while
+    num_subranges * beta > k ("gap regime").  The construction the plan built
+    must be charged to the one-shot query's trace, and the batch must never
+    report negative savings against the loop."""
+    v = np.array([5.0, 1.0, 3.0, 2.0, 4.0], dtype=np.float32)
+    cfg = DrTopKConfig(alpha=2)
+
+    engine = DrTopK(cfg)
+    engine.topk(v, 3)
+    assert any(s.name == "delegate_construction" for s in engine.last_trace.steps)
+
+    service = BatchTopK(cfg)
+    results, report = service.run_with_report(v, [3, 3, 3])
+    _assert_matches_loop(v, [3, 3, 3], results, config=cfg)
+    assert report.traffic_saved_fraction >= 0

@@ -1,0 +1,91 @@
+"""ServiceDispatcher: routing batches over the simulated multi-GPU fleet."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.drtopk import DrTopK
+from repro.errors import ConfigurationError
+from repro.service.dispatcher import ServiceDispatcher, dispatch_topk
+
+from tests.helpers import assert_topk_correct
+
+
+def test_batched_route_matches_loop(uniform_u32):
+    queries = [(64, True), (256, False), (64, True), (1024, True), (1, False)] * 2
+    dispatcher = ServiceDispatcher(num_workers=3)
+    results = dispatcher.dispatch(uniform_u32, queries)
+    engine = DrTopK()
+    for q, res in zip(queries, results):
+        solo = engine.topk(uniform_u32, q[0], largest=q[1])
+        np.testing.assert_array_equal(res.values, solo.values)
+    report = dispatcher.last_report
+    assert report.route == "batched"
+    assert report.num_queries == len(queries)
+    assert sum(w.queries for w in report.workers) == len(queries)
+    assert report.communication_ms > 0  # results were gathered to the primary
+    assert report.compute_ms == max(w.compute_ms for w in report.workers)
+
+
+def test_groups_stay_on_one_worker(uniform_u32):
+    # 8 identical queries must share one plan: exactly one construction
+    # fleet-wide no matter how many workers are available.
+    dispatcher = ServiceDispatcher(num_workers=4)
+    dispatcher.dispatch(uniform_u32, [(128, True)] * 8)
+    report = dispatcher.last_report
+    assert report.constructions == 1
+    assert sum(1 for w in report.workers if w.queries) == 1
+
+
+def test_sharded_route_for_oversized_inputs(uniform_u32):
+    dispatcher = ServiceDispatcher(num_workers=4, capacity_elements=1 << 12)
+    queries = [(100, True), (10, False)]
+    results = dispatcher.dispatch(uniform_u32, queries)
+    for q, res in zip(queries, results):
+        assert_topk_correct(res, uniform_u32, q[0], largest=q[1])
+    report = dispatcher.last_report
+    assert report.route == "sharded"
+    assert report.communication_ms > 0
+
+
+def test_empty_dispatch(uniform_u32):
+    dispatcher = ServiceDispatcher(num_workers=2)
+    assert dispatcher.dispatch(uniform_u32, []) == []
+    assert dispatcher.last_report.num_queries == 0
+    assert dispatcher.last_report.cache is not None
+
+
+def test_cache_shared_across_dispatches(uniform_u32):
+    dispatcher = ServiceDispatcher(num_workers=2, cache_capacity=16)
+    dispatcher.dispatch(uniform_u32, [(64, True)] * 3)
+    first = dispatcher.last_report.cache
+    dispatcher.dispatch(uniform_u32, [(64, True)] * 3)
+    second = dispatcher.last_report.cache
+    assert second.misses == first.misses  # shape already resolved
+    assert second.hits > first.hits
+
+
+def test_lru_cache_evicts(uniform_u32):
+    dispatcher = ServiceDispatcher(num_workers=1, cache_capacity=2)
+    for k in (8, 16, 32, 64):
+        dispatcher.dispatch(uniform_u32, [(k, True)])
+    info = dispatcher.last_report.cache
+    assert info.size == 2
+    assert info.evictions == 2
+
+
+def test_dispatch_topk_convenience(uniform_u32):
+    results, report = dispatch_topk(uniform_u32, [(32, True)], num_workers=2)
+    assert_topk_correct(results[0], uniform_u32, 32)
+    assert report.num_workers == 2
+
+
+def test_dispatcher_validation(uniform_u32):
+    with pytest.raises(ConfigurationError):
+        ServiceDispatcher(num_workers=0)
+    with pytest.raises(ConfigurationError):
+        ServiceDispatcher(capacity_elements=0)
+    dispatcher = ServiceDispatcher(num_workers=2)
+    with pytest.raises(ConfigurationError):
+        dispatcher.dispatch(uniform_u32, [(uniform_u32.shape[0] + 1, True)])

@@ -1,0 +1,109 @@
+"""StreamingTopK: chunked/out-of-core top-k equivalence and edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.drtopk import DrTopK
+from repro.errors import ConfigurationError
+from repro.service.streaming import StreamingTopK, streaming_topk
+
+from tests.helpers import assert_topk_correct
+
+
+@pytest.mark.parametrize("chunk_elements", [1 << 10, 3000, 1 << 14])
+@pytest.mark.parametrize("largest", [True, False])
+def test_streaming_matches_one_shot(uniform_u32, chunk_elements, largest):
+    k = 200
+    result = streaming_topk(uniform_u32, k, largest=largest, chunk_elements=chunk_elements)
+    one_shot = DrTopK().topk(uniform_u32, k, largest=largest)
+    # The top-k value multiset is unique, so values match element-wise.
+    np.testing.assert_array_equal(result.values, one_shot.values)
+    assert_topk_correct(result, uniform_u32, k, largest=largest)
+
+
+def test_chunk_smaller_than_subrange_size(uniform_u32):
+    # The one-shot Rule-4 alpha at this shape gives subranges larger than 16
+    # elements; streaming in 16-element chunks must still agree.
+    engine = DrTopK()
+    plan = engine.prepare(uniform_u32, 32)
+    assert plan.partition.subrange_size > 16
+    result = streaming_topk(uniform_u32, 32, chunk_elements=16)
+    np.testing.assert_array_equal(result.values, engine.topk(uniform_u32, 32).values)
+
+
+def test_k_larger_than_first_chunks(uniform_u32):
+    # k exceeds every individual chunk: early chunks contribute everything
+    # they have and the pool only fills up across chunk boundaries.
+    k = 3000
+    result = streaming_topk(uniform_u32, k, chunk_elements=1024)
+    np.testing.assert_array_equal(result.values, DrTopK().topk(uniform_u32, k).values)
+
+
+def test_k_equals_total_length(uniform_u32):
+    k = uniform_u32.shape[0]
+    result = streaming_topk(uniform_u32, k, chunk_elements=1 << 12)
+    np.testing.assert_array_equal(result.values, DrTopK().topk(uniform_u32, k).values)
+
+
+def test_iterator_of_uneven_chunks(rng):
+    v = rng.standard_normal(50_000).astype(np.float32)
+    pieces = (v[i : i + 777] for i in range(0, v.shape[0], 777))
+    result = streaming_topk(pieces, 64)
+    np.testing.assert_array_equal(result.values, DrTopK().topk(v, 64).values)
+    assert_topk_correct(result, v, 64)
+
+
+def test_indices_are_global(uniform_u32):
+    stream = StreamingTopK(50, chunk_elements=1 << 11)
+    stream.consume(uniform_u32)
+    result = stream.finalize()
+    np.testing.assert_array_equal(uniform_u32[result.indices], result.values)
+    assert len(np.unique(result.indices)) == 50
+
+
+def test_incremental_push_and_report(uniform_u32):
+    stream = StreamingTopK(16, chunk_elements=1 << 12)
+    half = uniform_u32.shape[0] // 2
+    stream.push(uniform_u32[:half]).push(uniform_u32[half:])
+    assert stream.elements_seen == uniform_u32.shape[0]
+    assert stream.pool_size == 16
+    result = stream.finalize()
+    assert result.stats is not None
+    assert result.stats.input_size == uniform_u32.shape[0]
+    assert stream.report.chunks == uniform_u32.shape[0] // (1 << 12)
+    assert stream.report.total_bytes > 0
+    # Finalize is idempotent.
+    assert stream.finalize() is result
+
+
+def test_stream_lifecycle_errors(uniform_u32):
+    with pytest.raises(ConfigurationError):
+        StreamingTopK(0)
+    with pytest.raises(ConfigurationError):
+        StreamingTopK(5, chunk_elements=0)
+    with pytest.raises(ConfigurationError):
+        StreamingTopK(5).finalize()  # no data
+    stream = StreamingTopK(1000).push(uniform_u32[:100])
+    with pytest.raises(ConfigurationError):
+        stream.finalize()  # k exceeds streamed elements
+    with pytest.raises(ConfigurationError):
+        StreamingTopK(5).push(uniform_u32.reshape(128, -1))  # not 1-D
+    done = StreamingTopK(5).push(uniform_u32[:64])
+    done.finalize()
+    with pytest.raises(ConfigurationError):
+        done.push(uniform_u32[:8])
+
+
+def test_empty_chunks_are_ignored(uniform_u32):
+    stream = StreamingTopK(8, chunk_elements=1 << 12)
+    stream.push(np.empty(0, dtype=np.uint32))
+    stream.consume([uniform_u32[:5000], np.empty(0, dtype=np.uint32), uniform_u32[5000:]])
+    result = stream.finalize()
+    np.testing.assert_array_equal(result.values, DrTopK().topk(uniform_u32, 8).values)
+
+
+def test_streaming_with_ties(tied_u32):
+    result = streaming_topk(tied_u32, 77, chunk_elements=500)
+    assert_topk_correct(result, tied_u32, 77)
