@@ -98,12 +98,15 @@ class DrTopK:
         alpha: int,
         largest: bool = True,
         k: Optional[int] = None,
+        offset: int = 0,
     ) -> QueryPlan:
         """Build a :class:`QueryPlan` for an explicitly chosen ``alpha``.
 
         When ``k`` is given and the partition's delegate vector could not be
         smaller than ``k`` (the degenerate regime), construction is skipped
-        and the plan answers through the plain-top-k fallback.
+        and the plan answers through the plain-top-k fallback.  ``offset``
+        records ``v``'s position inside a larger sharded vector so plan
+        consumers can map local result indices back to global ones.
         """
         v = ensure_1d(v)
         cfg = self.config
@@ -114,7 +117,9 @@ class DrTopK:
         beta = min(cfg.beta, partition.subrange_size)
 
         if k is not None and partition.num_subranges * beta <= k:
-            return QueryPlan(v=v, keys=keys, largest=largest, partition=partition, beta=beta)
+            return QueryPlan(
+                v=v, keys=keys, largest=largest, partition=partition, beta=beta, offset=offset
+            )
 
         trace = ExecutionTrace(itemsize=v.dtype.itemsize) if cfg.collect_trace else None
         delegates = build_delegate_vector(
@@ -132,6 +137,7 @@ class DrTopK:
             beta=beta,
             delegates=delegates,
             construction_steps=list(trace.steps) if trace is not None else [],
+            offset=offset,
         )
 
     def topk_prepared(

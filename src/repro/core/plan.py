@@ -61,6 +61,11 @@ class QueryPlan:
     construction_steps:
         Simulated kernel steps of the one-time construction (empty when the
         plan is degenerate or tracing is disabled).
+    offset:
+        Position of ``v`` inside a larger sharded vector.  The distributed
+        batch builds one plan per shard; query results carry shard-local
+        indices that :meth:`global_indices` maps back to the full vector.
+        Zero (the default) for unsharded plans.
     """
 
     v: np.ndarray
@@ -70,6 +75,7 @@ class QueryPlan:
     beta: int
     delegates: Optional[DelegateVector] = None
     construction_steps: List[KernelStep] = field(default_factory=list)
+    offset: int = 0
 
     @property
     def n(self) -> int:
@@ -98,6 +104,12 @@ class QueryPlan:
         if self.delegates is None or self.partition.num_subranges * self.beta <= k:
             return False
         return self.delegates.size > k
+
+    def global_indices(self, local_indices: np.ndarray) -> np.ndarray:
+        """Map indices into this plan's (possibly sharded) vector to global ones."""
+        if self.offset == 0:
+            return np.asarray(local_indices, dtype=np.int64)
+        return np.asarray(local_indices, dtype=np.int64) + np.int64(self.offset)
 
     # -- construction accounting -------------------------------------------------
     def construction_counters(self) -> MemoryCounters:

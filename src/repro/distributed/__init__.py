@@ -21,6 +21,8 @@ from repro.distributed.partition import PartitionPlan, plan_partition
 from repro.distributed.multigpu import (
     MultiGpuDrTopK,
     MultiGpuReport,
+    MultiGpuBatchReport,
+    ShardBatchOutcome,
     estimate_scalability_row,
 )
 
@@ -31,5 +33,7 @@ __all__ = [
     "plan_partition",
     "MultiGpuDrTopK",
     "MultiGpuReport",
+    "MultiGpuBatchReport",
+    "ShardBatchOutcome",
     "estimate_scalability_row",
 ]

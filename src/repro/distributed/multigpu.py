@@ -18,7 +18,7 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -33,7 +33,17 @@ from repro.gpusim.device import DeviceSpec, V100S
 from repro.types import TopKResult
 from repro.utils import check_k, ensure_1d
 
-__all__ = ["MultiGpuDrTopK", "MultiGpuReport", "estimate_scalability_row"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a service import cycle
+    from repro.service.cache import PartitionCache
+    from repro.service.executor import ServiceExecutor
+
+__all__ = [
+    "MultiGpuDrTopK",
+    "MultiGpuReport",
+    "MultiGpuBatchReport",
+    "ShardBatchOutcome",
+    "estimate_scalability_row",
+]
 
 
 @dataclass
@@ -58,6 +68,56 @@ class MultiGpuReport:
         if self.total_ms <= 0:
             return float("inf")
         return single_gpu.total_ms / self.total_ms
+
+
+@dataclass
+class ShardBatchOutcome:
+    """One GPU's share of a sharded batch: candidates plus accounting.
+
+    ``values``/``indices`` are aligned with the batch's queries — entry ``i``
+    holds this GPU's local candidates for query ``i``, concatenated across
+    the GPU's assigned sub-vectors, with indices already global.
+    """
+
+    gpu: int
+    values: List[np.ndarray] = field(default_factory=list)
+    indices: List[np.ndarray] = field(default_factory=list)
+    compute_ms: float = 0.0
+    reload_ms: float = 0.0
+    groups: int = 0
+    constructions: int = 0
+    construction_bytes: float = 0.0
+    query_bytes: float = 0.0
+    wall_ms: float = 0.0
+
+
+@dataclass
+class MultiGpuBatchReport:
+    """Fleet-level accounting of one :meth:`MultiGpuDrTopK.topk_batch` call.
+
+    The Table 2 timing columns plus the amortisation quantities the service
+    layer reports: per-shard delegate construction happens once per
+    ``(alpha, largest)`` group of the batch (``constructions``), and the
+    result gather moves ``gather_bytes`` of candidates to the primary.
+    """
+
+    num_gpus: int
+    total_elements: int
+    num_queries: int
+    communication_ms: float = 0.0
+    reload_ms: float = 0.0
+    compute_ms: float = 0.0
+    final_topk_ms: float = 0.0
+    constructions: int = 0
+    construction_bytes: float = 0.0
+    query_bytes: float = 0.0
+    gather_bytes: float = 0.0
+    per_gpu: List[ShardBatchOutcome] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end estimated time of the whole batch."""
+        return self.compute_ms + self.reload_ms + self.communication_ms + self.final_topk_ms
 
 
 @dataclass
@@ -92,6 +152,7 @@ class MultiGpuDrTopK:
             raise ConfigurationError("num_gpus must be positive")
         self.config = self.config or DrTopKConfig()
         self.last_report: Optional[MultiGpuReport] = None
+        self.last_batch_report: Optional[MultiGpuBatchReport] = None
         self.last_plan: Optional[PartitionPlan] = None
 
     # -- execution ------------------------------------------------------------------
@@ -205,7 +266,13 @@ class MultiGpuDrTopK:
                 if member:
                     comm.send(v_arr, src=rank, dst=ranks[0])
                     comm.send(idxs[member], src=rank, dst=ranks[0])
-            leader_values.append(np.concatenate(vals) if vals else np.empty(0))
+            # Defensive guard only (every node has >= 1 rank, so vals is
+            # never empty today): preserve the input dtype like the
+            # flat-gather path — a bare np.empty(0) is float64 and would
+            # silently upcast the whole gather.
+            leader_values.append(
+                np.concatenate(vals) if vals else np.empty(0, dtype=local_values[0].dtype)
+            )
             leader_indices.append(
                 np.concatenate(idxs) if idxs else np.empty(0, dtype=np.int64)
             )
@@ -214,6 +281,206 @@ class MultiGpuDrTopK:
             comm.send(leader_values[node], src=node * self.gpus_per_node, dst=0)
             comm.send(leader_indices[node], src=node * self.gpus_per_node, dst=0)
         return np.concatenate(leader_values), np.concatenate(leader_indices)
+
+    # -- batched execution (cross-query plan reuse) ----------------------------------
+    def topk_batch(
+        self,
+        v: np.ndarray,
+        queries: Sequence,
+        cache: Optional["PartitionCache"] = None,
+        executor: Optional["ServiceExecutor"] = None,
+    ):
+        """Answer a batch of queries over one sharded vector with plan reuse.
+
+        The single-query :meth:`topk` rebuilds every shard's delegate vector
+        for every query; this batch entry point mirrors
+        :meth:`~repro.service.batch.BatchTopK.run` instead: on each shard the
+        queries are grouped by ``(alpha, largest)`` and one
+        :class:`~repro.core.plan.QueryPlan` serves the whole group, so a
+        homogeneous batch pays one construction scan *per shard* rather than
+        one per shard per query.  Host reloads are likewise charged once per
+        extra shard for the batch.
+
+        Parameters
+        ----------
+        v:
+            The full (oversized) input vector.
+        queries:
+            Any :class:`~repro.service.batch.TopKQuery`-coercible sequence.
+        cache:
+            Optional shared :class:`~repro.service.cache.PartitionCache`
+            memoising the per-shard ``(n, k) → alpha`` resolution.
+        executor:
+            Optional :class:`~repro.service.executor.ServiceExecutor`; when
+            given, each GPU's shard work runs as one work unit so the fleet
+            genuinely overlaps.  ``None`` runs GPUs sequentially in-process.
+
+        Returns
+        -------
+        (results, report):
+            Results aligned with ``queries`` and a
+            :class:`MultiGpuBatchReport` (also stored on
+            ``self.last_batch_report``).
+        """
+        from repro.service.batch import TopKQuery  # runtime import: service builds on this module
+
+        v = ensure_1d(v)
+        parsed = [TopKQuery.of(q) for q in queries]
+        report = MultiGpuBatchReport(
+            num_gpus=self.num_gpus, total_elements=v.shape[0], num_queries=len(parsed)
+        )
+        if not parsed:
+            self.last_batch_report = report
+            return [], report
+        for q in parsed:
+            check_k(q.k, v.shape[0])
+        plan = plan_partition(v.shape[0], self.num_gpus, self.capacity_elements)
+        self.last_plan = plan
+
+        def shard_fn(gpu: int):
+            return lambda: self._run_shard_batch(v, parsed, plan, gpu, cache)
+
+        if executor is not None:
+            from repro.service.executor import WorkUnit  # runtime import, see above
+
+            units = [
+                WorkUnit(fn=shard_fn(gpu), worker=gpu, route="sharded", label=f"gpu{gpu}")
+                for gpu in range(self.num_gpus)
+            ]
+            outcomes = []
+            for res in executor.run(units):
+                res.value.wall_ms = res.wall_ms
+                outcomes.append(res.value)
+        else:
+            outcomes = [shard_fn(gpu)() for gpu in range(self.num_gpus)]
+
+        results = self._merge_batch(v, parsed, outcomes, report)
+        self.last_batch_report = report
+        return results, report
+
+    def _run_shard_batch(
+        self,
+        v: np.ndarray,
+        parsed: List,
+        plan: PartitionPlan,
+        gpu: int,
+        cache: Optional["PartitionCache"],
+    ) -> ShardBatchOutcome:
+        """One GPU's work unit: grouped local top-k over its assigned shards."""
+        from repro.service.batch import group_queries_by_plan  # runtime import, see topk_batch
+
+        config = self.config
+        model = CostModel(config.device)
+        engine = DrTopK(config)
+        out = ShardBatchOutcome(gpu=gpu)
+        vals: List[List[np.ndarray]] = [[] for _ in parsed]
+        idxs: List[List[np.ndarray]] = [[] for _ in parsed]
+
+        for order, sub in enumerate(plan.assignments[gpu]):
+            start, stop = plan.subvector_bounds[sub]
+            sub_v = v[start:stop]
+            sub_n = stop - start
+            if order > 0:
+                # The shard is reloaded from the host once for the whole
+                # batch, not once per query — reuse starts at the transfer.
+                out.reload_ms += model.host_transfer_ms(sub_n, v.dtype.itemsize)
+
+            # A sub-vector smaller than k cannot answer a local top-k on its
+            # own; such queries take every element of the shard.
+            whole = [pos for pos, q in enumerate(parsed) if sub_n < q.k]
+            for pos in whole:
+                vals[pos].append(sub_v)
+                idxs[pos].append(np.arange(start, stop, dtype=np.int64))
+            served = [pos for pos, q in enumerate(parsed) if sub_n >= q.k]
+            if not served:
+                continue
+
+            groups = group_queries_by_plan([parsed[p] for p in served], sub_n, cache, engine)
+            for (alpha, largest), members in groups.items():
+                positions = [served[m] for m in members]
+                min_k = min(parsed[p].k for p in positions)
+                qplan = engine.prepare_with_alpha(
+                    sub_v, alpha, largest=largest, k=min_k, offset=start
+                )
+                out.groups += 1
+                if not qplan.is_degenerate:
+                    out.constructions += 1
+                    out.construction_bytes += qplan.construction_bytes
+                    out.compute_ms += qplan.construction_ms(config.device)
+                for pos in positions:
+                    q = parsed[pos]
+                    local = engine.topk_prepared(qplan, q.k, charge_construction=False)
+                    assert local.stats is not None
+                    out.compute_ms += local.stats.total_time_ms
+                    if config.collect_trace:
+                        out.query_bytes += engine.last_trace.total_counters().global_bytes
+                    vals[pos].append(local.values)
+                    idxs[pos].append(qplan.global_indices(local.indices))
+
+        for pos in range(len(parsed)):
+            if vals[pos]:
+                out.values.append(np.concatenate(vals[pos]))
+                out.indices.append(np.concatenate(idxs[pos]))
+            else:
+                out.values.append(np.empty(0, dtype=v.dtype))
+                out.indices.append(np.empty(0, dtype=np.int64))
+        return out
+
+    def _merge_batch(
+        self,
+        v: np.ndarray,
+        parsed: List,
+        outcomes: List[ShardBatchOutcome],
+        report: MultiGpuBatchReport,
+    ) -> List[TopKResult]:
+        """Primary-GPU side: gather candidates, final top-k per query."""
+        config = self.config
+        comm = SimulatedComm(
+            num_ranks=self.num_gpus, gpus_per_node=self.gpus_per_node, cost=self.comm_cost
+        )
+        # Each GPU sends every query's candidates in one concatenated message
+        # (the Figure 16 asynchronous result collection, batched).
+        blob_values = [np.concatenate(o.values) for o in outcomes]
+        blob_indices = [np.concatenate(o.indices) for o in outcomes]
+        if self.use_hierarchical_reduction and self.num_gpus > self.gpus_per_node:
+            self._hierarchical_gather(comm, blob_values, blob_indices)
+        else:
+            comm.gather(blob_values, root=0, asynchronous=True)
+            comm.gather(blob_indices, root=0, asynchronous=True)
+        report.gather_bytes = float(
+            sum(
+                blob_values[rank].nbytes + blob_indices[rank].nbytes
+                for rank in range(1, self.num_gpus)
+            )
+        )
+
+        final_engine = DrTopK(config)
+        results: List[TopKResult] = []
+        for pos, q in enumerate(parsed):
+            all_values = np.concatenate([o.values[pos] for o in outcomes])
+            all_indices = np.concatenate([o.indices[pos] for o in outcomes])
+            final = final_engine.topk(all_values, q.k, largest=q.largest)
+            assert final.stats is not None
+            report.final_topk_ms += final.stats.total_time_ms
+            global_indices = all_indices[final.indices]
+            results.append(
+                TopKResult(
+                    values=v[global_indices],
+                    indices=global_indices,
+                    k=q.k,
+                    largest=q.largest,
+                    stats=final.stats,
+                )
+            )
+
+        report.communication_ms = comm.total_comm_ms
+        report.reload_ms = float(max((o.reload_ms for o in outcomes), default=0.0))
+        report.compute_ms = float(max((o.compute_ms for o in outcomes), default=0.0))
+        report.constructions = sum(o.constructions for o in outcomes)
+        report.construction_bytes = float(sum(o.construction_bytes for o in outcomes))
+        report.query_bytes = float(sum(o.query_bytes for o in outcomes))
+        report.per_gpu = list(outcomes)
+        return results
 
 
 # -- analytic Table 2 model -------------------------------------------------------

@@ -9,13 +9,14 @@ pytest-benchmark; :mod:`repro.harness.runner` exposes them for direct use
 (``python -m repro.harness.runner fig18``).
 """
 
-from repro.harness.reporting import format_table, rows_to_csv
+from repro.harness.reporting import dispatch_rows, format_table, rows_to_csv
 from repro.harness import experiments
 from repro.harness.runner import run_experiment, available_experiments
 
 __all__ = [
     "format_table",
     "rows_to_csv",
+    "dispatch_rows",
     "experiments",
     "run_experiment",
     "available_experiments",

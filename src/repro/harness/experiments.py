@@ -47,6 +47,7 @@ __all__ = [
     "table2_multigpu_scalability",
     "table3_memory_transactions",
     "service_throughput",
+    "async_service",
 ]
 
 #: Default measured input size (kept modest so the full harness runs quickly).
@@ -817,3 +818,74 @@ def service_throughput(
             "identical": identical,
         },
     ]
+
+
+# ---------------------------------------------------------------------------
+# Service layer — sequential vs overlapped dispatch through the executor
+# ---------------------------------------------------------------------------
+
+
+def async_service(
+    n: int = DEFAULT_N,
+    batch: int = 16,
+    k: int = 1 << 10,
+    num_workers: int = 4,
+    dataset: str = "UD",
+    seed: int = DEFAULT_SEED,
+) -> List[Dict]:
+    """Measured wall-clock of sequential vs overlapped dispatch, same batch.
+
+    The batch mixes ``(k, largest)`` shapes so the router places several
+    plan-sharing groups on different workers; the same queries then dispatch
+    twice — once with the executor in ``sequential`` mode (the baseline: one
+    work unit after another on the calling thread) and once in ``threads``
+    mode (units overlap on the pool; NumPy releases the GIL).  Each row
+    reports the *measured* wall-clock next to the modelled ``compute_ms``:
+
+    * ``unit_wall_ms_sum`` — per-unit wall times summed, i.e. zero-overlap
+      cost.  The sequential row's value is the "sum of per-worker sequential
+      times" that overlapped dispatch must beat on multi-core hosts.
+    * ``wall_ms`` — what the dispatch actually took end to end.
+    * ``identical`` — whether the mode's results matched the sequential
+      baseline element-wise (values *and* indices); overlap must never
+      change answers.
+    """
+    from repro.service.dispatcher import ServiceDispatcher  # local import to avoid a cycle
+
+    v = _dataset_vector(dataset, n, seed)
+    # Four (k, largest) shapes with widely spaced k, so the Rule-4 alphas
+    # differ and the router spreads four plan groups over the workers.
+    k = max(int(k), 4)
+    queries = [(k if i % 2 == 0 else max(k >> 6, 1), i % 4 < 2) for i in range(int(batch))]
+
+    rows: List[Dict] = []
+    baseline = None
+    for mode in ("sequential", "threads"):
+        dispatcher = ServiceDispatcher(
+            num_workers=num_workers, execution=mode, result_cache_capacity=0
+        )
+        results = dispatcher.dispatch(v, queries)
+        report = dispatcher.last_report
+        assert report is not None
+        if baseline is None:
+            baseline = results
+        identical = all(
+            np.array_equal(a.values, b.values) and np.array_equal(a.indices, b.indices)
+            for a, b in zip(baseline, results)
+        )
+        rows.append(
+            {
+                "mode": mode,
+                "queries": len(queries),
+                "workers_used": sum(1 for w in report.workers if w.queries),
+                "wall_ms": report.wall_ms,
+                "unit_wall_ms_sum": report.unit_wall_ms_sum,
+                "overlap_factor": report.measured_overlap_factor,
+                "modelled_compute_ms": report.compute_ms,
+                "communication_ms": report.communication_ms,
+                "constructions": report.constructions,
+                "identical": identical,
+            }
+        )
+        dispatcher.shutdown()
+    return rows

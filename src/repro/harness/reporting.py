@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.dispatcher import DispatchReport
     from repro.types import WorkloadStats
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "format_value",
     "workload_rows",
     "summarize_workloads",
+    "dispatch_rows",
 ]
 
 
@@ -105,6 +107,40 @@ def workload_rows(
                 "total_time_ms": s.total_time_ms,
             }
         )
+    return rows
+
+
+def dispatch_rows(report: "DispatchReport") -> List[Dict]:
+    """One table row per worker of a :class:`DispatchReport`, plus a total.
+
+    Renders the unified execution core's accounting — modelled compute next
+    to measured wall-clock per worker — with the same
+    :func:`format_table` / :func:`rows_to_csv` pipeline as the experiments.
+    """
+    rows: List[Dict] = []
+    for w in report.workers:
+        rows.append(
+            {
+                "worker": w.worker,
+                "queries": w.queries,
+                "groups": w.groups,
+                "constructions": w.constructions,
+                "compute_ms": w.compute_ms,
+                "wall_ms": w.wall_ms,
+                "bytes_moved": w.bytes_moved,
+            }
+        )
+    rows.append(
+        {
+            "worker": f"total ({report.route})",
+            "queries": report.num_queries,
+            "groups": sum(w.groups for w in report.workers),
+            "constructions": report.constructions,
+            "compute_ms": report.compute_ms,
+            "wall_ms": report.wall_ms,
+            "bytes_moved": report.bytes_moved,
+        }
+    )
     return rows
 
 

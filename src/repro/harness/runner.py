@@ -44,6 +44,7 @@ _EXPERIMENTS: Dict[str, Tuple[Callable[..., List[dict]], str]] = {
     "table2": (experiments.table2_multigpu_scalability, "multi-GPU scalability"),
     "table3": (experiments.table3_memory_transactions, "global memory transactions"),
     "service": (experiments.service_throughput, "batched vs naive serving traffic"),
+    "async": (experiments.async_service, "sequential vs overlapped dispatch wall-clock"),
 }
 
 

@@ -1,43 +1,79 @@
-"""Query-serving layer: batched, streaming and dispatched top-k.
+"""Query-serving layer: one async execution core under three routes.
 
 The core engine answers one ``topk(v, k)`` call at a time; this package turns
-it into a serving substrate for heavy query traffic:
+it into a serving substrate for heavy query traffic.  Every request runs
+through the same pipeline —
+
+``Router`` (classify + emit per-worker ``WorkUnit``\\ s) →
+``ServiceExecutor`` (bounded-queue thread pool with backpressure) →
+route-specific merge on the primary —
+
+so batched, sharded and streaming serving share scheduling, plan reuse and
+caching instead of owning private loops:
 
 * :class:`~repro.service.batch.BatchTopK` — a batch of ``(k, largest)``
   queries over one shared vector, building the delegate vector and subrange
-  partition once per ``(alpha, largest)`` group and reusing them across
-  queries (amortised construction).
+  partition once per ``(alpha, largest)`` group (amortised construction).
 * :class:`~repro.service.streaming.StreamingTopK` — chunked / out-of-core
-  top-k over inputs larger than the paper's 2^30 single-device scale, with a
-  running candidate pool and a final second pass.
-* :class:`~repro.service.dispatcher.ServiceDispatcher` — routes batches
-  across the simulated multi-GPU workers of :mod:`repro.distributed`, with a
-  shared LRU cache of resolved ``(n, k) → alpha`` partitions
-  (:class:`~repro.service.cache.PartitionCache`).
+  top-k on a single engine; the dispatcher's streaming route runs the same
+  candidate-pool algorithm with one worker per chunk.
+* :class:`~repro.service.dispatcher.ServiceDispatcher` — the serving front
+  end over the simulated multi-GPU fleet of :mod:`repro.distributed`, with a
+  shared LRU ``(n, k) → alpha`` :class:`~repro.service.cache.PartitionCache`
+  and an LRU ``(vector fingerprint, k, largest)``
+  :class:`~repro.service.cache.ResultCache` that lets repeated identical
+  queries skip the pipeline entirely.
+* :class:`~repro.service.executor.ServiceExecutor` /
+  :class:`~repro.service.router.Router` — the execution core itself, usable
+  directly by new routes.
 """
 
-from repro.service.batch import BatchReport, BatchTopK, TopKQuery, batch_topk
-from repro.service.cache import CacheInfo, PartitionCache
+from repro.service.batch import (
+    BatchReport,
+    BatchTopK,
+    TopKQuery,
+    batch_topk,
+    group_queries_by_plan,
+)
+from repro.service.cache import CacheInfo, PartitionCache, ResultCache, fingerprint_array
+from repro.service.executor import ExecutorReport, ServiceExecutor, UnitResult, WorkUnit
+from repro.service.router import Router
 from repro.service.dispatcher import (
     DispatchReport,
     ServiceDispatcher,
     WorkerReport,
     dispatch_topk,
 )
-from repro.service.streaming import StreamingTopK, StreamReport, streaming_topk
+from repro.service.streaming import (
+    StreamingTopK,
+    StreamReport,
+    merge_candidate_pool,
+    order_candidate_pool,
+    streaming_topk,
+)
 
 __all__ = [
     "TopKQuery",
     "BatchTopK",
     "BatchReport",
     "batch_topk",
+    "group_queries_by_plan",
     "StreamingTopK",
     "StreamReport",
     "streaming_topk",
+    "merge_candidate_pool",
+    "order_candidate_pool",
     "ServiceDispatcher",
     "DispatchReport",
     "WorkerReport",
     "dispatch_topk",
     "PartitionCache",
+    "ResultCache",
     "CacheInfo",
+    "fingerprint_array",
+    "ServiceExecutor",
+    "ExecutorReport",
+    "WorkUnit",
+    "UnitResult",
+    "Router",
 ]

@@ -34,7 +34,7 @@ from repro.service.cache import PartitionCache
 from repro.types import TopKResult, WorkloadStats
 from repro.utils import check_k, ensure_1d
 
-__all__ = ["TopKQuery", "BatchReport", "BatchTopK", "batch_topk"]
+__all__ = ["TopKQuery", "BatchReport", "BatchTopK", "batch_topk", "group_queries_by_plan"]
 
 #: Accepted query spellings: ``k``, ``(k,)``, ``(k, largest)`` or TopKQuery.
 QueryLike = Union[int, Tuple, "TopKQuery"]
@@ -63,6 +63,31 @@ class TopKQuery:
             f"cannot interpret {query!r} as a top-k query; "
             "expected k, (k, largest) or TopKQuery"
         )
+
+
+def group_queries_by_plan(
+    parsed: Sequence["TopKQuery"],
+    n: int,
+    cache: Optional[PartitionCache],
+    engine: DrTopK,
+) -> Dict[Tuple[int, bool], List[int]]:
+    """Group query positions by the plan they can share.
+
+    Two queries share a :class:`~repro.core.plan.QueryPlan` exactly when their
+    resolved Rule-4 ``alpha`` and key order agree, so the group key is
+    ``(alpha, largest)``.  This single definition of plan compatibility is
+    used by :class:`BatchTopK`, the router's worker placement and the sharded
+    multi-GPU batch — keeping "what can be amortised" identical across every
+    route.  ``cache`` (when given) memoises the ``(n, k) → alpha`` resolution.
+    """
+    groups: Dict[Tuple[int, bool], List[int]] = {}
+    for pos, q in enumerate(parsed):
+        if cache is not None:
+            alpha = cache.resolve(n, q.k, engine)
+        else:
+            alpha = engine._resolve_alpha(int(n), q.k)
+        groups.setdefault((alpha, q.largest), []).append(pos)
+    return groups
 
 
 @dataclass
@@ -182,10 +207,7 @@ class BatchTopK:
             check_k(q.k, n)
 
         # Group queries sharing a plan: same resolved alpha, same key order.
-        groups: Dict[Tuple[int, bool], List[int]] = {}
-        for pos, q in enumerate(parsed):
-            alpha = self.cache.resolve(n, q.k, self.engine)
-            groups.setdefault((alpha, q.largest), []).append(pos)
+        groups = group_queries_by_plan(parsed, n, self.cache, self.engine)
 
         results: List[Optional[TopKResult]] = [None] * len(parsed)
         report.num_groups = len(groups)

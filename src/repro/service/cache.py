@@ -1,40 +1,93 @@
-"""LRU cache of resolved ``(n, k) → alpha`` subrange geometry.
+"""Service-layer caches: resolved partitions and whole query results.
 
-Rule 4 (Section 5.2) resolves the subrange-size exponent ``alpha`` from the
-input size and ``k``; a serving layer sees the same ``(n, k)`` shapes over and
-over, so the resolution is cached and the engines rebuild the (trivial)
-:class:`~repro.core.subrange.SubrangePartition` from the cached exponent.  The
-cache key also covers the configuration fields the resolution depends on
-(``beta``, a fixed ``alpha`` override and the Rule-4 constant), so one cache
-can safely be shared by engines with different configurations, e.g. across
-the dispatcher's workers.
+Two LRU caches live beside the serving routes:
+
+* :class:`PartitionCache` — Rule 4 (Section 5.2) resolves the subrange-size
+  exponent ``alpha`` from the input size and ``k``; a serving layer sees the
+  same ``(n, k)`` shapes over and over, so the resolution is cached and the
+  engines rebuild the (trivial) :class:`~repro.core.subrange.SubrangePartition`
+  from the cached exponent.  The cache key also covers the configuration
+  fields the resolution depends on (``beta``, a fixed ``alpha`` override and
+  the Rule-4 constant), so one cache can safely be shared by engines with
+  different configurations, e.g. across the dispatcher's workers.
+* :class:`ResultCache` — memoises whole answers,
+  ``(vector fingerprint, k, largest) → TopKResult``, so a repeated identical
+  query skips the pipeline entirely.  Vectors are identified by a cheap
+  content fingerprint (:func:`fingerprint_array`): shape and dtype plus a
+  hash of the buffer — the full buffer for small vectors, head/tail blocks
+  and a fixed-stride sample beyond that, keeping the fingerprint O(1) at
+  serving scale.
+
+Both caches take an internal lock around their bookkeeping: the executor runs
+work units on a thread pool and shard units resolve ``alpha`` concurrently.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.core.config import DrTopKConfig
 from repro.core.drtopk import DrTopK
 from repro.errors import ConfigurationError
+from repro.types import TopKResult
 
-__all__ = ["PartitionCache", "CacheInfo"]
+__all__ = ["PartitionCache", "ResultCache", "CacheInfo", "fingerprint_array"]
 
-#: Cache key: (n, k, beta, alpha-override, rule4 constant).
+#: Partition-cache key: (n, k, beta, alpha-override, rule4 constant).
 _Key = Tuple[int, int, int, Optional[int], float]
+
+#: Result-cache key: (vector fingerprint, k, largest).
+_ResultKey = Tuple[str, int, bool]
+
+#: Vectors at most this many bytes are fingerprinted from the full buffer.
+_FULL_HASH_BYTES = 1 << 20
+#: Bytes hashed from each end of a large vector.
+_EDGE_BYTES = 1 << 14
+#: Elements sampled at a fixed stride from the middle of a large vector.
+_SAMPLE_ELEMENTS = 4096
 
 
 @dataclass
 class CacheInfo:
-    """Hit/miss/eviction counters of a :class:`PartitionCache`."""
+    """Hit/miss/eviction counters of a service-layer cache."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     size: int = 0
     capacity: int = 0
+
+
+def fingerprint_array(v: np.ndarray) -> str:
+    """Cheap content fingerprint of a vector (shape + dtype + buffer hash).
+
+    Small vectors hash their entire buffer; larger ones hash the head and
+    tail blocks plus a fixed-stride sample, so the cost stays O(1) in the
+    vector size.  The sampled variant can in principle miss a mutation that
+    only touches unsampled elements — the documented trade-off of a cheap
+    fingerprint (treat cached vectors as immutable while they serve traffic).
+    """
+    v = np.ascontiguousarray(v)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr(v.shape).encode())
+    digest.update(v.dtype.str.encode())
+    if v.nbytes <= _FULL_HASH_BYTES:
+        digest.update(v.tobytes())
+    else:
+        flat = v.reshape(-1)
+        head = flat[: max(_EDGE_BYTES // v.dtype.itemsize, 1)]
+        tail = flat[-max(_EDGE_BYTES // v.dtype.itemsize, 1) :]
+        stride = max(flat.shape[0] // _SAMPLE_ELEMENTS, 1)
+        digest.update(head.tobytes())
+        digest.update(tail.tobytes())
+        digest.update(np.ascontiguousarray(flat[::stride][:_SAMPLE_ELEMENTS]).tobytes())
+    return digest.hexdigest()
 
 
 class PartitionCache:
@@ -52,6 +105,7 @@ class PartitionCache:
             raise ConfigurationError("cache capacity must be >= 1")
         self.capacity = int(capacity)
         self._entries: "OrderedDict[_Key, int]" = OrderedDict()
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -60,39 +114,111 @@ class PartitionCache:
         """Resolved ``alpha`` for an ``n``-element, ``k``-query shape.
 
         ``engine`` supplies the Rule-4 resolution and the configuration
-        fields the result depends on.
+        fields the result depends on.  Safe to call from executor threads.
         """
         cfg: DrTopKConfig = engine.config
         key: _Key = (int(n), int(k), cfg.beta, cfg.alpha, cfg.rule4_const)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return cached
-        self._misses += 1
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return cached
+            self._misses += 1
+        # Resolution is pure; run it outside the lock so concurrent shard
+        # units do not serialise on the Rule-4 arithmetic.
         alpha = engine._resolve_alpha(int(n), int(k))
-        self._entries[key] = alpha
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            self._entries[key] = alpha
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
         return alpha
 
     def info(self) -> CacheInfo:
         """Current hit/miss/eviction statistics."""
-        return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            capacity=self.capacity,
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
 
     def clear(self) -> None:
         """Drop every cached entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: _Key) -> bool:
         return key in self._entries
+
+
+class ResultCache:
+    """Bounded LRU map from ``(vector fingerprint, k, largest)`` to results.
+
+    A hit returns the previously computed :class:`~repro.types.TopKResult`
+    without touching the pipeline — zero constructions, zero simulated
+    traffic.  The cached result object is shared, not copied; callers must
+    treat returned values/indices as read-only.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum cached results; least recently used entries are evicted.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ConfigurationError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[_ResultKey, TopKResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, fingerprint: str, k: int, largest: bool) -> Optional[TopKResult]:
+        """Cached result for the keyed query, or ``None`` on a miss."""
+        key: _ResultKey = (fingerprint, int(k), bool(largest))
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return cached
+            self._misses += 1
+            return None
+
+    def put(self, fingerprint: str, k: int, largest: bool, result: TopKResult) -> None:
+        """Insert one computed result (evicting the LRU entry beyond capacity)."""
+        key: _ResultKey = (fingerprint, int(k), bool(largest))
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def info(self) -> CacheInfo:
+        """Current hit/miss/eviction statistics."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,29 +1,44 @@
 """Dispatching query batches across the simulated multi-GPU fleet.
 
-:class:`ServiceDispatcher` is the serving front end that ties the service
-layer to :mod:`repro.distributed`:
+:class:`ServiceDispatcher` is the serving front end.  Since the unified
+execution core landed it is a thin submit/collect wrapper: the
+:class:`~repro.service.router.Router` classifies each request and emits
+per-worker :class:`~repro.service.executor.WorkUnit`\\ s, the shared
+:class:`~repro.service.executor.ServiceExecutor` runs them concurrently on a
+bounded-queue thread pool (real wall-clock overlap, measured next to the
+modelled ``compute_ms``), and the dispatcher merges the outcomes into results
+and a :class:`DispatchReport`.
 
-* **Batched route** — when the shared vector fits one device's sub-vector
-  capacity, queries are grouped exactly like :class:`~repro.service.batch.BatchTopK`
+Three routes run through the core:
+
+* **Batched** — the shared vector fits one device's sub-vector capacity.
+  Queries are grouped exactly like :class:`~repro.service.batch.BatchTopK`
   (shared ``(alpha, largest)`` plans) and whole groups are placed on workers
   with a greedy least-loaded assignment, so plan reuse is never split across
-  workers.  Workers run in parallel in the modelled fleet: the dispatch's
-  compute time is the *maximum* worker time, and the per-worker results are
-  gathered to the primary through the
+  workers; per-worker results are gathered to the primary through the
   :class:`~repro.distributed.comm.SimulatedComm` cost model.
-* **Sharded route** — when the vector exceeds the capacity, each query runs
-  the Figure 16 multi-GPU workflow
-  (:class:`~repro.distributed.multigpu.MultiGpuDrTopK`) over the whole fleet.
+* **Sharded** — the vector exceeds the capacity.  The batch runs the Figure
+  16 workflow via :meth:`~repro.distributed.multigpu.MultiGpuDrTopK.topk_batch`
+  with one work unit per GPU: per-shard delegate vectors are built once per
+  ``(alpha, largest)`` group of the batch, and the report carries the real
+  gather traffic and construction counts.
+* **Streaming** — the input is an iterable of chunks rather than a vector.
+  Each chunk becomes one work unit on the next worker round-robin; chunk
+  candidates merge into per-query pools on the primary and a final pass
+  orders each answer — the fleet-routed version of
+  :class:`~repro.service.streaming.StreamingTopK`.
 
-Both routes share one :class:`~repro.service.cache.PartitionCache`, so the
-Rule-4 ``(n, k) → alpha`` resolution is computed once per query shape across
-the fleet's lifetime.
+Two shared caches sit in front of the routes: the Rule-4
+:class:`~repro.service.cache.PartitionCache` (``(n, k) → alpha``) and the
+:class:`~repro.service.cache.ResultCache`
+(``(vector fingerprint, k, largest) → TopKResult``), so a repeated identical
+query skips the pipeline entirely and records zero work.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +48,14 @@ from repro.distributed.multigpu import MultiGpuDrTopK
 from repro.distributed.partition import MAX_SUBVECTOR_ELEMENTS
 from repro.errors import ConfigurationError
 from repro.service.batch import BatchTopK, QueryLike, TopKQuery
-from repro.service.cache import CacheInfo, PartitionCache
+from repro.service.cache import CacheInfo, PartitionCache, ResultCache, fingerprint_array
+from repro.service.executor import ServiceExecutor, UnitResult
+from repro.service.router import Router
+from repro.service.streaming import (
+    DEFAULT_CHUNK_ELEMENTS,
+    merge_candidate_pool,
+    order_candidate_pool,
+)
 from repro.types import TopKResult
 from repro.utils import check_k, ensure_1d
 
@@ -50,11 +72,18 @@ class WorkerReport:
     constructions: int = 0
     compute_ms: float = 0.0
     bytes_moved: float = 0.0
+    wall_ms: float = 0.0
 
 
 @dataclass
 class DispatchReport:
-    """Fleet-level accounting of one :meth:`ServiceDispatcher.dispatch` call."""
+    """Fleet-level accounting of one :meth:`ServiceDispatcher.dispatch` call.
+
+    ``compute_ms`` is the *modelled* parallel compute time (workers overlap,
+    so the maximum); ``wall_ms`` is the *measured* wall-clock of the unit
+    execution and ``unit_wall_ms_sum`` what the same units measured end to
+    end — their gap is the executor's real overlap.
+    """
 
     num_queries: int = 0
     num_workers: int = 0
@@ -62,8 +91,17 @@ class DispatchReport:
     workers: List[WorkerReport] = field(default_factory=list)
     communication_ms: float = 0.0
     constructions: int = 0
+    #: Simulated traffic with one definition on every route: the workers'
+    #: pipeline bytes (construction + query passes; zero when tracing is
+    #: off) plus the result-gather bytes moved to the primary.
     bytes_moved: float = 0.0
     cache: Optional[CacheInfo] = None
+    result_cache: Optional[CacheInfo] = None
+    result_cache_hits: int = 0
+    executor_mode: str = ""
+    wall_ms: float = 0.0
+    unit_wall_ms_sum: float = 0.0
+    backpressure_waits: int = 0
 
     @property
     def compute_ms(self) -> float:
@@ -75,6 +113,13 @@ class DispatchReport:
         """End-to-end modelled time (parallel compute plus the gather)."""
         return self.compute_ms + self.communication_ms
 
+    @property
+    def measured_overlap_factor(self) -> float:
+        """Measured busy unit-time packed into each wall-clock unit of time."""
+        if self.wall_ms <= 0.0:
+            return 1.0
+        return self.unit_wall_ms_sum / self.wall_ms
+
 
 class ServiceDispatcher:
     """Route top-k query batches over a simulated multi-GPU worker fleet.
@@ -82,7 +127,8 @@ class ServiceDispatcher:
     Parameters
     ----------
     num_workers:
-        Fleet size (one :class:`BatchTopK` engine per worker).
+        Fleet size (one :class:`BatchTopK` engine per worker, one thread per
+        worker in the executor pool).
     config:
         Pipeline configuration shared by the fleet.
     capacity_elements:
@@ -91,8 +137,18 @@ class ServiceDispatcher:
         tests to exercise sharding on small data).
     cache_capacity:
         Entries of the shared LRU ``(n, k) → alpha`` partition cache.
+    result_cache_capacity:
+        Entries of the LRU result cache; ``0`` disables result caching.
     gpus_per_node / comm_cost:
         Interconnect topology and cost model for the result gather.
+    execution:
+        ``"threads"`` (default) overlaps work units on the executor's pool;
+        ``"sequential"`` runs them inline — the measured baseline.
+    queue_capacity:
+        Bound on in-flight work units (backpressure); defaults to
+        ``2 * num_workers``.
+    chunk_elements:
+        Slice size for the streaming route when the input arrives as chunks.
     """
 
     def __init__(
@@ -101,83 +157,166 @@ class ServiceDispatcher:
         config: Optional[DrTopKConfig] = None,
         capacity_elements: int = MAX_SUBVECTOR_ELEMENTS,
         cache_capacity: int = 128,
+        result_cache_capacity: int = 256,
         gpus_per_node: int = 4,
         comm_cost: Optional[CommCost] = None,
+        execution: str = "threads",
+        queue_capacity: Optional[int] = None,
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
     ):
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
         if capacity_elements < 1:
             raise ConfigurationError("capacity_elements must be positive")
+        if result_cache_capacity < 0:
+            raise ConfigurationError("result_cache_capacity must be >= 0")
+        if chunk_elements < 1:
+            raise ConfigurationError("chunk_elements must be >= 1")
         self.num_workers = int(num_workers)
         self.config = config or DrTopKConfig()
         self.capacity_elements = int(capacity_elements)
         self.gpus_per_node = int(gpus_per_node)
         self.comm_cost = comm_cost or CommCost()
+        self.chunk_elements = int(chunk_elements)
         self.cache = PartitionCache(cache_capacity)
+        self.results_cache: Optional[ResultCache] = (
+            ResultCache(result_cache_capacity) if result_cache_capacity else None
+        )
         self.workers = [
             BatchTopK(self.config, cache=self.cache) for _ in range(self.num_workers)
         ]
+        self.executor = ServiceExecutor(
+            max_workers=self.num_workers, queue_capacity=queue_capacity, mode=execution
+        )
+        self.router = Router(
+            num_workers=self.num_workers,
+            capacity_elements=self.capacity_elements,
+            cache=self.cache,
+        )
         self.last_report: Optional[DispatchReport] = None
 
     # -- public API -----------------------------------------------------------
-    def dispatch(self, v: np.ndarray, queries: Sequence[QueryLike]) -> List[TopKResult]:
-        """Answer every query against ``v``; results align with ``queries``."""
+    def dispatch(self, v, queries: Sequence[QueryLike]) -> List[TopKResult]:
+        """Answer every query against ``v``; results align with ``queries``.
+
+        ``v`` is either a 1-D vector (batched or sharded route, by size) or
+        any iterable of 1-D chunk arrays (streaming route).
+        """
         parsed = [TopKQuery.of(q) for q in queries]
-        report = DispatchReport(num_queries=len(parsed), num_workers=self.num_workers)
+        report = DispatchReport(
+            num_queries=len(parsed),
+            num_workers=self.num_workers,
+            executor_mode=self.executor.mode,
+        )
         if not parsed:
-            report.cache = self.cache.info()
-            self.last_report = report
+            self._finish(report, ran_units=False)
             return []
+
+        # Plain Python sequences of numbers are a vector spelled as a list
+        # (ensure_1d has always coerced them); sequences of *arrays* — of
+        # any, possibly ragged, lengths — mean a chunk stream.  Generators
+        # and other lazy iterables are never materialised here and always
+        # stream.
+        if isinstance(v, (list, tuple)) and not any(isinstance(c, np.ndarray) for c in v):
+            try:
+                coerced = np.asarray(v)
+            except ValueError:  # ragged nested sequence
+                coerced = None
+            if coerced is not None and coerced.ndim == 1 and coerced.dtype != object:
+                v = coerced
+
+        route = self.router.classify(v)
+        if route == "streaming":
+            results = self._dispatch_streaming(v, parsed, report)
+            self._finish(report, ran_units=True)
+            return results
 
         v = ensure_1d(v)
         n = v.shape[0]
         for q in parsed:
             check_k(q.k, n)
 
-        if n > self.capacity_elements:
-            results = self._dispatch_sharded(v, parsed, report)
+        # Whole-result reuse: repeated identical queries skip the pipeline.
+        results: List[Optional[TopKResult]] = [None] * len(parsed)
+        fingerprint: Optional[str] = None
+        pending = list(range(len(parsed)))
+        if self.results_cache is not None:
+            fingerprint = fingerprint_array(v)
+            pending = []
+            for pos, q in enumerate(parsed):
+                hit = self.results_cache.get(fingerprint, q.k, q.largest)
+                if hit is not None:
+                    results[pos] = hit
+                    report.result_cache_hits += 1
+                else:
+                    pending.append(pos)
+
+        if pending:
+            sub_parsed = [parsed[p] for p in pending]
+            if route == "sharded":
+                sub_results = self._dispatch_sharded(v, sub_parsed, report)
+            else:
+                sub_results = self._dispatch_batched(v, sub_parsed, report)
+            for pos, res in zip(pending, sub_results):
+                results[pos] = res
+                if self.results_cache is not None and fingerprint is not None:
+                    self.results_cache.put(fingerprint, parsed[pos].k, parsed[pos].largest, res)
         else:
-            results = self._dispatch_batched(v, parsed, report)
+            report.route = "cached"
+
+        self._finish(report, ran_units=bool(pending))
+        final = [r for r in results if r is not None]
+        if len(final) != len(parsed):
+            raise ConfigurationError("internal error: dispatcher lost queries")
+        return final
+
+    def shutdown(self) -> None:
+        """Stop the executor's worker threads (the dispatcher stays usable)."""
+        self.executor.shutdown()
+
+    def __enter__(self) -> "ServiceDispatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- shared bookkeeping ----------------------------------------------------
+    def _finish(self, report: DispatchReport, ran_units: bool) -> None:
+        """Attach cache and measured-executor statistics, publish the report."""
+        exec_report = self.executor.last_report
+        if exec_report is not None and ran_units:
+            report.wall_ms = exec_report.wall_ms
+            report.unit_wall_ms_sum = exec_report.unit_wall_ms_sum
+            report.backpressure_waits = exec_report.backpressure_waits
         report.cache = self.cache.info()
+        if self.results_cache is not None:
+            report.result_cache = self.results_cache.info()
         self.last_report = report
-        return results
 
     # -- batched route ------------------------------------------------------------
     def _dispatch_batched(
         self, v: np.ndarray, parsed: List[TopKQuery], report: DispatchReport
     ) -> List[TopKResult]:
         report.route = "batched"
-        n = v.shape[0]
-        # Same grouping as BatchTopK: a group shares one plan, so it must
-        # stay on one worker.
-        groups: dict = {}
-        for pos, q in enumerate(parsed):
-            alpha = self.cache.resolve(n, q.k, self.workers[0].engine)
-            groups.setdefault((alpha, q.largest), []).append(pos)
-
-        # Greedy least-loaded placement of whole groups (largest first).
-        load = [0] * self.num_workers
-        placement: List[List[int]] = [[] for _ in range(self.num_workers)]
-        for positions in sorted(groups.values(), key=len, reverse=True):
-            target = min(range(self.num_workers), key=load.__getitem__)
-            placement[target].extend(positions)
-            load[target] += len(positions)
+        units, placement = self.router.batched_units(v, parsed, self.workers)
+        outcomes = self.executor.run(units)
 
         results: List[Optional[TopKResult]] = [None] * len(parsed)
+        by_worker: Dict[int, UnitResult] = {o.unit.worker: o for o in outcomes}
         worker_values: List[np.ndarray] = []
         worker_indices: List[np.ndarray] = []
         for w, positions in enumerate(placement):
             wreport = WorkerReport(worker=w, queries=len(positions))
-            if positions:
-                worker = self.workers[w]
-                sub_queries = [parsed[p] for p in positions]
-                sub_results, batch_report = worker.run_with_report(v, sub_queries)
+            outcome = by_worker.get(w)
+            if outcome is not None:
+                positions, sub_results, batch_report = outcome.value
                 for pos, res in zip(positions, sub_results):
                     results[pos] = res
                 wreport.groups = batch_report.num_groups
                 wreport.constructions = batch_report.constructions
                 wreport.compute_ms = batch_report.total_ms
                 wreport.bytes_moved = batch_report.total_bytes
+                wreport.wall_ms = outcome.wall_ms
                 worker_values.append(np.concatenate([r.values for r in sub_results]))
                 worker_indices.append(np.concatenate([r.indices for r in sub_results]))
             else:
@@ -197,6 +336,12 @@ class ServiceDispatcher:
         comm.gather(worker_values, root=0, asynchronous=True)
         comm.gather(worker_indices, root=0, asynchronous=True)
         report.communication_ms = comm.total_comm_ms
+        report.bytes_moved += float(
+            sum(
+                worker_values[w].nbytes + worker_indices[w].nbytes
+                for w in range(1, self.num_workers)
+            )
+        )
 
         final = [r for r in results if r is not None]
         if len(final) != len(parsed):
@@ -215,32 +360,113 @@ class ServiceDispatcher:
             gpus_per_node=self.gpus_per_node,
             comm_cost=self.comm_cost,
         )
-        per_worker_ms = [0.0] * self.num_workers
-        results: List[TopKResult] = []
-        for q in parsed:
-            results.append(fleet.topk(v, q.k, largest=q.largest))
-            assert fleet.last_report is not None
-            run = fleet.last_report
-            report.communication_ms += run.communication_ms
-            # The fleet model reports the critical-path worker; fold each
-            # query's compute + reload into every worker's budget since all
-            # ranks participate in a sharded run.
-            for w in range(self.num_workers):
-                per_worker_ms[w] += run.compute_ms + run.reload_ms
-            per_worker_ms[0] += run.final_topk_ms
-        for w in range(self.num_workers):
-            report.workers.append(
-                WorkerReport(
-                    worker=w,
-                    queries=len(parsed),
-                    compute_ms=per_worker_ms[w],
-                )
+        results, mreport = fleet.topk_batch(
+            v, parsed, cache=self.cache, executor=self.executor
+        )
+        report.communication_ms = mreport.communication_ms
+        report.constructions = mreport.constructions
+        # A sharded dispatch moves real traffic: the per-shard pipeline bytes
+        # (construction + query passes) plus the candidate gather.
+        report.bytes_moved = (
+            mreport.construction_bytes + mreport.query_bytes + mreport.gather_bytes
+        )
+        for outcome in mreport.per_gpu:
+            wreport = WorkerReport(
+                worker=outcome.gpu,
+                queries=len(parsed),
+                groups=outcome.groups,
+                constructions=outcome.constructions,
+                compute_ms=outcome.compute_ms + outcome.reload_ms,
+                bytes_moved=outcome.construction_bytes + outcome.query_bytes,
+                wall_ms=outcome.wall_ms,
             )
+            if outcome.gpu == 0:
+                # The primary also runs every query's final top-k.
+                wreport.compute_ms += mreport.final_topk_ms
+            report.workers.append(wreport)
+        return results
+
+    # -- streaming route ----------------------------------------------------------
+    def _dispatch_streaming(
+        self, chunks, parsed: List[TopKQuery], report: DispatchReport
+    ) -> List[TopKResult]:
+        report.route = "streaming"
+
+        def make_engine() -> BatchTopK:
+            # Units for one worker may overlap in the pool, so each unit gets
+            # a fresh engine; the alpha cache is the shared state.
+            return BatchTopK(self.config, cache=self.cache)
+
+        units = self.router.streaming_units(
+            chunks, parsed, self.chunk_elements, make_engine
+        )
+        outcomes = self.executor.run(units)
+
+        worker_reports = [WorkerReport(worker=w) for w in range(self.num_workers)]
+        comm = SimulatedComm(
+            num_ranks=self.num_workers,
+            gpus_per_node=self.gpus_per_node,
+            cost=self.comm_cost,
+        )
+        pools: List[Tuple[Optional[np.ndarray], np.ndarray]] = [
+            (None, np.empty(0, dtype=np.int64)) for _ in parsed
+        ]
+        total_elements = 0
+        for outcome in outcomes:
+            offset, length, by_largest, chunk_report = outcome.value
+            total_elements += length
+            w = outcome.unit.worker
+            wrep = worker_reports[w]
+            wrep.queries += 1  # one chunk unit
+            wrep.groups += chunk_report.num_groups
+            wrep.constructions += chunk_report.constructions
+            wrep.compute_ms += chunk_report.total_ms
+            wrep.bytes_moved += chunk_report.total_bytes
+            wrep.wall_ms += outcome.wall_ms
+            # The chunk's candidates travel from its worker to the primary.
+            for local in by_largest.values():
+                if w != 0:
+                    comm.send(local.values, src=w, dst=0)
+                    comm.send(local.indices, src=w, dst=0)
+                    report.bytes_moved += float(local.values.nbytes + local.indices.nbytes)
+            # Merge into each query's candidate pool on the primary.
+            for pos, q in enumerate(parsed):
+                local = by_largest[q.largest]
+                pool_v, pool_i = pools[pos]
+                pools[pos] = merge_candidate_pool(
+                    pool_v, pool_i, local.values, local.indices + offset, q.k, q.largest
+                )
+
+        if total_elements == 0:
+            raise ConfigurationError("streaming dispatch received no data")
+        for q in parsed:
+            if q.k > total_elements:
+                raise ConfigurationError(
+                    f"k={q.k} exceeds the {total_elements} elements streamed"
+                )
+
+        results: List[TopKResult] = []
+        for pos, q in enumerate(parsed):
+            pool_v, pool_i = pools[pos]
+            assert pool_v is not None
+            values, global_idx, finalize_bytes = order_candidate_pool(
+                pool_v, pool_i, q.k, q.largest, self.config
+            )
+            report.bytes_moved += finalize_bytes
+            results.append(
+                TopKResult(values=values, indices=global_idx, k=q.k, largest=q.largest)
+            )
+
+        for wrep in worker_reports:
+            report.workers.append(wrep)
+            report.constructions += wrep.constructions
+            report.bytes_moved += wrep.bytes_moved
+        report.communication_ms = comm.total_comm_ms
         return results
 
 
 def dispatch_topk(
-    v: np.ndarray,
+    v,
     queries: Sequence[QueryLike],
     num_workers: int = 4,
     config: Optional[DrTopKConfig] = None,

@@ -1,0 +1,231 @@
+"""Async execution core: a bounded thread-pool executor for service work units.
+
+Before this module existed, every service route owned its own loop: the
+dispatcher's batched route iterated workers in-process, the sharded route ran
+the fleet GPU by GPU, and streaming consumed chunks one engine at a time —
+"parallel workers" existed only in the cost model.  :class:`ServiceExecutor`
+is the one place work actually runs now.  Routes describe their work as
+:class:`WorkUnit`\\ s (a closure plus placement metadata) and submit the whole
+set; the executor runs them on a ``concurrent.futures.ThreadPoolExecutor``
+(NumPy releases the GIL inside its kernels, so units genuinely overlap on
+multi-core hosts) behind a **bounded submission queue**: at most
+``queue_capacity`` units are in flight and further submissions block, which is
+the backpressure that lets the service layer absorb bursty traffic without
+unbounded memory growth.
+
+Every run measures real wall-clock time per unit and end to end, so the
+``async_service`` experiment can put *measured* overlap next to the modelled
+``compute_ms`` the cost model has always reported.  ``mode="sequential"``
+runs the same units in submission order on the calling thread — the baseline
+the overlap is measured against, and a determinism escape hatch for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["WorkUnit", "UnitResult", "ExecutorReport", "ServiceExecutor"]
+
+#: Supported execution modes.
+EXECUTION_MODES = ("threads", "sequential")
+
+
+@dataclass
+class WorkUnit:
+    """One schedulable piece of a dispatched request.
+
+    Attributes
+    ----------
+    fn:
+        Zero-argument callable performing the work; its return value becomes
+        :attr:`UnitResult.value`.
+    worker:
+        Index of the simulated fleet worker this unit is placed on (used for
+        per-worker accounting, not thread affinity).
+    route:
+        The service route that emitted the unit (``batched`` / ``sharded`` /
+        ``streaming``).
+    label:
+        Human-readable tag for reports and debugging.
+    """
+
+    fn: Callable[[], Any]
+    worker: int = 0
+    route: str = ""
+    label: str = ""
+
+
+@dataclass
+class UnitResult:
+    """Outcome of one executed :class:`WorkUnit`."""
+
+    unit: WorkUnit
+    value: Any
+    wall_ms: float
+
+
+@dataclass
+class ExecutorReport:
+    """Measured (not modelled) execution statistics of one run.
+
+    ``unit_wall_ms_sum`` is what the same units would have cost end to end
+    with zero overlap; ``wall_ms`` is what the run actually took.  Their
+    ratio, :attr:`overlap_factor`, is > 1 whenever execution overlapped.
+    """
+
+    mode: str = "threads"
+    units: int = 0
+    wall_ms: float = 0.0
+    unit_wall_ms_sum: float = 0.0
+    max_in_flight: int = 0
+    backpressure_waits: int = 0
+
+    @property
+    def overlap_factor(self) -> float:
+        """Busy unit-time packed into each wall-clock unit of time."""
+        if self.wall_ms <= 0.0:
+            return 1.0
+        return self.unit_wall_ms_sum / self.wall_ms
+
+
+class ServiceExecutor:
+    """Run service :class:`WorkUnit`\\ s with bounded concurrency.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool size; typically the dispatcher's fleet size so one unit
+        per simulated worker can run at once.
+    queue_capacity:
+        Maximum units in flight (submitted but not finished).  Submission of
+        further units blocks — backpressure — until a slot frees.  Defaults
+        to ``2 * max_workers`` so one wave can queue behind the running wave.
+    mode:
+        ``"threads"`` (the default) runs units on the pool; ``"sequential"``
+        runs them inline in submission order, for baselines and determinism.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        queue_capacity: Optional[int] = None,
+        mode: str = "threads",
+    ):
+        if mode not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+            )
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be positive")
+        self.max_workers = int(max_workers)
+        self.queue_capacity = (
+            int(queue_capacity) if queue_capacity is not None else 2 * self.max_workers
+        )
+        if self.queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be positive")
+        self.mode = mode
+        self.last_report: Optional[ExecutorReport] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._in_flight = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-service"
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (the executor can be reused afterwards)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ServiceExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- execution -------------------------------------------------------------
+    def run(self, units: Iterable[WorkUnit]) -> List[UnitResult]:
+        """Execute every unit; results align with submission order.
+
+        ``units`` may be a lazy iterable (the streaming route submits chunks
+        as they arrive); the bounded queue then also bounds how far ahead of
+        execution the producer can read.  A unit that raises propagates its
+        exception after the in-flight units drain.
+        """
+        started = time.perf_counter()
+        report = ExecutorReport(mode=self.mode)
+        if self.mode == "sequential":
+            results = self._run_sequential(units, report)
+        else:
+            results = self._run_threads(units, report)
+        report.wall_ms = (time.perf_counter() - started) * 1e3
+        report.units = len(results)
+        self.last_report = report
+        return results
+
+    def _run_sequential(
+        self, units: Iterable[WorkUnit], report: ExecutorReport
+    ) -> List[UnitResult]:
+        results: List[UnitResult] = []
+        for unit in units:
+            t0 = time.perf_counter()
+            value = unit.fn()
+            wall = (time.perf_counter() - t0) * 1e3
+            results.append(UnitResult(unit=unit, value=value, wall_ms=wall))
+            report.unit_wall_ms_sum += wall
+            report.max_in_flight = 1
+        return results
+
+    def _run_threads(self, units: Iterable[WorkUnit], report: ExecutorReport) -> List[UnitResult]:
+        pool = self._ensure_pool()
+        slots = threading.Semaphore(self.queue_capacity)
+
+        def timed(unit: WorkUnit):
+            t0 = time.perf_counter()
+            value = unit.fn()
+            return value, (time.perf_counter() - t0) * 1e3
+
+        def release(_future: Future) -> None:
+            with self._lock:
+                self._in_flight -= 1
+            slots.release()
+
+        submitted: List[tuple] = []
+        try:
+            for unit in units:
+                if not slots.acquire(blocking=False):
+                    report.backpressure_waits += 1
+                    slots.acquire()
+                with self._lock:
+                    self._in_flight += 1
+                    report.max_in_flight = max(report.max_in_flight, self._in_flight)
+                future = pool.submit(timed, unit)
+                future.add_done_callback(release)
+                submitted.append((unit, future))
+        finally:
+            results: List[UnitResult] = []
+            error: Optional[BaseException] = None
+            for unit, future in submitted:
+                try:
+                    value, wall = future.result()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if error is None:
+                        error = exc
+                    continue
+                results.append(UnitResult(unit=unit, value=value, wall_ms=wall))
+                report.unit_wall_ms_sum += wall
+            if error is not None:
+                raise error
+        return results

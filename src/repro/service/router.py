@@ -1,0 +1,206 @@
+"""Request classification and per-worker work-unit emission.
+
+The :class:`Router` is the decision layer of the unified execution core: it
+looks at one request (a vector or a chunk stream, plus its queries) and
+decides which route serves it —
+
+* **batched** — the vector fits one device's sub-vector capacity; queries are
+  grouped by the plan they can share (same resolved ``alpha`` and key order,
+  the :func:`~repro.service.batch.group_queries_by_plan` definition) and whole
+  groups are placed on workers with a greedy least-loaded assignment, so plan
+  reuse is never split across workers;
+* **sharded** — the vector exceeds the capacity; every worker becomes one GPU
+  of the Figure 16 multi-GPU workflow and the batch runs with per-shard plan
+  reuse through :meth:`~repro.distributed.multigpu.MultiGpuDrTopK.topk_batch`;
+* **streaming** — the input is not an in-memory vector but an iterable of
+  chunks; each chunk becomes one work unit on the next worker round-robin and
+  the candidate pools merge on the primary.
+
+The router only *describes* work (as :class:`~repro.service.executor.WorkUnit`
+closures); the :class:`~repro.service.executor.ServiceExecutor` runs it and
+:class:`~repro.service.dispatcher.ServiceDispatcher` merges the outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.service.batch import BatchTopK, TopKQuery, group_queries_by_plan
+from repro.service.cache import PartitionCache
+from repro.service.executor import WorkUnit
+
+__all__ = ["Router"]
+
+#: Route names emitted by :meth:`Router.classify`.
+ROUTES = ("batched", "sharded", "streaming")
+
+
+class Router:
+    """Classify requests and emit per-worker :class:`WorkUnit`\\ s.
+
+    Parameters
+    ----------
+    num_workers:
+        Fleet size placements are computed for.
+    capacity_elements:
+        Per-device sub-vector capacity separating the batched and sharded
+        routes.
+    cache:
+        Shared :class:`PartitionCache` used for the grouping's ``alpha``
+        resolution (so routing warms the same cache the engines use).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        capacity_elements: int,
+        cache: PartitionCache,
+    ):
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be positive")
+        if capacity_elements < 1:
+            raise ConfigurationError("capacity_elements must be positive")
+        self.num_workers = int(num_workers)
+        self.capacity_elements = int(capacity_elements)
+        self.cache = cache
+
+    # -- classification --------------------------------------------------------
+    def classify(self, v) -> str:
+        """Name the route serving ``v``: batched, sharded or streaming.
+
+        In-memory 1-D vectors route by size against the device capacity;
+        anything else iterable (a generator of chunks, a list of arrays) is a
+        chunked input and takes the streaming route.
+        """
+        if isinstance(v, np.ndarray):
+            if v.ndim != 1:
+                raise ConfigurationError(
+                    f"expected a 1-D vector or an iterable of chunks, got shape {v.shape}"
+                )
+            if v.shape[0] > self.capacity_elements:
+                return "sharded"
+            return "batched"
+        if hasattr(v, "__iter__") or hasattr(v, "__next__"):
+            return "streaming"
+        raise ConfigurationError(
+            f"cannot route input of type {type(v).__name__}; "
+            "expected a numpy vector or an iterable of chunks"
+        )
+
+    # -- batched-route emission ------------------------------------------------
+    def place_groups(self, v: np.ndarray, parsed: Sequence[TopKQuery], engine) -> List[List[int]]:
+        """Greedy least-loaded placement of whole plan-sharing groups.
+
+        Queries sharing a plan must stay on one worker (splitting a group
+        would re-run its construction); groups are placed largest first onto
+        the least-loaded worker.  Returns one list of query positions per
+        worker (possibly empty).
+        """
+        groups = group_queries_by_plan(parsed, v.shape[0], self.cache, engine)
+        load = [0] * self.num_workers
+        placement: List[List[int]] = [[] for _ in range(self.num_workers)]
+        for positions in sorted(groups.values(), key=len, reverse=True):
+            target = min(range(self.num_workers), key=load.__getitem__)
+            placement[target].extend(positions)
+            load[target] += len(positions)
+        return placement
+
+    def batched_units(
+        self,
+        v: np.ndarray,
+        parsed: Sequence[TopKQuery],
+        workers: Sequence[BatchTopK],
+    ) -> Tuple[List[WorkUnit], List[List[int]]]:
+        """Emit one :class:`WorkUnit` per worker that received queries.
+
+        Each unit runs its worker's :meth:`BatchTopK.run_with_report` over the
+        worker's share and returns ``(positions, results, batch_report)`` for
+        the dispatcher to merge.
+        """
+        placement = self.place_groups(v, parsed, workers[0].engine)
+
+        def unit_fn(worker: BatchTopK, positions: List[int]):
+            sub_queries = [parsed[p] for p in positions]
+            return lambda: (positions, *worker.run_with_report(v, sub_queries))
+
+        units = [
+            WorkUnit(
+                fn=unit_fn(workers[w], positions),
+                worker=w,
+                route="batched",
+                label=f"worker{w}:{len(positions)}q",
+            )
+            for w, positions in enumerate(placement)
+            if positions
+        ]
+        return units, placement
+
+    # -- streaming-route emission ----------------------------------------------
+    def streaming_units(
+        self,
+        chunks,
+        parsed: Sequence[TopKQuery],
+        chunk_elements: int,
+        make_engine,
+    ):
+        """Lazily emit one :class:`WorkUnit` per stream chunk, round-robin.
+
+        ``chunks`` may be a single array (sliced transparently) or any
+        iterable of 1-D arrays; oversized arrays are split to
+        ``chunk_elements``.  Each unit distils its chunk into at most
+        ``max(k)`` candidates per key order present in the batch — one local
+        pipeline run per key order, shared by every query — and returns
+        ``(offset, length, {largest: TopKResult}, BatchReport)``.  Units are
+        yielded lazily so the executor's bounded queue also bounds
+        read-ahead.
+
+        ``make_engine`` builds a fresh per-unit :class:`BatchTopK` (units for
+        one worker may overlap in the pool, so they cannot share an engine).
+        """
+        kmax: dict = {}
+        for q in parsed:
+            kmax[q.largest] = max(kmax.get(q.largest, 0), q.k)
+
+        if isinstance(chunks, np.ndarray):
+            chunks = [chunks]
+
+        def chunk_fn(piece: np.ndarray, offset: int):
+            local_queries = [
+                (min(k, piece.shape[0]), largest) for largest, k in sorted(kmax.items())
+            ]
+
+            def run():
+                engine = make_engine()
+                results = engine.run(piece, local_queries)
+                by_largest = {q[1]: r for q, r in zip(local_queries, results)}
+                return offset, piece.shape[0], by_largest, engine.last_report
+
+            return run
+
+        def generate():
+            offset = 0
+            index = 0
+            for chunk in chunks:
+                chunk = np.asarray(chunk)
+                if chunk.ndim != 1:
+                    raise ConfigurationError(
+                        f"stream chunks must be one dimensional, got shape {chunk.shape}"
+                    )
+                for start in range(0, chunk.shape[0], chunk_elements):
+                    piece = chunk[start : start + chunk_elements]
+                    if not piece.shape[0]:
+                        continue
+                    worker = index % self.num_workers
+                    yield WorkUnit(
+                        fn=chunk_fn(piece, offset),
+                        worker=worker,
+                        route="streaming",
+                        label=f"chunk{index}@worker{worker}",
+                    )
+                    offset += piece.shape[0]
+                    index += 1
+
+        return generate()

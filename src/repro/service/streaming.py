@@ -23,7 +23,7 @@ returned values match element-wise; indices are one valid choice under ties.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -35,12 +35,67 @@ from repro.core.drtopk import DrTopK
 from repro.errors import ConfigurationError
 from repro.types import TopKResult, WorkloadStats
 
-__all__ = ["StreamingTopK", "StreamReport", "streaming_topk"]
+__all__ = [
+    "StreamingTopK",
+    "StreamReport",
+    "streaming_topk",
+    "merge_candidate_pool",
+    "order_candidate_pool",
+]
 
 #: Default chunk size (elements); far below the paper's 2^30 device cap so
 #: streaming runs comfortably anywhere, while still amortising per-chunk
 #: pipeline overheads.
 DEFAULT_CHUNK_ELEMENTS = 1 << 20
+
+
+def merge_candidate_pool(
+    pool_values: Optional[np.ndarray],
+    pool_indices: np.ndarray,
+    values: np.ndarray,
+    indices: np.ndarray,
+    k: int,
+    largest: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold chunk candidates into a running pool trimmed to the exact top-k.
+
+    The trimmed pool's k-th key is the stream's running Rule-2 threshold: any
+    later element below it can never reach the answer.  Shared by
+    :class:`StreamingTopK`'s single-engine loop and the dispatcher's
+    fleet-routed streaming, so both maintain identical pools.
+    """
+    if pool_values is None:
+        merged_v, merged_i = values, indices
+    else:
+        merged_v = np.concatenate([pool_values, values])
+        merged_i = np.concatenate([pool_indices, indices])
+    if merged_v.shape[0] > k:
+        keys = to_keys(merged_v, largest=largest)
+        keep = np.argpartition(keys, merged_v.shape[0] - k)[-k:]
+        merged_v, merged_i = merged_v[keep], merged_i[keep]
+    return merged_v, merged_i.astype(np.int64)
+
+
+def order_candidate_pool(
+    pool_values: np.ndarray,
+    pool_indices: np.ndarray,
+    k: int,
+    largest: bool,
+    config: DrTopKConfig,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Final pass over a candidate pool: order the answer, map global indices.
+
+    Runs the configured second top-k algorithm and returns
+    ``(values, global_indices, finalize_bytes)`` where ``finalize_bytes`` is
+    the simulated traffic of the pass (zero when tracing is disabled).
+    """
+    algo = get_algorithm(config.second_algorithm)
+    trace = (
+        ExecutionTrace(itemsize=pool_values.dtype.itemsize) if config.collect_trace else None
+    )
+    ordered = algo.topk(pool_values, k, largest=largest, trace=trace)
+    finalize_bytes = trace.total_counters().global_bytes if trace is not None else 0.0
+    return ordered.values, pool_indices[ordered.indices], float(finalize_bytes)
 
 
 @dataclass
@@ -160,20 +215,16 @@ class StreamingTopK:
 
     def _merge(self, values: np.ndarray, global_indices: np.ndarray) -> None:
         """Fold chunk candidates into the running pool, trimmed to top-k."""
-        if self._pool_values is None:
-            pool_v, pool_i = values, global_indices
-        else:
-            pool_v = np.concatenate([self._pool_values, values])
-            pool_i = np.concatenate([self._pool_indices, global_indices])
-        self.report.pool_peak = max(self.report.pool_peak, int(pool_v.shape[0]))
-        if pool_v.shape[0] > self.k:
-            # Keep the exact top-k of everything seen: the pool's k-th key is
-            # the stream's running Rule-2 threshold.
-            keys = to_keys(pool_v, largest=self.largest)
-            keep = np.argpartition(keys, pool_v.shape[0] - self.k)[-self.k :]
-            pool_v, pool_i = pool_v[keep], pool_i[keep]
-        self._pool_values = pool_v
-        self._pool_indices = pool_i.astype(np.int64)
+        peak = (0 if self._pool_values is None else self._pool_values.shape[0]) + values.shape[0]
+        self.report.pool_peak = max(self.report.pool_peak, int(peak))
+        self._pool_values, self._pool_indices = merge_candidate_pool(
+            self._pool_values,
+            self._pool_indices,
+            values,
+            global_indices,
+            self.k,
+            self.largest,
+        )
 
     # -- completion -------------------------------------------------------------
     def finalize(self) -> TopKResult:
@@ -190,18 +241,12 @@ class StreamingTopK:
                 f"k={self.k} exceeds the {self._count} elements streamed"
             )
         assert self._pool_values is not None
-        algo = get_algorithm(self.config.second_algorithm)
-        trace = (
-            ExecutionTrace(itemsize=self._pool_values.dtype.itemsize)
-            if self.config.collect_trace
-            else None
+        values, global_idx, finalize_bytes = order_candidate_pool(
+            self._pool_values, self._pool_indices, self.k, self.largest, self.config
         )
-        ordered = algo.topk(self._pool_values, self.k, largest=self.largest, trace=trace)
-        if trace is not None:
-            self.report.finalize_bytes = trace.total_counters().global_bytes
-        global_idx = self._pool_indices[ordered.indices]
+        self.report.finalize_bytes = finalize_bytes
         self._result = TopKResult(
-            values=ordered.values,
+            values=values,
             indices=global_idx,
             k=self.k,
             largest=self.largest,

@@ -172,6 +172,90 @@ class TestMultiGpuWorkflow:
         result = runner.topk(v, 20)
         assert_topk_correct(result, v, 20)
 
+    @pytest.mark.parametrize("num_gpus", [5, 6, 8, 12])
+    def test_hierarchical_vs_flat_gather_identical(self, rng, num_gpus):
+        """Flat and node-leader gathers must return identical results on any
+        fleet wider than one node, including ragged last nodes."""
+        v = rng.integers(0, 2**32, size=1 << 14, dtype=np.uint32)
+        flat = MultiGpuDrTopK(
+            num_gpus=num_gpus, capacity_elements=1 << 11, gpus_per_node=4
+        )
+        tree = MultiGpuDrTopK(
+            num_gpus=num_gpus,
+            capacity_elements=1 << 11,
+            gpus_per_node=4,
+            use_hierarchical_reduction=True,
+        )
+        a = flat.topk(v, 123)
+        b = tree.topk(v, 123)
+        np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        assert_topk_correct(b, v, 123)
+
+    def test_hierarchical_gather_preserves_float32_dtype(self, rng):
+        """Empty per-GPU contributions must not upcast a float32 gather: more
+        GPUs than sub-vectors leaves idle ranks with empty candidate sets."""
+        v = rng.standard_normal(1 << 12).astype(np.float32)
+        runner = MultiGpuDrTopK(
+            num_gpus=8,
+            capacity_elements=1 << 9,
+            gpus_per_node=4,
+            use_hierarchical_reduction=True,
+        )
+        result = runner.topk(v, 40)
+        assert result.values.dtype == np.float32
+        assert_topk_correct(result, v, 40)
+
+
+class TestMultiGpuBatch:
+    def test_batch_matches_single_query_runs(self, rng):
+        v = rng.integers(0, 2**32, size=1 << 14, dtype=np.uint32)
+        fleet = MultiGpuDrTopK(num_gpus=3, capacity_elements=1 << 12)
+        queries = [(100, True), (10, False), (100, True), (33, True)]
+        results, report = fleet.topk_batch(v, queries)
+        assert report.num_queries == len(queries)
+        for (k, largest), res in zip(queries, results):
+            solo = MultiGpuDrTopK(num_gpus=3, capacity_elements=1 << 12).topk(
+                v, k, largest=largest
+            )
+            np.testing.assert_array_equal(np.sort(res.values), np.sort(solo.values))
+            assert_topk_correct(res, v, k, largest=largest)
+
+    def test_batch_amortises_constructions_and_reloads(self, rng):
+        v = rng.integers(0, 2**32, size=1 << 14, dtype=np.uint32)
+        fleet = MultiGpuDrTopK(num_gpus=2, capacity_elements=1 << 11)
+        # 8 identical queries: one group per shard, one construction each.
+        results, report = fleet.topk_batch(v, [(64, True)] * 8)
+        assert len(results) == 8
+        assert report.constructions == fleet.last_plan.num_subvectors
+        assert report.construction_bytes > 0
+        assert report.gather_bytes > 0
+        assert report.reload_ms > 0  # shards beyond the first reload once
+        # A second fleet answering the queries one by one reloads per query.
+        solo = MultiGpuDrTopK(num_gpus=2, capacity_elements=1 << 11)
+        solo.topk(v, 64)
+        assert report.reload_ms <= solo.last_report.reload_ms * 8
+
+    def test_batch_with_empty_queries(self, rng):
+        v = rng.integers(0, 2**32, size=1 << 10, dtype=np.uint32)
+        fleet = MultiGpuDrTopK(num_gpus=2, capacity_elements=1 << 8)
+        results, report = fleet.topk_batch(v, [])
+        assert results == [] and report.num_queries == 0
+
+    def test_batch_hierarchical_gather(self, rng):
+        v = rng.standard_normal(1 << 13).astype(np.float32)
+        fleet = MultiGpuDrTopK(
+            num_gpus=8,
+            capacity_elements=1 << 10,
+            gpus_per_node=4,
+            use_hierarchical_reduction=True,
+        )
+        results, report = fleet.topk_batch(v, [(25, True), (50, False)])
+        assert report.communication_ms > 0
+        assert_topk_correct(results[0], v, 25)
+        assert_topk_correct(results[1], v, 50, largest=False)
+        assert results[0].values.dtype == np.float32
+
 
 class TestScalabilityModel:
     def test_speedup_improves_with_gpus_when_data_fits(self):

@@ -39,6 +39,7 @@ class TestRunnerRegistry:
             "fig15", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
             "fig24", "table2", "table3",
             "service",  # batched serving traffic (not a paper figure)
+            "async",    # sequential vs overlapped dispatch (not a paper figure)
         }
         assert expected == names
 

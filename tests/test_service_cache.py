@@ -1,0 +1,67 @@
+"""ResultCache and array fingerprinting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.cache import ResultCache, fingerprint_array
+from repro.types import TopKResult
+
+
+def _result(k=4):
+    values = np.arange(k, dtype=np.uint32)[::-1].copy()
+    return TopKResult(values=values, indices=np.arange(k, dtype=np.int64), k=k)
+
+
+class TestFingerprint:
+    def test_deterministic_and_content_sensitive(self, uniform_u32):
+        a = fingerprint_array(uniform_u32)
+        assert a == fingerprint_array(uniform_u32.copy())
+        mutated = uniform_u32.copy()
+        mutated[123] += 1
+        assert a != fingerprint_array(mutated)
+
+    def test_shape_and_dtype_sensitive(self):
+        v32 = np.arange(100, dtype=np.uint32)
+        assert fingerprint_array(v32) != fingerprint_array(v32.astype(np.uint64))
+        assert fingerprint_array(v32) != fingerprint_array(v32[:99])
+
+    def test_large_vector_sampled_path(self, rng):
+        big = rng.integers(0, 2**32, size=(1 << 19) + 7, dtype=np.uint32)  # > 1 MiB
+        a = fingerprint_array(big)
+        assert a == fingerprint_array(big.copy())
+        edge = big.copy()
+        edge[-1] += 1  # tail block is always hashed
+        assert a != fingerprint_array(edge)
+
+
+class TestResultCache:
+    def test_hit_miss_and_lru_eviction(self, uniform_u32):
+        cache = ResultCache(capacity=2)
+        fp = fingerprint_array(uniform_u32)
+        assert cache.get(fp, 4, True) is None
+        cache.put(fp, 4, True, _result())
+        assert cache.get(fp, 4, True) is not None
+        assert cache.get(fp, 4, False) is None  # largest is part of the key
+        cache.put(fp, 8, True, _result(8))
+        cache.put(fp, 16, True, _result(16))  # evicts the LRU (k=4) entry
+        assert len(cache) == 2
+        info = cache.info()
+        assert info.evictions == 1
+        assert info.hits == 1
+        assert info.misses == 2
+
+    def test_clear_keeps_counters(self, uniform_u32):
+        cache = ResultCache()
+        fp = fingerprint_array(uniform_u32)
+        cache.put(fp, 4, True, _result())
+        cache.get(fp, 4, True)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.info().hits == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(capacity=0)

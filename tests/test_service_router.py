@@ -1,0 +1,85 @@
+"""Router: route classification and work-unit emission."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.batch import BatchTopK, TopKQuery
+from repro.service.cache import PartitionCache
+from repro.service.router import Router
+
+
+@pytest.fixture
+def router():
+    return Router(num_workers=3, capacity_elements=1 << 12, cache=PartitionCache())
+
+
+def test_classify_by_size_and_shape(router, uniform_u32):
+    assert router.classify(uniform_u32[: 1 << 10]) == "batched"
+    assert router.classify(uniform_u32) == "sharded"  # 2^14 > 2^12 capacity
+    assert router.classify(iter([uniform_u32])) == "streaming"
+    assert router.classify([uniform_u32[:10], uniform_u32[10:]]) == "streaming"
+    with pytest.raises(ConfigurationError):
+        router.classify(uniform_u32.reshape(128, -1))
+    with pytest.raises(ConfigurationError):
+        router.classify(42)
+
+
+def test_groups_are_never_split_across_workers(router, uniform_u32):
+    v = uniform_u32[: 1 << 12]
+    # Two plan groups: identical k, opposite key order.
+    parsed = [TopKQuery.of((64, i % 2 == 0)) for i in range(10)]
+    workers = [BatchTopK(cache=router.cache) for _ in range(3)]
+    placement = router.place_groups(v, parsed, workers[0].engine)
+    assert sum(len(p) for p in placement) == len(parsed)
+    # Each group's positions all landed on one worker.
+    even = {w for w, positions in enumerate(placement) for p in positions if p % 2 == 0}
+    odd = {w for w, positions in enumerate(placement) for p in positions if p % 2 == 1}
+    assert len(even) == 1 and len(odd) == 1
+    assert even != odd  # least-loaded placement spreads the two groups
+
+
+def test_batched_units_skip_idle_workers(router, uniform_u32):
+    v = uniform_u32[: 1 << 12]
+    parsed = [TopKQuery.of(64)] * 4  # one group -> one worker
+    workers = [BatchTopK(cache=router.cache) for _ in range(3)]
+    units, placement = router.batched_units(v, parsed, workers)
+    assert len(units) == 1
+    assert units[0].route == "batched"
+    positions, results, report = units[0].fn()
+    assert positions == [0, 1, 2, 3]
+    assert len(results) == 4
+    assert report.constructions == 1
+
+
+def test_streaming_units_round_robin_and_slicing(router, uniform_u32):
+    parsed = [TopKQuery.of((50, True)), TopKQuery.of((20, False))]
+    units = list(
+        router.streaming_units(
+            uniform_u32, parsed, chunk_elements=3000, make_engine=lambda: BatchTopK()
+        )
+    )
+    assert len(units) == -(-uniform_u32.shape[0] // 3000)
+    assert [u.worker for u in units[:4]] == [0, 1, 2, 0]
+    offset, length, by_largest, _report = units[1].fn()
+    assert offset == 3000 and length == 3000
+    # One distilled candidate set per key order present in the batch.
+    assert set(by_largest) == {True, False}
+    assert by_largest[True].values.shape[0] == 50
+    assert by_largest[False].values.shape[0] == 20
+
+
+def test_streaming_units_reject_bad_chunks(router):
+    parsed = [TopKQuery.of(5)]
+    bad = [np.zeros((4, 4), dtype=np.uint32)]
+    with pytest.raises(ConfigurationError):
+        list(router.streaming_units(bad, parsed, 1000, make_engine=lambda: BatchTopK()))
+
+
+def test_router_validation():
+    with pytest.raises(ConfigurationError):
+        Router(num_workers=0, capacity_elements=10, cache=PartitionCache())
+    with pytest.raises(ConfigurationError):
+        Router(num_workers=1, capacity_elements=0, cache=PartitionCache())

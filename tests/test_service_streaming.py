@@ -5,9 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.config import DrTopKConfig
 from repro.core.drtopk import DrTopK
 from repro.errors import ConfigurationError
-from repro.service.streaming import StreamingTopK, streaming_topk
+from repro.service.streaming import (
+    StreamingTopK,
+    merge_candidate_pool,
+    order_candidate_pool,
+    streaming_topk,
+)
 
 from tests.helpers import assert_topk_correct
 
@@ -107,3 +113,45 @@ def test_empty_chunks_are_ignored(uniform_u32):
 def test_streaming_with_ties(tied_u32):
     result = streaming_topk(tied_u32, 77, chunk_elements=500)
     assert_topk_correct(result, tied_u32, 77)
+
+
+def test_merge_candidate_pool_keeps_exact_topk(rng):
+    # The shared pool helper must keep exactly the top-k of everything seen,
+    # whatever order candidates arrive in.
+    v = rng.integers(0, 2**32, size=5000, dtype=np.uint32)
+    pool_v, pool_i = None, np.empty(0, dtype=np.int64)
+    for start in range(0, v.shape[0], 700):
+        piece = v[start : start + 700]
+        pool_v, pool_i = merge_candidate_pool(
+            pool_v, pool_i, piece, np.arange(start, start + piece.shape[0]), 100, True
+        )
+    assert pool_v.shape[0] == 100
+    expected = np.sort(v)[-100:]
+    np.testing.assert_array_equal(np.sort(pool_v), expected)
+    np.testing.assert_array_equal(v[pool_i], pool_v)
+
+
+def test_merge_candidate_pool_below_k_keeps_everything():
+    values = np.array([5, 1, 9], dtype=np.uint32)
+    pool_v, pool_i = merge_candidate_pool(
+        None, np.empty(0, dtype=np.int64), values, np.arange(3), 10, True
+    )
+    assert pool_v.shape[0] == 3
+    assert pool_i.dtype == np.int64
+
+
+def test_order_candidate_pool_orders_and_maps(rng):
+    v = rng.integers(0, 2**32, size=1000, dtype=np.uint32)
+    indices = rng.permutation(1000)[:64].astype(np.int64)
+    values, global_idx, traced = order_candidate_pool(
+        v[indices], indices, 16, True, DrTopKConfig()
+    )
+    assert values.shape[0] == 16
+    np.testing.assert_array_equal(values, np.sort(v[indices])[::-1][:16])
+    np.testing.assert_array_equal(v[global_idx], values)
+    assert traced > 0  # tracing on by default
+
+    _, _, untraced = order_candidate_pool(
+        v[indices], indices, 16, True, DrTopKConfig(collect_trace=False)
+    )
+    assert untraced == 0.0
