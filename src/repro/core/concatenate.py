@@ -65,6 +65,7 @@ def concatenate_subranges(
     threshold=None,
     extra_candidate_mask: Optional[np.ndarray] = None,
     trace: Optional[ExecutionTrace] = None,
+    padded_view: Optional[np.ndarray] = None,
 ) -> Concatenation:
     """Build the concatenated vector.
 
@@ -86,12 +87,21 @@ def concatenate_subranges(
         is not scanned (the partially-taken subranges of Rule 3).
     trace:
         Optional execution trace for the simulated GPU traffic.
+    padded_view:
+        Optional precomputed padded 2-D view of ``keys`` (a plan's memoised
+        :meth:`~repro.core.plan.QueryPlan.padded_view`); without it each call
+        re-materialises the O(n) padded copy.
     """
     keys = np.asarray(keys)
     partition: SubrangePartition = delegates.partition
     scan_mask = np.asarray(scan_mask, dtype=bool)
     if scan_mask.shape[0] != partition.num_subranges:
         raise ConfigurationError("scan_mask must have one entry per subrange")
+    if padded_view is not None and padded_view.shape != (
+        partition.num_subranges,
+        partition.subrange_size,
+    ):
+        raise ConfigurationError("padded_view shape does not match the partition")
 
     scanned_ids = np.nonzero(scan_mask)[0]
     pieces_keys = []
@@ -102,7 +112,10 @@ def concatenate_subranges(
     if scanned_ids.shape[0]:
         # Gather the scanned subranges through the padded 2-D view, then strip
         # padding and apply the Rule-2 filter in one vectorised pass.
-        view = partition.reshape_padded(keys, pad_value=keys.dtype.type(0))
+        if padded_view is not None:
+            view = padded_view
+        else:
+            view = partition.reshape_padded(keys, pad_value=keys.dtype.type(0))
         block = view[scanned_ids]  # (s, subrange_size)
         positions = (scanned_ids[:, None] << partition.alpha) + np.arange(
             partition.subrange_size, dtype=np.int64

@@ -20,7 +20,7 @@ the paper describes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -61,6 +61,13 @@ class DelegateVector:
         Number of delegates per subrange.
     strategy:
         The construction strategy that was (simulated to be) used.
+
+    The flat views (:meth:`flat_keys`, :meth:`flat_indices`,
+    :meth:`flat_subrange_ids`) are memoised: a delegate vector is immutable
+    once built and every :meth:`~repro.core.drtopk.DrTopK.topk_prepared` call
+    needs all three, so the boolean-mask gathers run once per construction
+    rather than once per query.  Callers must treat the returned arrays as
+    read-only.
     """
 
     keys: np.ndarray
@@ -69,6 +76,9 @@ class DelegateVector:
     partition: SubrangePartition
     beta: int
     strategy: ConstructionStrategy
+    _flat_keys: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    _flat_indices: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    _flat_subrange_ids: Optional[np.ndarray] = field(default=None, init=False, repr=False)
 
     @property
     def num_subranges(self) -> int:
@@ -81,18 +91,32 @@ class DelegateVector:
 
     def flat_keys(self) -> np.ndarray:
         """Valid delegate keys as a flat vector (first top-k input)."""
-        return self.keys[self.valid]
+        if self._flat_keys is None:
+            self._flat_keys = self.keys[self.valid]
+        return self._flat_keys
 
     def flat_indices(self) -> np.ndarray:
         """Global positions of the valid delegates, aligned with :meth:`flat_keys`."""
-        return self.indices[self.valid]
+        if self._flat_indices is None:
+            self._flat_indices = self.indices[self.valid]
+        return self._flat_indices
 
     def flat_subrange_ids(self) -> np.ndarray:
         """Subrange id of each valid delegate, aligned with :meth:`flat_keys`."""
-        ids = np.repeat(
-            np.arange(self.num_subranges, dtype=np.int64)[:, None], self.beta, axis=1
-        )
-        return ids[self.valid]
+        if self._flat_subrange_ids is None:
+            ids = np.repeat(
+                np.arange(self.num_subranges, dtype=np.int64)[:, None], self.beta, axis=1
+            )
+            self._flat_subrange_ids = ids[self.valid]
+        return self._flat_subrange_ids
+
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the delegate arrays and memoised views."""
+        total = self.keys.nbytes + self.indices.nbytes + self.valid.nbytes
+        for view in (self._flat_keys, self._flat_indices, self._flat_subrange_ids):
+            if view is not None:
+                total += view.nbytes
+        return int(total)
 
     def maxima(self) -> np.ndarray:
         """Maximum key of every subrange (column 0)."""
@@ -125,6 +149,7 @@ def build_delegate_vector(
     beta: int = 1,
     strategy: ConstructionStrategy = ConstructionStrategy.AUTO,
     trace: Optional[ExecutionTrace] = None,
+    padded_view: Optional[np.ndarray] = None,
 ) -> DelegateVector:
     """Extract the top-``beta`` delegates of every subrange.
 
@@ -141,6 +166,10 @@ def build_delegate_vector(
         (the numerical result is identical for all strategies).
     trace:
         Optional execution trace receiving the construction's kernel step.
+    padded_view:
+        Optional precomputed ``partition.reshape_padded(keys, 0)`` result, so
+        callers that keep the padded 2-D view around (query plans) avoid
+        re-materialising the O(n) padded copy here.
     """
     if beta < 1:
         raise ConfigurationError("beta must be >= 1")
@@ -153,7 +182,14 @@ def build_delegate_vector(
         raise ConfigurationError("keys length does not match the partition")
 
     resolved = resolve_strategy(strategy, partition.alpha)
-    view = partition.reshape_padded(keys, pad_value=keys.dtype.type(0))
+    if padded_view is not None:
+        view = padded_view
+        if view.shape != (partition.num_subranges, partition.subrange_size):
+            raise ConfigurationError(
+                f"padded_view shape {view.shape} does not match the partition"
+            )
+    else:
+        view = partition.reshape_padded(keys, pad_value=keys.dtype.type(0))
     num_subranges, subrange_size = view.shape
 
     if beta == 1:

@@ -38,7 +38,7 @@ from repro.core.concatenate import concatenate_subranges
 from repro.core.config import DrTopKConfig
 from repro.core.delegate import build_delegate_vector
 from repro.core.filtering import qualification_threshold, qualify_subranges
-from repro.core.plan import QueryPlan
+from repro.core.plan import PlanViews, QueryPlan
 from repro.core.subrange import SubrangePartition
 from repro.errors import ConfigurationError
 from repro.gpusim.kernel import KernelStep
@@ -122,12 +122,19 @@ class DrTopK:
             )
 
         trace = ExecutionTrace(itemsize=v.dtype.itemsize) if cfg.collect_trace else None
+        # The padded 2-D view is needed by construction now and by every
+        # query's concatenation later; materialise it once and keep it on the
+        # plan so the steady-state query path never re-pads the O(n) vector.
+        views = PlanViews(
+            padded=partition.reshape_padded(keys, pad_value=keys.dtype.type(0))
+        )
         delegates = build_delegate_vector(
             keys,
             partition,
             beta=beta,
             strategy=cfg.construction,
             trace=trace,
+            padded_view=views.padded,
         )
         return QueryPlan(
             v=v,
@@ -138,6 +145,7 @@ class DrTopK:
             delegates=delegates,
             construction_steps=list(trace.steps) if trace is not None else [],
             offset=offset,
+            views=views,
         )
 
     def topk_prepared(
@@ -208,7 +216,7 @@ class DrTopK:
         stats.fully_qualified_subranges = int(np.count_nonzero(scan))
 
         flat_sub_ids = delegates.flat_subrange_ids()
-        delegate_above = delegates.flat_keys() >= flat_keys.dtype.type(threshold)
+        delegate_above = flat_keys >= flat_keys.dtype.type(threshold)
         extra_mask = delegate_above & ~scan[flat_sub_ids]
 
         if (
@@ -239,6 +247,7 @@ class DrTopK:
             threshold=threshold if cfg.use_filtering else None,
             extra_candidate_mask=extra_mask,
             trace=trace,
+            padded_view=plan.padded_view(),
         )
         stats.concatenated_size = concat.size
         stats.filtered_out = concat.filtered_out

@@ -16,8 +16,17 @@ pays for construction once (the amortised hot-path win the service layer in
   whether to charge the one-time construction traffic or account for it once
   at the batch level.
 
+Plans also memoise their *views*: the padded 2-D reshape of the key vector
+(:meth:`QueryPlan.padded_view`) that construction and concatenation both
+need, held in a :class:`PlanViews` holder that survives
+``dataclasses.replace`` clones (the sharded route re-offsets banked plans
+that way), and — on the :class:`DelegateVector` itself — the
+``flat_keys``/``flat_indices``/``flat_subrange_ids`` gathers.  Together they
+make a steady-state :meth:`DrTopK.topk_prepared` call free of O(n) work.
+
 Plans are produced by :meth:`DrTopK.prepare` / :meth:`DrTopK.prepare_with_alpha`
-and consumed by :meth:`DrTopK.topk_prepared`.
+and consumed by :meth:`DrTopK.topk_prepared`; the service layer's
+:class:`~repro.service.planbank.PlanBank` persists them across dispatches.
 """
 
 from __future__ import annotations
@@ -33,7 +42,24 @@ from repro.gpusim.device import DeviceSpec, V100S
 from repro.gpusim.kernel import KernelStep
 from repro.gpusim.memory import MemoryCounters
 
-__all__ = ["QueryPlan"]
+__all__ = ["PlanViews", "QueryPlan"]
+
+
+@dataclass
+class PlanViews:
+    """Lazily materialised, shareable views of a plan's key vector.
+
+    A separate (mutable) holder rather than plain plan fields so that
+    ``dataclasses.replace(plan, offset=...)`` clones — used when a banked
+    plan serves an identical-content shard at a different offset — keep
+    sharing the memoised arrays instead of re-materialising them.
+    """
+
+    padded: Optional[np.ndarray] = None
+
+    def nbytes(self) -> int:
+        """Resident bytes of the materialised views."""
+        return int(self.padded.nbytes) if self.padded is not None else 0
 
 
 @dataclass
@@ -76,11 +102,56 @@ class QueryPlan:
     delegates: Optional[DelegateVector] = None
     construction_steps: List[KernelStep] = field(default_factory=list)
     offset: int = 0
+    views: PlanViews = field(default_factory=PlanViews, repr=False)
 
     @property
     def n(self) -> int:
         """Input vector length."""
         return int(self.keys.shape[0])
+
+    def padded_view(self) -> np.ndarray:
+        """Memoised padded 2-D ``(num_subranges, subrange_size)`` key view.
+
+        The first call materialises ``partition.reshape_padded(keys, 0)``
+        (a copy only when the final subrange is partial); subsequent queries
+        against the plan reuse it, so the concatenation step never re-pads
+        the O(n) key vector.  Treat the returned array as read-only.
+        """
+        if self.views.padded is None:
+            self.views.padded = self.partition.reshape_padded(
+                self.keys, pad_value=self.keys.dtype.type(0)
+            )
+        return self.views.padded
+
+    def materialise_views(self) -> None:
+        """Materialise every lazy view the steady-state query path uses.
+
+        The plan bank calls this before sizing a plan so :meth:`nbytes`
+        reflects the plan's full resident footprint — the flat delegate
+        gathers would otherwise materialise *after* admission and silently
+        grow the bank past its byte budget.
+        """
+        self.padded_view()
+        if self.delegates is not None:
+            self.delegates.flat_keys()
+            self.delegates.flat_indices()
+            self.delegates.flat_subrange_ids()
+
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the plan (the bank's budget unit).
+
+        Counts the input vector, the key vector, the delegate arrays with
+        their memoised flat views, and any materialised padded view.  When
+        the final subrange is full, ``padded_view`` is a zero-copy reshape of
+        ``keys`` — counting it again would double-charge, so only a genuine
+        padded copy contributes.
+        """
+        total = int(self.v.nbytes) + int(self.keys.nbytes)
+        if self.delegates is not None:
+            total += self.delegates.nbytes()
+        if self.views.padded is not None and self.views.padded.base is not self.keys:
+            total += int(self.views.padded.nbytes)
+        return total
 
     @property
     def alpha(self) -> int:

@@ -17,7 +17,7 @@ Two entry points:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
@@ -36,6 +36,7 @@ from repro.utils import check_k, ensure_1d
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a service import cycle
     from repro.service.cache import PartitionCache
     from repro.service.executor import ServiceExecutor
+    from repro.service.planbank import PlanBank
 
 __all__ = [
     "MultiGpuDrTopK",
@@ -88,6 +89,7 @@ class ShardBatchOutcome:
     constructions: int = 0
     construction_bytes: float = 0.0
     query_bytes: float = 0.0
+    plan_bank_hits: int = 0
     wall_ms: float = 0.0
 
 
@@ -112,6 +114,7 @@ class MultiGpuBatchReport:
     construction_bytes: float = 0.0
     query_bytes: float = 0.0
     gather_bytes: float = 0.0
+    plan_bank_hits: int = 0
     per_gpu: List[ShardBatchOutcome] = field(default_factory=list)
 
     @property
@@ -289,6 +292,7 @@ class MultiGpuDrTopK:
         queries: Sequence,
         cache: Optional["PartitionCache"] = None,
         executor: Optional["ServiceExecutor"] = None,
+        plan_bank: Optional["PlanBank"] = None,
     ):
         """Answer a batch of queries over one sharded vector with plan reuse.
 
@@ -314,6 +318,12 @@ class MultiGpuDrTopK:
             Optional :class:`~repro.service.executor.ServiceExecutor`; when
             given, each GPU's shard work runs as one work unit so the fleet
             genuinely overlaps.  ``None`` runs GPUs sequentially in-process.
+        plan_bank:
+            Optional :class:`~repro.service.planbank.PlanBank` keyed by
+            *per-shard* fingerprints: a later batch over the same vector
+            (or any vector sharing shard content) skips those shards'
+            ``to_keys`` + construction entirely and charges zero
+            construction traffic for them.
 
         Returns
         -------
@@ -338,7 +348,7 @@ class MultiGpuDrTopK:
         self.last_plan = plan
 
         def shard_fn(gpu: int):
-            return lambda: self._run_shard_batch(v, parsed, plan, gpu, cache)
+            return lambda: self._run_shard_batch(v, parsed, plan, gpu, cache, plan_bank)
 
         if executor is not None:
             from repro.service.executor import WorkUnit  # runtime import, see above
@@ -365,9 +375,11 @@ class MultiGpuDrTopK:
         plan: PartitionPlan,
         gpu: int,
         cache: Optional["PartitionCache"],
+        plan_bank: Optional["PlanBank"] = None,
     ) -> ShardBatchOutcome:
         """One GPU's work unit: grouped local top-k over its assigned shards."""
         from repro.service.batch import group_queries_by_plan  # runtime import, see topk_batch
+        from repro.service.cache import fingerprint_array  # runtime import, see topk_batch
 
         config = self.config
         model = CostModel(config.device)
@@ -395,15 +407,32 @@ class MultiGpuDrTopK:
             if not served:
                 continue
 
+            shard_fp = fingerprint_array(sub_v) if plan_bank is not None else None
             groups = group_queries_by_plan([parsed[p] for p in served], sub_n, cache, engine)
             for (alpha, largest), members in groups.items():
                 positions = [served[m] for m in members]
                 min_k = min(parsed[p].k for p in positions)
-                qplan = engine.prepare_with_alpha(
-                    sub_v, alpha, largest=largest, k=min_k, offset=start
-                )
+                qplan = None
+                bank_hit = False
+                if shard_fp is not None:
+                    banked = plan_bank.get(shard_fp, alpha, largest, beta=config.beta)
+                    if banked is not None:
+                        if banked.offset != start:
+                            # Same shard content at a different position
+                            # (identical-content shards, or a re-partitioned
+                            # vector): reuse all arrays, re-anchor the offset.
+                            banked = replace(banked, offset=start)
+                        qplan = banked
+                        bank_hit = True
+                        out.plan_bank_hits += 1
+                if qplan is None:
+                    qplan = engine.prepare_with_alpha(
+                        sub_v, alpha, largest=largest, k=min_k, offset=start
+                    )
+                    if shard_fp is not None:
+                        plan_bank.put(shard_fp, qplan)
                 out.groups += 1
-                if not qplan.is_degenerate:
+                if not qplan.is_degenerate and not bank_hit:
                     out.constructions += 1
                     out.construction_bytes += qplan.construction_bytes
                     out.compute_ms += qplan.construction_ms(config.device)
@@ -479,6 +508,7 @@ class MultiGpuDrTopK:
         report.constructions = sum(o.constructions for o in outcomes)
         report.construction_bytes = float(sum(o.construction_bytes for o in outcomes))
         report.query_bytes = float(sum(o.query_bytes for o in outcomes))
+        report.plan_bank_hits = sum(o.plan_bank_hits for o in outcomes)
         report.per_gpu = list(outcomes)
         return results
 

@@ -45,6 +45,7 @@ _EXPERIMENTS: Dict[str, Tuple[Callable[..., List[dict]], str]] = {
     "table3": (experiments.table3_memory_transactions, "global memory transactions"),
     "service": (experiments.service_throughput, "batched vs naive serving traffic"),
     "async": (experiments.async_service, "sequential vs overlapped dispatch wall-clock"),
+    "hotpath": (experiments.hotpath_reuse, "cold vs plan-bank-warm serving cost per route"),
 }
 
 

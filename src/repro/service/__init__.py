@@ -19,10 +19,15 @@ caching instead of owning private loops:
   candidate-pool algorithm with one worker per chunk.
 * :class:`~repro.service.dispatcher.ServiceDispatcher` — the serving front
   end over the simulated multi-GPU fleet of :mod:`repro.distributed`, with a
-  shared LRU ``(n, k) → alpha`` :class:`~repro.service.cache.PartitionCache`
-  and an LRU ``(vector fingerprint, k, largest)``
+  shared LRU ``(n, k) → alpha`` :class:`~repro.service.cache.PartitionCache`,
+  an LRU ``(vector fingerprint, k, largest)``
   :class:`~repro.service.cache.ResultCache` that lets repeated identical
-  queries skip the pipeline entirely.
+  queries skip the pipeline entirely, a byte-budgeted
+  :class:`~repro.service.planbank.PlanBank` that persists query plans across
+  dispatches (a *changed* ``k`` over an *unchanged* vector skips delegate
+  construction on every route), and a
+  :class:`~repro.service.planbank.ChunkMemo` that memoises streaming chunk
+  candidates by content fingerprint.
 * :class:`~repro.service.executor.ServiceExecutor` /
   :class:`~repro.service.router.Router` — the execution core itself, usable
   directly by new routes.
@@ -37,6 +42,7 @@ from repro.service.batch import (
 )
 from repro.service.cache import CacheInfo, PartitionCache, ResultCache, fingerprint_array
 from repro.service.executor import ExecutorReport, ServiceExecutor, UnitResult, WorkUnit
+from repro.service.planbank import ChunkMemo, PlanBank
 from repro.service.router import Router
 from repro.service.dispatcher import (
     DispatchReport,
@@ -69,6 +75,8 @@ __all__ = [
     "dispatch_topk",
     "PartitionCache",
     "ResultCache",
+    "PlanBank",
+    "ChunkMemo",
     "CacheInfo",
     "fingerprint_array",
     "ServiceExecutor",

@@ -17,6 +17,11 @@ same ``alpha`` per query (through the shared
 :class:`~repro.service.cache.PartitionCache`) and the per-query pipeline is
 unchanged — only the construction accounting moves from per-query to
 per-batch.
+
+With a :class:`~repro.service.planbank.PlanBank` attached, amortisation also
+crosses dispatches: a group whose ``(vector fingerprint, alpha, largest)``
+key is banked skips ``to_keys`` and construction entirely and records zero
+construction traffic for the batch — the steady-state zero-rescan path.
 """
 
 from __future__ import annotations
@@ -29,8 +34,10 @@ import numpy as np
 from repro.core.config import DrTopKConfig
 from repro.core.drtopk import DrTopK
 from repro.errors import ConfigurationError
+from repro.core.plan import QueryPlan
 from repro.harness.reporting import summarize_workloads
-from repro.service.cache import PartitionCache
+from repro.service.cache import PartitionCache, fingerprint_array
+from repro.service.planbank import PlanBank
 from repro.types import TopKResult, WorkloadStats
 from repro.utils import check_k, ensure_1d
 
@@ -108,6 +115,9 @@ class BatchReport:
     naive_bytes: float = 0.0
     construction_ms: float = 0.0
     query_ms: float = 0.0
+    #: Groups served from the cross-dispatch plan bank (zero construction
+    #: traffic charged this batch).
+    plan_bank_hits: int = 0
     stats: List[WorkloadStats] = field(default_factory=list)
 
     @property
@@ -148,6 +158,7 @@ class BatchReport:
             {
                 "num_groups": self.num_groups,
                 "constructions": self.constructions,
+                "plan_bank_hits": self.plan_bank_hits,
                 "construction_bytes": self.construction_bytes,
                 "query_bytes": self.query_bytes,
                 "total_bytes": self.total_bytes,
@@ -171,29 +182,55 @@ class BatchTopK:
     cache:
         Optional shared :class:`PartitionCache`; the dispatcher passes one
         cache to all of its workers.
+    plan_bank:
+        Optional shared :class:`~repro.service.planbank.PlanBank` persisting
+        query plans across dispatches.  A bank must only be shared among
+        engines with one pipeline configuration.
     """
 
     def __init__(
         self,
         config: Optional[DrTopKConfig] = None,
         cache: Optional[PartitionCache] = None,
+        plan_bank: Optional[PlanBank] = None,
     ):
         self.engine = DrTopK(config)
         # Not `cache or ...`: an empty cache is falsy (it has __len__ == 0)
         # but must still be shared.
         self.cache = cache if cache is not None else PartitionCache()
+        self.plan_bank = plan_bank
         self.last_report: Optional[BatchReport] = None
 
     @property
     def config(self) -> DrTopKConfig:
         return self.engine.config
 
-    def run(self, v: np.ndarray, queries: Sequence[QueryLike]) -> List[TopKResult]:
+    def _banked_plan(
+        self, fingerprint: Optional[str], alpha: int, largest: bool
+    ) -> Optional[QueryPlan]:
+        """Usable banked plan for the group key, or ``None``.
+
+        The bank itself enforces ``beta`` compatibility (a bank shared
+        across configurations must never serve foreign plans).
+        """
+        if self.plan_bank is None or fingerprint is None:
+            return None
+        return self.plan_bank.get(fingerprint, alpha, largest, beta=self.config.beta)
+
+    def run(
+        self,
+        v: np.ndarray,
+        queries: Sequence[QueryLike],
+        fingerprint: Optional[str] = None,
+    ) -> List[TopKResult]:
         """Answer every query against ``v``; results align with ``queries``.
 
         The shared vector is scanned for delegate construction once per
         ``(alpha, largest)`` group rather than once per query; everything
-        else matches a loop of :meth:`DrTopK.topk` exactly.
+        else matches a loop of :meth:`DrTopK.topk` exactly.  With a plan
+        bank attached, groups whose plan is already banked skip construction
+        entirely; ``fingerprint`` (when the caller — typically the
+        dispatcher — has already fingerprinted ``v``) avoids hashing twice.
         """
         parsed = [TopKQuery.of(q) for q in queries]
         report = BatchReport(num_queries=len(parsed))
@@ -212,11 +249,22 @@ class BatchTopK:
         results: List[Optional[TopKResult]] = [None] * len(parsed)
         report.num_groups = len(groups)
         collect = self.config.collect_trace
+        if self.plan_bank is not None and fingerprint is None:
+            fingerprint = fingerprint_array(v)
 
         for (alpha, largest), positions in groups.items():
             min_k = min(parsed[p].k for p in positions)
-            plan = self.engine.prepare_with_alpha(v, alpha, largest=largest, k=min_k)
-            if not plan.is_degenerate:
+            plan = self._banked_plan(fingerprint, alpha, largest)
+            bank_hit = plan is not None
+            if plan is None:
+                plan = self.engine.prepare_with_alpha(v, alpha, largest=largest, k=min_k)
+                if self.plan_bank is not None and fingerprint is not None:
+                    self.plan_bank.put(fingerprint, plan)
+            if bank_hit:
+                # The banked construction happened in an earlier dispatch;
+                # this batch moves no construction traffic for the group.
+                report.plan_bank_hits += 1
+            elif not plan.is_degenerate:
                 report.constructions += 1
                 report.construction_bytes += plan.construction_bytes
                 report.construction_ms += plan.construction_ms(self.config.device)
@@ -246,10 +294,13 @@ class BatchTopK:
         return [r for r in results if r is not None]
 
     def run_with_report(
-        self, v: np.ndarray, queries: Sequence[QueryLike]
+        self,
+        v: np.ndarray,
+        queries: Sequence[QueryLike],
+        fingerprint: Optional[str] = None,
     ) -> Tuple[List[TopKResult], BatchReport]:
         """Like :meth:`run`, also returning the batch's :class:`BatchReport`."""
-        results = self.run(v, queries)
+        results = self.run(v, queries, fingerprint=fingerprint)
         assert self.last_report is not None
         return results, self.last_report
 

@@ -55,13 +55,21 @@ _SAMPLE_ELEMENTS = 4096
 
 @dataclass
 class CacheInfo:
-    """Hit/miss/eviction counters of a service-layer cache."""
+    """Hit/miss/eviction counters of a service-layer cache.
+
+    ``bytes``/``capacity_bytes`` are only populated by byte-budgeted caches
+    (the :class:`~repro.service.planbank.PlanBank` and
+    :class:`~repro.service.planbank.ChunkMemo`); entry-count caches leave
+    them zero.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     size: int = 0
     capacity: int = 0
+    bytes: int = 0
+    capacity_bytes: int = 0
 
 
 def fingerprint_array(v: np.ndarray) -> str:

@@ -28,11 +28,20 @@ Three routes run through the core:
   orders each answer — the fleet-routed version of
   :class:`~repro.service.streaming.StreamingTopK`.
 
-Two shared caches sit in front of the routes: the Rule-4
-:class:`~repro.service.cache.PartitionCache` (``(n, k) → alpha``) and the
+Four shared caches sit in front of the routes: the Rule-4
+:class:`~repro.service.cache.PartitionCache` (``(n, k) → alpha``), the
 :class:`~repro.service.cache.ResultCache`
-(``(vector fingerprint, k, largest) → TopKResult``), so a repeated identical
-query skips the pipeline entirely and records zero work.
+(``(vector fingerprint, k, largest) → TopKResult``) so a repeated identical
+query skips the pipeline entirely, the
+:class:`~repro.service.planbank.PlanBank`
+(``(vector fingerprint, alpha, largest) → QueryPlan``) so a *changed* query
+(new ``k``) over an *unchanged* vector still skips key conversion and
+delegate construction — on the batched route (whole-vector plans) and the
+sharded route (per-shard fingerprints) alike — and the streaming route's
+:class:`~repro.service.planbank.ChunkMemo`, which memoises each chunk's
+candidate pool by content fingerprint so replayed streams run zero per-chunk
+pipeline work.  Together they make the steady-state serving path zero-rescan:
+only a genuinely new vector (or a new ``alpha``) pays an O(n) scan.
 """
 
 from __future__ import annotations
@@ -50,6 +59,12 @@ from repro.errors import ConfigurationError
 from repro.service.batch import BatchTopK, QueryLike, TopKQuery
 from repro.service.cache import CacheInfo, PartitionCache, ResultCache, fingerprint_array
 from repro.service.executor import ServiceExecutor, UnitResult
+from repro.service.planbank import (
+    DEFAULT_CHUNK_MEMO_BYTES,
+    DEFAULT_PLAN_BANK_BYTES,
+    ChunkMemo,
+    PlanBank,
+)
 from repro.service.router import Router
 from repro.service.streaming import (
     DEFAULT_CHUNK_ELEMENTS,
@@ -91,6 +106,9 @@ class DispatchReport:
     workers: List[WorkerReport] = field(default_factory=list)
     communication_ms: float = 0.0
     constructions: int = 0
+    #: Simulated traffic of this dispatch's delegate constructions alone;
+    #: zero when every group was served from the plan bank (or memo).
+    construction_bytes: float = 0.0
     #: Simulated traffic with one definition on every route: the workers'
     #: pipeline bytes (construction + query passes; zero when tracing is
     #: off) plus the result-gather bytes moved to the primary.
@@ -98,6 +116,14 @@ class DispatchReport:
     cache: Optional[CacheInfo] = None
     result_cache: Optional[CacheInfo] = None
     result_cache_hits: int = 0
+    #: Plan-bank statistics and this dispatch's bank-hit group count; a
+    #: bank-hit group contributed zero construction traffic to bytes_moved.
+    plan_bank: Optional[CacheInfo] = None
+    plan_bank_hits: int = 0
+    #: Streaming chunk-memo statistics and this dispatch's memoised-chunk
+    #: serve count (per key order, per chunk).
+    chunk_memo: Optional[CacheInfo] = None
+    chunk_memo_hits: int = 0
     executor_mode: str = ""
     wall_ms: float = 0.0
     unit_wall_ms_sum: float = 0.0
@@ -139,6 +165,12 @@ class ServiceDispatcher:
         Entries of the shared LRU ``(n, k) → alpha`` partition cache.
     result_cache_capacity:
         Entries of the LRU result cache; ``0`` disables result caching.
+    plan_bank_bytes:
+        Byte budget of the cross-dispatch :class:`PlanBank`; ``0`` disables
+        plan banking (every dispatch reconstructs).
+    chunk_memo_bytes:
+        Byte budget of the streaming :class:`ChunkMemo`; ``0`` disables
+        chunk memoisation.
     gpus_per_node / comm_cost:
         Interconnect topology and cost model for the result gather.
     execution:
@@ -158,6 +190,8 @@ class ServiceDispatcher:
         capacity_elements: int = MAX_SUBVECTOR_ELEMENTS,
         cache_capacity: int = 128,
         result_cache_capacity: int = 256,
+        plan_bank_bytes: int = DEFAULT_PLAN_BANK_BYTES,
+        chunk_memo_bytes: int = DEFAULT_CHUNK_MEMO_BYTES,
         gpus_per_node: int = 4,
         comm_cost: Optional[CommCost] = None,
         execution: str = "threads",
@@ -170,6 +204,10 @@ class ServiceDispatcher:
             raise ConfigurationError("capacity_elements must be positive")
         if result_cache_capacity < 0:
             raise ConfigurationError("result_cache_capacity must be >= 0")
+        if plan_bank_bytes < 0:
+            raise ConfigurationError("plan_bank_bytes must be >= 0")
+        if chunk_memo_bytes < 0:
+            raise ConfigurationError("chunk_memo_bytes must be >= 0")
         if chunk_elements < 1:
             raise ConfigurationError("chunk_elements must be >= 1")
         self.num_workers = int(num_workers)
@@ -182,8 +220,15 @@ class ServiceDispatcher:
         self.results_cache: Optional[ResultCache] = (
             ResultCache(result_cache_capacity) if result_cache_capacity else None
         )
+        self.plan_bank: Optional[PlanBank] = (
+            PlanBank(plan_bank_bytes) if plan_bank_bytes else None
+        )
+        self.chunk_memo: Optional[ChunkMemo] = (
+            ChunkMemo(chunk_memo_bytes) if chunk_memo_bytes else None
+        )
         self.workers = [
-            BatchTopK(self.config, cache=self.cache) for _ in range(self.num_workers)
+            BatchTopK(self.config, cache=self.cache, plan_bank=self.plan_bank)
+            for _ in range(self.num_workers)
         ]
         self.executor = ServiceExecutor(
             max_workers=self.num_workers, queue_capacity=queue_capacity, mode=execution
@@ -192,6 +237,7 @@ class ServiceDispatcher:
             num_workers=self.num_workers,
             capacity_elements=self.capacity_elements,
             cache=self.cache,
+            plan_bank=self.plan_bank,
         )
         self.last_report: Optional[DispatchReport] = None
 
@@ -236,12 +282,13 @@ class ServiceDispatcher:
         for q in parsed:
             check_k(q.k, n)
 
-        # Whole-result reuse: repeated identical queries skip the pipeline.
+        # One fingerprint serves both whole-result reuse and plan banking.
         results: List[Optional[TopKResult]] = [None] * len(parsed)
         fingerprint: Optional[str] = None
-        pending = list(range(len(parsed)))
-        if self.results_cache is not None:
+        if self.results_cache is not None or self.plan_bank is not None:
             fingerprint = fingerprint_array(v)
+        pending = list(range(len(parsed)))
+        if self.results_cache is not None and fingerprint is not None:
             pending = []
             for pos, q in enumerate(parsed):
                 hit = self.results_cache.get(fingerprint, q.k, q.largest)
@@ -256,7 +303,7 @@ class ServiceDispatcher:
             if route == "sharded":
                 sub_results = self._dispatch_sharded(v, sub_parsed, report)
             else:
-                sub_results = self._dispatch_batched(v, sub_parsed, report)
+                sub_results = self._dispatch_batched(v, sub_parsed, report, fingerprint)
             for pos, res in zip(pending, sub_results):
                 results[pos] = res
                 if self.results_cache is not None and fingerprint is not None:
@@ -291,14 +338,24 @@ class ServiceDispatcher:
         report.cache = self.cache.info()
         if self.results_cache is not None:
             report.result_cache = self.results_cache.info()
+        if self.plan_bank is not None:
+            report.plan_bank = self.plan_bank.info()
+        if self.chunk_memo is not None:
+            report.chunk_memo = self.chunk_memo.info()
         self.last_report = report
 
     # -- batched route ------------------------------------------------------------
     def _dispatch_batched(
-        self, v: np.ndarray, parsed: List[TopKQuery], report: DispatchReport
+        self,
+        v: np.ndarray,
+        parsed: List[TopKQuery],
+        report: DispatchReport,
+        fingerprint: Optional[str] = None,
     ) -> List[TopKResult]:
         report.route = "batched"
-        units, placement = self.router.batched_units(v, parsed, self.workers)
+        units, placement = self.router.batched_units(
+            v, parsed, self.workers, fingerprint=fingerprint
+        )
         outcomes = self.executor.run(units)
 
         results: List[Optional[TopKResult]] = [None] * len(parsed)
@@ -317,6 +374,8 @@ class ServiceDispatcher:
                 wreport.compute_ms = batch_report.total_ms
                 wreport.bytes_moved = batch_report.total_bytes
                 wreport.wall_ms = outcome.wall_ms
+                report.plan_bank_hits += batch_report.plan_bank_hits
+                report.construction_bytes += batch_report.construction_bytes
                 worker_values.append(np.concatenate([r.values for r in sub_results]))
                 worker_indices.append(np.concatenate([r.indices for r in sub_results]))
             else:
@@ -361,10 +420,12 @@ class ServiceDispatcher:
             comm_cost=self.comm_cost,
         )
         results, mreport = fleet.topk_batch(
-            v, parsed, cache=self.cache, executor=self.executor
+            v, parsed, cache=self.cache, executor=self.executor, plan_bank=self.plan_bank
         )
         report.communication_ms = mreport.communication_ms
         report.constructions = mreport.constructions
+        report.construction_bytes = mreport.construction_bytes
+        report.plan_bank_hits += mreport.plan_bank_hits
         # A sharded dispatch moves real traffic: the per-shard pipeline bytes
         # (construction + query passes) plus the candidate gather.
         report.bytes_moved = (
@@ -398,7 +459,7 @@ class ServiceDispatcher:
             return BatchTopK(self.config, cache=self.cache)
 
         units = self.router.streaming_units(
-            chunks, parsed, self.chunk_elements, make_engine
+            chunks, parsed, self.chunk_elements, make_engine, chunk_memo=self.chunk_memo
         )
         outcomes = self.executor.run(units)
 
@@ -413,16 +474,21 @@ class ServiceDispatcher:
         ]
         total_elements = 0
         for outcome in outcomes:
-            offset, length, by_largest, chunk_report = outcome.value
+            offset, length, by_largest, chunk_report, memo_hits = outcome.value
             total_elements += length
             w = outcome.unit.worker
             wrep = worker_reports[w]
             wrep.queries += 1  # one chunk unit
-            wrep.groups += chunk_report.num_groups
-            wrep.constructions += chunk_report.constructions
-            wrep.compute_ms += chunk_report.total_ms
-            wrep.bytes_moved += chunk_report.total_bytes
             wrep.wall_ms += outcome.wall_ms
+            report.chunk_memo_hits += memo_hits
+            # A fully memoised chunk ran no pipeline at all: no report, no
+            # constructions, zero bytes — the streaming zero-rescan path.
+            if chunk_report is not None:
+                wrep.groups += chunk_report.num_groups
+                wrep.constructions += chunk_report.constructions
+                wrep.compute_ms += chunk_report.total_ms
+                wrep.bytes_moved += chunk_report.total_bytes
+                report.construction_bytes += chunk_report.construction_bytes
             # The chunk's candidates travel from its worker to the primary.
             for local in by_largest.values():
                 if w != 0:

@@ -8,7 +8,12 @@ decides which route serves it —
   grouped by the plan they can share (same resolved ``alpha`` and key order,
   the :func:`~repro.service.batch.group_queries_by_plan` definition) and whole
   groups are placed on workers with a greedy least-loaded assignment, so plan
-  reuse is never split across workers;
+  reuse is never split across workers.  Placement is **work-weighted**, not
+  query-counted: a group's weight is its expected element workload from
+  ``k``, ``alpha`` and the plan-bank hit state (a bank-hit group costs its
+  queries only; a cold group additionally pays the O(n) construction scan),
+  so one cold group no longer lands on the same worker as a pile of cheap
+  bank-hit groups just because the query counts matched;
 * **sharded** — the vector exceeds the capacity; every worker becomes one GPU
   of the Figure 16 multi-GPU workflow and the batch runs with per-shard plan
   reuse through :meth:`~repro.distributed.multigpu.MultiGpuDrTopK.topk_batch`;
@@ -23,14 +28,16 @@ closures); the :class:`~repro.service.executor.ServiceExecutor` runs it and
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.service.batch import BatchTopK, TopKQuery, group_queries_by_plan
-from repro.service.cache import PartitionCache
+from repro.service.cache import PartitionCache, fingerprint_array
 from repro.service.executor import WorkUnit
+from repro.service.planbank import ChunkMemo, PlanBank
+from repro.utils import ceil_div
 
 __all__ = ["Router"]
 
@@ -51,6 +58,10 @@ class Router:
     cache:
         Shared :class:`PartitionCache` used for the grouping's ``alpha``
         resolution (so routing warms the same cache the engines use).
+    plan_bank:
+        Optional shared :class:`PlanBank`; when given, placement peeks at
+        each group's bank hit state (without perturbing the LRU) and weighs
+        bank-hit groups without their construction scan.
     """
 
     def __init__(
@@ -58,6 +69,7 @@ class Router:
         num_workers: int,
         capacity_elements: int,
         cache: PartitionCache,
+        plan_bank: Optional[PlanBank] = None,
     ):
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
@@ -66,6 +78,7 @@ class Router:
         self.num_workers = int(num_workers)
         self.capacity_elements = int(capacity_elements)
         self.cache = cache
+        self.plan_bank = plan_bank
 
     # -- classification --------------------------------------------------------
     def classify(self, v) -> str:
@@ -91,21 +104,65 @@ class Router:
         )
 
     # -- batched-route emission ------------------------------------------------
-    def place_groups(self, v: np.ndarray, parsed: Sequence[TopKQuery], engine) -> List[List[int]]:
+    def expected_group_work(
+        self,
+        n: int,
+        ks: Sequence[int],
+        alpha: int,
+        beta: int,
+        bank_hit: bool,
+    ) -> float:
+        """Expected element workload of one plan-sharing group.
+
+        The dominant costs of the pipeline, in input elements: a cold group
+        pays the one-time construction (a full scan of ``n`` plus the
+        delegate stores), every query then pays the first top-k over the
+        delegate vector plus a ``k``-proportional concatenation/second-pass
+        term.  A bank-hit group skips the construction term entirely — the
+        whole point of weighting placement by work instead of query count.
+        """
+        num_subranges = ceil_div(int(n), 1 << int(alpha))
+        m = min(num_subranges * int(beta), int(n))  # delegate-vector size
+        per_query = sum(m + 4 * int(k) for k in ks)
+        construction = 0.0 if bank_hit else float(n + 2 * m)
+        return construction + float(per_query)
+
+    def place_groups(
+        self,
+        v: np.ndarray,
+        parsed: Sequence[TopKQuery],
+        engine,
+        fingerprint: Optional[str] = None,
+    ) -> List[List[int]]:
         """Greedy least-loaded placement of whole plan-sharing groups.
 
         Queries sharing a plan must stay on one worker (splitting a group
-        would re-run its construction); groups are placed largest first onto
-        the least-loaded worker.  Returns one list of query positions per
-        worker (possibly empty).
+        would re-run its construction); groups are weighted by
+        :meth:`expected_group_work` — expected workload from ``k``, ``alpha``
+        and the plan-bank hit state — and placed heaviest first onto the
+        least-loaded worker.  Returns one list of query positions per worker
+        (possibly empty).
         """
-        groups = group_queries_by_plan(parsed, v.shape[0], self.cache, engine)
-        load = [0] * self.num_workers
+        n = int(v.shape[0])
+        groups = group_queries_by_plan(parsed, n, self.cache, engine)
+        beta = engine.config.beta
+        weighted = []
+        for (alpha, largest), positions in groups.items():
+            bank_hit = (
+                self.plan_bank is not None
+                and fingerprint is not None
+                and self.plan_bank.contains(fingerprint, alpha, largest)
+            )
+            weight = self.expected_group_work(
+                n, [parsed[p].k for p in positions], alpha, beta, bank_hit
+            )
+            weighted.append((weight, positions))
+        load = [0.0] * self.num_workers
         placement: List[List[int]] = [[] for _ in range(self.num_workers)]
-        for positions in sorted(groups.values(), key=len, reverse=True):
+        for weight, positions in sorted(weighted, key=lambda wp: wp[0], reverse=True):
             target = min(range(self.num_workers), key=load.__getitem__)
             placement[target].extend(positions)
-            load[target] += len(positions)
+            load[target] += weight
         return placement
 
     def batched_units(
@@ -113,18 +170,23 @@ class Router:
         v: np.ndarray,
         parsed: Sequence[TopKQuery],
         workers: Sequence[BatchTopK],
+        fingerprint: Optional[str] = None,
     ) -> Tuple[List[WorkUnit], List[List[int]]]:
         """Emit one :class:`WorkUnit` per worker that received queries.
 
         Each unit runs its worker's :meth:`BatchTopK.run_with_report` over the
         worker's share and returns ``(positions, results, batch_report)`` for
-        the dispatcher to merge.
+        the dispatcher to merge.  ``fingerprint`` keys the workers' plan-bank
+        lookups (and the placement's hit peek) without re-hashing ``v``.
         """
-        placement = self.place_groups(v, parsed, workers[0].engine)
+        placement = self.place_groups(v, parsed, workers[0].engine, fingerprint=fingerprint)
 
         def unit_fn(worker: BatchTopK, positions: List[int]):
             sub_queries = [parsed[p] for p in positions]
-            return lambda: (positions, *worker.run_with_report(v, sub_queries))
+            return lambda: (
+                positions,
+                *worker.run_with_report(v, sub_queries, fingerprint=fingerprint),
+            )
 
         units = [
             WorkUnit(
@@ -145,6 +207,7 @@ class Router:
         parsed: Sequence[TopKQuery],
         chunk_elements: int,
         make_engine,
+        chunk_memo: Optional[ChunkMemo] = None,
     ):
         """Lazily emit one :class:`WorkUnit` per stream chunk, round-robin.
 
@@ -153,12 +216,16 @@ class Router:
         ``chunk_elements``.  Each unit distils its chunk into at most
         ``max(k)`` candidates per key order present in the batch — one local
         pipeline run per key order, shared by every query — and returns
-        ``(offset, length, {largest: TopKResult}, BatchReport)``.  Units are
-        yielded lazily so the executor's bounded queue also bounds
-        read-ahead.
+        ``(offset, length, {largest: TopKResult}, report, memo_hits)`` where
+        ``report`` is ``None`` when every key order was served from the
+        chunk memo (zero pipeline work).  Units are yielded lazily so the
+        executor's bounded queue also bounds read-ahead.
 
         ``make_engine`` builds a fresh per-unit :class:`BatchTopK` (units for
         one worker may overlap in the pool, so they cannot share an engine).
+        ``chunk_memo`` (when given) memoises each chunk's local candidates by
+        content fingerprint, so a replayed stream — or a shared prefix at any
+        offset — skips the per-chunk pipeline entirely.
         """
         kmax: dict = {}
         for q in parsed:
@@ -173,10 +240,29 @@ class Router:
             ]
 
             def run():
-                engine = make_engine()
-                results = engine.run(piece, local_queries)
-                by_largest = {q[1]: r for q, r in zip(local_queries, results)}
-                return offset, piece.shape[0], by_largest, engine.last_report
+                by_largest = {}
+                memo_hits = 0
+                pending = list(local_queries)
+                fp = fingerprint_array(piece) if chunk_memo is not None else None
+                if fp is not None:
+                    pending = []
+                    for kk, largest in local_queries:
+                        hit = chunk_memo.get(fp, kk, largest)
+                        if hit is not None:
+                            by_largest[largest] = hit
+                            memo_hits += 1
+                        else:
+                            pending.append((kk, largest))
+                report = None
+                if pending:
+                    engine = make_engine()
+                    results = engine.run(piece, pending)
+                    report = engine.last_report
+                    for (kk, largest), result in zip(pending, results):
+                        by_largest[largest] = result
+                        if fp is not None:
+                            chunk_memo.put(fp, kk, largest, result)
+                return offset, piece.shape[0], by_largest, report, memo_hits
 
             return run
 

@@ -23,7 +23,7 @@ returned values match element-wise; indices are one valid choice under ties.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +34,9 @@ from repro.core.config import DrTopKConfig
 from repro.core.drtopk import DrTopK
 from repro.errors import ConfigurationError
 from repro.types import TopKResult, WorkloadStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.service.planbank import ChunkMemo
 
 __all__ = [
     "StreamingTopK",
@@ -107,6 +110,8 @@ class StreamReport:
     pool_peak: int = 0
     chunk_bytes: float = 0.0
     finalize_bytes: float = 0.0
+    #: Chunks served from the chunk memo (zero pipeline work, zero bytes).
+    memo_hits: int = 0
     chunk_stats: List[WorkloadStats] = field(default_factory=list)
 
     @property
@@ -131,6 +136,12 @@ class StreamingTopK:
         Maximum elements handed to one pipeline invocation; larger arrays
         pushed in are sliced transparently.  Smaller chunks lower peak
         memory at the cost of more per-chunk overhead.
+    chunk_memo:
+        Optional :class:`~repro.service.planbank.ChunkMemo`.  Each consumed
+        chunk is fingerprinted; a memoised chunk contributes its candidates
+        with zero pipeline work, so replaying a stream (or sharing chunks
+        between streams) skips the per-chunk pipeline — the streaming
+        equivalent of the dispatcher's result reuse.
     """
 
     def __init__(
@@ -139,6 +150,7 @@ class StreamingTopK:
         largest: bool = True,
         config: Optional[DrTopKConfig] = None,
         chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+        chunk_memo: Optional["ChunkMemo"] = None,
     ):
         if not isinstance(k, (int, np.integer)) or int(k) < 1:
             raise ConfigurationError(f"k must be a positive integer, got {k!r}")
@@ -148,6 +160,7 @@ class StreamingTopK:
         self.largest = bool(largest)
         self.chunk_elements = int(chunk_elements)
         self.engine = DrTopK(config)
+        self.chunk_memo = chunk_memo
         self.report = StreamReport()
         self._pool_values: Optional[np.ndarray] = None
         self._pool_indices = np.empty(0, dtype=np.int64)
@@ -203,12 +216,27 @@ class StreamingTopK:
         # Distil the chunk to its local top-k candidates; a chunk smaller
         # than k contributes everything it has.
         kk = min(self.k, n)
-        local = self.engine.topk(piece, kk, largest=self.largest)
-        assert local.stats is not None
+        local = None
+        fp = None
+        if self.chunk_memo is not None:
+            from repro.service.cache import fingerprint_array  # avoids an import cycle
+
+            fp = fingerprint_array(piece)
+            local = self.chunk_memo.get(fp, kk, self.largest)
         self.report.chunks += 1
-        self.report.chunk_stats.append(local.stats)
-        if self.config.collect_trace:
-            self.report.chunk_bytes += self.engine.last_trace.total_counters().global_bytes
+        if local is None:
+            local = self.engine.topk(piece, kk, largest=self.largest)
+            assert local.stats is not None
+            self.report.chunk_stats.append(local.stats)
+            if self.config.collect_trace:
+                self.report.chunk_bytes += (
+                    self.engine.last_trace.total_counters().global_bytes
+                )
+            if fp is not None:
+                self.chunk_memo.put(fp, kk, self.largest, local)
+        else:
+            # Memoised chunk: candidates arrive with zero pipeline work.
+            self.report.memo_hits += 1
         self._merge(local.values, local.indices + offset)
         self._count += n
         self.report.total_elements = self._count
@@ -260,8 +288,12 @@ class StreamingTopK:
         Sizes and counts are summed over chunks; the subrange geometry
         (``alpha``, ``beta``, ``subrange_size``) reports the last chunk's
         values, since chunks may legitimately resolve different geometries.
+        When every chunk was served from the memo there are no per-chunk
+        statistics — the stream genuinely did zero pipeline work.
         """
         chunks = self.report.chunk_stats
+        if not chunks:
+            return WorkloadStats(input_size=self._count)
         last = chunks[-1]
         merged = WorkloadStats(
             input_size=self._count,

@@ -197,3 +197,39 @@ class TestPaddedTieSelection:
             result = drtopk(v, k)
             assert result.values.shape[0] == k
             assert (result.values == 0).all()
+
+
+class TestMemoisedFlatViews:
+    """The flat gathers run once per construction, not once per query."""
+
+    def test_flat_views_are_memoised(self, uniform_u32):
+        from repro.algorithms.keys import to_keys
+
+        keys = to_keys(uniform_u32, largest=True)
+        p = SubrangePartition(n=keys.shape[0], alpha=6)
+        d = build_delegate_vector(keys, p, beta=2)
+        assert d.flat_keys() is d.flat_keys()
+        assert d.flat_indices() is d.flat_indices()
+        assert d.flat_subrange_ids() is d.flat_subrange_ids()
+        # Memoisation must not change the values.
+        np.testing.assert_array_equal(d.flat_keys(), d.keys[d.valid])
+        np.testing.assert_array_equal(d.flat_indices(), d.indices[d.valid])
+        assert d.nbytes() > 0
+
+    def test_precomputed_padded_view_matches(self):
+        keys = np.arange(21, dtype=np.uint32)  # partial final subrange
+        p = SubrangePartition(n=21, alpha=3)
+        view = p.reshape_padded(keys, pad_value=np.uint32(0))
+        a = build_delegate_vector(keys, p, beta=2)
+        b = build_delegate_vector(keys, p, beta=2, padded_view=view)
+        np.testing.assert_array_equal(a.keys, b.keys)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.valid, b.valid)
+
+    def test_padded_view_shape_validated(self):
+        from repro.errors import ConfigurationError
+
+        keys = np.arange(16, dtype=np.uint32)
+        p = SubrangePartition(n=16, alpha=2)
+        with pytest.raises(ConfigurationError):
+            build_delegate_vector(keys, p, padded_view=keys.reshape(2, 8))

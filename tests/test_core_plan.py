@@ -106,3 +106,34 @@ def test_topk_prepared_validates_k(uniform_u32):
         engine.topk_prepared(plan, 0)
     with pytest.raises(ConfigurationError):
         engine.topk_prepared(plan, uniform_u32.shape[0] + 1)
+
+
+def test_padded_view_memoised_and_shared_across_replace(uniform_u32):
+    from dataclasses import replace
+
+    engine = DrTopK()
+    plan = engine.prepare(uniform_u32, 64)
+    view = plan.padded_view()
+    assert view is plan.padded_view()  # memoised
+    assert view.shape == (plan.partition.num_subranges, plan.partition.subrange_size)
+    # Offset clones (the sharded route re-anchors banked plans) share the
+    # memoised views instead of re-padding.
+    clone = replace(plan, offset=100)
+    assert clone.padded_view() is view
+    np.testing.assert_array_equal(
+        clone.global_indices(np.array([0, 1])), np.array([100, 101])
+    )
+
+
+def test_plan_nbytes_accounts_views(uniform_u32):
+    engine = DrTopK()
+    plan = engine.prepare(uniform_u32, 64)
+    base = plan.nbytes()
+    assert base >= uniform_u32.nbytes * 2  # input vector + key vector
+    # A partial final subrange forces a real padded copy; prepare
+    # materialises it eagerly (construction needs it) and nbytes charges it.
+    odd = uniform_u32[: (1 << 12) + 3]
+    odd_plan = engine.prepare(odd, 16)
+    assert odd_plan.partition.pad > 0
+    assert odd_plan.views.padded is not None
+    assert odd_plan.nbytes() >= odd.nbytes * 2 + odd_plan.views.padded.nbytes

@@ -40,6 +40,7 @@ class TestRunnerRegistry:
             "fig24", "table2", "table3",
             "service",  # batched serving traffic (not a paper figure)
             "async",    # sequential vs overlapped dispatch (not a paper figure)
+            "hotpath",  # cold vs plan-bank-warm serving cost (not a paper figure)
         }
         assert expected == names
 

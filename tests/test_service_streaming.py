@@ -155,3 +155,42 @@ def test_order_candidate_pool_orders_and_maps(rng):
         v[indices], indices, 16, True, DrTopKConfig(collect_trace=False)
     )
     assert untraced == 0.0
+
+
+class TestChunkMemo:
+    """StreamingTopK with a chunk memo: replays skip the per-chunk pipeline."""
+
+    def test_replayed_stream_hits_memo_and_matches(self, uniform_u32):
+        from repro.service.planbank import ChunkMemo
+
+        memo = ChunkMemo()
+        k, chunk = 64, 1 << 12
+
+        first = StreamingTopK(k, chunk_elements=chunk, chunk_memo=memo)
+        first.consume(uniform_u32)
+        cold = first.finalize()
+        assert first.report.memo_hits == 0
+        assert first.report.chunk_bytes > 0
+
+        replay = StreamingTopK(k, chunk_elements=chunk, chunk_memo=memo)
+        replay.consume(uniform_u32)
+        warm = replay.finalize()
+        assert replay.report.memo_hits == replay.report.chunks
+        assert replay.report.chunk_bytes == 0.0  # zero pipeline work
+        assert replay.report.chunk_stats == []
+        np.testing.assert_array_equal(cold.values, warm.values)
+        np.testing.assert_array_equal(cold.indices, warm.indices)
+        assert_topk_correct(warm, uniform_u32, k)
+
+    def test_memo_is_k_sensitive(self, uniform_u32):
+        from repro.service.planbank import ChunkMemo
+
+        memo = ChunkMemo()
+        StreamingTopK(32, chunk_elements=1 << 12, chunk_memo=memo).consume(
+            uniform_u32
+        ).finalize()
+        other = StreamingTopK(64, chunk_elements=1 << 12, chunk_memo=memo)
+        other.consume(uniform_u32)
+        result = other.finalize()
+        assert other.report.memo_hits == 0  # k is part of the memo key
+        assert_topk_correct(result, uniform_u32, 64)
