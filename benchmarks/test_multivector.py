@@ -1,0 +1,62 @@
+"""Service layer — named multi-vector serving acceptance.
+
+Not a paper figure: this benchmark holds the line on the named-vector front
+end.  A working set of named vectors is admitted (fingerprinted once, plans
+pre-warmed), each name then serves a *changed* warm query mix (every ``k``
+swapped for a same-``alpha`` variant, result cache disabled), and one name
+is evicted.  The acceptance criteria:
+
+* a warm named query records **zero** constructions, **zero** construction
+  bytes and **zero** fingerprint recomputations — admission did all the O(n)
+  work once;
+* every warm plan group is a plan-bank hit and the answers are element-wise
+  identical to a bank-less dispatcher;
+* evicting a name releases its banked plan bytes (the cascade is observable
+  in the bank's ``CacheInfo.bytes``).
+"""
+
+from benchmarks.conftest import scaled
+from repro.harness import experiments
+
+#: Working-set size; the acceptance floor is >= 3 concurrently served names.
+NAMES = 4
+WORKERS = 4
+
+
+def test_multivector_serving(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "multivector_serving",
+        experiments.multivector_serving,
+        n=scaled(1 << 16),
+        names=NAMES,
+        num_workers=WORKERS,
+    )
+    by_phase = {}
+    for r in rows:
+        by_phase.setdefault(r["phase"], []).append(r)
+
+    admits = by_phase["admit"]
+    warms = by_phase["warm_query"]
+    assert len(admits) == NAMES and len(warms) == NAMES >= 3
+
+    for r in admits:
+        # Admission is the one place the vector is hashed (batched route:
+        # exactly one whole-vector fingerprint) and the only O(n) work.
+        assert r["fingerprint_calls"] == 1, f"{r['name']}: re-fingerprinted at admit"
+        assert r["constructions"] > 0 and r["construction_bytes"] > 0
+
+    for r in warms:
+        assert r["identical"], f"{r['name']}: warm answers diverged"
+        assert r["constructions"] == 0, f"{r['name']}: warm named query reconstructed"
+        assert r["construction_bytes"] == 0.0, (
+            f"{r['name']}: warm named query recorded construction traffic"
+        )
+        assert r["fingerprint_calls"] == 0, (
+            f"{r['name']}: warm named query recomputed a fingerprint"
+        )
+        assert r["plan_bank_hits"] > 0, f"{r['name']}: warm query never hit the bank"
+
+    (evict,) = by_phase["evict"]
+    assert evict["released_bytes"] > 0, "eviction released no banked plan bytes"
+    assert evict["plan_bank_bytes"] < max(r["plan_bank_bytes"] for r in warms)

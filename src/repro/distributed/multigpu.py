@@ -293,6 +293,7 @@ class MultiGpuDrTopK:
         cache: Optional["PartitionCache"] = None,
         executor: Optional["ServiceExecutor"] = None,
         plan_bank: Optional["PlanBank"] = None,
+        shard_fingerprints: Optional[dict] = None,
     ):
         """Answer a batch of queries over one sharded vector with plan reuse.
 
@@ -324,6 +325,11 @@ class MultiGpuDrTopK:
             (or any vector sharing shard content) skips those shards'
             ``to_keys`` + construction entirely and charges zero
             construction traffic for them.
+        shard_fingerprints:
+            Optional ``(start, stop) → fingerprint`` map precomputed at
+            admission by the named-vector store; shards found in it skip
+            the per-dispatch :func:`~repro.service.cache.fingerprint_array`
+            call (named warm queries must do zero fingerprint work).
 
         Returns
         -------
@@ -348,7 +354,9 @@ class MultiGpuDrTopK:
         self.last_plan = plan
 
         def shard_fn(gpu: int):
-            return lambda: self._run_shard_batch(v, parsed, plan, gpu, cache, plan_bank)
+            return lambda: self._run_shard_batch(
+                v, parsed, plan, gpu, cache, plan_bank, shard_fingerprints
+            )
 
         if executor is not None:
             from repro.service.executor import WorkUnit  # runtime import, see above
@@ -376,6 +384,7 @@ class MultiGpuDrTopK:
         gpu: int,
         cache: Optional["PartitionCache"],
         plan_bank: Optional["PlanBank"] = None,
+        shard_fingerprints: Optional[dict] = None,
     ) -> ShardBatchOutcome:
         """One GPU's work unit: grouped local top-k over its assigned shards."""
         from repro.service.batch import group_queries_by_plan  # runtime import, see topk_batch
@@ -407,7 +416,13 @@ class MultiGpuDrTopK:
             if not served:
                 continue
 
-            shard_fp = fingerprint_array(sub_v) if plan_bank is not None else None
+            shard_fp = None
+            if plan_bank is not None:
+                # Admission-time fingerprints (named vectors) win; anonymous
+                # dispatches still hash each shard once per batch.
+                shard_fp = (shard_fingerprints or {}).get((start, stop))
+                if shard_fp is None:
+                    shard_fp = fingerprint_array(sub_v)
             groups = group_queries_by_plan([parsed[p] for p in served], sub_n, cache, engine)
             for (alpha, largest), members in groups.items():
                 positions = [served[m] for m in members]

@@ -50,6 +50,7 @@ __all__ = [
     "service_throughput",
     "async_service",
     "hotpath_reuse",
+    "multivector_serving",
 ]
 
 #: Default measured input size (kept modest so the full harness runs quickly).
@@ -1047,4 +1048,132 @@ def hotpath_reuse(
         (list(chunks), cold_queries),
         streaming_reference,
     )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Service layer — named multi-vector serving: admit / query / evict lifecycle
+# ---------------------------------------------------------------------------
+
+
+def multivector_serving(
+    n: int = 1 << 16,
+    names: int = 4,
+    num_workers: int = 4,
+    dataset: str = "UD",
+    seed: int = DEFAULT_SEED,
+) -> List[Dict]:
+    """The named-vector serving lifecycle over a working set of vectors.
+
+    ``names`` distinct vectors are admitted under names (fingerprinted once,
+    plans pre-warmed for a small ``k`` mix), then each name serves a *warm*
+    round of **changed** queries — every ``k`` replaced by a same-``alpha``
+    variant, so only the plan bank (keyed by the admission-pinned
+    fingerprint) can remove work — and finally one name is evicted.  Three
+    phases, one row each per name:
+
+    * ``admit`` — fingerprint calls spent at admission (one per vector on
+      the batched route) and the warm-up's construction traffic: the only
+      O(n) work in the lifecycle.
+    * ``warm_query`` — the steady state: ``constructions``,
+      ``construction_bytes`` and ``fingerprint_calls`` must all be zero,
+      every plan group a bank hit, and ``identical`` certifies the answers
+      element-wise against a fresh bank-less dispatcher.
+    * ``evict`` — ``released_bytes`` is the banked plan bytes the eviction
+      cascade freed (observable as the drop in the bank's ``CacheInfo``).
+
+    The result cache is disabled throughout to isolate the plan path (warm
+    queries are changed, so it could not serve them anyway).
+    """
+    from repro.service.cache import fingerprint_call_count
+    from repro.service.dispatcher import ServiceDispatcher
+
+    if names < 1:
+        raise ConfigurationError("names must be >= 1")
+    engine = DrTopK()
+    base_ks = [4, 16, 64, 256]
+    warm_queries = [(int(k), True) for k in base_ks if k <= n]
+    changed = [
+        (_same_alpha_variant(engine, n, k), largest) for k, largest in warm_queries
+    ]
+    vectors = {
+        f"vec{i}": _dataset_vector(dataset, n, seed + i) for i in range(int(names))
+    }
+
+    rows: List[Dict] = []
+
+    def row(name: str, phase: str, **extra) -> None:
+        base = {
+            "name": name,
+            "phase": phase,
+            "queries": 0,
+            "constructions": 0,
+            "construction_bytes": 0.0,
+            "plan_bank_hits": 0,
+            "fingerprint_calls": 0,
+            "plan_bank_bytes": 0,
+            "released_bytes": 0,
+            "identical": True,
+        }
+        base.update(extra)
+        rows.append(base)
+
+    # Bank-less reference answers for the warm round (content is identical,
+    # so one fresh dispatcher per name keeps the comparison honest).
+    references = {}
+    for name, v in vectors.items():
+        with ServiceDispatcher(
+            num_workers=num_workers, result_cache_capacity=0, plan_bank_bytes=0
+        ) as fresh:
+            references[name] = fresh.dispatch(v.copy(), changed)
+
+    with ServiceDispatcher(num_workers=num_workers, result_cache_capacity=0) as d:
+        for name, v in vectors.items():
+            before = fingerprint_call_count()
+            d.admit(name, v, warm=warm_queries)
+            warmup = d.last_report
+            assert warmup is not None
+            row(
+                name,
+                "admit",
+                queries=len(warm_queries),
+                constructions=warmup.constructions,
+                construction_bytes=warmup.construction_bytes,
+                fingerprint_calls=fingerprint_call_count() - before,
+                plan_bank_bytes=warmup.plan_bank.bytes if warmup.plan_bank else 0,
+            )
+
+        for name in vectors:
+            before = fingerprint_call_count()
+            results = d.query(name, changed)
+            report = d.last_report
+            assert report is not None
+            identical = all(
+                np.array_equal(a.values, b.values)
+                and np.array_equal(a.indices, b.indices)
+                for a, b in zip(references[name], results)
+            )
+            row(
+                name,
+                "warm_query",
+                queries=len(changed),
+                constructions=report.constructions,
+                construction_bytes=report.construction_bytes,
+                plan_bank_hits=report.plan_bank_hits,
+                fingerprint_calls=fingerprint_call_count() - before,
+                plan_bank_bytes=report.plan_bank.bytes if report.plan_bank else 0,
+                identical=identical,
+            )
+
+        victim = next(iter(vectors))
+        assert d.plan_bank is not None
+        bank_before = d.plan_bank.info().bytes
+        d.evict(victim)
+        bank_after = d.plan_bank.info().bytes
+        row(
+            victim,
+            "evict",
+            plan_bank_bytes=bank_after,
+            released_bytes=bank_before - bank_after,
+        )
     return rows

@@ -46,6 +46,10 @@ _EXPERIMENTS: Dict[str, Tuple[Callable[..., List[dict]], str]] = {
     "service": (experiments.service_throughput, "batched vs naive serving traffic"),
     "async": (experiments.async_service, "sequential vs overlapped dispatch wall-clock"),
     "hotpath": (experiments.hotpath_reuse, "cold vs plan-bank-warm serving cost per route"),
+    "multivector": (
+        experiments.multivector_serving,
+        "named-vector admit/query/evict lifecycle over a working set",
+    ),
 }
 
 

@@ -28,6 +28,12 @@ caching instead of owning private loops:
   construction on every route), and a
   :class:`~repro.service.planbank.ChunkMemo` that memoises streaming chunk
   candidates by content fingerprint.
+* :class:`~repro.service.store.VectorStore` — the named-vector working set
+  behind ``dispatcher.admit(name, v)`` / ``dispatcher.query(name, k)``: each
+  vector is fingerprinted once at admission (whole vector and, above the
+  device capacity, per shard), made read-only, and served with zero
+  re-fingerprinting; a byte-budgeted LRU with pin/unpin whose evictions
+  cascade into the plan bank and result cache.
 * :class:`~repro.service.executor.ServiceExecutor` /
   :class:`~repro.service.router.Router` — the execution core itself, usable
   directly by new routes.
@@ -40,10 +46,17 @@ from repro.service.batch import (
     batch_topk,
     group_queries_by_plan,
 )
-from repro.service.cache import CacheInfo, PartitionCache, ResultCache, fingerprint_array
+from repro.service.cache import (
+    CacheInfo,
+    PartitionCache,
+    ResultCache,
+    fingerprint_array,
+    fingerprint_call_count,
+)
 from repro.service.executor import ExecutorReport, ServiceExecutor, UnitResult, WorkUnit
 from repro.service.planbank import ChunkMemo, PlanBank
 from repro.service.router import Router
+from repro.service.store import StoredVector, VectorStore
 from repro.service.dispatcher import (
     DispatchReport,
     ServiceDispatcher,
@@ -78,7 +91,10 @@ __all__ = [
     "PlanBank",
     "ChunkMemo",
     "CacheInfo",
+    "VectorStore",
+    "StoredVector",
     "fingerprint_array",
+    "fingerprint_call_count",
     "ServiceExecutor",
     "ExecutorReport",
     "WorkUnit",

@@ -37,7 +37,13 @@ from repro.core.drtopk import DrTopK
 from repro.errors import ConfigurationError
 from repro.types import TopKResult
 
-__all__ = ["PartitionCache", "ResultCache", "CacheInfo", "fingerprint_array"]
+__all__ = [
+    "PartitionCache",
+    "ResultCache",
+    "CacheInfo",
+    "fingerprint_array",
+    "fingerprint_call_count",
+]
 
 #: Partition-cache key: (n, k, beta, alpha-override, rule4 constant).
 _Key = Tuple[int, int, int, Optional[int], float]
@@ -49,8 +55,29 @@ _ResultKey = Tuple[str, int, bool]
 _FULL_HASH_BYTES = 1 << 20
 #: Bytes hashed from each end of a large vector.
 _EDGE_BYTES = 1 << 14
-#: Elements sampled at a fixed stride from the middle of a large vector.
+#: Elements sampled at a fixed stride from the interior of a large vector.
 _SAMPLE_ELEMENTS = 4096
+#: Version salt folded into every digest.  Bumped whenever the fingerprint
+#: scheme changes (v2: the stride sample anchors to the interior span between
+#: the head and tail blocks), so a fingerprint computed under an older scheme
+#: can never hit a cache populated under a newer one — stale cross-version
+#: serves are structurally impossible.
+_FINGERPRINT_VERSION = b"repro-fingerprint-v2"
+
+_fingerprint_lock = threading.Lock()
+_fingerprint_calls = 0
+
+
+def fingerprint_call_count() -> int:
+    """Process-wide number of :func:`fingerprint_array` invocations so far.
+
+    Observability hook for the named-vector serving path: a warm
+    :meth:`~repro.service.dispatcher.ServiceDispatcher.query` pins the
+    fingerprint computed at admission, so the counter must not move across
+    the call.  Monotonic; sample before/after and compare deltas.
+    """
+    with _fingerprint_lock:
+        return _fingerprint_calls
 
 
 @dataclass
@@ -76,25 +103,34 @@ def fingerprint_array(v: np.ndarray) -> str:
     """Cheap content fingerprint of a vector (shape + dtype + buffer hash).
 
     Small vectors hash their entire buffer; larger ones hash the head and
-    tail blocks plus a fixed-stride sample, so the cost stays O(1) in the
-    vector size.  The sampled variant can in principle miss a mutation that
-    only touches unsampled elements — the documented trade-off of a cheap
-    fingerprint (treat cached vectors as immutable while they serve traffic).
+    tail blocks plus a strided sample anchored to the *interior* span between
+    them — the stride rounds up, so the sampled positions reach to within one
+    stride of the tail block and no interior region is systematically
+    unsampled.  The cost stays O(1) in the vector size.  The sampled variant
+    can still miss a mutation that only touches unsampled elements — the
+    documented trade-off of a cheap fingerprint (treat cached vectors as
+    immutable while they serve traffic).
     """
+    global _fingerprint_calls
+    with _fingerprint_lock:
+        _fingerprint_calls += 1
     v = np.ascontiguousarray(v)
     digest = hashlib.blake2b(digest_size=16)
+    digest.update(_FINGERPRINT_VERSION)
     digest.update(repr(v.shape).encode())
     digest.update(v.dtype.str.encode())
     if v.nbytes <= _FULL_HASH_BYTES:
         digest.update(v.tobytes())
     else:
         flat = v.reshape(-1)
-        head = flat[: max(_EDGE_BYTES // v.dtype.itemsize, 1)]
-        tail = flat[-max(_EDGE_BYTES // v.dtype.itemsize, 1) :]
-        stride = max(flat.shape[0] // _SAMPLE_ELEMENTS, 1)
-        digest.update(head.tobytes())
-        digest.update(tail.tobytes())
-        digest.update(np.ascontiguousarray(flat[::stride][:_SAMPLE_ELEMENTS]).tobytes())
+        edge = max(_EDGE_BYTES // v.dtype.itemsize, 1)
+        digest.update(flat[:edge].tobytes())
+        digest.update(flat[-edge:].tobytes())
+        interior = flat[edge:-edge]
+        if interior.shape[0]:
+            stride = -(-interior.shape[0] // _SAMPLE_ELEMENTS)  # ceil: span it all
+            sample = interior[::stride][:_SAMPLE_ELEMENTS]
+            digest.update(np.ascontiguousarray(sample).tobytes())
     return digest.hexdigest()
 
 
@@ -211,6 +247,18 @@ class ResultCache:
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every result cached for ``fingerprint``; returns entries dropped.
+
+        The named-vector store's eviction cascade: a vector leaving the
+        working set must not keep serving whole answers from the cache.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == fingerprint]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     def info(self) -> CacheInfo:
         """Current hit/miss/eviction statistics."""

@@ -42,6 +42,17 @@ sharded route (per-shard fingerprints) alike — and the streaming route's
 candidate pool by content fingerprint so replayed streams run zero per-chunk
 pipeline work.  Together they make the steady-state serving path zero-rescan:
 only a genuinely new vector (or a new ``alpha``) pays an O(n) scan.
+
+On top of the anonymous :meth:`ServiceDispatcher.dispatch` sits the **named
+front end**: :meth:`~ServiceDispatcher.admit` places a vector into the
+byte-budgeted :class:`~repro.service.store.VectorStore` working set —
+fingerprinted once (whole vector, and per shard above the device capacity),
+made read-only, plans optionally pre-warmed — and
+:meth:`~ServiceDispatcher.query` serves it by name with the pinned
+fingerprint, so warm named traffic does zero fingerprint work on top of its
+zero-rescan plan reuse.  :meth:`~ServiceDispatcher.evict` (and byte-budget
+eviction) cascades into the plan bank and result cache, releasing the
+content's banked bytes unless another admitted name aliases it.
 """
 
 from __future__ import annotations
@@ -66,6 +77,7 @@ from repro.service.planbank import (
     PlanBank,
 )
 from repro.service.router import Router
+from repro.service.store import DEFAULT_STORE_BYTES, StoredVector, VectorStore
 from repro.service.streaming import (
     DEFAULT_CHUNK_ELEMENTS,
     merge_candidate_pool,
@@ -124,6 +136,9 @@ class DispatchReport:
     #: serve count (per key order, per chunk).
     chunk_memo: Optional[CacheInfo] = None
     chunk_memo_hits: int = 0
+    #: Named-vector working-set statistics (``None`` when the store is
+    #: disabled); ``bytes`` is the resident vectors, not their cached plans.
+    store: Optional[CacheInfo] = None
     executor_mode: str = ""
     wall_ms: float = 0.0
     unit_wall_ms_sum: float = 0.0
@@ -171,6 +186,10 @@ class ServiceDispatcher:
     chunk_memo_bytes:
         Byte budget of the streaming :class:`ChunkMemo`; ``0`` disables
         chunk memoisation.
+    store_bytes:
+        Byte budget of the named-vector :class:`VectorStore` behind
+        :meth:`admit` / :meth:`query`; ``0`` disables the named front end
+        (anonymous :meth:`dispatch` is unaffected).
     gpus_per_node / comm_cost:
         Interconnect topology and cost model for the result gather.
     execution:
@@ -192,6 +211,7 @@ class ServiceDispatcher:
         result_cache_capacity: int = 256,
         plan_bank_bytes: int = DEFAULT_PLAN_BANK_BYTES,
         chunk_memo_bytes: int = DEFAULT_CHUNK_MEMO_BYTES,
+        store_bytes: int = DEFAULT_STORE_BYTES,
         gpus_per_node: int = 4,
         comm_cost: Optional[CommCost] = None,
         execution: str = "threads",
@@ -208,6 +228,8 @@ class ServiceDispatcher:
             raise ConfigurationError("plan_bank_bytes must be >= 0")
         if chunk_memo_bytes < 0:
             raise ConfigurationError("chunk_memo_bytes must be >= 0")
+        if store_bytes < 0:
+            raise ConfigurationError("store_bytes must be >= 0")
         if chunk_elements < 1:
             raise ConfigurationError("chunk_elements must be >= 1")
         self.num_workers = int(num_workers)
@@ -226,6 +248,11 @@ class ServiceDispatcher:
         self.chunk_memo: Optional[ChunkMemo] = (
             ChunkMemo(chunk_memo_bytes) if chunk_memo_bytes else None
         )
+        self.store: Optional[VectorStore] = (
+            VectorStore(store_bytes, on_evict=self._release_vector)
+            if store_bytes
+            else None
+        )
         self.workers = [
             BatchTopK(self.config, cache=self.cache, plan_bank=self.plan_bank)
             for _ in range(self.num_workers)
@@ -242,11 +269,21 @@ class ServiceDispatcher:
         self.last_report: Optional[DispatchReport] = None
 
     # -- public API -----------------------------------------------------------
-    def dispatch(self, v, queries: Sequence[QueryLike]) -> List[TopKResult]:
+    def dispatch(
+        self,
+        v,
+        queries: Sequence[QueryLike],
+        fingerprint: Optional[str] = None,
+        shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None,
+    ) -> List[TopKResult]:
         """Answer every query against ``v``; results align with ``queries``.
 
         ``v`` is either a 1-D vector (batched or sharded route, by size) or
-        any iterable of 1-D chunk arrays (streaming route).
+        any iterable of 1-D chunk arrays (streaming route).  ``fingerprint``
+        and ``shard_fingerprints`` (when the caller already fingerprinted
+        ``v`` — the named-vector :meth:`query` path) are trusted as-is and
+        suppress the per-dispatch hashing; pass them only for content they
+        actually describe.
         """
         parsed = [TopKQuery.of(q) for q in queries]
         report = DispatchReport(
@@ -282,10 +319,12 @@ class ServiceDispatcher:
         for q in parsed:
             check_k(q.k, n)
 
-        # One fingerprint serves both whole-result reuse and plan banking.
+        # One fingerprint serves both whole-result reuse and plan banking; a
+        # caller-pinned fingerprint (named vectors) skips the hash entirely.
         results: List[Optional[TopKResult]] = [None] * len(parsed)
-        fingerprint: Optional[str] = None
-        if self.results_cache is not None or self.plan_bank is not None:
+        if fingerprint is None and (
+            self.results_cache is not None or self.plan_bank is not None
+        ):
             fingerprint = fingerprint_array(v)
         pending = list(range(len(parsed)))
         if self.results_cache is not None and fingerprint is not None:
@@ -301,7 +340,9 @@ class ServiceDispatcher:
         if pending:
             sub_parsed = [parsed[p] for p in pending]
             if route == "sharded":
-                sub_results = self._dispatch_sharded(v, sub_parsed, report)
+                sub_results = self._dispatch_sharded(
+                    v, sub_parsed, report, shard_fingerprints
+                )
             else:
                 sub_results = self._dispatch_batched(v, sub_parsed, report, fingerprint)
             for pos, res in zip(pending, sub_results):
@@ -316,6 +357,141 @@ class ServiceDispatcher:
         if len(final) != len(parsed):
             raise ConfigurationError("internal error: dispatcher lost queries")
         return final
+
+    # -- named-vector front end ------------------------------------------------
+    def admit(
+        self,
+        name: str,
+        vector,
+        pin: bool = False,
+        warm: Optional[Sequence[QueryLike]] = None,
+    ) -> StoredVector:
+        """Admit one named vector into the serving working set.
+
+        The vector is made read-only (the fingerprint's immutability caveat,
+        enforced) and fingerprinted **once** — the whole vector, plus one
+        fingerprint per shard when it exceeds the device capacity — so no
+        later :meth:`query` ever re-hashes it.  ``warm`` (optional) names
+        queries to serve immediately at admission: their plans land in the
+        :class:`PlanBank`, so even the *first* external query with any
+        same-``alpha`` ``k`` is zero-rescan.  Re-admitting a name with
+        changed content replaces the entry and releases the old content's
+        cached plans/results.
+        """
+        if self.store is None:
+            raise ConfigurationError(
+                "the named-vector store is disabled (store_bytes=0)"
+            )
+        vector = ensure_1d(vector)
+        shard_fps: Optional[Dict[Tuple[int, int], str]] = None
+        if vector.shape[0] > self.capacity_elements:
+            # The sharded route banks plans per shard, keyed by the shard's
+            # own fingerprint — precompute them against the exact partition
+            # topk_batch will use, so warm sharded queries hash nothing.
+            from repro.distributed.partition import plan_partition
+
+            plan = plan_partition(
+                vector.shape[0], self.num_workers, self.capacity_elements
+            )
+            shard_fps = {
+                (start, stop): fingerprint_array(vector[start:stop])
+                for start, stop in plan.subvector_bounds
+            }
+        entry = self.store.admit(
+            name, vector, shard_fingerprints=shard_fps, pin=pin
+        )
+        if warm:
+            self.query(name, list(warm))
+        return entry
+
+    def query(self, name: str, queries) -> List[TopKResult]:
+        """Answer queries against an admitted vector, zero re-fingerprinting.
+
+        ``queries`` is a sequence of :class:`~repro.service.batch.TopKQuery`
+        coercibles, or a single one (a bare ``k``, a ``(k, largest)`` tuple,
+        or a :class:`TopKQuery`) which is wrapped; the return value is always
+        a list aligned with the (wrapped) queries.  The admitted entry's
+        pinned fingerprint(s) route the dispatch, so a warm query does zero
+        fingerprint work on top of its zero-rescan plan reuse; per-name hit
+        history feeds the router's placement affinity.
+        """
+        entry = self._stored(name)
+        if isinstance(queries, (int, np.integer, tuple, TopKQuery)):
+            queries = [queries]
+        results = self.dispatch(
+            entry.vector,
+            queries,
+            fingerprint=entry.fingerprint,
+            shard_fingerprints=entry.shard_fingerprints,
+        )
+        assert self.store is not None
+        self.store.note_queries(name, len(results))
+        self.router.note_queries(entry.fingerprint, len(results))
+        return results
+
+    def evict(self, name: str) -> bool:
+        """Remove one named vector; its banked plans/results are released.
+
+        Returns whether the name was resident.  The release is observable:
+        the :class:`PlanBank`'s ``CacheInfo.bytes`` drops by the invalidated
+        plans' sizes (unless another admitted name shares the content).
+        """
+        if self.store is None:
+            raise ConfigurationError(
+                "the named-vector store is disabled (store_bytes=0)"
+            )
+        return self.store.evict(name) is not None
+
+    def pin(self, name: str) -> None:
+        """Exempt a named vector from the store's byte-budget eviction.
+
+        Deliberately not a :meth:`_stored` lookup: pinning is not a query,
+        so it must neither promote the entry in the LRU nor count as a
+        store hit (the store raises its own error for unknown names).
+        """
+        if self.store is None:
+            raise ConfigurationError(
+                "the named-vector store is disabled (store_bytes=0)"
+            )
+        self.store.pin(name)
+
+    def unpin(self, name: str) -> None:
+        """Return a named vector to normal LRU eviction."""
+        if self.store is None:
+            raise ConfigurationError(
+                "the named-vector store is disabled (store_bytes=0)"
+            )
+        self.store.unpin(name)
+
+    def _stored(self, name: str) -> StoredVector:
+        """The admitted entry for ``name``, or a descriptive error."""
+        if self.store is None:
+            raise ConfigurationError(
+                "the named-vector store is disabled (store_bytes=0)"
+            )
+        entry = self.store.get(name)
+        if entry is None:
+            raise ConfigurationError(
+                f"no vector named {name!r} is admitted (admit() it first, "
+                "or it was evicted)"
+            )
+        return entry
+
+    def _release_vector(self, entry: StoredVector) -> None:
+        """Store-eviction cascade: drop the content's cached serving state.
+
+        Skips fingerprints still served by another resident name (aliased
+        admissions of identical content keep their shared plans).
+        """
+        live = self.store.live_fingerprints() if self.store is not None else set()
+        for fp in entry.fingerprints():
+            if fp in live:
+                continue
+            if self.plan_bank is not None:
+                self.plan_bank.invalidate(fp)
+            if self.results_cache is not None:
+                self.results_cache.invalidate(fp)
+            self.router.forget(fp)
 
     def shutdown(self) -> None:
         """Stop the executor's worker threads (the dispatcher stays usable)."""
@@ -342,6 +518,8 @@ class ServiceDispatcher:
             report.plan_bank = self.plan_bank.info()
         if self.chunk_memo is not None:
             report.chunk_memo = self.chunk_memo.info()
+        if self.store is not None:
+            report.store = self.store.info()
         self.last_report = report
 
     # -- batched route ------------------------------------------------------------
@@ -409,7 +587,11 @@ class ServiceDispatcher:
 
     # -- sharded route ------------------------------------------------------------
     def _dispatch_sharded(
-        self, v: np.ndarray, parsed: List[TopKQuery], report: DispatchReport
+        self,
+        v: np.ndarray,
+        parsed: List[TopKQuery],
+        report: DispatchReport,
+        shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None,
     ) -> List[TopKResult]:
         report.route = "sharded"
         fleet = MultiGpuDrTopK(
@@ -420,7 +602,12 @@ class ServiceDispatcher:
             comm_cost=self.comm_cost,
         )
         results, mreport = fleet.topk_batch(
-            v, parsed, cache=self.cache, executor=self.executor, plan_bank=self.plan_bank
+            v,
+            parsed,
+            cache=self.cache,
+            executor=self.executor,
+            plan_bank=self.plan_bank,
+            shard_fingerprints=shard_fingerprints,
         )
         report.communication_ms = mreport.communication_ms
         report.constructions = mreport.constructions

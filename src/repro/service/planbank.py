@@ -76,14 +76,15 @@ class _ByteBudgetLru:
         self._evictions = 0
 
     def _get(self, key: tuple):
+        # Membership, not `.get(...) is not None`: a stored falsy value (or a
+        # literal None) is a hit, only a genuinely absent key is a miss.
         with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
-                self._entries.move_to_end(key)
-                self._hits += 1
-                return cached
-            self._misses += 1
-            return None
+            if key not in self._entries:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return self._entries[key]
 
     def _contains(self, key: tuple) -> bool:
         # Deliberately no LRU promotion and no counter updates: the router
@@ -93,13 +94,18 @@ class _ByteBudgetLru:
 
     def _put(self, key: tuple, value: object) -> bool:
         size = int(self._size_of(value))
-        if size > self.capacity_bytes:
-            return False  # larger than the whole budget: never admitted
         with self._lock:
+            # Replacement first, and under the lock: a re-put of an existing
+            # key must drop the old entry (and its size accounting) even when
+            # the new value turns out to be oversize — the old value is stale
+            # either way, and leaving it resident would let _bytes drift from
+            # the sum of the resident sizes.
             old = self._sizes.pop(key, None)
             if old is not None:
                 self._bytes -= old
                 del self._entries[key]
+            if size > self.capacity_bytes:
+                return False  # larger than the whole budget: never admitted
             self._entries[key] = value
             self._sizes[key] = size
             self._bytes += size
@@ -108,6 +114,30 @@ class _ByteBudgetLru:
                 self._bytes -= self._sizes.pop(evicted_key)
                 self._evictions += 1
             return True
+
+    def _invalidate_where(self, predicate: Callable[[tuple], bool]) -> int:
+        """Drop every entry whose key matches; returns the bytes released.
+
+        Used by the named-vector store's eviction cascade: releasing a vector
+        must release the cache entries keyed by its fingerprint(s), so the
+        byte budget is immediately available to other content.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            released = 0
+            for key in doomed:
+                del self._entries[key]
+                released += self._sizes.pop(key)
+            self._bytes -= released
+            return released
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every entry keyed by ``fingerprint``; returns bytes released.
+
+        Every cache in this module keys entries by a content fingerprint in
+        the first key position, so one definition serves both subclasses.
+        """
+        return self._invalidate_where(lambda key: key[0] == fingerprint)
 
     def info(self) -> CacheInfo:
         """Current hit/miss/eviction and byte-occupancy statistics."""
@@ -173,7 +203,7 @@ class PlanBank(_ByteBudgetLru):
         """
         key: _PlanKey = (fingerprint, int(alpha), bool(largest))
         with self._lock:
-            plan = self._entries.get(key)
+            plan = self._entries[key] if key in self._entries else None
             if (
                 plan is not None
                 and beta is not None

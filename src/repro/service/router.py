@@ -28,7 +28,8 @@ closures); the :class:`~repro.service.executor.ServiceExecutor` runs it and
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +44,16 @@ __all__ = ["Router"]
 
 #: Route names emitted by :meth:`Router.classify`.
 ROUTES = ("batched", "sharded", "streaming")
+
+#: Load slack (as a fraction of the dispatch's total weight) within which
+#: placement prefers a repeat vector's remembered worker over the strictly
+#: least-loaded one.
+AFFINITY_SLACK = 0.25
+
+#: Upper bound on remembered per-fingerprint affinity entries (anonymous
+#: dispatches record affinity too; without a cap a long-running service
+#: would accrete one entry per distinct vector ever dispatched).
+_AFFINITY_CAP = 4096
 
 
 class Router:
@@ -79,6 +90,32 @@ class Router:
         self.capacity_elements = int(capacity_elements)
         self.cache = cache
         self.plan_bank = plan_bank
+        # Per-name (per-fingerprint) serving history: how many queries each
+        # content has answered, and which worker its heaviest group last
+        # landed on.  The named-vector front end feeds the history; placement
+        # uses it to keep a repeat vector's groups on a stable worker.
+        self._history_lock = threading.Lock()
+        self._query_history: Dict[str, int] = {}
+        self._affinity: Dict[str, int] = {}
+
+    # -- per-name serving history ----------------------------------------------
+    def note_queries(self, fingerprint: str, count: int) -> None:
+        """Record ``count`` served queries against one vector's fingerprint."""
+        with self._history_lock:
+            self._query_history[fingerprint] = (
+                self._query_history.get(fingerprint, 0) + int(count)
+            )
+
+    def query_history(self, fingerprint: str) -> int:
+        """Queries previously recorded against the fingerprint."""
+        with self._history_lock:
+            return self._query_history.get(fingerprint, 0)
+
+    def forget(self, fingerprint: str) -> None:
+        """Drop one fingerprint's history and affinity (store-eviction cascade)."""
+        with self._history_lock:
+            self._query_history.pop(fingerprint, None)
+            self._affinity.pop(fingerprint, None)
 
     # -- classification --------------------------------------------------------
     def classify(self, v) -> str:
@@ -140,8 +177,13 @@ class Router:
         would re-run its construction); groups are weighted by
         :meth:`expected_group_work` — expected workload from ``k``, ``alpha``
         and the plan-bank hit state — and placed heaviest first onto the
-        least-loaded worker.  Returns one list of query positions per worker
-        (possibly empty).
+        least-loaded worker.  A vector with recorded per-name hit history
+        (see :meth:`note_queries`) additionally carries worker *affinity*:
+        its heaviest group returns to the worker that served it last whenever
+        that worker's load is within :data:`AFFINITY_SLACK` of the least
+        loaded, so a steadily served named vector keeps a stable worker
+        instead of drifting with every replanned dispatch.  Returns one list
+        of query positions per worker (possibly empty).
         """
         n = int(v.shape[0])
         groups = group_queries_by_plan(parsed, n, self.cache, engine)
@@ -157,12 +199,36 @@ class Router:
                 n, [parsed[p].k for p in positions], alpha, beta, bank_hit
             )
             weighted.append((weight, positions))
+        total_weight = sum(w for w, _ in weighted)
+        preferred: Optional[int] = None
+        if fingerprint is not None:
+            with self._history_lock:
+                if self._query_history.get(fingerprint, 0) > 0:
+                    preferred = self._affinity.get(fingerprint)
         load = [0.0] * self.num_workers
         placement: List[List[int]] = [[] for _ in range(self.num_workers)]
+        heaviest_target: Optional[int] = None
         for weight, positions in sorted(weighted, key=lambda wp: wp[0], reverse=True):
             target = min(range(self.num_workers), key=load.__getitem__)
+            if (
+                preferred is not None
+                and 0 <= preferred < self.num_workers
+                and load[preferred] <= load[target] + AFFINITY_SLACK * total_weight
+            ):
+                target = preferred
+            if heaviest_target is None:
+                heaviest_target = target  # sorted: the first group is heaviest
             placement[target].extend(positions)
             load[target] += weight
+        if fingerprint is not None and heaviest_target is not None:
+            # Remember where the heaviest group landed (not the most-loaded
+            # worker, which a pile of light groups can out-weigh and flip
+            # between dispatches) so repeats steer it back there.
+            with self._history_lock:
+                self._affinity.pop(fingerprint, None)  # re-insert most recent
+                self._affinity[fingerprint] = heaviest_target
+                while len(self._affinity) > _AFFINITY_CAP:
+                    self._affinity.pop(next(iter(self._affinity)))
         return placement
 
     def batched_units(

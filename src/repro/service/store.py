@@ -1,0 +1,312 @@
+"""Named-vector working set: the admission/eviction front end's storage.
+
+Real top-k services (ANN candidate generation, tweet ranking — the paper's
+own applications) do not receive one anonymous array per request: they hold a
+*working set* of named vectors that serve query traffic for a while and are
+then rotated out.  :class:`VectorStore` is that working set — a byte-budgeted
+LRU of ``name → StoredVector`` entries where each entry carries everything
+the serving path needs to stay zero-rescan:
+
+* the vector itself, made **read-only at admission** (the fingerprint below
+  is only trustworthy while the content cannot change under it — the
+  documented :func:`~repro.service.cache.fingerprint_array` caveat, enforced
+  here instead of merely documented);
+* the content fingerprint, computed **once** at admission and pinned — a
+  named query never re-hashes the vector; and
+* for vectors above the device capacity, one fingerprint per shard (the
+  sharded route banks plans per shard), precomputed so the sharded route
+  never hashes either.
+
+Eviction is LRU over resident bytes with pin/unpin: pinned entries are
+skipped by budget eviction (an explicit :meth:`evict` still removes them —
+an operator's explicit decision outranks the pin).  Every eviction fires the
+``on_evict`` callback *outside* the store lock; the dispatcher uses it to
+cascade invalidation into the :class:`~repro.service.planbank.PlanBank` and
+:class:`~repro.service.cache.ResultCache`, so a vector leaving the working
+set immediately releases its banked plan bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.service.cache import CacheInfo, fingerprint_array
+
+__all__ = ["StoredVector", "VectorStore", "DEFAULT_STORE_BYTES"]
+
+#: Default working-set budget — a generous number of laptop-scale vectors.
+DEFAULT_STORE_BYTES = 1 << 30
+
+
+@dataclass(eq=False)  # identity semantics: comparing numpy fields is ambiguous
+class StoredVector:
+    """One admitted vector and its pinned serving state.
+
+    Attributes
+    ----------
+    name:
+        The admission name; the query-time handle.
+    vector:
+        The admitted 1-D array, read-only (writes raise).
+    fingerprint:
+        Content fingerprint computed once at admission.
+    shard_fingerprints:
+        ``(start, stop) → fingerprint`` per shard for vectors that take the
+        sharded route; ``None`` for vectors served whole.
+    pinned:
+        Pinned entries are never chosen by byte-budget eviction.
+    queries:
+        Queries served through this entry (the router's per-name history
+        feeds off the same counter).
+    """
+
+    name: str
+    vector: np.ndarray
+    fingerprint: str
+    shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None
+    pinned: bool = False
+    queries: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes the entry charges against the store budget."""
+        return int(self.vector.nbytes)
+
+    def fingerprints(self) -> List[str]:
+        """Every fingerprint the entry pins (whole vector plus shards)."""
+        out = [self.fingerprint]
+        if self.shard_fingerprints:
+            out.extend(self.shard_fingerprints.values())
+        return out
+
+
+class VectorStore:
+    """Thread-safe byte-budgeted LRU of named vectors with pin/unpin.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total resident-byte budget across admitted vectors; admitting beyond
+        it evicts unpinned entries in LRU order.  A single vector larger than
+        the whole budget is never admissible.
+    on_evict:
+        Called once per removed entry (budget eviction, explicit
+        :meth:`evict`, and replacement by re-admission alike), outside the
+        store lock.  The dispatcher cascades cache invalidation here.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_STORE_BYTES,
+        on_evict: Optional[Callable[[StoredVector], None]] = None,
+    ):
+        if capacity_bytes < 1:
+            raise ConfigurationError("store byte budget must be >= 1")
+        self.capacity_bytes = int(capacity_bytes)
+        self.on_evict = on_evict
+        self._entries: "OrderedDict[str, StoredVector]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- admission -------------------------------------------------------------
+    def admit(
+        self,
+        name: str,
+        vector: np.ndarray,
+        shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None,
+        pin: bool = False,
+        fingerprint: Optional[str] = None,
+    ) -> StoredVector:
+        """Admit (or replace) one named vector; returns its entry.
+
+        The vector is made read-only in place — admission is the moment the
+        immutability caveat becomes a contract — and fingerprinted once.
+        Re-admitting an existing name replaces its entry (firing ``on_evict``
+        for the old one when the content changed, so stale plans are
+        released); an existing pin sticks across re-admission until
+        :meth:`unpin`.  Admission evicts unpinned LRU entries until the
+        budget holds; it fails — leaving the store and the caller's array
+        untouched — if the vector alone exceeds the budget or if every
+        resident entry is pinned and the budget cannot be met.
+        """
+        vector = np.asarray(vector)
+        if vector.ndim != 1:
+            raise ConfigurationError(
+                f"named vectors must be one dimensional, got shape {vector.shape}"
+            )
+        if vector.shape[0] == 0:
+            raise ConfigurationError("cannot admit an empty vector")
+        if int(vector.nbytes) > self.capacity_bytes:
+            raise ConfigurationError(
+                f"vector {name!r} ({vector.nbytes} B) exceeds the store budget "
+                f"({self.capacity_bytes} B)"
+            )
+        if fingerprint is None:
+            fingerprint = fingerprint_array(vector)
+        entry = StoredVector(
+            name=str(name),
+            vector=vector,
+            fingerprint=fingerprint,
+            shard_fingerprints=shard_fingerprints,
+            pinned=bool(pin),
+        )
+        removed: List[StoredVector] = []
+        with self._lock:
+            # Check, then commit: plan the evictions that would make room
+            # and raise *before* mutating anything if the budget cannot be
+            # met — a refused admission leaves the store (and the caller's
+            # array) exactly as it found them, and every entry that does get
+            # evicted always fires its cascade.
+            old = self._entries.get(entry.name)
+            needed = self._bytes - (old.nbytes if old is not None else 0) + entry.nbytes
+            victims: List[str] = []
+            for victim_name, resident in self._entries.items():
+                if needed <= self.capacity_bytes:
+                    break
+                if resident.pinned or victim_name == entry.name:
+                    continue
+                victims.append(victim_name)
+                needed -= resident.nbytes
+            if needed > self.capacity_bytes:
+                raise ConfigurationError(
+                    f"cannot admit {name!r}: {needed} B needed even after "
+                    "evicting every unpinned vector "
+                    f"(budget {self.capacity_bytes} B)"
+                )
+            if old is not None:
+                del self._entries[old.name]
+                self._bytes -= old.nbytes
+                # A pin names the *name*, not one content version: it sticks
+                # across re-admission (refresh or replacement) until unpin().
+                entry.pinned = entry.pinned or old.pinned
+                if old.fingerprint != entry.fingerprint:
+                    removed.append(old)
+                else:
+                    entry.queries = old.queries
+            for victim_name in victims:
+                evicted = self._entries.pop(victim_name)
+                self._bytes -= evicted.nbytes
+                self._evictions += 1
+                removed.append(evicted)
+            self._entries[entry.name] = entry
+            self._bytes += entry.nbytes
+        # Enforce the fingerprint's immutability caveat only once admission
+        # has succeeded: the admitted array object rejects writes from here
+        # on.  (A caller holding a separate writable view of the same buffer
+        # can still defeat this — the enforcement is the strongest numpy
+        # offers without copying.)
+        vector.setflags(write=False)
+        self._fire_evictions(removed)
+        return entry
+
+    # -- lookup ----------------------------------------------------------------
+    def get(self, name: str) -> Optional[StoredVector]:
+        """The named entry (promoted to most recently used), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(str(name))
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(str(name))
+            self._hits += 1
+            return entry
+
+    def names(self) -> List[str]:
+        """Admitted names, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def live_fingerprints(self) -> set:
+        """Every fingerprint still pinned by a resident entry.
+
+        The eviction cascade asks "does any resident name still serve this
+        content?" — the evicted entry is already gone when its callback
+        fires, so aliased admissions of identical content keep their shared
+        cache entries.
+        """
+        with self._lock:
+            live: set = set()
+            for entry in self._entries.values():
+                live.update(entry.fingerprints())
+            return live
+
+    # -- pinning / eviction ------------------------------------------------------
+    def pin(self, name: str) -> None:
+        """Exempt the named entry from byte-budget eviction."""
+        self._set_pin(name, True)
+
+    def unpin(self, name: str) -> None:
+        """Return the named entry to normal LRU eviction."""
+        self._set_pin(name, False)
+
+    def _set_pin(self, name: str, pinned: bool) -> None:
+        with self._lock:
+            entry = self._entries.get(str(name))
+            if entry is None:
+                raise ConfigurationError(f"no vector named {name!r} is admitted")
+            entry.pinned = pinned
+
+    def evict(self, name: str) -> Optional[StoredVector]:
+        """Explicitly remove one named entry (pinned or not); returns it.
+
+        Returns ``None`` when the name is not resident.  Fires ``on_evict``
+        so the removal cascades exactly like a budget eviction.
+        """
+        with self._lock:
+            entry = self._entries.pop(str(name), None)
+            if entry is None:
+                return None
+            self._bytes -= entry.nbytes
+            self._evictions += 1
+        self._fire_evictions([entry])
+        return entry
+
+    def clear(self) -> None:
+        """Evict every entry (counters are kept; ``on_evict`` fires per entry)."""
+        with self._lock:
+            removed = list(self._entries.values())
+            self._entries.clear()
+            self._bytes = 0
+        self._fire_evictions(removed)
+
+    def _fire_evictions(self, removed: List[StoredVector]) -> None:
+        # Outside the lock: the callback re-enters the store (live-fingerprint
+        # checks) and touches the plan bank's own lock.
+        if self.on_evict is not None:
+            for entry in removed:
+                self.on_evict(entry)
+
+    # -- bookkeeping -------------------------------------------------------------
+    def note_queries(self, name: str, count: int) -> None:
+        """Record ``count`` served queries against the named entry."""
+        with self._lock:
+            entry = self._entries.get(str(name))
+            if entry is not None:
+                entry.queries += int(count)
+
+    def info(self) -> CacheInfo:
+        """Occupancy and hit/miss/eviction statistics."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                bytes=self._bytes,
+                capacity_bytes=self.capacity_bytes,
+            )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return str(name) in self._entries

@@ -112,6 +112,9 @@ class StreamReport:
     finalize_bytes: float = 0.0
     #: Chunks served from the chunk memo (zero pipeline work, zero bytes).
     memo_hits: int = 0
+    #: One entry per consumed chunk, in stream order; a memoised chunk is an
+    #: explicit zero-work entry (only ``input_size`` set), so cold and warm
+    #: streams aggregate over the same denominator.
     chunk_stats: List[WorkloadStats] = field(default_factory=list)
 
     @property
@@ -235,8 +238,13 @@ class StreamingTopK:
             if fp is not None:
                 self.chunk_memo.put(fp, kk, self.largest, local)
         else:
-            # Memoised chunk: candidates arrive with zero pipeline work.
+            # Memoised chunk: candidates arrive with zero pipeline work.  The
+            # chunk is still recorded in chunk_stats — as an explicit
+            # zero-work entry — so the aggregated stream statistics keep one
+            # entry per consumed chunk and a warm replay's per-element work
+            # is measured against the full stream, not just the cold chunks.
             self.report.memo_hits += 1
+            self.report.chunk_stats.append(WorkloadStats(input_size=n))
         self._merge(local.values, local.indices + offset)
         self._count += n
         self.report.total_elements = self._count
@@ -286,15 +294,24 @@ class StreamingTopK:
         """Merge the per-chunk statistics into one stream-level record.
 
         Sizes and counts are summed over chunks; the subrange geometry
-        (``alpha``, ``beta``, ``subrange_size``) reports the last chunk's
-        values, since chunks may legitimately resolve different geometries.
-        When every chunk was served from the memo there are no per-chunk
-        statistics — the stream genuinely did zero pipeline work.
+        (``alpha``, ``beta``, ``subrange_size``) reports the last *pipeline*
+        chunk's values, since chunks may legitimately resolve different
+        geometries.  Chunks served from the memo are present as zero-work
+        entries: they contribute their elements to the denominator and
+        nothing to the summed workload, so a warm replay reports genuinely
+        lower per-element work instead of silently mixing a cold stream's
+        numerator with the full stream's denominator (and a fully memoised
+        stream aggregates to zero work over the whole input).
         """
         chunks = self.report.chunk_stats
         if not chunks:
             return WorkloadStats(input_size=self._count)
-        last = chunks[-1]
+        # Geometry from the last chunk that actually ran the pipeline — a
+        # trailing memo hit's zero-work entry carries none.
+        last = next(
+            (s for s in reversed(chunks) if s.num_subranges > 0),
+            chunks[-1],
+        )
         merged = WorkloadStats(
             input_size=self._count,
             subrange_size=last.subrange_size,

@@ -41,6 +41,7 @@ class TestRunnerRegistry:
             "service",  # batched serving traffic (not a paper figure)
             "async",    # sequential vs overlapped dispatch (not a paper figure)
             "hotpath",  # cold vs plan-bank-warm serving cost (not a paper figure)
+            "multivector",  # named admit/query/evict lifecycle (not a paper figure)
         }
         assert expected == names
 

@@ -36,6 +36,73 @@ class TestFingerprint:
         edge[-1] += 1  # tail block is always hashed
         assert a != fingerprint_array(edge)
 
+    def test_interior_coverage_spans_to_the_tail_block(self, rng):
+        """Coverage regression: the stride sample anchors to the interior.
+
+        The v1 scheme started the sample at element 0 (re-hashing the head)
+        and truncated it, so the interior region just before the tail block
+        could go entirely unsampled.  v2 samples the span between head and
+        tail with a ceiling stride: every window of ``stride`` consecutive
+        interior elements — including the one flush against the tail block —
+        contains at least one sampled position, so mutating any such window
+        must change the fingerprint.
+        """
+        from repro.service.cache import _EDGE_BYTES, _SAMPLE_ELEMENTS
+
+        n = 1 << 18  # float64: 2 MiB, well above the full-hash threshold
+        v = rng.standard_normal(n)
+        edge = _EDGE_BYTES // v.dtype.itemsize
+        stride = -(-(n - 2 * edge) // _SAMPLE_ELEMENTS)
+        baseline = fingerprint_array(v)
+        for start in (
+            edge,  # first interior window
+            (n - stride) // 2,  # middle
+            n - edge - stride,  # flush against the tail block (the v1 gap)
+        ):
+            mutated = v.copy()
+            mutated[start : start + stride] += 1.0
+            assert fingerprint_array(mutated) != baseline, (
+                f"stride-wide mutation at {start} went unnoticed"
+            )
+
+    def test_version_salt_prevents_cross_version_hits(self, rng, uniform_u32):
+        """A v1-scheme digest can never equal a current fingerprint.
+
+        The inline reimplementation below is the pre-fix v1 scheme (no salt,
+        head-anchored truncated sample); cache keys computed under it must
+        not collide with current ones, for small and sampled vectors alike.
+        """
+        import hashlib
+
+        def v1_fingerprint(v):
+            v = np.ascontiguousarray(v)
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(repr(v.shape).encode())
+            digest.update(v.dtype.str.encode())
+            if v.nbytes <= 1 << 20:
+                digest.update(v.tobytes())
+            else:
+                flat = v.reshape(-1)
+                head = flat[: max((1 << 14) // v.dtype.itemsize, 1)]
+                tail = flat[-max((1 << 14) // v.dtype.itemsize, 1) :]
+                stride = max(flat.shape[0] // 4096, 1)
+                digest.update(head.tobytes())
+                digest.update(tail.tobytes())
+                digest.update(np.ascontiguousarray(flat[::stride][:4096]).tobytes())
+            return digest.hexdigest()
+
+        big = rng.integers(0, 2**32, size=1 << 19, dtype=np.uint32)
+        assert fingerprint_array(uniform_u32) != v1_fingerprint(uniform_u32)
+        assert fingerprint_array(big) != v1_fingerprint(big)
+
+    def test_call_counter_is_monotonic(self, uniform_u32):
+        from repro.service.cache import fingerprint_call_count
+
+        before = fingerprint_call_count()
+        fingerprint_array(uniform_u32)
+        fingerprint_array(uniform_u32)
+        assert fingerprint_call_count() == before + 2
+
 
 class TestResultCache:
     def test_hit_miss_and_lru_eviction(self, uniform_u32):
@@ -61,6 +128,17 @@ class TestResultCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.info().hits == 1
+
+    def test_invalidate_by_fingerprint(self, uniform_u32):
+        cache = ResultCache()
+        fp = fingerprint_array(uniform_u32)
+        cache.put(fp, 4, True, _result())
+        cache.put(fp, 8, True, _result(8))
+        cache.put("other", 4, True, _result())
+        assert cache.invalidate(fp) == 2
+        assert cache.get(fp, 4, True) is None
+        assert cache.get("other", 4, True) is not None
+        assert cache.invalidate("ghost") == 0
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):

@@ -131,6 +131,79 @@ class TestPlanBankUnit:
             PlanBank(capacity_bytes=0)
 
 
+class TestByteBudgetLruInvariants:
+    """Accounting invariants of the shared byte-budgeted LRU.
+
+    Regression coverage for the oversize-re-put defect: a re-put of an
+    existing key with a now-oversize value used to return early *before*
+    taking the lock, leaving the stale entry resident and its size counted.
+    The invariant under any put/evict/oversize-re-put sequence is
+    ``info().bytes == sum of resident entry sizes`` (never negative).
+    """
+
+    @staticmethod
+    def _lru(capacity):
+        from repro.service.planbank import _ByteBudgetLru
+
+        # Values are (payload, size) pairs so one run mixes arbitrary sizes.
+        return _ByteBudgetLru(capacity, size_of=lambda v: v[1])
+
+    def _check_accounting(self, lru):
+        info = lru.info()
+        assert info.bytes == sum(lru._sizes[k] for k in lru._entries)
+        assert info.bytes >= 0
+        assert set(lru._sizes) == set(lru._entries)
+
+    def test_oversize_reput_drops_stale_entry(self):
+        lru = self._lru(capacity=100)
+        assert lru._put(("k",), ("small", 40))
+        assert lru.info().bytes == 40
+        # The re-put value exceeds the whole budget: not admitted — and the
+        # stale previous value must not keep serving (or staying counted).
+        assert not lru._put(("k",), ("huge", 101))
+        assert lru._get(("k",)) is None
+        self._check_accounting(lru)
+        assert lru.info().bytes == 0
+
+    def test_get_does_not_conflate_falsy_values_with_misses(self):
+        lru = self._lru(capacity=100)
+        # A falsy payload (None, 0, empty containers) is a legitimate value.
+        assert lru._put(("k",), (None, 10))
+        hit = lru._get(("k",))
+        assert hit == (None, 10)
+        info = lru.info()
+        assert (info.hits, info.misses) == (1, 0)
+
+    def test_random_put_evict_sequences_keep_bytes_exact(self, rng):
+        lru = self._lru(capacity=512)
+        keys = [(f"k{i}",) for i in range(8)]
+        for step in range(400):
+            key = keys[int(rng.integers(len(keys)))]
+            action = rng.random()
+            if action < 0.70:
+                # Sizes straddle the budget so oversize puts (fresh and
+                # re-puts alike) interleave with normal ones.
+                size = int(rng.integers(1, 768))
+                lru._put(key, (step, size))
+            elif action < 0.85:
+                lru._get(key)
+            else:
+                lru._invalidate_where(lambda k: k == key)
+            self._check_accounting(lru)
+        assert lru.info().bytes <= 512
+
+    def test_invalidate_releases_bytes_by_fingerprint(self):
+        lru = self._lru(capacity=1000)
+        lru._put(("fp1", 1), ("a", 100))
+        lru._put(("fp1", 2), ("b", 150))
+        lru._put(("fp2", 1), ("c", 200))
+        assert lru.invalidate("fp1") == 250
+        assert lru.info().bytes == 200
+        assert lru._get(("fp1", 1)) is None
+        assert lru._get(("fp2", 1)) == ("c", 200)
+        assert lru.invalidate("ghost") == 0
+
+
 class TestChunkMemoUnit:
     def test_keyed_by_k_and_largest(self, uniform_u32):
         memo = ChunkMemo()

@@ -177,10 +177,69 @@ class TestChunkMemo:
         warm = replay.finalize()
         assert replay.report.memo_hits == replay.report.chunks
         assert replay.report.chunk_bytes == 0.0  # zero pipeline work
-        assert replay.report.chunk_stats == []
+        # Memoised chunks are recorded as explicit zero-work entries.
+        assert len(replay.report.chunk_stats) == replay.report.chunks
+        assert all(s.total_workload == 0 for s in replay.report.chunk_stats)
         np.testing.assert_array_equal(cold.values, warm.values)
         np.testing.assert_array_equal(cold.indices, warm.indices)
         assert_topk_correct(warm, uniform_u32, k)
+
+    def test_mixed_stream_stats_count_memoised_chunks(self, uniform_u32):
+        """Stats-aggregation regression: memo hits are explicit zero-work rows.
+
+        A stream mixing replayed and cold chunks used to aggregate only the
+        cold chunks' workload against the *full* stream's element count —
+        silently mixing denominators.  Memoised chunks now appear in
+        ``chunk_stats`` as zero-work entries, so the aggregate's workload is
+        honest about what was processed and over how many elements.
+        """
+        from repro.service.planbank import ChunkMemo
+
+        memo = ChunkMemo()
+        k, chunk = 64, 1 << 12
+        half = uniform_u32[: uniform_u32.shape[0] // 2]
+
+        # Prime the memo with the first half of the stream only.
+        StreamingTopK(k, chunk_elements=chunk, chunk_memo=memo).consume(half).finalize()
+
+        mixed = StreamingTopK(k, chunk_elements=chunk, chunk_memo=memo)
+        mixed.consume(uniform_u32)
+        result = mixed.finalize()
+        report = mixed.report
+        assert 0 < report.memo_hits < report.chunks  # genuinely mixed
+        # One stats entry per consumed chunk, memoised ones zero-work with
+        # the chunk's element count intact.
+        assert len(report.chunk_stats) == report.chunks
+        memoised = [s for s in report.chunk_stats if s.num_subranges == 0]
+        assert len(memoised) == report.memo_hits
+        assert all(s.total_workload == 0 for s in memoised)
+        assert all(s.input_size > 0 for s in memoised)
+        # The aggregate sums only the cold chunks' workload over the full
+        # stream, and its geometry comes from a chunk that ran the pipeline.
+        stats = result.stats
+        assert stats is not None
+        assert stats.input_size == uniform_u32.shape[0]
+        cold = [s for s in report.chunk_stats if s.num_subranges > 0]
+        assert stats.total_workload == sum(s.total_workload for s in cold)
+        assert stats.num_subranges == sum(s.num_subranges for s in cold)
+        assert stats.alpha == cold[-1].alpha > 0
+        assert_topk_correct(result, uniform_u32, k)
+
+    def test_fully_memoised_stream_aggregates_to_zero_work(self, uniform_u32):
+        from repro.service.planbank import ChunkMemo
+
+        memo = ChunkMemo()
+        k, chunk = 64, 1 << 12
+        StreamingTopK(k, chunk_elements=chunk, chunk_memo=memo).consume(
+            uniform_u32
+        ).finalize()
+        replay = StreamingTopK(k, chunk_elements=chunk, chunk_memo=memo)
+        replay.consume(uniform_u32)
+        stats = replay.finalize().stats
+        assert stats is not None
+        assert stats.input_size == uniform_u32.shape[0]
+        assert stats.total_workload == 0
+        assert stats.workload_fraction == 0.0
 
     def test_memo_is_k_sensitive(self, uniform_u32):
         from repro.service.planbank import ChunkMemo
