@@ -1,0 +1,71 @@
+"""Service layer — split-group dispatch acceptance.
+
+Not a paper figure: this benchmark holds the line on dominant-group
+splitting.  One batch with a dominant plan-sharing group (>= 70% of the
+warm-phase modelled work) runs through a pinned (``split_threshold=None``)
+and a splitting dispatcher, cold and warm.  The acceptance criteria:
+
+* the dominant group is split across >= 2 workers with a shared-plan
+  broadcast, and the answers stay element-wise identical to the pinned
+  dispatch on both phases;
+* splitting never adds constructions: the cold split dispatch charges
+  exactly the pinned dispatch's construction count (one per group), and the
+  warm replay stays at **zero** constructions and zero construction bytes;
+* the split warm replay's worst-worker load balance is **strictly better**
+  than the pinned dispatch's.
+
+All gated quantities are modelled (load ratios, construction counts), so
+the gate holds on any host — there are deliberately no wall-clock asserts
+(the 1-CPU CI box cannot show overlap speedups).
+"""
+
+from benchmarks.conftest import scaled
+from repro.harness import experiments
+
+#: Dominant-group size; 12-vs-2 puts ~86% of warm modelled work in one group.
+DOMINANT = 12
+MINOR = 2
+WORKERS = 4
+
+
+def test_splitgroup_dispatch(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "splitgroup_dispatch",
+        experiments.splitgroup_dispatch,
+        n=scaled(1 << 16),
+        dominant=DOMINANT,
+        minor=MINOR,
+        num_workers=WORKERS,
+    )
+    by = {(r["mode"], r["phase"]): r for r in rows}
+    assert len(by) == 4
+
+    for phase in ("cold", "warm"):
+        split = by[("split", phase)]
+        pinned = by[("unsplit", phase)]
+        assert split["identical"], f"{phase}: split answers diverged from pinned"
+        assert split["groups_split"] >= 1, f"{phase}: the dominant group never split"
+        assert split["plan_broadcasts"] >= 2, (
+            f"{phase}: the broadcast reached fewer than 2 workers"
+        )
+        assert split["busy_workers"] >= 2
+        # Splitting must never add constructions over the pinned dispatch.
+        assert split["constructions"] == pinned["constructions"], (
+            f"{phase}: splitting changed the construction count "
+            f"({split['constructions']} vs {pinned['constructions']})"
+        )
+
+    warm = by[("split", "warm")]
+    # The acceptance scenario: the dominant group holds >= 70% of the warm
+    # modelled work, served zero-rescan across the fleet.
+    assert warm["dominant_share"] >= 0.7
+    assert warm["constructions"] == 0, "warm split replay reconstructed"
+    assert warm["construction_bytes"] == 0.0
+    assert warm["plan_bank_hits"] > 0
+    # The gate: strictly better worst-worker load balance than pinning.
+    assert warm["balance_ratio"] < by[("unsplit", "warm")]["balance_ratio"], (
+        f"split warm balance {warm['balance_ratio']:.3f} not better than "
+        f"pinned {by[('unsplit', 'warm')]['balance_ratio']:.3f}"
+    )
+    assert warm["balance_ratio"] < WORKERS

@@ -55,7 +55,7 @@ from repro.service.cache import (
 )
 from repro.service.executor import ExecutorReport, ServiceExecutor, UnitResult, WorkUnit
 from repro.service.planbank import ChunkMemo, PlanBank
-from repro.service.router import Router
+from repro.service.router import BatchedPlan, GroupShare, Router
 from repro.service.store import StoredVector, VectorStore
 from repro.service.dispatcher import (
     DispatchReport,
@@ -100,4 +100,6 @@ __all__ = [
     "WorkUnit",
     "UnitResult",
     "Router",
+    "BatchedPlan",
+    "GroupShare",
 ]

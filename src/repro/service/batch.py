@@ -118,6 +118,10 @@ class BatchReport:
     #: Groups served from the cross-dispatch plan bank (zero construction
     #: traffic charged this batch).
     plan_bank_hits: int = 0
+    #: Groups served from a caller-provided shared plan handle (split-group
+    #: broadcast); the construction was charged once by the broadcaster, so
+    #: this batch records zero construction traffic for them.
+    shared_plan_groups: int = 0
     stats: List[WorkloadStats] = field(default_factory=list)
 
     @property
@@ -159,6 +163,7 @@ class BatchReport:
                 "num_groups": self.num_groups,
                 "constructions": self.constructions,
                 "plan_bank_hits": self.plan_bank_hits,
+                "shared_plan_groups": self.shared_plan_groups,
                 "construction_bytes": self.construction_bytes,
                 "query_bytes": self.query_bytes,
                 "total_bytes": self.total_bytes,
@@ -222,6 +227,7 @@ class BatchTopK:
         v: np.ndarray,
         queries: Sequence[QueryLike],
         fingerprint: Optional[str] = None,
+        shared_plans: Optional[Dict[Tuple[int, bool], QueryPlan]] = None,
     ) -> List[TopKResult]:
         """Answer every query against ``v``; results align with ``queries``.
 
@@ -231,6 +237,13 @@ class BatchTopK:
         bank attached, groups whose plan is already banked skip construction
         entirely; ``fingerprint`` (when the caller — typically the
         dispatcher — has already fingerprinted ``v``) avoids hashing twice.
+
+        ``shared_plans`` maps ``(alpha, largest)`` group keys to broadcast
+        :class:`QueryPlan` handles (split-group dispatch): a group whose key
+        is present is served from the handle, read-only, with zero
+        construction charged here — the broadcaster charged it once for all
+        splits.  The handles must have been built over exactly ``v`` with
+        this engine's configuration.
         """
         parsed = [TopKQuery.of(q) for q in queries]
         report = BatchReport(num_queries=len(parsed))
@@ -254,13 +267,21 @@ class BatchTopK:
 
         for (alpha, largest), positions in groups.items():
             min_k = min(parsed[p].k for p in positions)
-            plan = self._banked_plan(fingerprint, alpha, largest)
-            bank_hit = plan is not None
+            plan = shared_plans.get((alpha, largest)) if shared_plans else None
+            shared_hit = plan is not None
+            bank_hit = False
+            if plan is None:
+                plan = self._banked_plan(fingerprint, alpha, largest)
+                bank_hit = plan is not None
             if plan is None:
                 plan = self.engine.prepare_with_alpha(v, alpha, largest=largest, k=min_k)
                 if self.plan_bank is not None and fingerprint is not None:
                     self.plan_bank.put(fingerprint, plan)
-            if bank_hit:
+            if shared_hit:
+                # A broadcast handle: the split-group dispatcher charged the
+                # construction once for every split, not per worker.
+                report.shared_plan_groups += 1
+            elif bank_hit:
                 # The banked construction happened in an earlier dispatch;
                 # this batch moves no construction traffic for the group.
                 report.plan_bank_hits += 1
@@ -298,9 +319,10 @@ class BatchTopK:
         v: np.ndarray,
         queries: Sequence[QueryLike],
         fingerprint: Optional[str] = None,
+        shared_plans: Optional[Dict[Tuple[int, bool], QueryPlan]] = None,
     ) -> Tuple[List[TopKResult], BatchReport]:
         """Like :meth:`run`, also returning the batch's :class:`BatchReport`."""
-        results = self.run(v, queries, fingerprint=fingerprint)
+        results = self.run(v, queries, fingerprint=fingerprint, shared_plans=shared_plans)
         assert self.last_report is not None
         return results, self.last_report
 

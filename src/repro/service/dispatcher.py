@@ -13,9 +13,15 @@ Three routes run through the core:
 
 * **Batched** — the shared vector fits one device's sub-vector capacity.
   Queries are grouped exactly like :class:`~repro.service.batch.BatchTopK`
-  (shared ``(alpha, largest)`` plans) and whole groups are placed on workers
-  with a greedy least-loaded assignment, so plan reuse is never split across
-  workers; per-worker results are gathered to the primary through the
+  (shared ``(alpha, largest)`` plans) and groups are placed on workers with
+  a greedy least-loaded assignment.  A group normally stays whole on one
+  worker so plan reuse is never paid twice; a **dominant** group (above the
+  router's ``split_threshold`` of the dispatch's modelled work) is split
+  across workers instead, its single :class:`~repro.core.plan.QueryPlan`
+  broadcast to every split as a shared read-only handle — constructed or
+  bank-fetched exactly once (``DispatchReport.groups_split`` /
+  ``plan_broadcasts`` account for it, ``balance_ratio`` shows the win).
+  Per-worker results are gathered to the primary through the
   :class:`~repro.distributed.comm.SimulatedComm` cost model.
 * **Sharded** — the vector exceeds the capacity.  The batch runs the Figure
   16 workflow via :meth:`~repro.distributed.multigpu.MultiGpuDrTopK.topk_batch`
@@ -76,7 +82,7 @@ from repro.service.planbank import (
     ChunkMemo,
     PlanBank,
 )
-from repro.service.router import Router
+from repro.service.router import DEFAULT_SPLIT_THRESHOLD, Router
 from repro.service.store import DEFAULT_STORE_BYTES, StoredVector, VectorStore
 from repro.service.streaming import (
     DEFAULT_CHUNK_ELEMENTS,
@@ -100,6 +106,9 @@ class WorkerReport:
     compute_ms: float = 0.0
     bytes_moved: float = 0.0
     wall_ms: float = 0.0
+    #: Modelled element workload the router's placement put on this worker
+    #: (zero on routes that do not place by weight).
+    load: float = 0.0
 
 
 @dataclass
@@ -132,6 +141,12 @@ class DispatchReport:
     #: bank-hit group contributed zero construction traffic to bytes_moved.
     plan_bank: Optional[CacheInfo] = None
     plan_bank_hits: int = 0
+    #: Plan-sharing groups the batched route split across >= 2 workers
+    #: (dominant groups above the router's ``split_threshold``).
+    groups_split: int = 0
+    #: Shared plan handles handed to split-group work units; the broadcast
+    #: plan behind them was fetched or constructed exactly once per group.
+    plan_broadcasts: int = 0
     #: Streaming chunk-memo statistics and this dispatch's memoised-chunk
     #: serve count (per key order, per chunk).
     chunk_memo: Optional[CacheInfo] = None
@@ -160,6 +175,19 @@ class DispatchReport:
         if self.wall_ms <= 0.0:
             return 1.0
         return self.unit_wall_ms_sum / self.wall_ms
+
+    @property
+    def balance_ratio(self) -> float:
+        """Worst-worker modelled load over the perfectly even share.
+
+        ``1.0`` is a perfectly balanced fleet, ``num_workers`` is one worker
+        holding everything; ``1.0`` also when the route reports no loads.
+        """
+        loads = [w.load for w in self.workers]
+        total = sum(loads)
+        if not loads or total <= 0.0:
+            return 1.0
+        return max(loads) * len(loads) / total
 
 
 class ServiceDispatcher:
@@ -200,6 +228,12 @@ class ServiceDispatcher:
         ``2 * num_workers``.
     chunk_elements:
         Slice size for the streaming route when the input arrives as chunks.
+    split_threshold:
+        Fraction of a batched dispatch's total modelled work above which one
+        plan-sharing group is split across workers with a shared-plan
+        broadcast (see :class:`~repro.service.router.Router`).  ``None``
+        pins every group whole to one worker — the pre-split behaviour and
+        the baseline the ``splitgroup`` experiment compares against.
     """
 
     def __init__(
@@ -217,6 +251,7 @@ class ServiceDispatcher:
         execution: str = "threads",
         queue_capacity: Optional[int] = None,
         chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+        split_threshold: Optional[float] = DEFAULT_SPLIT_THRESHOLD,
     ):
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
@@ -265,6 +300,7 @@ class ServiceDispatcher:
             capacity_elements=self.capacity_elements,
             cache=self.cache,
             plan_bank=self.plan_bank,
+            split_threshold=split_threshold,
         )
         self.last_report: Optional[DispatchReport] = None
 
@@ -531,26 +567,38 @@ class ServiceDispatcher:
         fingerprint: Optional[str] = None,
     ) -> List[TopKResult]:
         report.route = "batched"
-        units, placement = self.router.batched_units(
+        units, bplan = self.router.batched_units(
             v, parsed, self.workers, fingerprint=fingerprint
         )
+        # Split-group broadcast accounting: every split group's plan was
+        # fetched or built exactly once (on this, the primary's, thread)
+        # before the units ran; charge the construction to the primary
+        # worker's report so the modelled compute time still covers it.
+        report.groups_split = bplan.groups_split
+        report.plan_broadcasts = bplan.plan_broadcasts
+        report.plan_bank_hits += bplan.broadcast_bank_hits
+        report.construction_bytes += bplan.broadcast_construction_bytes
         outcomes = self.executor.run(units)
 
         results: List[Optional[TopKResult]] = [None] * len(parsed)
         by_worker: Dict[int, UnitResult] = {o.unit.worker: o for o in outcomes}
         worker_values: List[np.ndarray] = []
         worker_indices: List[np.ndarray] = []
-        for w, positions in enumerate(placement):
-            wreport = WorkerReport(worker=w, queries=len(positions))
+        for w, positions in enumerate(bplan.placement):
+            wreport = WorkerReport(worker=w, queries=len(positions), load=bplan.loads[w])
+            if w == 0:
+                wreport.constructions += bplan.broadcast_constructions
+                wreport.compute_ms += bplan.broadcast_construction_ms
+                wreport.bytes_moved += bplan.broadcast_construction_bytes
             outcome = by_worker.get(w)
             if outcome is not None:
                 positions, sub_results, batch_report = outcome.value
                 for pos, res in zip(positions, sub_results):
                     results[pos] = res
                 wreport.groups = batch_report.num_groups
-                wreport.constructions = batch_report.constructions
-                wreport.compute_ms = batch_report.total_ms
-                wreport.bytes_moved = batch_report.total_bytes
+                wreport.constructions += batch_report.constructions
+                wreport.compute_ms += batch_report.total_ms
+                wreport.bytes_moved += batch_report.total_bytes
                 wreport.wall_ms = outcome.wall_ms
                 report.plan_bank_hits += batch_report.plan_bank_hits
                 report.construction_bytes += batch_report.construction_bytes

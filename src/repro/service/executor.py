@@ -53,12 +53,21 @@ class WorkUnit:
         ``streaming``).
     label:
         Human-readable tag for reports and debugging.
+    shares:
+        Provenance of the plan-sharing groups this unit serves (the batched
+        route's :class:`~repro.service.router.GroupShare` records).  Splits
+        of one group appear as shares with the same group key on different
+        units, so a merged report can attribute work back to the group that
+        was split.  Units must stay independently submittable regardless of
+        provenance: a share never implies an execution-order dependency on
+        its sibling splits.
     """
 
     fn: Callable[[], Any]
     worker: int = 0
     route: str = ""
     label: str = ""
+    shares: tuple = ()
 
 
 @dataclass

@@ -50,6 +50,9 @@ __all__ = ["PlanBank", "ChunkMemo", "DEFAULT_PLAN_BANK_BYTES", "DEFAULT_CHUNK_ME
 
 #: Default PlanBank budget — a few hundred laptop-scale (2^18-2^20) plans.
 DEFAULT_PLAN_BANK_BYTES = 256 << 20
+#: Upper bound on retained per-key build locks (see :meth:`PlanBank.shared`);
+#: stale locks for keys no longer resident are pruned beyond it.
+_BUILD_LOCK_CAP = 1024
 #: Default ChunkMemo budget — chunk candidates are k-bounded, so far smaller.
 DEFAULT_CHUNK_MEMO_BYTES = 64 << 20
 
@@ -185,6 +188,10 @@ class PlanBank(_ByteBudgetLru):
 
     def __init__(self, capacity_bytes: int = DEFAULT_PLAN_BANK_BYTES):
         super().__init__(capacity_bytes, size_of=lambda plan: plan.nbytes())
+        # Per-key build locks backing shared(): N concurrent callers racing
+        # on one cold key serialise on the key's lock, so exactly one runs
+        # the builder while the rest wait and then hit.
+        self._build_locks: dict = {}
 
     def get(
         self,
@@ -221,6 +228,59 @@ class PlanBank(_ByteBudgetLru):
     def contains(self, fingerprint: str, alpha: int, largest: bool) -> bool:
         """Hit-state peek without LRU promotion or counter updates."""
         return self._contains((fingerprint, int(alpha), bool(largest)))
+
+    def _build_lock(self, key: _PlanKey) -> threading.Lock:
+        with self._lock:
+            lock = self._build_locks.get(key)
+            if lock is None:
+                if len(self._build_locks) >= _BUILD_LOCK_CAP:
+                    # Prune locks whose key is no longer resident (evicted or
+                    # invalidated content); a pruned key that comes back just
+                    # gets a fresh lock.  A key being *built* is not resident
+                    # yet either, so also keep any lock currently held — the
+                    # prune must never orphan an in-progress build (a fresh
+                    # lock would admit a second, concurrent builder).
+                    for stale in [
+                        k
+                        for k, lk in self._build_locks.items()
+                        if k not in self._entries and not lk.locked()
+                    ]:
+                        del self._build_locks[stale]
+                lock = self._build_locks.setdefault(key, threading.Lock())
+            return lock
+
+    def shared(
+        self,
+        fingerprint: str,
+        alpha: int,
+        largest: bool,
+        beta: Optional[int],
+        builder: Callable[[], QueryPlan],
+    ) -> Tuple[QueryPlan, bool]:
+        """Shared-handle access: get the banked plan or build it exactly once.
+
+        Returns ``(plan, constructed)``.  This is the broadcast primitive of
+        split-group dispatch: the dispatcher hands the returned plan to every
+        split of a plan-sharing group, so N splits charge **one**
+        construction — and under concurrency (two dispatches racing on the
+        same cold key) the per-key build lock still admits a single builder
+        run while the losers wait and return the winner's plan with
+        ``constructed=False``.
+
+        The returned handle stays valid even if the entry is invalidated or
+        evicted while splits are in flight — holders keep their reference;
+        invalidation only stops *future* lookups from hitting.  A degenerate
+        plan (construction skipped at preparation) is returned but never
+        banked, matching :meth:`put`.
+        """
+        key: _PlanKey = (fingerprint, int(alpha), bool(largest))
+        with self._build_lock(key):
+            plan = self.get(fingerprint, alpha, largest, beta=beta)
+            if plan is not None:
+                return plan, False
+            plan = builder()
+            self.put(fingerprint, plan)
+            return plan, True
 
     def put(self, fingerprint: str, plan: QueryPlan) -> bool:
         """Bank one plan under its own ``(alpha, largest)``; True if admitted.

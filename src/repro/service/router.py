@@ -6,14 +6,21 @@ decides which route serves it —
 
 * **batched** — the vector fits one device's sub-vector capacity; queries are
   grouped by the plan they can share (same resolved ``alpha`` and key order,
-  the :func:`~repro.service.batch.group_queries_by_plan` definition) and whole
-  groups are placed on workers with a greedy least-loaded assignment, so plan
-  reuse is never split across workers.  Placement is **work-weighted**, not
-  query-counted: a group's weight is its expected element workload from
-  ``k``, ``alpha`` and the plan-bank hit state (a bank-hit group costs its
-  queries only; a cold group additionally pays the O(n) construction scan),
-  so one cold group no longer lands on the same worker as a pile of cheap
-  bank-hit groups just because the query counts matched;
+  the :func:`~repro.service.batch.group_queries_by_plan` definition) and
+  groups are placed on workers with a greedy least-loaded assignment.
+  Placement is **work-weighted**, not query-counted: a group's weight is its
+  expected element workload from ``k``, ``alpha`` and the plan-bank hit state
+  (a bank-hit group costs its queries only; a cold group additionally pays
+  the O(n) construction scan), so one cold group no longer lands on the same
+  worker as a pile of cheap bank-hit groups just because the query counts
+  matched.  A group normally stays whole on one worker (splitting it naively
+  would re-run its construction per worker) — but a **dominant** group, one
+  whose weight exceeds :attr:`Router.split_threshold` of the dispatch's
+  total, is *split*: its queries spread over several workers and the
+  dispatcher broadcasts the group's single :class:`~repro.core.plan.QueryPlan`
+  to every split (built or bank-fetched exactly once, handed out as a shared
+  read-only handle), so the fleet no longer serializes behind one hot
+  vector's one worker;
 * **sharded** — the vector exceeds the capacity; every worker becomes one GPU
   of the Figure 16 multi-GPU workflow and the batch runs with per-shard plan
   reuse through :meth:`~repro.distributed.multigpu.MultiGpuDrTopK.topk_batch`;
@@ -29,10 +36,12 @@ closures); the :class:`~repro.service.executor.ServiceExecutor` runs it and
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.plan import QueryPlan
 from repro.errors import ConfigurationError
 from repro.service.batch import BatchTopK, TopKQuery, group_queries_by_plan
 from repro.service.cache import PartitionCache, fingerprint_array
@@ -40,10 +49,14 @@ from repro.service.executor import WorkUnit
 from repro.service.planbank import ChunkMemo, PlanBank
 from repro.utils import ceil_div
 
-__all__ = ["Router"]
+__all__ = ["Router", "GroupShare", "BatchedPlan"]
 
 #: Route names emitted by :meth:`Router.classify`.
 ROUTES = ("batched", "sharded", "streaming")
+
+#: Default fraction of a dispatch's total modelled work above which one
+#: plan-sharing group is split across workers (``None`` pins groups whole).
+DEFAULT_SPLIT_THRESHOLD = 0.5
 
 #: Load slack (as a fraction of the dispatch's total weight) within which
 #: placement prefers a repeat vector's remembered worker over the strictly
@@ -54,6 +67,71 @@ AFFINITY_SLACK = 0.25
 #: dispatches record affinity too; without a cap a long-running service
 #: would accrete one entry per distinct vector ever dispatched).
 _AFFINITY_CAP = 4096
+
+
+@dataclass(frozen=True)
+class GroupShare:
+    """One plan-sharing group's share of queries on one worker.
+
+    The placement provenance of the batched route: an unsplit group is a
+    single share (``split_total == 1``); a split group appears as one share
+    per worker it landed on, all carrying the same ``group`` key, so the
+    dispatcher (and anyone reading :attr:`WorkUnit.shares`) can identify the
+    splits of one group and attribute the broadcast plan's single
+    construction to all of them.
+    """
+
+    #: The plan-compatibility key, ``(alpha, largest)``.
+    group: Tuple[int, bool]
+    worker: int
+    #: Query positions (into the dispatch's parsed queries) of this share.
+    positions: Tuple[int, ...]
+    #: 0-based index of this share among its group's shares (worker order).
+    split_index: int = 0
+    #: How many workers serve the group; > 1 means the group was split.
+    split_total: int = 1
+    #: Modelled element workload this share contributes to its worker.
+    weight: float = 0.0
+
+
+@dataclass
+class BatchedPlan:
+    """Placement plan of one batched dispatch, with split provenance.
+
+    Produced by :meth:`Router.plan_batched` (placement and split decisions)
+    and completed by :meth:`Router.batched_units` (the broadcast accounting
+    fields, filled when shared plan handles are actually fetched or built).
+    """
+
+    #: Query positions per worker (the merge contract: every position
+    #: appears exactly once, on exactly one worker).
+    placement: List[List[int]]
+    #: One record per (group, worker) pair that received queries.
+    shares: List[GroupShare]
+    #: Modelled per-worker load the placement produced.
+    loads: List[float]
+    total_weight: float = 0.0
+    #: Split groups to broadcast — group key → the group-wide minimum ``k``
+    #: the shared plan must be prepared with (only groups that actually
+    #: landed on >= 2 workers; a split candidate that fit one worker is
+    #: served through the normal per-worker path).
+    split_min_k: Dict[Tuple[int, bool], int] = field(default_factory=dict)
+    #: Shared read-only plan handles, one per split group (broadcast once).
+    shared_plans: Dict[Tuple[int, bool], QueryPlan] = field(default_factory=dict)
+    #: Shared-plan handles handed to units (one per split group share).
+    plan_broadcasts: int = 0
+    #: Constructions the broadcast ran (at most one per split group; zero on
+    #: the warm path, where every broadcast is a bank hit).
+    broadcast_constructions: int = 0
+    broadcast_construction_bytes: float = 0.0
+    broadcast_construction_ms: float = 0.0
+    #: Broadcasts served from the plan bank without construction.
+    broadcast_bank_hits: int = 0
+
+    @property
+    def groups_split(self) -> int:
+        """Plan-sharing groups whose queries landed on >= 2 workers."""
+        return len({s.group for s in self.shares if s.split_total > 1})
 
 
 class Router:
@@ -73,6 +151,12 @@ class Router:
         Optional shared :class:`PlanBank`; when given, placement peeks at
         each group's bank hit state (without perturbing the LRU) and weighs
         bank-hit groups without their construction scan.
+    split_threshold:
+        Fraction of a dispatch's total modelled work above which one
+        plan-sharing group (of >= 2 queries, on a fleet of >= 2 workers) is
+        split across workers with a shared-plan broadcast.  ``None``
+        disables splitting — every group pins whole to one worker, the
+        pre-split behaviour and the differential baseline.
     """
 
     def __init__(
@@ -81,15 +165,23 @@ class Router:
         capacity_elements: int,
         cache: PartitionCache,
         plan_bank: Optional[PlanBank] = None,
+        split_threshold: Optional[float] = DEFAULT_SPLIT_THRESHOLD,
     ):
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
         if capacity_elements < 1:
             raise ConfigurationError("capacity_elements must be positive")
+        if split_threshold is not None and not 0.0 < float(split_threshold) <= 1.0:
+            raise ConfigurationError(
+                "split_threshold must be in (0, 1], or None to disable splitting"
+            )
         self.num_workers = int(num_workers)
         self.capacity_elements = int(capacity_elements)
         self.cache = cache
         self.plan_bank = plan_bank
+        self.split_threshold = (
+            float(split_threshold) if split_threshold is not None else None
+        )
         # Per-name (per-fingerprint) serving history: how many queries each
         # content has answered, and which worker its heaviest group last
         # landed on.  The named-vector front end feeds the history; placement
@@ -141,6 +233,27 @@ class Router:
         )
 
     # -- batched-route emission ------------------------------------------------
+    def expected_query_work(self, n: int, k: int, alpha: int, beta: int) -> float:
+        """Expected element workload of one query over a prepared plan.
+
+        The per-query share of :meth:`expected_group_work`: the first top-k
+        over the delegate vector plus a ``k``-proportional
+        concatenation/second-pass term.  Split placement weighs a dominant
+        group's individual queries with this — their construction is paid
+        once by the broadcast, not per worker.
+        """
+        if n < 1:
+            raise ConfigurationError("n must be positive")
+        if k < 1:
+            raise ConfigurationError(f"query work is undefined for k={k}; k must be >= 1")
+        if alpha < 0:
+            raise ConfigurationError("alpha must be >= 0")
+        if beta < 1:
+            raise ConfigurationError("beta must be >= 1")
+        num_subranges = ceil_div(int(n), 1 << int(alpha))
+        m = min(num_subranges * int(beta), int(n))  # delegate-vector size
+        return float(m + 4 * int(k))
+
     def expected_group_work(
         self,
         n: int,
@@ -157,12 +270,165 @@ class Router:
         delegate vector plus a ``k``-proportional concatenation/second-pass
         term.  A bank-hit group skips the construction term entirely — the
         whole point of weighting placement by work instead of query count.
+
+        The result is always non-negative and monotone in the query list:
+        adding a query never lowers a group's weight.  An empty group weighs
+        nothing (no queries means no construction is triggered either), and
+        invalid geometry (``n < 1``, any ``k < 1``, ``alpha < 0``,
+        ``beta < 1``) raises instead of silently producing negative or
+        meaningless weights.
         """
+        if n < 1:
+            raise ConfigurationError("n must be positive")
+        if alpha < 0:
+            raise ConfigurationError("alpha must be >= 0")
+        if beta < 1:
+            raise ConfigurationError("beta must be >= 1")
+        if not ks:
+            return 0.0
+        per_query = sum(self.expected_query_work(n, k, alpha, beta) for k in ks)
         num_subranges = ceil_div(int(n), 1 << int(alpha))
-        m = min(num_subranges * int(beta), int(n))  # delegate-vector size
-        per_query = sum(m + 4 * int(k) for k in ks)
+        m = min(num_subranges * int(beta), int(n))
         construction = 0.0 if bank_hit else float(n + 2 * m)
-        return construction + float(per_query)
+        return construction + per_query
+
+    def plan_batched(
+        self,
+        v: np.ndarray,
+        parsed: Sequence[TopKQuery],
+        engine,
+        fingerprint: Optional[str] = None,
+    ) -> BatchedPlan:
+        """Work-weighted placement with dominant-group splitting.
+
+        Groups are weighted by :meth:`expected_group_work` — expected
+        workload from ``k``, ``alpha`` and the plan-bank hit state — and
+        placed heaviest first onto the least-loaded worker.  A group
+        normally stays whole (splitting it naively would re-run its
+        construction per worker); a **dominant** group — weight strictly
+        above ``split_threshold`` of the dispatch's total, with >= 2 queries
+        on a fleet of >= 2 workers — is instead placed query by query, each
+        query weighted by :meth:`expected_query_work` (its construction is
+        excluded: the dispatcher broadcasts the group's single plan).  The
+        greedy bound therefore holds item-wise: no worker's load exceeds the
+        even share plus one placed item's weight.
+
+        A vector with recorded per-name hit history (see
+        :meth:`note_queries`) additionally carries worker *affinity*: its
+        heaviest **whole** group returns to the worker that served it last
+        whenever that worker's load is within :data:`AFFINITY_SLACK` of the
+        least loaded.  Split queries ignore affinity — pinning them back to
+        one remembered worker would undo exactly the spreading the split is
+        for.
+
+        Returns the full :class:`BatchedPlan` (placement, per-share
+        provenance, modelled loads and the split groups to broadcast).
+        """
+        n = int(v.shape[0])
+        groups = group_queries_by_plan(parsed, n, self.cache, engine)
+        beta = engine.config.beta
+        group_info = []  # (key, positions, group weight, per-query weights)
+        for (alpha, largest), positions in groups.items():
+            bank_hit = (
+                self.plan_bank is not None
+                and fingerprint is not None
+                and self.plan_bank.contains(fingerprint, alpha, largest)
+            )
+            ks = [parsed[p].k for p in positions]
+            weight = self.expected_group_work(n, ks, alpha, beta, bank_hit)
+            per_query = [self.expected_query_work(n, k, alpha, beta) for k in ks]
+            group_info.append(((alpha, largest), positions, weight, per_query))
+        total_weight = sum(weight for _, _, weight, _ in group_info)
+
+        split_keys = set()
+        if self.split_threshold is not None and self.num_workers > 1:
+            split_keys = {
+                key
+                for key, positions, weight, _ in group_info
+                if len(positions) >= 2 and weight > self.split_threshold * total_weight
+            }
+
+        # Placement items: whole groups, or — for split groups — one item
+        # per query.  The stable descending sort keeps equal-weight items in
+        # group/query emission order, so identical inputs place identically.
+        items = []  # (weight, key, positions tuple, splittable)
+        for key, positions, weight, per_query in group_info:
+            if key in split_keys:
+                items.extend(
+                    (w, key, (p,), True) for p, w in zip(positions, per_query)
+                )
+            else:
+                items.append((weight, key, tuple(positions), False))
+
+        preferred: Optional[int] = None
+        if fingerprint is not None:
+            with self._history_lock:
+                if self._query_history.get(fingerprint, 0) > 0:
+                    preferred = self._affinity.get(fingerprint)
+
+        load = [0.0] * self.num_workers
+        placement: List[List[int]] = [[] for _ in range(self.num_workers)]
+        # (group key, worker) -> [positions, share weight]
+        share_acc: Dict[Tuple[Tuple[int, bool], int], list] = {}
+        heaviest_target: Optional[int] = None
+        for weight, key, positions, is_piece in sorted(
+            items, key=lambda item: item[0], reverse=True
+        ):
+            target = min(range(self.num_workers), key=load.__getitem__)
+            if (
+                not is_piece
+                and preferred is not None
+                and 0 <= preferred < self.num_workers
+                and load[preferred] <= load[target] + AFFINITY_SLACK * total_weight
+            ):
+                target = preferred
+            if heaviest_target is None:
+                heaviest_target = target  # sorted: the first item is heaviest
+            placement[target].extend(positions)
+            acc = share_acc.setdefault((key, target), [[], 0.0])
+            acc[0].extend(positions)
+            acc[1] += weight
+            load[target] += weight
+        if fingerprint is not None and heaviest_target is not None:
+            # Remember where the heaviest item landed (not the most-loaded
+            # worker, which a pile of light groups can out-weigh and flip
+            # between dispatches) so repeats steer it back there.
+            with self._history_lock:
+                self._affinity.pop(fingerprint, None)  # re-insert most recent
+                self._affinity[fingerprint] = heaviest_target
+                while len(self._affinity) > _AFFINITY_CAP:
+                    self._affinity.pop(next(iter(self._affinity)))
+
+        workers_of: Dict[Tuple[int, bool], List[int]] = {}
+        for key, worker in share_acc:
+            workers_of.setdefault(key, []).append(worker)
+        shares: List[GroupShare] = []
+        for key, positions, _, _ in group_info:
+            group_workers = sorted(workers_of.get(key, []))
+            for split_index, worker in enumerate(group_workers):
+                acc = share_acc[(key, worker)]
+                shares.append(
+                    GroupShare(
+                        group=key,
+                        worker=worker,
+                        positions=tuple(acc[0]),
+                        split_index=split_index,
+                        split_total=len(group_workers),
+                        weight=acc[1],
+                    )
+                )
+        split_min_k = {
+            key: min(parsed[p].k for p in positions)
+            for key, positions, _, _ in group_info
+            if key in split_keys and len(workers_of.get(key, [])) > 1
+        }
+        return BatchedPlan(
+            placement=placement,
+            shares=shares,
+            loads=load,
+            total_weight=total_weight,
+            split_min_k=split_min_k,
+        )
 
     def place_groups(
         self,
@@ -171,65 +437,8 @@ class Router:
         engine,
         fingerprint: Optional[str] = None,
     ) -> List[List[int]]:
-        """Greedy least-loaded placement of whole plan-sharing groups.
-
-        Queries sharing a plan must stay on one worker (splitting a group
-        would re-run its construction); groups are weighted by
-        :meth:`expected_group_work` — expected workload from ``k``, ``alpha``
-        and the plan-bank hit state — and placed heaviest first onto the
-        least-loaded worker.  A vector with recorded per-name hit history
-        (see :meth:`note_queries`) additionally carries worker *affinity*:
-        its heaviest group returns to the worker that served it last whenever
-        that worker's load is within :data:`AFFINITY_SLACK` of the least
-        loaded, so a steadily served named vector keeps a stable worker
-        instead of drifting with every replanned dispatch.  Returns one list
-        of query positions per worker (possibly empty).
-        """
-        n = int(v.shape[0])
-        groups = group_queries_by_plan(parsed, n, self.cache, engine)
-        beta = engine.config.beta
-        weighted = []
-        for (alpha, largest), positions in groups.items():
-            bank_hit = (
-                self.plan_bank is not None
-                and fingerprint is not None
-                and self.plan_bank.contains(fingerprint, alpha, largest)
-            )
-            weight = self.expected_group_work(
-                n, [parsed[p].k for p in positions], alpha, beta, bank_hit
-            )
-            weighted.append((weight, positions))
-        total_weight = sum(w for w, _ in weighted)
-        preferred: Optional[int] = None
-        if fingerprint is not None:
-            with self._history_lock:
-                if self._query_history.get(fingerprint, 0) > 0:
-                    preferred = self._affinity.get(fingerprint)
-        load = [0.0] * self.num_workers
-        placement: List[List[int]] = [[] for _ in range(self.num_workers)]
-        heaviest_target: Optional[int] = None
-        for weight, positions in sorted(weighted, key=lambda wp: wp[0], reverse=True):
-            target = min(range(self.num_workers), key=load.__getitem__)
-            if (
-                preferred is not None
-                and 0 <= preferred < self.num_workers
-                and load[preferred] <= load[target] + AFFINITY_SLACK * total_weight
-            ):
-                target = preferred
-            if heaviest_target is None:
-                heaviest_target = target  # sorted: the first group is heaviest
-            placement[target].extend(positions)
-            load[target] += weight
-        if fingerprint is not None and heaviest_target is not None:
-            # Remember where the heaviest group landed (not the most-loaded
-            # worker, which a pile of light groups can out-weigh and flip
-            # between dispatches) so repeats steer it back there.
-            with self._history_lock:
-                self._affinity.pop(fingerprint, None)  # re-insert most recent
-                self._affinity[fingerprint] = heaviest_target
-                while len(self._affinity) > _AFFINITY_CAP:
-                    self._affinity.pop(next(iter(self._affinity)))
-        return placement
+        """Query positions per worker (possibly empty) — see :meth:`plan_batched`."""
+        return self.plan_batched(v, parsed, engine, fingerprint=fingerprint).placement
 
     def batched_units(
         self,
@@ -237,34 +446,92 @@ class Router:
         parsed: Sequence[TopKQuery],
         workers: Sequence[BatchTopK],
         fingerprint: Optional[str] = None,
-    ) -> Tuple[List[WorkUnit], List[List[int]]]:
+        plan: Optional[BatchedPlan] = None,
+    ) -> Tuple[List[WorkUnit], BatchedPlan]:
         """Emit one :class:`WorkUnit` per worker that received queries.
 
         Each unit runs its worker's :meth:`BatchTopK.run_with_report` over the
         worker's share and returns ``(positions, results, batch_report)`` for
         the dispatcher to merge.  ``fingerprint`` keys the workers' plan-bank
         lookups (and the placement's hit peek) without re-hashing ``v``.
+
+        For every group the placement split, the group's :class:`QueryPlan`
+        is **broadcast** here, before any unit runs: fetched from the plan
+        bank or built exactly once (:meth:`PlanBank.shared`, which also
+        serialises concurrent dispatches racing on one cold key), its views
+        materialised so concurrent splits only ever read it, and handed to
+        each unit as a shared read-only handle.  The splits charge zero
+        construction; the broadcast's own accounting (one construction at
+        most per split group, or a bank hit) is recorded on the returned
+        :class:`BatchedPlan` for the dispatcher to merge.  Units of one
+        split group stay independently submittable — they share the plan
+        handle, never execution order.
         """
-        placement = self.place_groups(v, parsed, workers[0].engine, fingerprint=fingerprint)
+        engine = workers[0].engine
+        if plan is None:
+            plan = self.plan_batched(v, parsed, engine, fingerprint=fingerprint)
+
+        for (alpha, largest), min_k in plan.split_min_k.items():
+
+            def build(alpha=alpha, largest=largest, min_k=min_k) -> QueryPlan:
+                return engine.prepare_with_alpha(v, alpha, largest=largest, k=min_k)
+
+            if self.plan_bank is not None and fingerprint is not None:
+                qplan, constructed = self.plan_bank.shared(
+                    fingerprint, alpha, largest, engine.config.beta, build
+                )
+            else:
+                qplan, constructed = build(), True
+            if not qplan.is_degenerate:
+                # Pre-materialise the lazy views: N splits then share the
+                # handle strictly read-only (no first-touch races).
+                qplan.materialise_views()
+            plan.shared_plans[(alpha, largest)] = qplan
+            if not constructed:
+                plan.broadcast_bank_hits += 1
+            elif not qplan.is_degenerate:
+                plan.broadcast_constructions += 1
+                plan.broadcast_construction_bytes += qplan.construction_bytes
+                plan.broadcast_construction_ms += qplan.construction_ms(
+                    engine.config.device
+                )
+        plan.plan_broadcasts = sum(
+            1 for share in plan.shares if share.group in plan.shared_plans
+        )
+
+        shares_by_worker: Dict[int, List[GroupShare]] = {}
+        for share in plan.shares:
+            shares_by_worker.setdefault(share.worker, []).append(share)
+        shared = plan.shared_plans or None
 
         def unit_fn(worker: BatchTopK, positions: List[int]):
             sub_queries = [parsed[p] for p in positions]
             return lambda: (
                 positions,
-                *worker.run_with_report(v, sub_queries, fingerprint=fingerprint),
+                *worker.run_with_report(
+                    v, sub_queries, fingerprint=fingerprint, shared_plans=shared
+                ),
             )
 
-        units = [
-            WorkUnit(
-                fn=unit_fn(workers[w], positions),
-                worker=w,
-                route="batched",
-                label=f"worker{w}:{len(positions)}q",
+        units = []
+        for w, positions in enumerate(plan.placement):
+            if not positions:
+                continue
+            worker_shares = tuple(shares_by_worker.get(w, ()))
+            splits = sum(1 for s in worker_shares if s.split_total > 1)
+            label = f"worker{w}:{len(positions)}q"
+            if splits:
+                label += f":{splits}split"
+            units.append(
+                WorkUnit(
+                    fn=unit_fn(workers[w], positions),
+                    worker=w,
+                    route="batched",
+                    label=label,
+                    shares=worker_shares,
+                )
             )
-            for w, positions in enumerate(placement)
-            if positions
-        ]
-        return units, placement
+        return units, plan
 
     # -- streaming-route emission ----------------------------------------------
     def streaming_units(

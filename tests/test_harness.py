@@ -42,6 +42,7 @@ class TestRunnerRegistry:
             "async",    # sequential vs overlapped dispatch (not a paper figure)
             "hotpath",  # cold vs plan-bank-warm serving cost (not a paper figure)
             "multivector",  # named admit/query/evict lifecycle (not a paper figure)
+            "splitgroup",  # dominant-group splitting vs pinned (not a paper figure)
         }
         assert expected == names
 

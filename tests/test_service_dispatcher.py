@@ -28,14 +28,29 @@ def test_batched_route_matches_loop(uniform_u32):
     assert report.compute_ms == max(w.compute_ms for w in report.workers)
 
 
-def test_groups_stay_on_one_worker(uniform_u32):
-    # 8 identical queries must share one plan: exactly one construction
-    # fleet-wide no matter how many workers are available.
-    dispatcher = ServiceDispatcher(num_workers=4)
-    dispatcher.dispatch(uniform_u32, [(128, True)] * 8)
-    report = dispatcher.last_report
+def test_one_plan_construction_no_matter_the_placement(uniform_u32):
+    # 8 identical queries share one plan: exactly one construction
+    # fleet-wide no matter how many workers serve them.  With splitting
+    # disabled the group pins to one worker (the pre-split behaviour); by
+    # default the dominant group spreads across the fleet and the single
+    # construction happens at broadcast time instead.
+    pinned = ServiceDispatcher(num_workers=4, split_threshold=None)
+    pinned.dispatch(uniform_u32, [(128, True)] * 8)
+    report = pinned.last_report
     assert report.constructions == 1
+    assert report.groups_split == 0 and report.plan_broadcasts == 0
     assert sum(1 for w in report.workers if w.queries) == 1
+
+    split = ServiceDispatcher(num_workers=4)
+    split.dispatch(uniform_u32, [(128, True)] * 8)
+    report = split.last_report
+    assert report.constructions == 1
+    assert report.groups_split == 1
+    assert report.plan_broadcasts == 4
+    assert sum(1 for w in report.workers if w.queries) == 4
+    # The spread is even and the modelled balance reflects it.
+    assert [w.queries for w in report.workers] == [2, 2, 2, 2]
+    assert report.balance_ratio < 4.0
 
 
 def test_sharded_route_for_oversized_inputs(uniform_u32):

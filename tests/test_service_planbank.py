@@ -11,6 +11,8 @@ The properties that make the zero-rescan path safe to serve from:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -385,3 +387,163 @@ class TestWorkWeightedRouting:
         parsed = [TopKQuery.of((64, i % 2 == 0)) for i in range(10)]
         placement = router.place_groups(uniform_u32, parsed, engine)
         assert sorted(len(p) for p in placement) == [5, 5]
+
+
+def _ledger_consistent(cache) -> bool:
+    """A _ByteBudgetLru's byte ledger equals the sum of its resident sizes."""
+    return (
+        cache.info().bytes == sum(cache._sizes.values())
+        and len(cache._entries) == len(cache._sizes)
+    )
+
+
+class TestSharedBroadcastConcurrency:
+    """PlanBank.shared under threads: one construction, coherent handles.
+
+    Sized for the 1-CPU CI box: these are determinism/invariant stress
+    tests (no timing asserts) — the GIL's preemption and numpy's
+    GIL-releasing kernels provide the interleaving.
+    """
+
+    def test_concurrent_shared_constructs_once(self, uniform_u32):
+        bank = PlanBank()
+        fp = fingerprint_array(uniform_u32)
+        engine = DrTopK()
+        k = 64
+        alpha = engine._resolve_alpha(N, k)
+        builds: list = []
+        outcomes: list = []
+        errors: list = []
+
+        def builder():
+            plan = engine.prepare_with_alpha(uniform_u32, alpha, largest=True, k=k)
+            builds.append(plan)
+            return plan
+
+        def worker():
+            try:
+                outcomes.append(
+                    bank.shared(fp, alpha, True, engine.config.beta, builder)
+                )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        # Exactly one builder ran; every caller got the same banked handle
+        # and exactly one of them is credited with the construction.
+        assert len(builds) == 1
+        assert len(outcomes) == 8
+        assert {id(plan) for plan, _ in outcomes} == {id(builds[0])}
+        assert sum(1 for _, constructed in outcomes if constructed) == 1
+        assert _ledger_consistent(bank)
+
+    def test_shared_survives_racing_invalidation(self, uniform_u32):
+        """evict-cascade vs in-flight splits: handles stay whole, ledger exact.
+
+        Queriers fetch a shared handle and answer through it while another
+        thread invalidates the fingerprint in a loop — the exact shape of a
+        named-vector eviction racing a split-group broadcast.  No querier
+        may ever observe a half-invalidated plan: every answer must be
+        element-wise exact, and the byte ledger must balance after quiesce.
+        """
+        bank = PlanBank()
+        fp = fingerprint_array(uniform_u32)
+        reference = DrTopK()
+        k = 64
+        alpha = reference._resolve_alpha(N, k)
+        expected = np.sort(reference.topk(uniform_u32, k).values)
+        errors: list = []
+        stop = threading.Event()
+
+        def querier():
+            try:
+                own = DrTopK()  # engines are per-thread; the bank is shared
+                for _ in range(15):
+                    plan, _ = bank.shared(
+                        fp,
+                        alpha,
+                        True,
+                        own.config.beta,
+                        lambda: own.prepare_with_alpha(
+                            uniform_u32, alpha, largest=True, k=k
+                        ),
+                    )
+                    result = own.topk_prepared(plan, k, charge_construction=False)
+                    np.testing.assert_array_equal(np.sort(result.values), expected)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def invalidator():
+            try:
+                while not stop.is_set():
+                    bank.invalidate(fp)
+                    stop.wait(0.001)  # yield so queriers make progress
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        queriers = [threading.Thread(target=querier) for _ in range(3)]
+        churn = threading.Thread(target=invalidator)
+        churn.start()
+        for t in queriers:
+            t.start()
+        for t in queriers:
+            t.join()
+        stop.set()
+        churn.join()
+        assert not errors, errors
+        assert _ledger_consistent(bank)
+
+    def test_build_lock_prune_spares_inflight_builds(self):
+        # The lock-table prune must never orphan a held lock: a key being
+        # built is not resident yet, and replacing its lock would admit a
+        # second concurrent builder (double-charged construction).
+        from repro.service.planbank import _BUILD_LOCK_CAP
+
+        bank = PlanBank()
+        key = ("fp-inflight", 8, True)
+        lock = bank._build_lock(key)
+        lock.acquire()  # simulate a builder mid-flight
+        try:
+            for i in range(_BUILD_LOCK_CAP + 5):  # force prune passes
+                bank._build_lock((f"fp{i}", 0, True))
+            assert bank._build_lock(key) is lock
+        finally:
+            lock.release()
+
+    def test_concurrent_puts_and_invalidates_keep_ledger(self, rng):
+        """Admission churn from threads: bytes == sum(sizes) after quiesce."""
+        vectors = [
+            rng.integers(0, 2**32, size=1 << 9, dtype=np.uint32) for _ in range(6)
+        ]
+        plans = [_plan_for(v, k=16) for v in vectors]
+        fps = [fingerprint_array(v) for v in vectors]
+        for plan in plans:
+            plan.materialise_views()
+        # A budget that holds only some of the plans, so puts also evict.
+        bank = PlanBank(capacity_bytes=3 * plans[0].nbytes())
+        errors: list = []
+
+        def churner(idx: int):
+            try:
+                for _ in range(30):
+                    bank.put(fps[idx], plans[idx])
+                    bank.get(fps[idx], plans[idx].alpha, plans[idx].largest)
+                    if idx % 2:
+                        bank.invalidate(fps[idx])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churner, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert _ledger_consistent(bank)
+        info = bank.info()
+        assert 0 <= info.bytes <= bank.capacity_bytes

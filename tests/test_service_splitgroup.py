@@ -1,0 +1,202 @@
+"""Split-group dispatch: differential equivalence and broadcast semantics.
+
+The contract of splitting a dominant plan-sharing group across workers is
+that it is *invisible* in the answers: element-wise identical values and
+indices to a forced single-worker dispatch, on the cold path and the warm
+(banked) replay alike, with the group's one construction charged exactly
+once no matter how many splits ran.  The differential tests here hold that
+line over randomized ``(n, k-mix, largest-mix, fleet size)`` grids; the
+remaining tests pin the broadcast accounting and the eviction-cascade
+behaviour for in-flight shared handles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.drtopk import DrTopK
+from repro.errors import ConfigurationError
+from repro.harness.experiments import _same_alpha_variant
+from repro.service.batch import TopKQuery
+from repro.service.dispatcher import ServiceDispatcher
+
+from tests.helpers import assert_topk_correct
+
+
+def _random_queries(rng, n, size):
+    """A batch biased toward one dominant group plus a random remainder."""
+    base_k = int(rng.integers(1, max(2, n // 4)))
+    queries = [(base_k, True)] * (size - size // 3)
+    for _ in range(size // 3):
+        queries.append((int(rng.integers(1, n + 1)), bool(rng.integers(0, 2))))
+    return queries
+
+
+def _warm_variant(engine, n, queries):
+    """Same-alpha changed ks where one exists (the banked-replay mix)."""
+    warm = []
+    for k, largest in queries:
+        try:
+            warm.append((_same_alpha_variant(engine, n, k), largest))
+        except ConfigurationError:
+            warm.append((k, largest))
+    return warm
+
+
+class TestDifferentialEquivalence:
+    """Split vs forced single-worker dispatch must agree element-wise."""
+
+    def _assert_identical(self, left, right):
+        for a, b in zip(left, right):
+            np.testing.assert_array_equal(a.values, b.values)
+            np.testing.assert_array_equal(a.indices, b.indices)
+            assert sorted(a.indices.tolist()) == sorted(b.indices.tolist())
+
+    def test_randomized_grid_cold_and_warm(self, rng):
+        engine = DrTopK()
+        for trial in range(5):
+            n = 1 << int(rng.integers(10, 14))
+            workers = int(rng.integers(2, 6))
+            v = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+            queries = _random_queries(rng, n, size=int(rng.integers(6, 15)))
+            warm_queries = _warm_variant(engine, n, queries)
+            with ServiceDispatcher(
+                num_workers=workers, result_cache_capacity=0, split_threshold=None
+            ) as pinned, ServiceDispatcher(
+                num_workers=workers, result_cache_capacity=0, split_threshold=0.3
+            ) as split:
+                cold_pinned = pinned.dispatch(v, queries)
+                cold_split = split.dispatch(v, queries)
+                self._assert_identical(cold_pinned, cold_split)
+                assert split.last_report.groups_split >= 1, (
+                    f"trial {trial}: the dominant group never split "
+                    f"({workers} workers, {len(queries)} queries)"
+                )
+                # Warm replay: changed ks keying the same banked plans.
+                warm_pinned = pinned.dispatch(v, warm_queries)
+                warm_split = split.dispatch(v, warm_queries)
+                self._assert_identical(warm_pinned, warm_split)
+                report = split.last_report
+                assert report.constructions == 0, (
+                    f"trial {trial}: warm split replay reconstructed"
+                )
+                assert report.construction_bytes == 0.0
+                assert report.plan_bank_hits > 0
+            for res, (k, largest) in zip(cold_split, queries):
+                assert_topk_correct(res, v, k, largest=largest)
+
+    def test_degenerate_groups_split_identically(self, rng):
+        # ks near n force the degenerate regime (no delegate construction):
+        # a split degenerate group must still agree with the pinned dispatch
+        # through the plain-top-k fallback.
+        n = 1 << 10
+        v = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        queries = [(n - 1, True)] * 4 + [(n // 2 + 1, False)] * 2
+        with ServiceDispatcher(
+            num_workers=3, result_cache_capacity=0, split_threshold=None
+        ) as pinned, ServiceDispatcher(
+            num_workers=3, result_cache_capacity=0, split_threshold=0.3
+        ) as split:
+            self._assert_identical(
+                pinned.dispatch(v, queries), split.dispatch(v, queries)
+            )
+            report = split.last_report
+            # Degenerate broadcasts hand out shared handles but charge no
+            # construction anywhere.
+            assert report.constructions == 0
+
+    def test_split_disabled_on_single_worker_fleet(self, rng):
+        n = 1 << 10
+        v = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        with ServiceDispatcher(num_workers=1, result_cache_capacity=0) as d:
+            results = d.dispatch(v, [(16, True)] * 6)
+            assert d.last_report.groups_split == 0
+            assert d.last_report.plan_broadcasts == 0
+            for res in results:
+                assert_topk_correct(res, v, 16)
+
+
+class TestBroadcastAccounting:
+    def test_dominant_group_splits_with_one_construction(self, uniform_u32):
+        # A >= 70%-dominant group (9 of 11 queries share one plan) spreads
+        # over >= 2 workers while the fleet charges its construction once.
+        queries = [(64, True)] * 9 + [(64, False)] * 2
+        with ServiceDispatcher(num_workers=4, result_cache_capacity=0) as d:
+            d.dispatch(uniform_u32, queries)
+            report = d.last_report
+            assert report.groups_split >= 1
+            assert report.plan_broadcasts >= 2
+            # One construction for the split group, one for the unsplit
+            # minor group: splitting never adds constructions.
+            assert report.constructions == 2
+            split_workers = sum(1 for w in report.workers if w.queries)
+            assert split_workers >= 2
+            # Balance strictly beats everything-on-one-worker.
+            assert 1.0 <= report.balance_ratio < report.num_workers
+
+    def test_split_without_plan_bank_still_constructs_once(self, uniform_u32):
+        # No bank and no fingerprint to key one: the broadcast must hand a
+        # directly built plan to every split, construction still once.
+        queries = [(128, True)] * 8
+        with ServiceDispatcher(
+            num_workers=4,
+            result_cache_capacity=0,
+            plan_bank_bytes=0,
+        ) as d:
+            results = d.dispatch(uniform_u32, queries)
+            report = d.last_report
+            assert report.groups_split == 1
+            assert report.constructions == 1
+            assert sum(1 for w in report.workers if w.queries) == 4
+            for res in results:
+                assert_topk_correct(res, uniform_u32, 128)
+
+    def test_inflight_broadcast_survives_eviction_cascade(self, uniform_u32):
+        """evict(name) while N splits hold the broadcast plan handle.
+
+        The cascade must release the banked bytes immediately (observable in
+        the bank's ``CacheInfo``), while in-flight split units keep their
+        read-only handle and answer exactly.
+        """
+        expected = DrTopK().topk(uniform_u32, 64)
+        with ServiceDispatcher(num_workers=2, result_cache_capacity=0) as d:
+            entry = d.admit("hot", uniform_u32.copy())
+            parsed = [TopKQuery.of((64, True))] * 4
+            units, plan = d.router.batched_units(
+                entry.vector, parsed, d.workers, fingerprint=entry.fingerprint
+            )
+            # The broadcast banked the plan under the admitted fingerprint.
+            assert plan.shared_plans and plan.broadcast_constructions == 1
+            assert d.plan_bank is not None
+            bytes_before = d.plan_bank.info().bytes
+            assert bytes_before > 0
+            assert d.evict("hot")
+            assert d.plan_bank.info().bytes < bytes_before
+            # In-flight units still answer exactly from their held handles.
+            for unit in units:
+                _positions, results, report = unit.fn()
+                assert report.shared_plan_groups == 1
+                assert report.constructions == 0
+                for res in results:
+                    np.testing.assert_array_equal(res.values, expected.values)
+                    np.testing.assert_array_equal(res.indices, expected.indices)
+
+    def test_warm_named_split_query_is_zero_rescan(self, uniform_u32):
+        # The named front end composes with splitting: a warm split query
+        # records zero constructions, zero construction bytes and zero
+        # fingerprint work on top of the balanced placement.
+        from repro.service.cache import fingerprint_call_count
+
+        n = uniform_u32.shape[0]
+        engine = DrTopK()
+        warm_k = _same_alpha_variant(engine, n, 64)
+        with ServiceDispatcher(num_workers=4, result_cache_capacity=0) as d:
+            d.admit("hot", uniform_u32.copy(), warm=[(64, True)])
+            before = fingerprint_call_count()
+            d.query("hot", [(warm_k, True)] * 8)
+            report = d.last_report
+            assert fingerprint_call_count() == before
+            assert report.groups_split == 1
+            assert report.constructions == 0
+            assert report.construction_bytes == 0.0
+            assert report.plan_bank_hits > 0

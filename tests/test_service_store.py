@@ -421,6 +421,66 @@ class TestConcurrentHammer:
         )
         assert info.bytes >= 0
 
+    def test_query_racing_evict_admit_keeps_plans_whole(self, rng):
+        """Warm queries racing evict/re-admit cascades: answers stay exact.
+
+        Queriers hammer split-group batches against a named vector while a
+        churner evicts and re-admits it (same content) — every eviction
+        cascades invalidation into the plan bank while in-flight splits may
+        hold the broadcast plan.  No query may ever observe a
+        half-invalidated plan: a query either fails with the documented
+        "no vector named" error (evicted between admit cycles — legal) or
+        returns element-wise exact answers.  After quiesce every cache's
+        byte ledger must equal the sum of its resident entry sizes.
+        """
+        n = 1 << 10
+        hot = _vec(rng, n)
+        ks = (8, 32)
+        expected = {k: np.sort(hot)[::-1][:k] for k in ks}
+        errors = []
+        with ServiceDispatcher(num_workers=2, result_cache_capacity=0) as d:
+            d.admit("hot", hot)
+
+            def querier():
+                try:
+                    for i in range(15):
+                        k = ks[i % len(ks)]
+                        # 4 identical queries: a 100%-dominant group, so the
+                        # batched route splits it and broadcasts the plan.
+                        try:
+                            results = d.query("hot", [(k, True)] * 4)
+                        except ConfigurationError:
+                            continue  # evicted between admit cycles: legal
+                        for res in results:
+                            np.testing.assert_array_equal(
+                                np.sort(res.values)[::-1], expected[k]
+                            )
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            def churner():
+                try:
+                    for _ in range(15):
+                        d.evict("hot")
+                        d.admit("hot", hot)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=querier) for _ in range(2)]
+            threads.append(threading.Thread(target=churner))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            # Byte ledgers balance for every cache after quiesce.
+            assert d.store.info().bytes == sum(
+                d.store.get(name).nbytes for name in d.store.names()
+            )
+            assert d.plan_bank is not None
+            assert d.plan_bank.info().bytes == sum(d.plan_bank._sizes.values())
+            assert len(d.plan_bank._entries) == len(d.plan_bank._sizes)
+
 
 def test_stored_vector_fingerprints_listing(rng):
     v = _vec(rng)
