@@ -1,0 +1,65 @@
+"""Service layer — load-harness tail-latency and admission-control acceptance.
+
+Not a paper figure: this benchmark holds the line on the serving core's
+behaviour under production-shaped traffic.  The ``loadgen_slo`` experiment
+drives one dispatcher (three hot batched names, one sharded, one streaming
+payload) through an underloaded open loop, a saturating open loop, and a
+closed loop.  The acceptance criteria:
+
+* every phase reports all three routes plus the ``all`` aggregate, with
+  p50 <= p95 <= p99 on both latency and queue wait — percentiles from real
+  measured service times, not modelled costs;
+* **underload**: zero shed, zero degraded — admission control is invisible
+  when the queue has headroom;
+* **overload**: ``shed + degraded > 0`` (and specifically ``degraded > 0``
+  — the warm result cache absorbs batched/sharded arrivals), so the
+  arrival loop stayed non-blocking at saturation;
+* the overload phase's queue wait dominates the underload phase's, and
+  every SLO-attainment value is a valid fraction.
+
+Absolute millisecond values are deliberately un-gated — shed/degrade
+counts and percentile orderings are deterministic per seed on any host,
+wall-clock percentiles are not.
+"""
+
+from benchmarks.conftest import scaled
+from repro.harness import experiments
+
+ROUTES = {"batched", "sharded", "streaming", "all"}
+REQUESTS = 160
+
+
+def test_loadgen_slo(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "loadgen_slo",
+        experiments.loadgen_slo,
+        n=scaled(1 << 14),
+        requests=REQUESTS,
+    )
+    by = {(r["phase"], r["route"]): r for r in rows}
+    phases = {r["phase"] for r in rows}
+    assert phases == {"underload", "overload", "closed"}
+    for phase in phases:
+        assert {route for p, route in by if p == phase} == ROUTES
+
+    for row in rows:
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+        assert row["queue_p50_ms"] <= row["queue_p95_ms"] <= row["queue_p99_ms"]
+        assert 0.0 <= row["slo_attainment"] <= 1.0
+        assert row["ok"] + row["shed"] + row["degraded"] == row["requests"]
+
+    under = by[("underload", "all")]
+    over = by[("overload", "all")]
+    # Admission control must be invisible with headroom ...
+    assert under["shed"] == 0 and under["degraded"] == 0
+    # ... and must engage (without blocking the arrival loop) at saturation.
+    assert over["shed"] + over["degraded"] > 0
+    assert over["degraded"] > 0, "warm result cache never absorbed an overload arrival"
+    assert over["ok"] < over["requests"]
+    # Saturation shows up as queue wait: the overload tail dominates underload.
+    assert over["queue_p99_ms"] >= under["queue_p99_ms"]
+
+    closed = by[("closed", "all")]
+    assert closed["shed"] == 0 and closed["degraded"] == 0
+    assert closed["throughput_rps"] > 0.0

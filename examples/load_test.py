@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Load test: a closed-loop run against a 3-name working set.
+
+Demonstrates `repro.service.loadgen` end to end:
+
+1. Admit three named vectors (a hot/warm/cold working set) into a
+   ``ServiceDispatcher``, pre-warming the plan bank and result cache.
+2. Run a **closed loop**: a handful of users, each with one outstanding
+   request, drawing names with Zipfian popularity and a mixed ``k`` profile.
+   Arrival times are virtual (seeded, deterministic); every request is
+   executed for real and its dispatch wall-clock is the measured service
+   time.
+3. Print the per-route latency/queue-wait percentiles and the SLO table,
+   then contrast with an **open-loop overload** burst where the admission
+   policy degrades to result-cache answers instead of blocking.
+
+Usage::
+
+    python examples/load_test.py [log2_size] [users] [requests]
+"""
+
+import sys
+
+from repro.datasets import uniform_distribution
+from repro.harness.reporting import format_table
+from repro.service import (
+    LoadHarness,
+    PoissonArrivals,
+    RequestProfile,
+    ServiceDispatcher,
+)
+
+PERCENTILE_COLUMNS = [
+    "route", "requests", "ok", "shed", "degraded",
+    "p50_ms", "p95_ms", "p99_ms", "queue_p50_ms", "queue_p99_ms",
+    "slo_ms", "slo_attainment", "throughput_rps",
+]
+
+
+def main() -> int:
+    log2_size = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    users = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    requests = int(sys.argv[3]) if len(sys.argv) > 3 else 80
+    n = 1 << log2_size
+
+    ks = (8, 16, 64)
+    warm = [(k, True) for k in ks]
+    with ServiceDispatcher(num_workers=4, queue_capacity=4) as dispatcher:
+        print(f"admitting 3 named vectors with |V| = 2^{log2_size} = {n:,}")
+        for i, name in enumerate(("hot", "warm", "cold")):
+            dispatcher.admit(name, uniform_distribution(n, seed=100 + i), warm=warm)
+
+        profiles = [
+            RequestProfile(route="batched", names=("hot", "warm", "cold"), ks=ks),
+        ]
+        harness = LoadHarness(
+            dispatcher, profiles, policy="degrade", slo_ms=50.0, seed=7
+        )
+
+        # --- closed loop: offered load self-regulates ------------------------
+        report = harness.run_closed(
+            concurrency=users, requests=requests, think_seconds=0.002
+        )
+        print(
+            f"\nclosed loop: {users} users x 1 outstanding request, "
+            f"{requests} requests, makespan {report.makespan_s:.3f} s (virtual), "
+            f"peak in flight {report.max_in_flight} (bound {users})"
+        )
+        print()
+        print(format_table(
+            [{c: row[c] for c in PERCENTILE_COLUMNS} for row in report.to_rows()],
+            title="closed-loop latency / SLO per route",
+        ))
+
+        # --- open-loop overload: admission control engages -------------------
+        # Warm repeats are served from the result cache in tens of
+        # microseconds, so saturating the queue takes a sub-microsecond
+        # inter-arrival gap — far past any real capacity.
+        burst = harness.run_open(PoissonArrivals(rate=2e6, seed=7), requests)
+        print(
+            f"\nopen-loop overload (Poisson 2M rps, policy=degrade): "
+            f"{burst.route_stats('all').ok} served, {burst.degraded} degraded "
+            f"to result-cache answers, {burst.shed} shed — "
+            "the arrival loop never blocked"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,3 +33,14 @@ class CapacityError(ReproError, RuntimeError):
 
 class CommunicationError(ReproError, RuntimeError):
     """A simulated inter-GPU communication primitive was misused."""
+
+
+class RequestShedError(ReproError, RuntimeError):
+    """A request was rejected by admission control at saturation.
+
+    Raised (and counted) by the load harness when the serving queue is full
+    and the configured policy sheds instead of blocking the arrival loop; a
+    ``degrade`` policy converts it into a result-cache-only answer when one
+    exists.  Typed so callers can distinguish overload rejections from
+    configuration mistakes or capacity violations.
+    """

@@ -52,6 +52,7 @@ __all__ = [
     "hotpath_reuse",
     "multivector_serving",
     "splitgroup_dispatch",
+    "loadgen_slo",
 ]
 
 #: Default measured input size (kept modest so the full harness runs quickly).
@@ -1291,4 +1292,109 @@ def splitgroup_dispatch(
                         "identical": identical,
                     }
                 )
+    return rows
+
+
+def loadgen_slo(
+    n: int = 1 << 14,
+    requests: int = 160,
+    num_workers: int = 4,
+    queue_capacity: int = 4,
+    underload_rps: float = 2.0,
+    overload_rps: float = 20000.0,
+    dataset: str = "UD",
+    seed: int = DEFAULT_SEED,
+    export_dir: Optional[str] = None,
+) -> List[Dict]:
+    """Tail latency and admission control under production-shaped traffic.
+
+    Drives one :class:`~repro.service.dispatcher.ServiceDispatcher` (three
+    hot batched names, one sharded name, one streaming payload; Zipfian
+    popularity, mixed ``k``) through three load phases with the
+    :class:`~repro.service.loadgen.LoadHarness`:
+
+    * ``underload`` — open-loop Poisson at ``underload_rps``: inter-arrival
+      gaps are orders of magnitude above the millisecond-scale service
+      times, so the bounded queue never fills and **no** request is shed or
+      degraded.  The sanity phase: admission control must be invisible when
+      there is headroom.
+    * ``overload`` — open-loop Poisson at ``overload_rps``, far beyond the
+      single server's capacity, under the ``degrade`` policy: the queue
+      model saturates, batched/sharded arrivals fall back to warm
+      result-cache answers and streaming arrivals (nothing cacheable) shed,
+      so ``shed + degraded > 0`` while the arrival loop never blocks.
+    * ``closed`` — ``num_workers`` closed-loop users with a small think
+      time: offered load self-regulates, the gate the open-loop phases are
+      contrasted against.
+
+    Per-request latency is queue wait (FIFO model over the measured service
+    times) plus the measured dispatch wall-clock; the per-unit executor
+    measurements ride along in the samples.  One row per (phase, route)
+    plus a per-phase ``all`` aggregate; ``export_dir`` (optional) addition-
+    ally writes ``loadgen.prom`` / ``loadgen.csv`` with every phase's
+    Prometheus series and rows.  No wall-clock column is gated — the
+    shed/degrade counts and percentile *orderings* are deterministic per
+    seed, the millisecond values are host-dependent.
+    """
+    from pathlib import Path
+
+    from repro.service.dispatcher import ServiceDispatcher
+    from repro.service.loadgen import LoadHarness, PoissonArrivals, RequestProfile
+
+    if requests < 10:
+        raise ConfigurationError("requests must be >= 10 for stable percentiles")
+
+    rng = np.random.default_rng(seed)
+    warm_mix = [(8, True), (16, True)]
+    with ServiceDispatcher(
+        num_workers=num_workers,
+        capacity_elements=n,
+        queue_capacity=queue_capacity,
+    ) as dispatcher:
+        for name in ("hot", "warm", "cold"):
+            dispatcher.admit(name, _dataset_vector(dataset, n, seed), warm=warm_mix)
+            seed += 1
+        wide = np.concatenate([_dataset_vector(dataset, n, seed + i) for i in range(4)])
+        dispatcher.admit("wide", wide, warm=warm_mix)
+        streams = {"ticks": [rng.standard_normal(n // 4).astype(np.float32) for _ in range(4)]}
+        profiles = [
+            RequestProfile(route="batched", names=("hot", "warm", "cold"), ks=(8, 16), weight=3.0),
+            RequestProfile(route="sharded", names=("wide",), ks=(8, 16)),
+            RequestProfile(route="streaming", names=("ticks",), ks=(8,)),
+        ]
+
+        def harness(policy: str) -> LoadHarness:
+            return LoadHarness(
+                dispatcher,
+                profiles,
+                streams=streams,
+                queue_capacity=queue_capacity,
+                policy=policy,
+                seed=seed,
+            )
+
+        underload = harness("shed").run_open(
+            PoissonArrivals(underload_rps, seed=seed), requests // 4
+        )
+        overload = harness("degrade").run_open(
+            PoissonArrivals(overload_rps, seed=seed), requests
+        )
+        closed = harness("shed").run_closed(
+            concurrency=num_workers, requests=requests // 4, think_seconds=0.001
+        )
+        reports = [("underload", underload), ("overload", overload), ("closed", closed)]
+
+    rows: List[Dict] = []
+    for phase, report in reports:
+        for row in report.to_rows():
+            rows.append({"phase": phase, **row})
+
+    if export_dir is not None:
+        from repro.harness.reporting import rows_to_csv
+
+        out = Path(export_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        prom = "".join(r.to_prometheus(labels={"phase": phase}) for phase, r in reports)
+        (out / "loadgen.prom").write_text(prom)
+        (out / "loadgen.csv").write_text(rows_to_csv(rows) + "\n")
     return rows

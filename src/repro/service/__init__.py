@@ -37,6 +37,15 @@ caching instead of owning private loops:
 * :class:`~repro.service.executor.ServiceExecutor` /
   :class:`~repro.service.router.Router` — the execution core itself, usable
   directly by new routes.
+* :class:`~repro.service.loadgen.LoadHarness` — production-shaped traffic
+  against the dispatcher: seeded open-loop arrival processes
+  (:class:`~repro.service.loadgen.PoissonArrivals` /
+  :class:`~repro.service.loadgen.BurstyArrivals` /
+  :class:`~repro.service.loadgen.DiurnalArrivals`) and closed-loop users,
+  Zipfian popularity over admitted names, per-request latency and
+  queue-wait percentiles with SLO attainment in a
+  :class:`~repro.service.loadgen.LoadReport`, and shed/degrade admission
+  control that keeps the arrival loop non-blocking at saturation.
 """
 
 from repro.service.batch import (
@@ -54,6 +63,17 @@ from repro.service.cache import (
     fingerprint_call_count,
 )
 from repro.service.executor import ExecutorReport, ServiceExecutor, UnitResult, WorkUnit
+from repro.service.loadgen import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    LoadHarness,
+    LoadReport,
+    LoadSample,
+    PoissonArrivals,
+    RequestProfile,
+    RouteStats,
+    ZipfPopularity,
+)
 from repro.service.planbank import ChunkMemo, PlanBank
 from repro.service.router import BatchedPlan, GroupShare, Router
 from repro.service.store import StoredVector, VectorStore
@@ -102,4 +122,13 @@ __all__ = [
     "Router",
     "BatchedPlan",
     "GroupShare",
+    "LoadHarness",
+    "LoadReport",
+    "LoadSample",
+    "RouteStats",
+    "RequestProfile",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "ZipfPopularity",
 ]

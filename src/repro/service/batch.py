@@ -208,6 +208,7 @@ class BatchTopK:
 
     @property
     def config(self) -> DrTopKConfig:
+        """The engine's pipeline configuration (shared, read it, don't mutate)."""
         return self.engine.config
 
     def _banked_plan(

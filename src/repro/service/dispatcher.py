@@ -157,6 +157,12 @@ class DispatchReport:
     executor_mode: str = ""
     wall_ms: float = 0.0
     unit_wall_ms_sum: float = 0.0
+    #: Measured submit-to-start queue waits of this dispatch's work units —
+    #: the sum over units and the single worst unit.  Non-zero waits mean the
+    #: executor's bounded queue (or its pool) delayed work; the load harness
+    #: samples these next to its own arrival-queue waits.
+    unit_queue_ms_sum: float = 0.0
+    max_unit_queue_ms: float = 0.0
     backpressure_waits: int = 0
 
     @property
@@ -465,6 +471,27 @@ class ServiceDispatcher:
         self.router.note_queries(entry.fingerprint, len(results))
         return results
 
+    def query_cached(self, name: str, queries) -> List[Optional[TopKResult]]:
+        """Result-cache-only answers for an admitted name — the degrade path.
+
+        Unlike :meth:`query`, nothing is dispatched: each query is looked up
+        in the :class:`~repro.service.cache.ResultCache` under the admitted
+        entry's pinned fingerprint and the answer is returned as-is, or
+        ``None`` on a miss (every position is ``None`` when the result cache
+        is disabled).  The call never touches the router or the executor, so
+        it stays cheap and non-blocking even while the serving queue is
+        saturated — exactly what an admission policy needs to *degrade* a
+        request instead of shedding it outright.  Returned results are the
+        cached objects themselves; treat them as read-only.
+        """
+        entry = self._stored(name)
+        if isinstance(queries, (int, np.integer, tuple, TopKQuery)):
+            queries = [queries]
+        parsed = [TopKQuery.of(q) for q in queries]
+        if self.results_cache is None:
+            return [None] * len(parsed)
+        return [self.results_cache.get(entry.fingerprint, q.k, q.largest) for q in parsed]
+
     def evict(self, name: str) -> bool:
         """Remove one named vector; its banked plans/results are released.
 
@@ -546,6 +573,8 @@ class ServiceDispatcher:
         if exec_report is not None and ran_units:
             report.wall_ms = exec_report.wall_ms
             report.unit_wall_ms_sum = exec_report.unit_wall_ms_sum
+            report.unit_queue_ms_sum = exec_report.unit_queue_ms_sum
+            report.max_unit_queue_ms = exec_report.max_unit_queue_ms
             report.backpressure_waits = exec_report.backpressure_waits
         report.cache = self.cache.info()
         if self.results_cache is not None:

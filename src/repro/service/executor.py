@@ -72,11 +72,18 @@ class WorkUnit:
 
 @dataclass
 class UnitResult:
-    """Outcome of one executed :class:`WorkUnit`."""
+    """Outcome of one executed :class:`WorkUnit`.
+
+    ``queue_ms`` is the measured time the unit spent between submission and
+    the start of its execution — the *queue wait* inside the executor's
+    bounded submission queue (always ``0.0`` in sequential mode, where a unit
+    starts the moment it is submitted).
+    """
 
     unit: WorkUnit
     value: Any
     wall_ms: float
+    queue_ms: float = 0.0
 
 
 @dataclass
@@ -92,6 +99,10 @@ class ExecutorReport:
     units: int = 0
     wall_ms: float = 0.0
     unit_wall_ms_sum: float = 0.0
+    #: Measured submit-to-start waits summed over the units (and the single
+    #: worst unit): how long work sat in the bounded queue before running.
+    unit_queue_ms_sum: float = 0.0
+    max_unit_queue_ms: float = 0.0
     max_in_flight: int = 0
     backpressure_waits: int = 0
 
@@ -144,6 +155,23 @@ class ServiceExecutor:
         self._lock = threading.Lock()
         self._in_flight = 0
 
+    # -- saturation probes -------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Units currently submitted but not finished (thread-safe snapshot)."""
+        with self._lock:
+            return self._in_flight
+
+    def saturated(self) -> bool:
+        """Whether submitting one more unit right now would block.
+
+        The non-blocking admission probe behind the service layer's
+        load-shedding policies: a producer that must never stall (an arrival
+        loop) checks this instead of paying the backpressure wait, and sheds
+        or degrades the request when the bounded queue is full.
+        """
+        return self.in_flight >= self.queue_capacity
+
     # -- lifecycle -------------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -165,20 +193,31 @@ class ServiceExecutor:
         self.shutdown()
 
     # -- execution -------------------------------------------------------------
-    def run(self, units: Iterable[WorkUnit]) -> List[UnitResult]:
+    def run(
+        self,
+        units: Iterable[WorkUnit],
+        on_queue_full: Optional[Callable[[int], None]] = None,
+    ) -> List[UnitResult]:
         """Execute every unit; results align with submission order.
 
         ``units`` may be a lazy iterable (the streaming route submits chunks
         as they arrive); the bounded queue then also bounds how far ahead of
         execution the producer can read.  A unit that raises propagates its
         exception after the in-flight units drain.
+
+        ``on_queue_full`` (optional) is invoked with the current in-flight
+        count each time a submission finds the bounded queue full, *before*
+        the submission blocks on backpressure — the hook load-monitoring
+        callers use to observe saturation as it happens (admission decisions
+        that must not block belong in front of :meth:`run`, via
+        :meth:`saturated`).
         """
         started = time.perf_counter()
         report = ExecutorReport(mode=self.mode)
         if self.mode == "sequential":
             results = self._run_sequential(units, report)
         else:
-            results = self._run_threads(units, report)
+            results = self._run_threads(units, report, on_queue_full)
         report.wall_ms = (time.perf_counter() - started) * 1e3
         report.units = len(results)
         self.last_report = report
@@ -197,14 +236,20 @@ class ServiceExecutor:
             report.max_in_flight = 1
         return results
 
-    def _run_threads(self, units: Iterable[WorkUnit], report: ExecutorReport) -> List[UnitResult]:
+    def _run_threads(
+        self,
+        units: Iterable[WorkUnit],
+        report: ExecutorReport,
+        on_queue_full: Optional[Callable[[int], None]] = None,
+    ) -> List[UnitResult]:
         pool = self._ensure_pool()
         slots = threading.Semaphore(self.queue_capacity)
 
-        def timed(unit: WorkUnit):
+        def timed(unit: WorkUnit, submitted_at: float):
             t0 = time.perf_counter()
+            queued_ms = (t0 - submitted_at) * 1e3
             value = unit.fn()
-            return value, (time.perf_counter() - t0) * 1e3
+            return value, (time.perf_counter() - t0) * 1e3, queued_ms
 
         def release(_future: Future) -> None:
             with self._lock:
@@ -216,11 +261,13 @@ class ServiceExecutor:
             for unit in units:
                 if not slots.acquire(blocking=False):
                     report.backpressure_waits += 1
+                    if on_queue_full is not None:
+                        on_queue_full(self.in_flight)
                     slots.acquire()
                 with self._lock:
                     self._in_flight += 1
                     report.max_in_flight = max(report.max_in_flight, self._in_flight)
-                future = pool.submit(timed, unit)
+                future = pool.submit(timed, unit, time.perf_counter())
                 future.add_done_callback(release)
                 submitted.append((unit, future))
         finally:
@@ -228,13 +275,15 @@ class ServiceExecutor:
             error: Optional[BaseException] = None
             for unit, future in submitted:
                 try:
-                    value, wall = future.result()
+                    value, wall, queued = future.result()
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
                     if error is None:
                         error = exc
                     continue
-                results.append(UnitResult(unit=unit, value=value, wall_ms=wall))
+                results.append(UnitResult(unit=unit, value=value, wall_ms=wall, queue_ms=queued))
                 report.unit_wall_ms_sum += wall
+                report.unit_queue_ms_sum += queued
+                report.max_unit_queue_ms = max(report.max_unit_queue_ms, queued)
             if error is not None:
                 raise error
         return results

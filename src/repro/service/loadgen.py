@@ -1,0 +1,827 @@
+"""Closed-loop load harness: production-shaped traffic against the serving core.
+
+Every benchmark before this module measured aggregate throughput of
+hand-built batches; none of them said what a *user* experiences when requests
+arrive as a process — the p99 latency under a bursty open loop, the queue
+wait at saturation, whether the service sheds or stalls when the bounded
+queue fills.  This module generates that traffic and measures those
+distributions against a live :class:`~repro.service.dispatcher.ServiceDispatcher`.
+
+Methodology — virtual arrivals, measured service
+================================================
+
+The harness is a hybrid of a discrete-event simulation and a real benchmark:
+
+* **Arrival times are virtual.**  The generators below (Poisson, bursty
+  on/off, diurnal ramp, closed loop) produce deterministic, seeded arrival
+  timestamps in *virtual seconds*, so a run is reproducible and an overload
+  scenario does not need wall-clock hours to build a backlog.
+* **Service times are real.**  Every admitted request is executed against
+  the dispatcher and its service time is the *measured* wall-clock of that
+  dispatch (the executor's per-unit wall-clock measurements roll up into
+  it; the per-unit submit-to-start waits are sampled alongside).
+* **Queueing dynamics replay the two against each other.**  Admitted
+  requests feed a FIFO single-server queue model whose service times are
+  the measured ones: a request arriving at ``a`` starts at
+  ``max(a, server_free)``, its *queue wait* is the difference, and its
+  latency is queue wait plus measured service time.  The queue is bounded
+  by the executor's ``queue_capacity``.
+
+This keeps per-request measurements clean (dispatches never contend with
+each other for the host's cores, so a sample measures the dispatch and not
+the harness) while still exposing the arrival-process effects — backlog
+growth, tail inflation, saturation — that aggregate-throughput benchmarks
+cannot see.
+
+Admission control at saturation
+===============================
+
+When a request arrives and the queue model already holds ``queue_capacity``
+waiting requests, the configured :data:`ADMISSION_POLICIES` policy decides,
+without ever blocking the arrival loop:
+
+* ``"shed"`` — reject the request outright: a typed
+  :class:`~repro.errors.RequestShedError` outcome, counted per route.
+* ``"degrade"`` — answer from the :class:`~repro.service.cache.ResultCache`
+  alone (:meth:`~repro.service.dispatcher.ServiceDispatcher.query_cached`,
+  which bypasses the router and executor entirely); a cache miss sheds.
+* ``"block"`` — admit anyway and let the queue wait grow: the
+  counterfactual a blocking producer would experience, kept as the
+  baseline the shed/degrade policies are compared against.
+
+The run's :class:`LoadReport` carries per-route latency and queue-wait
+percentiles (p50/p95/p99), SLO attainment, shed/degraded counts, and renders
+as table rows, CSV, or Prometheus-style exposition text.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RequestShedError
+from repro.service.batch import TopKQuery
+from repro.service.dispatcher import ServiceDispatcher
+
+__all__ = [
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "ZipfPopularity",
+    "RequestProfile",
+    "LoadSample",
+    "RouteStats",
+    "LoadReport",
+    "LoadHarness",
+    "ADMISSION_POLICIES",
+    "DEFAULT_SLO_MS",
+]
+
+#: Admission policies applied when the bounded queue is full at arrival.
+ADMISSION_POLICIES = ("block", "shed", "degrade")
+
+#: Default latency service-level objective applied when none is configured.
+DEFAULT_SLO_MS = 50.0
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes (open loop) — deterministic, seeded, virtual-time
+# ---------------------------------------------------------------------------
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson arrival process at a fixed rate.
+
+    Inter-arrival gaps are i.i.d. exponential with mean ``1 / rate``.  The
+    process is deterministic per seed: every :meth:`times` call re-derives
+    the same timestamps from a fresh seeded generator.
+
+    Parameters
+    ----------
+    rate:
+        Mean arrival rate in requests per (virtual) second; must be > 0.
+    seed:
+        Seed of the dedicated random generator.
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        if not rate > 0.0:
+            raise ConfigurationError("Poisson rate must be > 0")
+        self.rate = float(rate)
+        self.seed = int(seed)
+
+    def times(self, count: int) -> np.ndarray:
+        """The first ``count`` arrival timestamps, in virtual seconds."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        return np.cumsum(rng.exponential(1.0 / self.rate, size=int(count)))
+
+
+class BurstyArrivals:
+    """On/off (interrupted Poisson) arrival process — bursts then silence.
+
+    Time alternates between an *on* phase of ``on_seconds`` at ``on_rate``
+    and an *off* phase of ``off_seconds`` at ``off_rate`` (``0.0`` for true
+    silence).  Arrivals are generated by inverting a unit-rate exponential
+    against the piecewise-constant rate function, so the process is exact —
+    no discretisation — and deterministic per seed.
+
+    Parameters
+    ----------
+    on_rate / off_rate:
+        Arrival rates (requests per virtual second) inside each phase;
+        ``on_rate`` must be > 0, ``off_rate`` >= 0.
+    on_seconds / off_seconds:
+        Phase durations; both must be > 0.
+    seed:
+        Seed of the dedicated random generator.
+    """
+
+    def __init__(
+        self,
+        on_rate: float,
+        off_rate: float,
+        on_seconds: float,
+        off_seconds: float,
+        seed: int = 0,
+    ):
+        if not on_rate > 0.0:
+            raise ConfigurationError("on_rate must be > 0")
+        if off_rate < 0.0:
+            raise ConfigurationError("off_rate must be >= 0")
+        if not on_seconds > 0.0 or not off_seconds > 0.0:
+            raise ConfigurationError("phase durations must be > 0")
+        self.on_rate = float(on_rate)
+        self.off_rate = float(off_rate)
+        self.on_seconds = float(on_seconds)
+        self.off_seconds = float(off_seconds)
+        self.seed = int(seed)
+
+    def times(self, count: int) -> np.ndarray:
+        """The first ``count`` arrival timestamps, in virtual seconds."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        out = np.empty(int(count), dtype=np.float64)
+        t = 0.0
+        on = True
+        phase_left = self.on_seconds
+        for i in range(int(count)):
+            u = rng.exponential(1.0)  # unit-rate exponential, inverted below
+            while True:
+                rate = self.on_rate if on else self.off_rate
+                mass = rate * phase_left
+                if u <= mass:
+                    dt = u / rate
+                    t += dt
+                    phase_left -= dt
+                    break
+                u -= mass
+                t += phase_left
+                on = not on
+                phase_left = self.on_seconds if on else self.off_seconds
+            out[i] = t
+        return out
+
+
+class DiurnalArrivals:
+    """Non-homogeneous Poisson process with a raised-cosine daily ramp.
+
+    The instantaneous rate ramps smoothly from ``base_rate`` (the trough, at
+    ``t = 0``) up to ``peak_rate`` (at ``t = period / 2``) and back, once per
+    ``period``:
+
+    ``rate(t) = base + (peak - base) * (1 - cos(2 pi t / period)) / 2``
+
+    Arrivals are generated by thinning against ``peak_rate``, which is exact
+    for any bounded rate function and deterministic per seed.
+
+    Parameters
+    ----------
+    base_rate / peak_rate:
+        Trough and peak arrival rates (requests per virtual second);
+        ``peak_rate`` must be > 0 and >= ``base_rate`` >= 0.
+    period:
+        Duration of one full ramp cycle, in virtual seconds; must be > 0.
+    seed:
+        Seed of the dedicated random generator.
+    """
+
+    def __init__(self, base_rate: float, peak_rate: float, period: float, seed: int = 0):
+        if base_rate < 0.0:
+            raise ConfigurationError("base_rate must be >= 0")
+        if not peak_rate > 0.0 or peak_rate < base_rate:
+            raise ConfigurationError("peak_rate must be > 0 and >= base_rate")
+        if not period > 0.0:
+            raise ConfigurationError("period must be > 0")
+        self.base_rate = float(base_rate)
+        self.peak_rate = float(peak_rate)
+        self.period = float(period)
+        self.seed = int(seed)
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at virtual time ``t``."""
+        swing = (1.0 - math.cos(2.0 * math.pi * t / self.period)) / 2.0
+        return self.base_rate + (self.peak_rate - self.base_rate) * swing
+
+    def times(self, count: int) -> np.ndarray:
+        """The first ``count`` arrival timestamps, in virtual seconds."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        out = np.empty(int(count), dtype=np.float64)
+        t = 0.0
+        for i in range(int(count)):
+            while True:  # thinning: candidate at peak rate, accept at rate(t)
+                t += rng.exponential(1.0 / self.peak_rate)
+                if rng.uniform() * self.peak_rate <= self.rate_at(t):
+                    break
+            out[i] = t
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Popularity — Zipfian choice over admitted names
+# ---------------------------------------------------------------------------
+
+
+class ZipfPopularity:
+    """Zipfian popularity over a fixed set of names.
+
+    Rank ``r`` (0-based, in the order given) is chosen with probability
+    proportional to ``1 / (r + 1) ** exponent`` — the skew real serving
+    traffic shows over a working set, where a handful of hot names absorb
+    most queries.
+
+    Parameters
+    ----------
+    names:
+        The choice set, hottest first; must be non-empty.
+    exponent:
+        Skew ``s`` of the Zipf law; ``0`` degenerates to uniform.  Must be
+        >= 0.
+    """
+
+    def __init__(self, names: Sequence[str], exponent: float = 1.1):
+        names = tuple(names)
+        if not names:
+            raise ConfigurationError("ZipfPopularity needs at least one name")
+        if exponent < 0.0:
+            raise ConfigurationError("exponent must be >= 0")
+        self.names = names
+        self.exponent = float(exponent)
+        weights = np.array(
+            [1.0 / (r + 1) ** self.exponent for r in range(len(names))], dtype=np.float64
+        )
+        self._probabilities = weights / weights.sum()
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Choice probability per name, aligned with :attr:`names` (sums to 1)."""
+        return self._probabilities.copy()
+
+    def choose(self, rng: np.random.Generator) -> str:
+        """Draw one name using the caller's generator (keeps runs seedable)."""
+        return self.names[int(rng.choice(len(self.names), p=self._probabilities))]
+
+    def sequence(self, count: int, seed: int = 0) -> List[str]:
+        """A deterministic sequence of ``count`` draws from a fresh seed."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        rng = np.random.default_rng(seed)
+        return [self.choose(rng) for _ in range(int(count))]
+
+
+# ---------------------------------------------------------------------------
+# Request profiles and per-request samples
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """One kind of request the harness can issue.
+
+    Attributes
+    ----------
+    route:
+        Label of the serving route this profile exercises (``batched`` /
+        ``sharded`` / ``streaming``) — used to aggregate the report;
+        the dispatcher still classifies the actual request itself.
+    names:
+        Names the profile draws from: admitted vector names for the batched
+        and sharded routes, keys of the harness's ``streams`` table for the
+        streaming route.  Hottest first (Zipf popularity applies in order).
+    ks:
+        The ``k`` mix; one is drawn uniformly per request.
+    largest:
+        Key order of the issued queries.
+    weight:
+        Relative probability of this profile in the request mix.
+    """
+
+    route: str
+    names: Tuple[str, ...]
+    ks: Tuple[int, ...]
+    largest: bool = True
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.names:
+            raise ConfigurationError("a RequestProfile needs at least one name")
+        if not self.ks or any(k < 1 for k in self.ks):
+            raise ConfigurationError("ks must be a non-empty sequence of k >= 1")
+        if not self.weight > 0.0:
+            raise ConfigurationError("profile weight must be > 0")
+
+
+@dataclass
+class LoadSample:
+    """One request's outcome under load.
+
+    ``queue_wait_ms`` is the arrival-queue wait from the harness's FIFO
+    model; ``service_ms`` is the measured wall-clock of the dispatch;
+    ``latency_ms`` is their sum (what the client saw).  ``unit_wall_ms`` /
+    ``unit_queue_ms`` carry the executor's own per-unit measurements for the
+    dispatch that served this request.  ``outcome`` is ``"ok"``, ``"shed"``
+    (rejected at admission) or ``"degraded"`` (result-cache-only answer).
+    """
+
+    seq: int
+    route: str
+    name: str
+    k: int
+    outcome: str
+    arrival_s: float
+    queue_wait_ms: float = 0.0
+    service_ms: float = 0.0
+    latency_ms: float = 0.0
+    unit_wall_ms: float = 0.0
+    unit_queue_ms: float = 0.0
+    served_route: str = ""
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``0.0`` on an empty sample set."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass
+class RouteStats:
+    """Latency/queue-wait distribution and SLO attainment of one route."""
+
+    route: str
+    requests: int = 0
+    ok: int = 0
+    shed: int = 0
+    degraded: int = 0
+    p50_latency_ms: float = 0.0
+    p95_latency_ms: float = 0.0
+    p99_latency_ms: float = 0.0
+    p50_queue_ms: float = 0.0
+    p95_queue_ms: float = 0.0
+    p99_queue_ms: float = 0.0
+    mean_service_ms: float = 0.0
+    slo_ms: float = DEFAULT_SLO_MS
+    slo_attainment: float = 1.0
+    throughput_rps: float = 0.0
+
+    @classmethod
+    def of(
+        cls, route: str, samples: Sequence[LoadSample], slo_ms: float, makespan_s: float
+    ) -> "RouteStats":
+        """Aggregate one route's samples into its distribution row.
+
+        Latency percentiles and SLO attainment cover every *answered*
+        request (``ok`` and ``degraded``); queue-wait percentiles cover the
+        admitted (``ok``) requests, since degraded answers bypass the queue.
+        """
+        answered = [s for s in samples if s.outcome in ("ok", "degraded")]
+        ok = [s for s in samples if s.outcome == "ok"]
+        latencies = [s.latency_ms for s in answered]
+        waits = [s.queue_wait_ms for s in ok]
+        within = sum(1 for s in answered if s.latency_ms <= slo_ms)
+        return cls(
+            route=route,
+            requests=len(samples),
+            ok=len(ok),
+            shed=sum(1 for s in samples if s.outcome == "shed"),
+            degraded=sum(1 for s in samples if s.outcome == "degraded"),
+            p50_latency_ms=_percentile(latencies, 50),
+            p95_latency_ms=_percentile(latencies, 95),
+            p99_latency_ms=_percentile(latencies, 99),
+            p50_queue_ms=_percentile(waits, 50),
+            p95_queue_ms=_percentile(waits, 95),
+            p99_queue_ms=_percentile(waits, 99),
+            mean_service_ms=(sum(s.service_ms for s in ok) / len(ok) if ok else 0.0),
+            slo_ms=slo_ms,
+            slo_attainment=within / len(answered) if answered else 1.0,
+            throughput_rps=len(answered) / makespan_s if makespan_s > 0.0 else 0.0,
+        )
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run produced: raw samples and per-route stats.
+
+    ``makespan_s`` is the virtual span from the first arrival to the last
+    completion, the denominator of the throughput columns.  The ``"all"``
+    pseudo-route aggregates every sample; it is always the last entry of
+    :attr:`routes`.
+    """
+
+    mode: str
+    policy: str
+    queue_capacity: int
+    requests: int
+    makespan_s: float
+    samples: List[LoadSample] = field(default_factory=list)
+    routes: List[RouteStats] = field(default_factory=list)
+
+    @property
+    def shed(self) -> int:
+        """Requests rejected at admission across every route."""
+        return sum(1 for s in self.samples if s.outcome == "shed")
+
+    @property
+    def degraded(self) -> int:
+        """Requests served result-cache-only across every route."""
+        return sum(1 for s in self.samples if s.outcome == "degraded")
+
+    @property
+    def max_in_flight(self) -> int:
+        """Peak number of requests simultaneously in the system (virtual).
+
+        A request occupies the system from its arrival until its completion
+        (arrival + latency); shed requests never enter.  Under a closed loop
+        this is bounded by the configured concurrency.
+        """
+        events: List[Tuple[float, int]] = []
+        for s in self.samples:
+            if s.outcome == "shed":
+                continue
+            events.append((s.arrival_s, 1))
+            events.append((s.arrival_s + s.latency_ms / 1e3, -1))
+        events.sort()
+        peak = current = 0
+        for _, delta in events:
+            current += delta
+            peak = max(peak, current)
+        return peak
+
+    def route_stats(self, route: str) -> RouteStats:
+        """The stats row of one route (or ``"all"``); raises if absent."""
+        for stats in self.routes:
+            if stats.route == route:
+                return stats
+        raise ConfigurationError(f"no stats for route {route!r}")
+
+    def to_rows(self) -> List[Dict]:
+        """One table/CSV row per route (the ``"all"`` aggregate last)."""
+        rows: List[Dict] = []
+        for s in self.routes:
+            rows.append(
+                {
+                    "mode": self.mode,
+                    "policy": self.policy,
+                    "route": s.route,
+                    "requests": s.requests,
+                    "ok": s.ok,
+                    "shed": s.shed,
+                    "degraded": s.degraded,
+                    "p50_ms": s.p50_latency_ms,
+                    "p95_ms": s.p95_latency_ms,
+                    "p99_ms": s.p99_latency_ms,
+                    "queue_p50_ms": s.p50_queue_ms,
+                    "queue_p95_ms": s.p95_queue_ms,
+                    "queue_p99_ms": s.p99_queue_ms,
+                    "mean_service_ms": s.mean_service_ms,
+                    "slo_ms": s.slo_ms,
+                    "slo_attainment": s.slo_attainment,
+                    "throughput_rps": s.throughput_rps,
+                }
+            )
+        return rows
+
+    def to_prometheus(
+        self, prefix: str = "repro_loadgen", labels: Optional[Dict[str, str]] = None
+    ) -> str:
+        """Prometheus text-exposition rendering of the per-route statistics.
+
+        Quantiles render as ``summary``-style series with a ``quantile``
+        label; counts as ``counter``s; attainment/throughput as ``gauge``s.
+        ``labels`` (e.g. ``{"phase": "overload"}``) are added to every
+        series so several runs can share one scrape file.
+        """
+        base = dict(labels or {})
+
+        def fmt(name: str, value: float, **extra: str) -> str:
+            merged = {**base, **extra}
+            rendered = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+            return f"{prefix}_{name}{{{rendered}}} {value:.6g}"
+
+        lines = [
+            f"# HELP {prefix}_latency_ms Per-route request latency quantiles.",
+            f"# TYPE {prefix}_latency_ms summary",
+            f"# HELP {prefix}_queue_wait_ms Per-route arrival-queue wait quantiles.",
+            f"# TYPE {prefix}_queue_wait_ms summary",
+            f"# HELP {prefix}_requests_total Requests issued per route.",
+            f"# TYPE {prefix}_requests_total counter",
+            f"# HELP {prefix}_shed_total Requests rejected by admission control.",
+            f"# TYPE {prefix}_shed_total counter",
+            f"# HELP {prefix}_degraded_total Requests served result-cache-only.",
+            f"# TYPE {prefix}_degraded_total counter",
+            f"# HELP {prefix}_slo_attainment Fraction of answered requests within SLO.",
+            f"# TYPE {prefix}_slo_attainment gauge",
+            f"# HELP {prefix}_throughput_rps Answered requests per virtual second.",
+            f"# TYPE {prefix}_throughput_rps gauge",
+        ]
+        for s in self.routes:
+            quantiles = (
+                ("0.5", s.p50_latency_ms, s.p50_queue_ms),
+                ("0.95", s.p95_latency_ms, s.p95_queue_ms),
+                ("0.99", s.p99_latency_ms, s.p99_queue_ms),
+            )
+            for q, latency, wait in quantiles:
+                lines.append(fmt("latency_ms", latency, route=s.route, quantile=q))
+                lines.append(fmt("queue_wait_ms", wait, route=s.route, quantile=q))
+            lines.append(fmt("requests_total", s.requests, route=s.route))
+            lines.append(fmt("shed_total", s.shed, route=s.route))
+            lines.append(fmt("degraded_total", s.degraded, route=s.route))
+            lines.append(fmt("slo_attainment", s.slo_attainment, route=s.route))
+            lines.append(fmt("throughput_rps", s.throughput_rps, route=s.route))
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+
+
+class LoadHarness:
+    """Drive a :class:`ServiceDispatcher` with generated request traffic.
+
+    Parameters
+    ----------
+    dispatcher:
+        The live dispatcher under test.  Batched/sharded profiles query
+        *admitted* names on it (admit them before running); streaming
+        profiles dispatch chunk lists from ``streams``.
+    profiles:
+        The request mix; one profile is drawn per request, weighted by
+        :attr:`RequestProfile.weight`.
+    streams:
+        Chunked payloads for streaming profiles: name → sequence of 1-D
+        arrays.  Required when any profile's route is ``"streaming"``.
+    popularity_exponent:
+        Zipf skew applied over each profile's names (hottest first).
+    queue_capacity:
+        Bound of the arrival-queue model; defaults to the dispatcher
+        executor's ``queue_capacity`` so the model mirrors the real bound.
+    policy:
+        Admission policy at saturation, one of :data:`ADMISSION_POLICIES`.
+    slo_ms:
+        Latency objective: one number for every route, or a per-route
+        mapping (missing routes fall back to :data:`DEFAULT_SLO_MS`).
+    seed:
+        Seed of the per-run request-sampling generator (profile, name and
+        ``k`` draws).  Arrival processes carry their own seeds.
+    """
+
+    def __init__(
+        self,
+        dispatcher: ServiceDispatcher,
+        profiles: Sequence[RequestProfile],
+        streams: Optional[Dict[str, Sequence[np.ndarray]]] = None,
+        popularity_exponent: float = 1.1,
+        queue_capacity: Optional[int] = None,
+        policy: str = "shed",
+        slo_ms: Union[float, Dict[str, float], None] = None,
+        seed: int = 0,
+    ):
+        if not profiles:
+            raise ConfigurationError("LoadHarness needs at least one RequestProfile")
+        if policy not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"unknown admission policy {policy!r}; expected one of {ADMISSION_POLICIES}"
+            )
+        self.dispatcher = dispatcher
+        self.profiles = list(profiles)
+        self.streams = dict(streams or {})
+        for profile in self.profiles:
+            if profile.route == "streaming":
+                missing = [n for n in profile.names if n not in self.streams]
+                if missing:
+                    raise ConfigurationError(
+                        f"streaming profile names missing from streams: {missing}"
+                    )
+        self.queue_capacity = (
+            int(queue_capacity)
+            if queue_capacity is not None
+            else dispatcher.executor.queue_capacity
+        )
+        if self.queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be >= 1")
+        self.policy = policy
+        self.seed = int(seed)
+        weights = np.array([p.weight for p in self.profiles], dtype=np.float64)
+        self._profile_probs = weights / weights.sum()
+        self._popularity = {
+            id(p): ZipfPopularity(p.names, exponent=popularity_exponent)
+            for p in self.profiles
+        }
+        if slo_ms is None:
+            self._slo: Dict[str, float] = {}
+            self._slo_default = DEFAULT_SLO_MS
+        elif isinstance(slo_ms, dict):
+            self._slo = {route: float(ms) for route, ms in slo_ms.items()}
+            self._slo_default = float(slo_ms.get("all", DEFAULT_SLO_MS))
+        else:
+            self._slo = {}
+            self._slo_default = float(slo_ms)
+
+    def slo_for(self, route: str) -> float:
+        """The latency objective applied to one route's samples."""
+        return self._slo.get(route, self._slo_default)
+
+    # -- request sampling --------------------------------------------------------
+    def _draw(self, rng: np.random.Generator) -> Tuple[RequestProfile, str, TopKQuery]:
+        """One request: a profile, a Zipf-chosen name, and a query."""
+        profile = self.profiles[int(rng.choice(len(self.profiles), p=self._profile_probs))]
+        name = self._popularity[id(profile)].choose(rng)
+        k = int(profile.ks[int(rng.integers(len(profile.ks)))])
+        return profile, name, TopKQuery(k=k, largest=profile.largest)
+
+    # -- execution ---------------------------------------------------------------
+    def _serve(
+        self, profile: RequestProfile, name: str, query: TopKQuery
+    ) -> Tuple[float, float, float, str]:
+        """Execute one admitted request; measured (service, unit wall, unit queue, route)."""
+        start = time.perf_counter()
+        if profile.route == "streaming":
+            self.dispatcher.dispatch(list(self.streams[name]), [query])
+        else:
+            self.dispatcher.query(name, [query])
+        service_ms = (time.perf_counter() - start) * 1e3
+        report = self.dispatcher.last_report
+        assert report is not None
+        return service_ms, report.unit_wall_ms_sum, report.unit_queue_ms_sum, report.route
+
+    def _admit_saturated(
+        self,
+        profile: RequestProfile,
+        name: str,
+        query: TopKQuery,
+        waiting: int,
+        arrival: float,
+    ) -> float:
+        """Handle one arrival that found the queue full; non-blocking.
+
+        Under the ``"degrade"`` policy, answers from the result cache alone
+        and returns the measured milliseconds that took.  Raises
+        :class:`~repro.errors.RequestShedError` — the typed rejection a
+        direct caller would receive — when the policy sheds outright, when
+        the route has nothing cacheable (streaming payloads are never in the
+        result cache), or on a cache miss.
+        """
+        if self.policy == "degrade" and profile.route != "streaming":
+            start = time.perf_counter()
+            hits = self.dispatcher.query_cached(name, [query])
+            if hits[0] is not None:
+                return (time.perf_counter() - start) * 1e3
+        raise RequestShedError(
+            f"queue full ({waiting}/{self.queue_capacity}) at "
+            f"t={arrival:.6f}s for {profile.route}:{name}"
+        )
+
+    # -- the two loop shapes -----------------------------------------------------
+    def run_open(self, arrivals, requests: int) -> LoadReport:
+        """Open-loop run: requests arrive on the process's schedule.
+
+        ``arrivals`` is any generator with a ``times(count)`` method
+        (:class:`PoissonArrivals`, :class:`BurstyArrivals`,
+        :class:`DiurnalArrivals`).  Arrivals never wait for completions —
+        exactly what inflates queues at saturation — and the admission
+        policy keeps the loop non-blocking when the queue model is full.
+        """
+        schedule = arrivals.times(int(requests))
+        return self._run(np.asarray(schedule, dtype=np.float64), mode="open")
+
+    def run_closed(
+        self, concurrency: int, requests: int, think_seconds: float = 0.0
+    ) -> LoadReport:
+        """Closed-loop run: ``concurrency`` users, one outstanding request each.
+
+        Every user issues its next request when its previous one completes,
+        plus an exponential think time with mean ``think_seconds`` (``0``
+        for none) — so offered load self-regulates and in-flight requests
+        never exceed ``concurrency`` (verifiable via
+        :attr:`LoadReport.max_in_flight`).
+        """
+        if concurrency < 1:
+            raise ConfigurationError("concurrency must be >= 1")
+        if requests < 1:
+            raise ConfigurationError("requests must be >= 1")
+        if think_seconds < 0.0:
+            raise ConfigurationError("think_seconds must be >= 0")
+        return self._run(
+            None,
+            mode="closed",
+            concurrency=int(concurrency),
+            requests=int(requests),
+            think_seconds=float(think_seconds),
+        )
+
+    def _run(
+        self,
+        schedule: Optional[np.ndarray],
+        mode: str,
+        concurrency: int = 0,
+        requests: int = 0,
+        think_seconds: float = 0.0,
+    ) -> LoadReport:
+        """Shared open/closed event loop over the FIFO queue model."""
+        rng = np.random.default_rng(self.seed)
+        total = len(schedule) if schedule is not None else requests
+        samples: List[LoadSample] = []
+        starts: List[float] = []  # admitted service-start times, non-decreasing
+        server_free = 0.0
+        user_ready = [0.0] * concurrency if mode == "closed" else []
+        last_finish = 0.0
+        first_arrival: Optional[float] = None
+
+        for seq in range(total):
+            if mode == "closed":
+                user = min(range(concurrency), key=user_ready.__getitem__)
+                arrival = user_ready[user]
+            else:
+                assert schedule is not None
+                arrival = float(schedule[seq])
+            if first_arrival is None:
+                first_arrival = arrival
+
+            profile, name, query = self._draw(rng)
+            sample = LoadSample(
+                seq=seq,
+                route=profile.route,
+                name=name,
+                k=query.k,
+                outcome="ok",
+                arrival_s=arrival,
+            )
+
+            waiting = len(starts) - bisect_right(starts, arrival)
+            if waiting >= self.queue_capacity and self.policy != "block":
+                try:
+                    degraded_ms = self._admit_saturated(profile, name, query, waiting, arrival)
+                except RequestShedError:
+                    sample.outcome = "shed"
+                else:
+                    sample.outcome = "degraded"
+                    sample.service_ms = degraded_ms
+                    sample.latency_ms = degraded_ms
+                finish = arrival + sample.latency_ms / 1e3
+            else:
+                served = self._serve(profile, name, query)
+                service_ms, unit_wall, unit_queue, served_route = served
+                start_s = max(arrival, server_free)
+                sample.queue_wait_ms = (start_s - arrival) * 1e3
+                sample.service_ms = service_ms
+                sample.latency_ms = sample.queue_wait_ms + service_ms
+                sample.unit_wall_ms = unit_wall
+                sample.unit_queue_ms = unit_queue
+                sample.served_route = served_route
+                server_free = start_s + service_ms / 1e3
+                starts.append(start_s)
+                finish = server_free
+            last_finish = max(last_finish, finish)
+            samples.append(sample)
+
+            if mode == "closed":
+                think = rng.exponential(think_seconds) if think_seconds > 0.0 else 0.0
+                user_ready[user] = finish + think
+
+        makespan = max(last_finish - (first_arrival or 0.0), 0.0)
+        report = LoadReport(
+            mode=mode,
+            policy=self.policy,
+            queue_capacity=self.queue_capacity,
+            requests=total,
+            makespan_s=makespan,
+            samples=samples,
+        )
+        route_names = sorted({s.route for s in samples})
+        for route in route_names:
+            route_samples = [s for s in samples if s.route == route]
+            report.routes.append(
+                RouteStats.of(route, route_samples, self.slo_for(route), makespan)
+            )
+        report.routes.append(RouteStats.of("all", samples, self.slo_for("all"), makespan))
+        return report

@@ -172,6 +172,7 @@ class StreamingTopK:
 
     @property
     def config(self) -> DrTopKConfig:
+        """The engine's pipeline configuration (shared, read it, don't mutate)."""
         return self.engine.config
 
     @property

@@ -139,3 +139,68 @@ def test_validation():
         ServiceExecutor(queue_capacity=0)
     with pytest.raises(ConfigurationError):
         ServiceExecutor(mode="fibers")
+
+
+def test_unit_queue_wait_is_measured():
+    # Saturate a 1-worker pool: later units provably wait for earlier ones,
+    # so their measured submit-to-start queue time must be non-zero.
+    executor = ServiceExecutor(max_workers=1, queue_capacity=4)
+    results = executor.run(make_units(4, lambda i: (lambda: time.sleep(0.01) or i)))
+    report = executor.last_report
+    assert all(r.queue_ms >= 0.0 for r in results)
+    assert max(r.queue_ms for r in results) > 1.0  # the last unit waited ~30ms
+    assert report.unit_queue_ms_sum == pytest.approx(
+        sum(r.queue_ms for r in results), rel=1e-6
+    )
+    assert report.max_unit_queue_ms == pytest.approx(
+        max(r.queue_ms for r in results), rel=1e-6
+    )
+    executor.shutdown()
+
+
+def test_sequential_mode_reports_zero_queue_wait():
+    executor = ServiceExecutor(max_workers=2, mode="sequential")
+    results = executor.run(make_units(3, lambda i: (lambda: i)))
+    assert all(r.queue_ms == 0.0 for r in results)
+    assert executor.last_report.unit_queue_ms_sum == 0.0
+    assert executor.last_report.max_unit_queue_ms == 0.0
+    executor.shutdown()
+
+
+def test_saturated_probe_and_queue_full_hook():
+    release = threading.Event()
+    saw = []
+
+    def fn_for(i):
+        def fn():
+            release.wait(timeout=5.0)
+            return i
+
+        return fn
+
+    executor = ServiceExecutor(max_workers=1, queue_capacity=2)
+    assert executor.in_flight == 0
+    assert not executor.saturated()
+
+    outcome = {}
+
+    def submit():
+        outcome["results"] = executor.run(
+            make_units(5, fn_for), on_queue_full=saw.append
+        )
+
+    thread = threading.Thread(target=submit)
+    thread.start()
+    time.sleep(0.05)  # let submission hit the bounded queue
+    # The queue is full: the probe reports saturation and the hook fired
+    # with the in-flight count, before the submission blocked.
+    assert executor.saturated()
+    assert executor.in_flight == 2
+    release.set()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert [r.value for r in outcome["results"]] == list(range(5))
+    assert len(saw) == executor.last_report.backpressure_waits
+    assert saw and all(count >= 1 for count in saw)
+    assert not executor.saturated()
+    executor.shutdown()

@@ -1,0 +1,366 @@
+"""Load-harness unit tests: generators, popularity, admission, reports.
+
+The satellite acceptance set from the issue — seeded determinism of every
+arrival process, Poisson inter-arrival mean within tolerance, Zipf
+popularity skew, the closed-loop concurrency bound — plus structural tests
+of the bursty/diurnal processes, the admission policies (block / shed /
+degrade), and the LoadReport row/Prometheus renderings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import ServiceDispatcher
+from repro.service.loadgen import (
+    ADMISSION_POLICIES,
+    BurstyArrivals,
+    DiurnalArrivals,
+    LoadHarness,
+    PoissonArrivals,
+    RequestProfile,
+    ZipfPopularity,
+)
+
+N = 1 << 12
+
+
+@pytest.fixture()
+def dispatcher():
+    rng = np.random.default_rng(0)
+    with ServiceDispatcher(num_workers=2, capacity_elements=N, queue_capacity=2) as d:
+        for name in ("hot", "warm", "cold"):
+            d.admit(name, rng.standard_normal(N).astype(np.float32), warm=[(8, True), (16, True)])
+        yield d
+
+
+def batched_profile(**overrides):
+    base = dict(route="batched", names=("hot", "warm", "cold"), ks=(8, 16))
+    base.update(overrides)
+    return RequestProfile(**base)
+
+
+# ---------------------------------------------------------------------------
+# arrival generators
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "arrivals",
+    [
+        PoissonArrivals(100.0, seed=7),
+        BurstyArrivals(on_rate=200.0, off_rate=1.0, on_seconds=0.5, off_seconds=0.5, seed=7),
+        DiurnalArrivals(base_rate=5.0, peak_rate=100.0, period=10.0, seed=7),
+    ],
+    ids=["poisson", "bursty", "diurnal"],
+)
+def test_generators_are_seeded_deterministic_and_monotone(arrivals):
+    a = arrivals.times(500)
+    b = arrivals.times(500)
+    np.testing.assert_array_equal(a, b)
+    assert np.all(np.diff(a) >= 0.0)
+    assert a[0] > 0.0
+    # A different seed must give a different schedule.
+    other = type(arrivals)(**{**arrivals.__dict__, "seed": arrivals.seed + 1})
+    assert not np.array_equal(other.times(500), a)
+
+
+def test_poisson_interarrival_mean_within_tolerance():
+    rate = 50.0
+    gaps = np.diff(PoissonArrivals(rate, seed=3).times(20_000))
+    # Exponential(1/rate): the 20k-sample mean lands within a few percent.
+    assert np.mean(gaps) == pytest.approx(1.0 / rate, rel=0.05)
+
+
+def test_bursty_on_phase_is_denser_than_off_phase():
+    on_rate, off_rate = 500.0, 5.0
+    b = BurstyArrivals(on_rate, off_rate, on_seconds=1.0, off_seconds=1.0, seed=11)
+    t = b.times(2000)
+    # Phase of each arrival: even seconds are on, odd are off.
+    phase = np.floor(t).astype(int) % 2
+    on_count, off_count = int(np.sum(phase == 0)), int(np.sum(phase == 1))
+    assert on_count > 10 * max(off_count, 1)
+
+
+def test_diurnal_rate_function_and_peak_density():
+    d = DiurnalArrivals(base_rate=2.0, peak_rate=80.0, period=10.0, seed=5)
+    assert d.rate_at(0.0) == pytest.approx(2.0)
+    assert d.rate_at(5.0) == pytest.approx(80.0)
+    t = d.times(3000)
+    within = t[t < 10.0] if np.any(t < 10.0) else t % 10.0
+    # More arrivals land near the peak (middle of the period) than the trough.
+    pos = (t % 10.0) / 10.0
+    near_peak = np.sum((pos > 0.35) & (pos < 0.65))
+    near_trough = np.sum((pos < 0.15) | (pos > 0.85))
+    assert near_peak > near_trough
+    assert len(within) > 0
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        lambda: PoissonArrivals(0.0),
+        lambda: BurstyArrivals(0.0, 1.0, 1.0, 1.0),
+        lambda: BurstyArrivals(1.0, -1.0, 1.0, 1.0),
+        lambda: BurstyArrivals(1.0, 1.0, 0.0, 1.0),
+        lambda: DiurnalArrivals(-1.0, 10.0, 1.0),
+        lambda: DiurnalArrivals(20.0, 10.0, 1.0),
+        lambda: DiurnalArrivals(1.0, 10.0, 0.0),
+    ],
+)
+def test_generator_validation(bad):
+    with pytest.raises(ConfigurationError):
+        bad()
+
+
+def test_generator_count_validation():
+    with pytest.raises(ConfigurationError):
+        PoissonArrivals(1.0).times(0)
+
+
+# ---------------------------------------------------------------------------
+# Zipf popularity
+# ---------------------------------------------------------------------------
+
+
+def test_zipf_probabilities_are_skewed_and_normalised():
+    z = ZipfPopularity(["a", "b", "c", "d"], exponent=1.1)
+    p = z.probabilities
+    assert p.sum() == pytest.approx(1.0)
+    assert np.all(np.diff(p) < 0.0), "rank order must be strictly decreasing"
+    # Zipf s=1.1 over 4 names: the head holds the plurality.
+    assert p[0] > 0.45
+
+
+def test_zipf_draws_match_the_law():
+    z = ZipfPopularity(["a", "b", "c"], exponent=1.5)
+    seq = z.sequence(30_000, seed=9)
+    counts = np.array([seq.count(n) for n in z.names]) / len(seq)
+    np.testing.assert_allclose(counts, z.probabilities, atol=0.02)
+    assert z.sequence(100, seed=9) == z.sequence(100, seed=9)
+
+
+def test_zipf_zero_exponent_is_uniform():
+    z = ZipfPopularity(["a", "b"], exponent=0.0)
+    np.testing.assert_allclose(z.probabilities, [0.5, 0.5])
+
+
+def test_zipf_validation():
+    with pytest.raises(ConfigurationError):
+        ZipfPopularity([])
+    with pytest.raises(ConfigurationError):
+        ZipfPopularity(["a"], exponent=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# profiles and harness construction
+# ---------------------------------------------------------------------------
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigurationError):
+        RequestProfile(route="batched", names=(), ks=(8,))
+    with pytest.raises(ConfigurationError):
+        RequestProfile(route="batched", names=("a",), ks=())
+    with pytest.raises(ConfigurationError):
+        RequestProfile(route="batched", names=("a",), ks=(0,))
+    with pytest.raises(ConfigurationError):
+        RequestProfile(route="batched", names=("a",), ks=(8,), weight=0.0)
+
+
+def test_harness_validation(dispatcher):
+    with pytest.raises(ConfigurationError):
+        LoadHarness(dispatcher, [])
+    with pytest.raises(ConfigurationError):
+        LoadHarness(dispatcher, [batched_profile()], policy="drop")
+    with pytest.raises(ConfigurationError):
+        LoadHarness(dispatcher, [batched_profile()], queue_capacity=0)
+    # Streaming profiles must name entries of the streams table.
+    with pytest.raises(ConfigurationError):
+        LoadHarness(
+            dispatcher,
+            [RequestProfile(route="streaming", names=("missing",), ks=(8,))],
+        )
+
+
+def test_queue_capacity_defaults_to_the_executor_bound(dispatcher):
+    h = LoadHarness(dispatcher, [batched_profile()])
+    assert h.queue_capacity == dispatcher.executor.queue_capacity
+
+
+# ---------------------------------------------------------------------------
+# runs: determinism, underload, saturation, policies
+# ---------------------------------------------------------------------------
+
+
+def test_open_loop_underload_sheds_nothing(dispatcher):
+    h = LoadHarness(dispatcher, [batched_profile()], policy="shed", seed=1)
+    report = h.run_open(PoissonArrivals(2.0, seed=2), 30)
+    assert report.mode == "open"
+    assert report.requests == 30
+    assert report.shed == 0 and report.degraded == 0
+    stats = report.route_stats("all")
+    assert stats.ok == 30
+    assert stats.p50_latency_ms <= stats.p95_latency_ms <= stats.p99_latency_ms
+    # With 500 ms gaps and ms-scale service the queue never forms.
+    assert stats.p99_queue_ms == 0.0
+
+
+def test_open_loop_overload_saturates_without_blocking(dispatcher):
+    h = LoadHarness(dispatcher, [batched_profile()], policy="shed", seed=1)
+    report = h.run_open(PoissonArrivals(2e6, seed=2), 80)
+    assert report.shed > 0, "a 2M rps burst must overflow a 2-deep queue"
+    assert report.shed + report.degraded + report.route_stats("all").ok == 80
+    for sample in report.samples:
+        if sample.outcome == "shed":
+            assert sample.latency_ms == 0.0 and sample.service_ms == 0.0
+
+
+def test_degrade_policy_answers_from_the_result_cache(dispatcher):
+    # The admitted names were warmed with exactly the profile's (k, largest)
+    # mix, so every saturated arrival finds a cached answer.
+    h = LoadHarness(dispatcher, [batched_profile()], policy="degrade", seed=1)
+    report = h.run_open(PoissonArrivals(2e6, seed=2), 80)
+    assert report.degraded > 0
+    assert report.policy == "degrade"
+    degraded = [s for s in report.samples if s.outcome == "degraded"]
+    for s in degraded:
+        assert s.latency_ms == s.service_ms  # no queue wait on the degrade path
+        assert s.queue_wait_ms == 0.0
+
+
+def test_degrade_policy_sheds_on_cache_miss():
+    # With the result cache disabled every degrade attempt misses, so the
+    # policy falls back to shedding — still without blocking the loop.
+    rng = np.random.default_rng(0)
+    with ServiceDispatcher(
+        num_workers=2, capacity_elements=N, queue_capacity=2, result_cache_capacity=0
+    ) as d:
+        d.admit("only", rng.standard_normal(N).astype(np.float32))
+        h = LoadHarness(
+            d,
+            [RequestProfile(route="batched", names=("only",), ks=(8,))],
+            policy="degrade",
+            seed=1,
+        )
+        report = h.run_open(PoissonArrivals(2e6, seed=2), 60)
+    assert report.shed > 0
+    assert report.degraded == 0
+
+
+def test_block_policy_admits_everything_and_grows_the_queue(dispatcher):
+    h = LoadHarness(dispatcher, [batched_profile()], policy="block", seed=1)
+    report = h.run_open(PoissonArrivals(2e6, seed=2), 60)
+    assert report.shed == 0 and report.degraded == 0
+    stats = report.route_stats("all")
+    assert stats.ok == 60
+    # Blocking means the tail queue wait dominates the (cache-hit) service.
+    assert stats.p99_queue_ms > stats.mean_service_ms
+
+
+def test_runs_are_deterministic_apart_from_measured_times(dispatcher):
+    h = LoadHarness(dispatcher, [batched_profile()], policy="degrade", seed=42)
+    a = h.run_open(PoissonArrivals(2e6, seed=3), 60)
+    b = h.run_open(PoissonArrivals(2e6, seed=3), 60)
+    # Wall-clock varies; the request sequence and admission decisions do not.
+    assert [s.name for s in a.samples] == [s.name for s in b.samples]
+    assert [s.k for s in a.samples] == [s.k for s in b.samples]
+    assert [s.arrival_s for s in a.samples] == [s.arrival_s for s in b.samples]
+
+
+def test_closed_loop_concurrency_bound_is_honoured(dispatcher):
+    for concurrency in (1, 3):
+        h = LoadHarness(dispatcher, [batched_profile()], seed=5)
+        report = h.run_closed(concurrency=concurrency, requests=30)
+        assert report.mode == "closed"
+        assert 1 <= report.max_in_flight <= concurrency
+        assert report.shed == 0  # closed loops self-regulate below capacity
+        # Overlap check from first principles: at any arrival, the number of
+        # earlier-arrived, still-unfinished requests stays under the bound.
+        intervals = [
+            (s.arrival_s, s.arrival_s + s.latency_ms / 1e3) for s in report.samples
+        ]
+        for i, (a_i, _) in enumerate(intervals):
+            overlapping = sum(
+                1 for a_j, f_j in intervals if a_j <= a_i and f_j > a_i
+            )
+            assert overlapping <= concurrency
+
+
+def test_closed_loop_validation(dispatcher):
+    h = LoadHarness(dispatcher, [batched_profile()])
+    with pytest.raises(ConfigurationError):
+        h.run_closed(concurrency=0, requests=10)
+    with pytest.raises(ConfigurationError):
+        h.run_closed(concurrency=1, requests=0)
+    with pytest.raises(ConfigurationError):
+        h.run_closed(concurrency=1, requests=10, think_seconds=-1.0)
+
+
+def test_mixed_routes_report_streaming_and_sharded(dispatcher):
+    rng = np.random.default_rng(7)
+    dispatcher.admit("wide", rng.standard_normal(4 * N).astype(np.float32))
+    streams = {"s": [rng.standard_normal(N // 4).astype(np.float32) for _ in range(4)]}
+    profiles = [
+        batched_profile(weight=2.0),
+        RequestProfile(route="sharded", names=("wide",), ks=(8,)),
+        RequestProfile(route="streaming", names=("s",), ks=(8,)),
+    ]
+    h = LoadHarness(dispatcher, profiles, streams=streams, seed=0)
+    report = h.run_closed(concurrency=2, requests=40)
+    routes = [s.route for s in report.routes]
+    assert routes[-1] == "all"
+    assert {"batched", "sharded", "streaming"} <= set(routes)
+    ok = [s for s in report.samples if s.outcome == "ok"]
+    assert all(s.service_ms > 0.0 for s in ok), "service times must be measured"
+    sharded_ok = [s for s in ok if s.route == "sharded"]
+    assert any(s.unit_wall_ms > 0.0 for s in sharded_ok), (
+        "per-unit executor measurements must ride along"
+    )
+
+
+# ---------------------------------------------------------------------------
+# reports
+# ---------------------------------------------------------------------------
+
+
+def test_report_rows_and_slo(dispatcher):
+    h = LoadHarness(
+        dispatcher,
+        [batched_profile()],
+        slo_ms={"batched": 25.0, "all": 30.0},
+        seed=8,
+    )
+    report = h.run_closed(concurrency=2, requests=20)
+    rows = report.to_rows()
+    assert [r["route"] for r in rows] == ["batched", "all"]
+    for row in rows:
+        assert row["ok"] + row["shed"] + row["degraded"] == row["requests"]
+        assert 0.0 <= row["slo_attainment"] <= 1.0
+        assert row["throughput_rps"] > 0.0
+    assert rows[0]["slo_ms"] == 25.0
+    assert rows[1]["slo_ms"] == 30.0
+    with pytest.raises(ConfigurationError):
+        report.route_stats("sharded")
+
+
+def test_prometheus_exposition_format(dispatcher):
+    h = LoadHarness(dispatcher, [batched_profile()], seed=8)
+    report = h.run_closed(concurrency=2, requests=20)
+    text = report.to_prometheus(labels={"phase": "demo"})
+    assert text.endswith("\n")
+    assert "# TYPE repro_loadgen_latency_ms summary" in text
+    assert "# TYPE repro_loadgen_requests_total counter" in text
+    assert 'repro_loadgen_latency_ms{phase="demo",quantile="0.5",route="all"}' in text
+    assert 'repro_loadgen_slo_attainment{phase="demo",route="batched"}' in text
+    # Every non-comment line is `name{labels} value`.
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        float(value)
+        assert name_part.startswith("repro_loadgen_") and name_part.endswith("}")
+
+
+def test_admission_policies_constant():
+    assert ADMISSION_POLICIES == ("block", "shed", "degrade")

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in Markdown files.
+
+Usage::
+
+    python tools/check_links.py README.md docs [more files or dirs ...]
+
+Every ``[text](target)`` and ``[text]: target`` reference in the given
+Markdown files is resolved relative to the file that contains it.  A link is
+**broken** — and fails the run — when its target is a relative path that does
+not exist on disk.  Deliberately skipped:
+
+* absolute URLs (``http://``, ``https://``, ``mailto:`` or any scheme),
+* pure in-page anchors (``#section``),
+* targets that resolve *outside* the repository root — the README's CI badge
+  links ``../../actions/...`` relative to the GitHub web UI, which has no
+  on-disk equivalent by design.
+
+Anchors on existing files (``architecture.md#the-pieces``) are checked
+against the target file's headings (GitHub's slug rules, close enough for
+ASCII headings).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links/images plus reference-style definitions. Good enough for the
+#: Markdown this repo writes; not a full CommonMark parser.
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _strip_code(text: str) -> str:
+    """Drop fenced code blocks (shell snippets are full of false positives)."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug of one heading line."""
+    heading = re.sub(r"[`*_]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\s-]", "", heading)
+    return re.sub(r"[\s]+", "-", heading).strip("-")
+
+
+def _anchors(path: Path) -> set:
+    return {
+        _slug(line.lstrip("#"))
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.startswith("#")
+    }
+
+
+def check_file(md: Path) -> list:
+    """All broken links of one Markdown file, as human-readable strings."""
+    text = _strip_code(md.read_text(encoding="utf-8"))
+    targets = _INLINE.findall(text) + _REFDEF.findall(text)
+    broken = []
+    for target in targets:
+        if _SCHEME.match(target) or target.startswith("#"):
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = (md.parent / path_part).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            continue  # resolves outside the repo (e.g. the CI badge) — by design
+        if not resolved.exists():
+            broken.append(f"{md}: broken link -> {target}")
+        elif anchor and resolved.suffix == ".md" and _slug(anchor) not in _anchors(resolved):
+            broken.append(f"{md}: missing anchor -> {target}")
+    return broken
+
+
+def main(argv: list) -> int:
+    """Check every Markdown file named by ``argv`` (dirs expand to ``*.md``)."""
+    if not argv:
+        print(__doc__)
+        return 2
+    files = []
+    for arg in argv:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.glob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"no such file or directory: {arg}", file=sys.stderr)
+            return 2
+    broken = [issue for md in files for issue in check_file(md)]
+    for issue in broken:
+        print(issue, file=sys.stderr)
+    print(f"checked {len(files)} file(s): {len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
