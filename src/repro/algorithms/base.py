@@ -117,6 +117,13 @@ class TopKAlgorithm(ABC):
     #: Whether the algorithm is stable under value-distribution changes
     #: (bitonic is; bucket and radix are not — Figure 4).
     distribution_stable: bool = False
+    #: Whether ``topk(v, K).indices[:k] == topk(v, k).indices`` for every
+    #: ``k <= K`` — i.e. the algorithm's tie choices nest, so one selection at
+    #: the largest ``k`` serves every smaller ``k`` by slicing.  The fused
+    #: group path (:mod:`repro.service.fusion`) relies on this attribute to
+    #: decide when a shared selection may be sliced per query; algorithms that
+    #: cannot guarantee it keep the exact per-query calls.
+    prefix_consistent: bool = False
 
     # -- subclass contract ----------------------------------------------------
     @abstractmethod

@@ -199,6 +199,10 @@ class FlagRadixTopK(_RadixBase):
 
     name = "radix_flag"
     distribution_stable = False
+    # The (flag, mask) prefix narrows to the k-th key's radix prefix; elements
+    # above the prefix are emitted in position order and ties inside it fill
+    # stably, so selections at larger k extend smaller-k selections exactly.
+    prefix_consistent = True
 
     def _select(
         self, keys: np.ndarray, k: int, trace: Optional[ExecutionTrace]

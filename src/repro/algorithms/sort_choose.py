@@ -28,6 +28,9 @@ class SortAndChooseTopK(TopKAlgorithm):
 
     name = "sortchoose"
     distribution_stable = True
+    # One stable full sort: the top-K suffix extends the top-k suffix, so tie
+    # choices nest across k.
+    prefix_consistent = True
 
     def _select(
         self, keys: np.ndarray, k: int, trace: Optional[ExecutionTrace]

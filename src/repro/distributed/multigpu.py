@@ -91,6 +91,15 @@ class ShardBatchOutcome:
     query_bytes: float = 0.0
     plan_bank_hits: int = 0
     wall_ms: float = 0.0
+    #: Full selection passes this GPU executed (one per group when fused).
+    selection_calls: int = 0
+    #: Per-shard groups answered through the fused selection path.
+    fused_groups: int = 0
+    #: Queries this GPU served through the fused path (across its groups).
+    fused_queries: int = 0
+    #: True when the unit ran in a worker process reading the admitted vector
+    #: through a shared-memory view instead of a pickled copy.
+    via_shared_memory: bool = False
 
 
 @dataclass
@@ -115,6 +124,16 @@ class MultiGpuBatchReport:
     query_bytes: float = 0.0
     gather_bytes: float = 0.0
     plan_bank_hits: int = 0
+    #: Full selection passes summed over the fleet (fused groups count once).
+    selection_calls: int = 0
+    #: Per-shard groups served by the fused selection path, fleet-wide.
+    fused_groups: int = 0
+    #: Query-shard fused servings summed over the fleet (a query served
+    #: fused on every one of ``G`` GPUs counts ``G`` times).
+    fused_queries: int = 0
+    #: Shard units that gathered through a shared-memory view of the admitted
+    #: vector (process executor mode) instead of a pickled copy.
+    shared_memory_units: int = 0
     per_gpu: List[ShardBatchOutcome] = field(default_factory=list)
 
     @property
@@ -141,6 +160,11 @@ class MultiGpuDrTopK:
         whether gather transfers are intra- or inter-node.
     comm_cost:
         Interconnect cost model.
+    fused:
+        Serve each per-shard ``(alpha, largest)`` group through
+        :func:`~repro.service.fusion.fused_group_topk` (one shared selection
+        at the group's ``max(k)``) instead of one ``topk_prepared`` call per
+        query; per-query identical results either way.
     """
 
     num_gpus: int
@@ -149,6 +173,7 @@ class MultiGpuDrTopK:
     gpus_per_node: int = 4
     comm_cost: CommCost = field(default_factory=CommCost)
     use_hierarchical_reduction: bool = False
+    fused: bool = True
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -294,6 +319,7 @@ class MultiGpuDrTopK:
         executor: Optional["ServiceExecutor"] = None,
         plan_bank: Optional["PlanBank"] = None,
         shard_fingerprints: Optional[dict] = None,
+        shared_ref=None,
     ):
         """Answer a batch of queries over one sharded vector with plan reuse.
 
@@ -330,6 +356,15 @@ class MultiGpuDrTopK:
             admission by the named-vector store; shards found in it skip
             the per-dispatch :func:`~repro.service.cache.fingerprint_array`
             call (named warm queries must do zero fingerprint work).
+        shared_ref:
+            Optional :class:`~repro.service.sharedmem.SharedArrayRef` to a
+            shared-memory copy of ``v`` created at admission.  With a
+            process-mode executor each shard unit then carries a picklable
+            task that attaches the shared block in the worker process and
+            gathers without the vector ever crossing a pipe; without it (or
+            on a thread/sequential executor) the closure path runs unchanged.
+            Worker processes see no shared plan bank or partition cache, so
+            process-mode shard units always construct locally.
 
         Returns
         -------
@@ -359,10 +394,24 @@ class MultiGpuDrTopK:
             )
 
         if executor is not None:
-            from repro.service.executor import WorkUnit  # runtime import, see above
+            from repro.service.executor import ProcessTask, WorkUnit  # runtime import, see above
+
+            def shard_task(gpu: int) -> Optional[ProcessTask]:
+                if shared_ref is None:
+                    return None
+                return ProcessTask(
+                    fn=_shard_batch_process_task,
+                    args=(shared_ref, parsed, plan, gpu, self.config, self.fused),
+                )
 
             units = [
-                WorkUnit(fn=shard_fn(gpu), worker=gpu, route="sharded", label=f"gpu{gpu}")
+                WorkUnit(
+                    fn=shard_fn(gpu),
+                    worker=gpu,
+                    route="sharded",
+                    label=f"gpu{gpu}",
+                    task=shard_task(gpu),
+                )
                 for gpu in range(self.num_gpus)
             ]
             outcomes = []
@@ -387,88 +436,9 @@ class MultiGpuDrTopK:
         shard_fingerprints: Optional[dict] = None,
     ) -> ShardBatchOutcome:
         """One GPU's work unit: grouped local top-k over its assigned shards."""
-        from repro.service.batch import group_queries_by_plan  # runtime import, see topk_batch
-        from repro.service.cache import fingerprint_array  # runtime import, see topk_batch
-
-        config = self.config
-        model = CostModel(config.device)
-        engine = DrTopK(config)
-        out = ShardBatchOutcome(gpu=gpu)
-        vals: List[List[np.ndarray]] = [[] for _ in parsed]
-        idxs: List[List[np.ndarray]] = [[] for _ in parsed]
-
-        for order, sub in enumerate(plan.assignments[gpu]):
-            start, stop = plan.subvector_bounds[sub]
-            sub_v = v[start:stop]
-            sub_n = stop - start
-            if order > 0:
-                # The shard is reloaded from the host once for the whole
-                # batch, not once per query — reuse starts at the transfer.
-                out.reload_ms += model.host_transfer_ms(sub_n, v.dtype.itemsize)
-
-            # A sub-vector smaller than k cannot answer a local top-k on its
-            # own; such queries take every element of the shard.
-            whole = [pos for pos, q in enumerate(parsed) if sub_n < q.k]
-            for pos in whole:
-                vals[pos].append(sub_v)
-                idxs[pos].append(np.arange(start, stop, dtype=np.int64))
-            served = [pos for pos, q in enumerate(parsed) if sub_n >= q.k]
-            if not served:
-                continue
-
-            shard_fp = None
-            if plan_bank is not None:
-                # Admission-time fingerprints (named vectors) win; anonymous
-                # dispatches still hash each shard once per batch.
-                shard_fp = (shard_fingerprints or {}).get((start, stop))
-                if shard_fp is None:
-                    shard_fp = fingerprint_array(sub_v)
-            groups = group_queries_by_plan([parsed[p] for p in served], sub_n, cache, engine)
-            for (alpha, largest), members in groups.items():
-                positions = [served[m] for m in members]
-                min_k = min(parsed[p].k for p in positions)
-                qplan = None
-                bank_hit = False
-                if shard_fp is not None:
-                    banked = plan_bank.get(shard_fp, alpha, largest, beta=config.beta)
-                    if banked is not None:
-                        if banked.offset != start:
-                            # Same shard content at a different position
-                            # (identical-content shards, or a re-partitioned
-                            # vector): reuse all arrays, re-anchor the offset.
-                            banked = replace(banked, offset=start)
-                        qplan = banked
-                        bank_hit = True
-                        out.plan_bank_hits += 1
-                if qplan is None:
-                    qplan = engine.prepare_with_alpha(
-                        sub_v, alpha, largest=largest, k=min_k, offset=start
-                    )
-                    if shard_fp is not None:
-                        plan_bank.put(shard_fp, qplan)
-                out.groups += 1
-                if not qplan.is_degenerate and not bank_hit:
-                    out.constructions += 1
-                    out.construction_bytes += qplan.construction_bytes
-                    out.compute_ms += qplan.construction_ms(config.device)
-                for pos in positions:
-                    q = parsed[pos]
-                    local = engine.topk_prepared(qplan, q.k, charge_construction=False)
-                    assert local.stats is not None
-                    out.compute_ms += local.stats.total_time_ms
-                    if config.collect_trace:
-                        out.query_bytes += engine.last_trace.total_counters().global_bytes
-                    vals[pos].append(local.values)
-                    idxs[pos].append(qplan.global_indices(local.indices))
-
-        for pos in range(len(parsed)):
-            if vals[pos]:
-                out.values.append(np.concatenate(vals[pos]))
-                out.indices.append(np.concatenate(idxs[pos]))
-            else:
-                out.values.append(np.empty(0, dtype=v.dtype))
-                out.indices.append(np.empty(0, dtype=np.int64))
-        return out
+        return _shard_batch_worker(
+            self.config, v, parsed, plan, gpu, cache, plan_bank, shard_fingerprints, self.fused
+        )
 
     def _merge_batch(
         self,
@@ -524,8 +494,155 @@ class MultiGpuDrTopK:
         report.construction_bytes = float(sum(o.construction_bytes for o in outcomes))
         report.query_bytes = float(sum(o.query_bytes for o in outcomes))
         report.plan_bank_hits = sum(o.plan_bank_hits for o in outcomes)
+        report.selection_calls = sum(o.selection_calls for o in outcomes)
+        report.fused_groups = sum(o.fused_groups for o in outcomes)
+        report.fused_queries = sum(o.fused_queries for o in outcomes)
+        report.shared_memory_units = sum(1 for o in outcomes if o.via_shared_memory)
         report.per_gpu = list(outcomes)
         return results
+
+
+# -- shard workers (shared by in-process units and the process executor) ----------
+
+
+def _shard_batch_worker(
+    config: DrTopKConfig,
+    v: np.ndarray,
+    parsed: List,
+    plan: PartitionPlan,
+    gpu: int,
+    cache: Optional["PartitionCache"],
+    plan_bank: Optional["PlanBank"],
+    shard_fingerprints: Optional[dict],
+    fused: bool,
+) -> ShardBatchOutcome:
+    """Grouped local top-k over one GPU's assigned shards.
+
+    Module-level (not a method) so the process executor can run it inside a
+    worker process against a shared-memory view of ``v``; the in-process
+    thread path calls it with the dispatcher's shared cache and plan bank.
+    """
+    from repro.service.batch import group_queries_by_plan  # runtime import: service builds on this module
+    from repro.service.cache import fingerprint_array  # runtime import, see above
+    from repro.service.fusion import fused_group_topk  # runtime import, see above
+
+    model = CostModel(config.device)
+    engine = DrTopK(config)
+    out = ShardBatchOutcome(gpu=gpu)
+    vals: List[List[np.ndarray]] = [[] for _ in parsed]
+    idxs: List[List[np.ndarray]] = [[] for _ in parsed]
+
+    for order, sub in enumerate(plan.assignments[gpu]):
+        start, stop = plan.subvector_bounds[sub]
+        sub_v = v[start:stop]
+        sub_n = stop - start
+        if order > 0:
+            # The shard is reloaded from the host once for the whole
+            # batch, not once per query — reuse starts at the transfer.
+            out.reload_ms += model.host_transfer_ms(sub_n, v.dtype.itemsize)
+
+        # A sub-vector smaller than k cannot answer a local top-k on its
+        # own; such queries take every element of the shard.
+        whole = [pos for pos, q in enumerate(parsed) if sub_n < q.k]
+        for pos in whole:
+            vals[pos].append(sub_v)
+            idxs[pos].append(np.arange(start, stop, dtype=np.int64))
+        served = [pos for pos, q in enumerate(parsed) if sub_n >= q.k]
+        if not served:
+            continue
+
+        shard_fp = None
+        if plan_bank is not None:
+            # Admission-time fingerprints (named vectors) win; anonymous
+            # dispatches still hash each shard once per batch.
+            shard_fp = (shard_fingerprints or {}).get((start, stop))
+            if shard_fp is None:
+                shard_fp = fingerprint_array(sub_v)
+        groups = group_queries_by_plan([parsed[p] for p in served], sub_n, cache, engine)
+        for (alpha, largest), members in groups.items():
+            positions = [served[m] for m in members]
+            min_k = min(parsed[p].k for p in positions)
+            qplan = None
+            bank_hit = False
+            if shard_fp is not None:
+                banked = plan_bank.get(shard_fp, alpha, largest, beta=config.beta)
+                if banked is not None:
+                    if banked.offset != start:
+                        # Same shard content at a different position
+                        # (identical-content shards, or a re-partitioned
+                        # vector): reuse all arrays, re-anchor the offset.
+                        banked = replace(banked, offset=start)
+                    qplan = banked
+                    bank_hit = True
+                    out.plan_bank_hits += 1
+            if qplan is None:
+                qplan = engine.prepare_with_alpha(
+                    sub_v, alpha, largest=largest, k=min_k, offset=start
+                )
+                if shard_fp is not None:
+                    plan_bank.put(shard_fp, qplan)
+            out.groups += 1
+            if not qplan.is_degenerate and not bank_hit:
+                out.constructions += 1
+                out.construction_bytes += qplan.construction_bytes
+                out.compute_ms += qplan.construction_ms(config.device)
+            if fused:
+                fused_out = fused_group_topk(
+                    engine, qplan, [parsed[p].k for p in positions]
+                )
+                out.selection_calls += fused_out.selection_calls
+                if fused_out.fused_queries:
+                    out.fused_groups += 1
+                out.fused_queries += fused_out.fused_queries
+                out.compute_ms += fused_out.shared_ms
+                if config.collect_trace:
+                    out.query_bytes += fused_out.shared_bytes + sum(fused_out.query_bytes)
+                for pos, local in zip(positions, fused_out.results):
+                    assert local.stats is not None
+                    out.compute_ms += local.stats.total_time_ms
+                    vals[pos].append(local.values)
+                    idxs[pos].append(qplan.global_indices(local.indices))
+            else:
+                for pos in positions:
+                    q = parsed[pos]
+                    local = engine.topk_prepared(qplan, q.k, charge_construction=False)
+                    out.selection_calls += 1
+                    assert local.stats is not None
+                    out.compute_ms += local.stats.total_time_ms
+                    if config.collect_trace:
+                        out.query_bytes += engine.last_trace.total_counters().global_bytes
+                    vals[pos].append(local.values)
+                    idxs[pos].append(qplan.global_indices(local.indices))
+
+    for pos in range(len(parsed)):
+        if vals[pos]:
+            # np.concatenate always copies, so the outcome never aliases a
+            # shard view of ``v`` (or of a shared-memory block).
+            out.values.append(np.concatenate(vals[pos]))
+            out.indices.append(np.concatenate(idxs[pos]))
+        else:
+            out.values.append(np.empty(0, dtype=v.dtype))
+            out.indices.append(np.empty(0, dtype=np.int64))
+    return out
+
+
+def _shard_batch_process_task(
+    shared_ref, parsed: List, plan: PartitionPlan, gpu: int, config: DrTopKConfig, fused: bool
+) -> ShardBatchOutcome:
+    """Process-executor entry point for one GPU's shard work.
+
+    Attaches the admitted vector's shared-memory block in the worker process
+    — the vector itself never crosses the process boundary — and runs the
+    same shard worker the thread path uses.  Worker processes see no shared
+    plan bank or partition cache (cross-process bank sharing is out of
+    scope), so accounting shows local constructions instead of bank hits.
+    """
+    from repro.service.sharedmem import attached  # runtime import, see above
+
+    with attached(shared_ref) as v:
+        out = _shard_batch_worker(config, v, parsed, plan, gpu, None, None, None, fused)
+    out.via_shared_memory = True
+    return out
 
 
 # -- analytic Table 2 model -------------------------------------------------------

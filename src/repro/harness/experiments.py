@@ -52,6 +52,7 @@ __all__ = [
     "hotpath_reuse",
     "multivector_serving",
     "splitgroup_dispatch",
+    "hotfuse",
     "loadgen_slo",
 ]
 
@@ -1214,8 +1215,13 @@ def splitgroup_dispatch(
     queries; ``dominant_share`` is the dominant group's fraction of the
     dispatch's modelled work; ``identical`` certifies the split rows
     element-wise (values and indices) against the unsplit dispatch of the
-    same phase.  No wall-clock column is gated — the quantities are
-    modelled, so the rows are meaningful on any host.
+    same phase.  ``per_split_work`` is the modelled workload each split of
+    the dominant group carried (0 on unsplit rows), and every row repeats
+    the ``tuned_min_split_work`` recommendation
+    :func:`~repro.service.router.tune_min_split_work` derives from this
+    run's balance history — the feedback loop behind the router's
+    ``min_split_work`` default.  No wall-clock column is gated — the
+    quantities are modelled, so the rows are meaningful on any host.
     """
     import time
 
@@ -1253,6 +1259,13 @@ def splitgroup_dispatch(
         )
         return dom / (dom + rest)
 
+    def per_split_work(use_k: int) -> float:
+        # Splitting spreads only the per-query work (the broadcast pays the
+        # construction once) over at most the fleet — the same quantity the
+        # router's min_split_work floor gates on.
+        per_query = model.expected_query_work(n, use_k, alpha, beta)
+        return per_query * int(dominant) / min(num_workers, int(dominant))
+
     rows: List[Dict] = []
     reference: Dict[str, List] = {}
     for mode, threshold in (("unsplit", None), ("split", "default")):
@@ -1288,10 +1301,20 @@ def splitgroup_dispatch(
                         "busy_workers": sum(1 for w in report.workers if w.queries),
                         "balance_ratio": report.balance_ratio,
                         "dominant_share": dominant_share(bank_hit=phase == "warm"),
+                        "per_split_work": (
+                            per_split_work(k if phase == "cold" else warm_k)
+                            if report.groups_split
+                            else 0.0
+                        ),
                         "wall_ms": wall_ms,
                         "identical": identical,
                     }
                 )
+    from repro.service.router import tune_min_split_work
+
+    tuned = tune_min_split_work(rows)
+    for row in rows:
+        row["tuned_min_split_work"] = tuned
     return rows
 
 
@@ -1397,4 +1420,143 @@ def loadgen_slo(
         prom = "".join(r.to_prometheus(labels={"phase": phase}) for phase, r in reports)
         (out / "loadgen.prom").write_text(prom)
         (out / "loadgen.csv").write_text(rows_to_csv(rows) + "\n")
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Service layer — fused group execution: one selection pass per plan group
+# ---------------------------------------------------------------------------
+
+
+def hotfuse(
+    n: int = 1 << 16,
+    batch: int = 16,
+    dataset: str = "UD",
+    seed: int = DEFAULT_SEED,
+    warm_rounds: int = 3,
+) -> List[Dict]:
+    """Fused vs per-query selection on one plan-sharing group, cold and warm.
+
+    One batch of ``batch`` queries whose ``k``\\ s all resolve the same
+    Rule-4 ``alpha`` — a single ``(alpha, largest)`` group — dispatches
+    through two single-worker dispatchers: ``unfused`` runs the pre-fusion
+    per-query pipeline (one gather/filter/selection per query) and ``fused``
+    routes the group through :func:`~repro.service.fusion.fused_group_topk`
+    (one shared pass at ``max(k)``, per-query answers sliced and refined
+    from the shared candidate set).  A single worker keeps the group whole —
+    the dominant-group split would otherwise shear it into per-worker
+    passes — and the result cache is disabled so the *warm* replay (the
+    same queries, banked plan, minimum wall over ``warm_rounds``) actually
+    dispatches instead of being served verbatim.
+
+    The rows carry the fused hot path's own accounting: ``selection_calls``
+    (the gate — one per group fused, one per query unfused),
+    ``arena_hits``/``arena_misses`` (the scratch-buffer arena's per-dispatch
+    deltas; warm fused dispatches must *hit*), the per-stage wall-clocks the
+    fusion path measures (``stage_*_ms``, the lightweight profile hook), and
+    ``identical`` — every row's answers certified element-wise (values
+    *and* indices) against the stand-alone engine.
+
+    A final ``process`` row round-trips the same queries through the
+    sharded route under ``execution="process"``: the admitted vector
+    crosses the process boundary once, into a shared-memory segment
+    (``shared_memory_units`` shards gathered without pickling the vector),
+    and ``identical`` certifies against a thread-mode dispatcher.  No
+    wall-clock column is gated — walls are host-dependent; the counter
+    columns are deterministic.
+    """
+    import time
+
+    from repro.service.dispatcher import ServiceDispatcher
+    from repro.service.fusion import reset_arenas
+
+    if batch < 2:
+        raise ConfigurationError("batch must be >= 2 (a 1-query group cannot fuse)")
+
+    v = _dataset_vector(dataset, n, seed)
+    queries = [(100 + i, True) for i in range(int(batch))]
+    engine = DrTopK()
+    reference = [engine.topk(v, k, largest=largest) for k, largest in queries]
+
+    def certify(results) -> bool:
+        return all(
+            np.array_equal(a.values, b.values) and np.array_equal(a.indices, b.indices)
+            for a, b in zip(reference, results)
+        )
+
+    stage_names = ("first_ms", "gather_ms", "refine_ms", "second_ms", "fallback_ms")
+    rows: List[Dict] = []
+
+    def row(mode: str, phase: str, report, wall_ms: float, identical: bool, **extra):
+        base = {
+            "mode": mode,
+            "phase": phase,
+            "route": report.route,
+            "queries": report.num_queries,
+            "selection_calls": report.selection_calls,
+            "fused_groups": report.fused_groups,
+            "fused_queries": report.fused_queries,
+            "constructions": report.constructions,
+            "construction_bytes": report.construction_bytes,
+            "plan_bank_hits": report.plan_bank_hits,
+            "arena_hits": report.arena_hits,
+            "arena_misses": report.arena_misses,
+            "process_units": report.process_units,
+            "process_fallbacks": report.process_fallbacks,
+            "shared_memory_units": report.shared_memory_units,
+            "wall_ms": wall_ms,
+            "identical": identical,
+        }
+        for name in stage_names:
+            base[f"stage_{name}"] = report.fusion_stage_ms.get(name, 0.0)
+        base.update(extra)
+        rows.append(base)
+
+    for mode, fused in (("unfused", False), ("fused", True)):
+        reset_arenas()
+        with ServiceDispatcher(
+            num_workers=1, result_cache_capacity=0, fused=fused
+        ) as d:
+            start = time.perf_counter()
+            cold_results = d.dispatch(v, queries)
+            cold_wall = (time.perf_counter() - start) * 1e3
+            cold = d.last_report
+            assert cold is not None and cold.route == "batched"
+            row(mode, "cold", cold, cold_wall, certify(cold_results))
+
+            warm_wall = float("inf")
+            warm = None
+            warm_results = None
+            for _ in range(int(warm_rounds)):
+                start = time.perf_counter()
+                warm_results = d.dispatch(v, queries)
+                warm_wall = min(warm_wall, (time.perf_counter() - start) * 1e3)
+                warm = d.last_report
+            assert warm is not None and warm_results is not None
+            row(mode, "warm", warm, warm_wall, certify(warm_results))
+
+    # Process-mode sharding: same queries, vector admitted once into shared
+    # memory, every shard gathered by a worker process.
+    with ServiceDispatcher(
+        num_workers=2, capacity_elements=n // 2, result_cache_capacity=0
+    ) as threads:
+        threads.admit("vec", v.copy())
+        want = threads.query("vec", queries)
+    with ServiceDispatcher(
+        num_workers=2,
+        capacity_elements=n // 2,
+        result_cache_capacity=0,
+        execution="process",
+    ) as d:
+        d.admit("vec", v.copy())
+        start = time.perf_counter()
+        got = d.query("vec", queries)
+        wall = (time.perf_counter() - start) * 1e3
+        report = d.last_report
+        assert report is not None and report.route == "sharded"
+        identical = all(
+            np.array_equal(a.values, b.values) and np.array_equal(a.indices, b.indices)
+            for a, b in zip(want, got)
+        )
+        row("process", "sharded", report, wall, identical)
     return rows

@@ -54,6 +54,10 @@ _EXPERIMENTS: Dict[str, Tuple[Callable[..., List[dict]], str]] = {
         experiments.splitgroup_dispatch,
         "dominant-group splitting vs pinned single-worker dispatch",
     ),
+    "hotfuse": (
+        experiments.hotfuse,
+        "fused vs per-query group selection, cold and warm, plus process-mode sharding",
+    ),
     "loadgen": (
         experiments.loadgen_slo,
         "tail latency, queue wait and admission control under generated load",

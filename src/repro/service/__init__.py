@@ -36,7 +36,15 @@ caching instead of owning private loops:
   cascade into the plan bank and result cache.
 * :class:`~repro.service.executor.ServiceExecutor` /
   :class:`~repro.service.router.Router` — the execution core itself, usable
-  directly by new routes.
+  directly by new routes.  ``mode="process"`` runs picklable work units on
+  a process pool, reading admitted vectors through
+  :mod:`repro.service.sharedmem` views instead of pickled copies.
+* :mod:`~repro.service.fusion` — fused group execution: all queries of one
+  plan-sharing group are served by **one** shared first top-k at the
+  group's ``max(k)`` plus one shared gather/filter, with per-query answers
+  derived exactly (values *and* indices identical to the per-query path);
+  its thread-local :class:`~repro.service.fusion.ScratchArena` pools the
+  hot path's gather/filter temporaries across dispatches.
 * :class:`~repro.service.loadgen.LoadHarness` — production-shaped traffic
   against the dispatcher: seeded open-loop arrival processes
   (:class:`~repro.service.loadgen.PoissonArrivals` /
@@ -62,7 +70,22 @@ from repro.service.cache import (
     fingerprint_array,
     fingerprint_call_count,
 )
-from repro.service.executor import ExecutorReport, ServiceExecutor, UnitResult, WorkUnit
+from repro.service.executor import (
+    ExecutorReport,
+    ProcessTask,
+    ServiceExecutor,
+    UnitResult,
+    WorkUnit,
+)
+from repro.service.fusion import (
+    ArenaInfo,
+    FusedGroupOutcome,
+    ScratchArena,
+    arena_info,
+    fused_group_topk,
+    reset_arenas,
+    thread_arena,
+)
 from repro.service.loadgen import (
     BurstyArrivals,
     DiurnalArrivals,
@@ -75,7 +98,8 @@ from repro.service.loadgen import (
     ZipfPopularity,
 )
 from repro.service.planbank import ChunkMemo, PlanBank
-from repro.service.router import BatchedPlan, GroupShare, Router
+from repro.service.router import BatchedPlan, GroupShare, Router, tune_min_split_work
+from repro.service.sharedmem import SharedArray, SharedArrayRef, attached
 from repro.service.store import StoredVector, VectorStore
 from repro.service.dispatcher import (
     DispatchReport,
@@ -119,9 +143,21 @@ __all__ = [
     "ExecutorReport",
     "WorkUnit",
     "UnitResult",
+    "ProcessTask",
     "Router",
     "BatchedPlan",
     "GroupShare",
+    "tune_min_split_work",
+    "fused_group_topk",
+    "FusedGroupOutcome",
+    "ScratchArena",
+    "ArenaInfo",
+    "thread_arena",
+    "arena_info",
+    "reset_arenas",
+    "SharedArray",
+    "SharedArrayRef",
+    "attached",
     "LoadHarness",
     "LoadReport",
     "LoadSample",

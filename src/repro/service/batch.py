@@ -11,11 +11,21 @@ scans into one, which is the dominant per-query traffic at serving time (the
 delegate and concatenated vectors are orders of magnitude smaller than the
 input, Section 6.2).
 
+Selection is amortised across a group too, not just construction: by default
+(``fused=True``) each group's queries run through
+:func:`repro.service.fusion.fused_group_topk` — **one** shared first top-k
+over the delegate vector at the group's ``max(k)`` plus one shared
+gather/filter, with every query's answer derived from the shared candidate
+set (``BatchReport.selection_calls`` counts the win: one call per group
+instead of one per query).
+
 Results are element-wise identical to looping
-:meth:`repro.core.drtopk.DrTopK.topk`: the grouped plan resolves exactly the
-same ``alpha`` per query (through the shared
-:class:`~repro.service.cache.PartitionCache`) and the per-query pipeline is
-unchanged — only the construction accounting moves from per-query to
+:meth:`repro.core.drtopk.DrTopK.topk`, fused or not: the grouped plan
+resolves exactly the same ``alpha`` per query (through the shared
+:class:`~repro.service.cache.PartitionCache`) and the fused path derives
+each query's exact threshold (the ``k``-th shared delegate key) and exact
+concatenation, so values *and* indices match the per-query pipeline — only
+the construction and selection accounting moves from per-query to
 per-batch.
 
 With a :class:`~repro.service.planbank.PlanBank` attached, amortisation also
@@ -37,6 +47,7 @@ from repro.errors import ConfigurationError
 from repro.core.plan import QueryPlan
 from repro.harness.reporting import summarize_workloads
 from repro.service.cache import PartitionCache, fingerprint_array
+from repro.service.fusion import fused_group_topk
 from repro.service.planbank import PlanBank
 from repro.types import TopKResult, WorkloadStats
 from repro.utils import check_k, ensure_1d
@@ -122,6 +133,15 @@ class BatchReport:
     #: broadcast); the construction was charged once by the broadcaster, so
     #: this batch records zero construction traffic for them.
     shared_plan_groups: int = 0
+    #: Full selection passes executed: one per query on the per-query loop,
+    #: one per group (plus exact fallbacks) on the fused path.
+    selection_calls: int = 0
+    #: Groups answered through :func:`~repro.service.fusion.fused_group_topk`.
+    fused_groups: int = 0
+    #: Queries served by a shared fused selection (fallbacks excluded).
+    fused_queries: int = 0
+    #: Measured wall-clock per fused stage, summed over the batch's groups.
+    fusion_stage_ms: Dict[str, float] = field(default_factory=dict)
     stats: List[WorkloadStats] = field(default_factory=list)
 
     @property
@@ -164,6 +184,9 @@ class BatchReport:
                 "constructions": self.constructions,
                 "plan_bank_hits": self.plan_bank_hits,
                 "shared_plan_groups": self.shared_plan_groups,
+                "selection_calls": self.selection_calls,
+                "fused_groups": self.fused_groups,
+                "fused_queries": self.fused_queries,
                 "construction_bytes": self.construction_bytes,
                 "query_bytes": self.query_bytes,
                 "total_bytes": self.total_bytes,
@@ -191,6 +214,12 @@ class BatchTopK:
         Optional shared :class:`~repro.service.planbank.PlanBank` persisting
         query plans across dispatches.  A bank must only be shared among
         engines with one pipeline configuration.
+    fused:
+        When ``True`` (the default) each group's queries are answered through
+        :func:`~repro.service.fusion.fused_group_topk` — one shared selection
+        at the group's ``max(k)`` instead of one ``topk_prepared`` call per
+        query, with per-query-identical results.  ``False`` keeps the
+        per-query loop (the differential baseline).
     """
 
     def __init__(
@@ -198,12 +227,14 @@ class BatchTopK:
         config: Optional[DrTopKConfig] = None,
         cache: Optional[PartitionCache] = None,
         plan_bank: Optional[PlanBank] = None,
+        fused: bool = True,
     ):
         self.engine = DrTopK(config)
         # Not `cache or ...`: an empty cache is falsy (it has __len__ == 0)
         # but must still be shared.
         self.cache = cache if cache is not None else PartitionCache()
         self.plan_bank = plan_bank
+        self.fused = bool(fused)
         self.last_report: Optional[BatchReport] = None
 
     @property
@@ -267,6 +298,11 @@ class BatchTopK:
             fingerprint = fingerprint_array(v)
 
         for (alpha, largest), positions in groups.items():
+            # The construction *gate* stays at min(k): the plan is built
+            # whenever at least one query in the group clears the degenerate
+            # regime (num_subranges * beta > k holds for the smallest k iff it
+            # holds for any).  The fused *selection* below then runs once at
+            # the group's max(k) and serves every smaller k from it.
             min_k = min(parsed[p].k for p in positions)
             plan = shared_plans.get((alpha, largest)) if shared_plans else None
             shared_hit = plan is not None
@@ -290,20 +326,46 @@ class BatchTopK:
                 report.constructions += 1
                 report.construction_bytes += plan.construction_bytes
                 report.construction_ms += plan.construction_ms(self.config.device)
-            for pos in positions:
-                q = parsed[pos]
-                result = self.engine.topk_prepared(plan, q.k, charge_construction=False)
-                results[pos] = result
-                assert result.stats is not None
-                report.query_ms += result.stats.total_time_ms
+            if self.fused:
+                outcome = fused_group_topk(
+                    self.engine, plan, [parsed[p].k for p in positions]
+                )
+                report.selection_calls += outcome.selection_calls
+                if outcome.fused_queries:
+                    report.fused_groups += 1
+                report.fused_queries += outcome.fused_queries
+                report.query_ms += outcome.shared_ms
+                for name, ms in outcome.stage_ms.items():
+                    report.fusion_stage_ms[name] = (
+                        report.fusion_stage_ms.get(name, 0.0) + ms
+                    )
+                for pos, result in zip(positions, outcome.results):
+                    results[pos] = result
+                    assert result.stats is not None
+                    report.query_ms += result.stats.total_time_ms
                 if collect:
-                    q_bytes = self.engine.last_trace.total_counters().global_bytes
-                    report.query_bytes += q_bytes
-                    # The per-query loop would have re-run construction for
-                    # every query whose one-shot pre-construction check
-                    # (num_subranges * beta > k) would have built delegates —
-                    # including gap-regime queries that then fall back.
-                    report.naive_bytes += q_bytes
+                    report.query_bytes += outcome.shared_bytes + sum(outcome.query_bytes)
+                    report.naive_bytes += sum(outcome.naive_bytes)
+            else:
+                for pos in positions:
+                    q = parsed[pos]
+                    result = self.engine.topk_prepared(plan, q.k, charge_construction=False)
+                    results[pos] = result
+                    report.selection_calls += 1
+                    assert result.stats is not None
+                    report.query_ms += result.stats.total_time_ms
+                    if collect:
+                        q_bytes = self.engine.last_trace.total_counters().global_bytes
+                        report.query_bytes += q_bytes
+                        report.naive_bytes += q_bytes
+            if collect:
+                # Either path: a per-query loop would have re-charged the
+                # group's construction for every query whose one-shot
+                # pre-construction check (num_subranges * beta > k) would
+                # have built delegates — including gap-regime queries that
+                # then fall back.
+                for pos in positions:
+                    q = parsed[pos]
                     if (
                         not plan.is_degenerate
                         and plan.partition.num_subranges * plan.beta > q.k

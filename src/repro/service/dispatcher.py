@@ -76,13 +76,19 @@ from repro.errors import ConfigurationError
 from repro.service.batch import BatchTopK, QueryLike, TopKQuery
 from repro.service.cache import CacheInfo, PartitionCache, ResultCache, fingerprint_array
 from repro.service.executor import ServiceExecutor, UnitResult
+from repro.service.fusion import ArenaInfo, arena_info
 from repro.service.planbank import (
     DEFAULT_CHUNK_MEMO_BYTES,
     DEFAULT_PLAN_BANK_BYTES,
     ChunkMemo,
     PlanBank,
 )
-from repro.service.router import DEFAULT_SPLIT_THRESHOLD, Router
+from repro.service.router import (
+    DEFAULT_MIN_SPLIT_WORK,
+    DEFAULT_SPLIT_THRESHOLD,
+    Router,
+)
+from repro.service.sharedmem import SharedArray
 from repro.service.store import DEFAULT_STORE_BYTES, StoredVector, VectorStore
 from repro.service.streaming import (
     DEFAULT_CHUNK_ELEMENTS,
@@ -155,6 +161,30 @@ class DispatchReport:
     #: disabled); ``bytes`` is the resident vectors, not their cached plans.
     store: Optional[CacheInfo] = None
     executor_mode: str = ""
+    #: Fused-selection accounting (see :mod:`repro.service.fusion`):
+    #: ``selection_calls`` counts first/second top-k algorithm invocations
+    #: the dispatch actually ran — a fused group pays one shared call plus
+    #: one per exact-fallback query instead of one per query;
+    #: ``fused_groups`` / ``fused_queries`` count groups and queries served
+    #: through the shared pass, and ``fusion_stage_ms`` breaks the fused
+    #: path's wall time into its pipeline stages.
+    selection_calls: int = 0
+    fused_groups: int = 0
+    fused_queries: int = 0
+    fusion_stage_ms: Dict[str, float] = field(default_factory=dict)
+    #: Scratch-arena deltas of this dispatch (hits mean a gather/filter
+    #: temporary was served from a pooled buffer instead of a fresh
+    #: allocation) plus the cumulative cross-thread snapshot.
+    arena_hits: int = 0
+    arena_misses: int = 0
+    arena_resizes: int = 0
+    arena: Optional[ArenaInfo] = None
+    #: Process-executor accounting: units that actually ran in worker
+    #: processes, runs that fell back to threads for lack of a picklable
+    #: task, and shard units that gathered from shared memory.
+    process_units: int = 0
+    process_fallbacks: int = 0
+    shared_memory_units: int = 0
     wall_ms: float = 0.0
     unit_wall_ms_sum: float = 0.0
     #: Measured submit-to-start queue waits of this dispatch's work units —
@@ -228,7 +258,11 @@ class ServiceDispatcher:
         Interconnect topology and cost model for the result gather.
     execution:
         ``"threads"`` (default) overlaps work units on the executor's pool;
-        ``"sequential"`` runs them inline — the measured baseline.
+        ``"sequential"`` runs them inline — the measured baseline;
+        ``"process"`` runs picklable units on a process pool, gathering
+        admitted vectors through ``multiprocessing.shared_memory`` views
+        (see :meth:`admit`) — units without a picklable task fall back to
+        threads for that run, recorded as ``process_fallbacks``.
     queue_capacity:
         Bound on in-flight work units (backpressure); defaults to
         ``2 * num_workers``.
@@ -240,6 +274,16 @@ class ServiceDispatcher:
         broadcast (see :class:`~repro.service.router.Router`).  ``None``
         pins every group whole to one worker — the pre-split behaviour and
         the baseline the ``splitgroup`` experiment compares against.
+    min_split_work:
+        Absolute floor on the modelled per-split workload below which a
+        dominant group stays whole (see
+        :class:`~repro.service.router.Router`); ``0`` disables the floor.
+    fused:
+        Serve each plan-sharing group through the fused group selection of
+        :mod:`repro.service.fusion` (one shared first top-k at the group's
+        ``max(k)`` instead of one per query) on every route.  ``False``
+        restores the per-query path — the differential baseline the fused
+        path is certified against.
     """
 
     def __init__(
@@ -258,6 +302,8 @@ class ServiceDispatcher:
         queue_capacity: Optional[int] = None,
         chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
         split_threshold: Optional[float] = DEFAULT_SPLIT_THRESHOLD,
+        min_split_work: float = DEFAULT_MIN_SPLIT_WORK,
+        fused: bool = True,
     ):
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
@@ -294,8 +340,14 @@ class ServiceDispatcher:
             if store_bytes
             else None
         )
+        self.fused = bool(fused)
         self.workers = [
-            BatchTopK(self.config, cache=self.cache, plan_bank=self.plan_bank)
+            BatchTopK(
+                self.config,
+                cache=self.cache,
+                plan_bank=self.plan_bank,
+                fused=self.fused,
+            )
             for _ in range(self.num_workers)
         ]
         self.executor = ServiceExecutor(
@@ -307,7 +359,12 @@ class ServiceDispatcher:
             cache=self.cache,
             plan_bank=self.plan_bank,
             split_threshold=split_threshold,
+            min_split_work=min_split_work,
         )
+        # Shared-memory copies of admitted sharded vectors (process mode),
+        # keyed by content fingerprint; owned here, destroyed on evict or
+        # shutdown.
+        self._shared: Dict[str, SharedArray] = {}
         self.last_report: Optional[DispatchReport] = None
 
     # -- public API -----------------------------------------------------------
@@ -333,8 +390,9 @@ class ServiceDispatcher:
             num_workers=self.num_workers,
             executor_mode=self.executor.mode,
         )
+        arena_before = arena_info()
         if not parsed:
-            self._finish(report, ran_units=False)
+            self._finish(report, ran_units=False, arena_before=arena_before)
             return []
 
         # Plain Python sequences of numbers are a vector spelled as a list
@@ -353,7 +411,7 @@ class ServiceDispatcher:
         route = self.router.classify(v)
         if route == "streaming":
             results = self._dispatch_streaming(v, parsed, report)
-            self._finish(report, ran_units=True)
+            self._finish(report, ran_units=True, arena_before=arena_before)
             return results
 
         v = ensure_1d(v)
@@ -383,7 +441,7 @@ class ServiceDispatcher:
             sub_parsed = [parsed[p] for p in pending]
             if route == "sharded":
                 sub_results = self._dispatch_sharded(
-                    v, sub_parsed, report, shard_fingerprints
+                    v, sub_parsed, report, shard_fingerprints, fingerprint
                 )
             else:
                 sub_results = self._dispatch_batched(v, sub_parsed, report, fingerprint)
@@ -394,7 +452,7 @@ class ServiceDispatcher:
         else:
             report.route = "cached"
 
-        self._finish(report, ran_units=bool(pending))
+        self._finish(report, ran_units=bool(pending), arena_before=arena_before)
         final = [r for r in results if r is not None]
         if len(final) != len(parsed):
             raise ConfigurationError("internal error: dispatcher lost queries")
@@ -442,6 +500,15 @@ class ServiceDispatcher:
         entry = self.store.admit(
             name, vector, shard_fingerprints=shard_fps, pin=pin
         )
+        # Process mode: give sharded dispatches of this vector a
+        # shared-memory copy (the one copy), so every shard unit's process
+        # task gathers from shared pages instead of pickling the vector.
+        if (
+            self.executor.mode == "process"
+            and shard_fps is not None
+            and entry.fingerprint not in self._shared
+        ):
+            self._shared[entry.fingerprint] = SharedArray.create(entry.vector)
         if warm:
             self.query(name, list(warm))
         return entry
@@ -555,10 +622,21 @@ class ServiceDispatcher:
             if self.results_cache is not None:
                 self.results_cache.invalidate(fp)
             self.router.forget(fp)
+            shared = self._shared.pop(fp, None)
+            if shared is not None:
+                shared.destroy()
 
     def shutdown(self) -> None:
-        """Stop the executor's worker threads (the dispatcher stays usable)."""
+        """Stop the executor's workers and release shared-memory segments.
+
+        The dispatcher stays usable afterwards (pools re-spawn on demand);
+        admitted vectors keep serving, but a process-mode sharded dispatch
+        after shutdown re-pickles until the vector is re-admitted.
+        """
         self.executor.shutdown()
+        for shared in self._shared.values():
+            shared.destroy()
+        self._shared.clear()
 
     def __enter__(self) -> "ServiceDispatcher":
         return self
@@ -567,7 +645,12 @@ class ServiceDispatcher:
         self.shutdown()
 
     # -- shared bookkeeping ----------------------------------------------------
-    def _finish(self, report: DispatchReport, ran_units: bool) -> None:
+    def _finish(
+        self,
+        report: DispatchReport,
+        ran_units: bool,
+        arena_before: Optional[ArenaInfo] = None,
+    ) -> None:
         """Attach cache and measured-executor statistics, publish the report."""
         exec_report = self.executor.last_report
         if exec_report is not None and ran_units:
@@ -576,6 +659,15 @@ class ServiceDispatcher:
             report.unit_queue_ms_sum = exec_report.unit_queue_ms_sum
             report.max_unit_queue_ms = exec_report.max_unit_queue_ms
             report.backpressure_waits = exec_report.backpressure_waits
+            report.process_units = exec_report.process_units
+            report.process_fallbacks = exec_report.process_fallbacks
+        report.arena = arena_after = arena_info()
+        if arena_before is not None:
+            # Deltas cover this process's arenas only — process-mode workers
+            # pool in their own address spaces, invisible to this snapshot.
+            report.arena_hits = arena_after.hits - arena_before.hits
+            report.arena_misses = arena_after.misses - arena_before.misses
+            report.arena_resizes = arena_after.resizes - arena_before.resizes
         report.cache = self.cache.info()
         if self.results_cache is not None:
             report.result_cache = self.results_cache.info()
@@ -631,6 +723,13 @@ class ServiceDispatcher:
                 wreport.wall_ms = outcome.wall_ms
                 report.plan_bank_hits += batch_report.plan_bank_hits
                 report.construction_bytes += batch_report.construction_bytes
+                report.selection_calls += batch_report.selection_calls
+                report.fused_groups += batch_report.fused_groups
+                report.fused_queries += batch_report.fused_queries
+                for name, ms in batch_report.fusion_stage_ms.items():
+                    report.fusion_stage_ms[name] = (
+                        report.fusion_stage_ms.get(name, 0.0) + ms
+                    )
                 worker_values.append(np.concatenate([r.values for r in sub_results]))
                 worker_indices.append(np.concatenate([r.indices for r in sub_results]))
             else:
@@ -669,6 +768,7 @@ class ServiceDispatcher:
         parsed: List[TopKQuery],
         report: DispatchReport,
         shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None,
+        fingerprint: Optional[str] = None,
     ) -> List[TopKResult]:
         report.route = "sharded"
         fleet = MultiGpuDrTopK(
@@ -677,7 +777,12 @@ class ServiceDispatcher:
             capacity_elements=self.capacity_elements,
             gpus_per_node=self.gpus_per_node,
             comm_cost=self.comm_cost,
+            fused=self.fused,
         )
+        # An admitted vector with a shared-memory copy (process mode) hands
+        # the fleet its picklable ref, so shard units carry process tasks
+        # that gather without the vector crossing a pipe.
+        shared = self._shared.get(fingerprint) if fingerprint is not None else None
         results, mreport = fleet.topk_batch(
             v,
             parsed,
@@ -685,11 +790,16 @@ class ServiceDispatcher:
             executor=self.executor,
             plan_bank=self.plan_bank,
             shard_fingerprints=shard_fingerprints,
+            shared_ref=shared.ref if shared is not None else None,
         )
         report.communication_ms = mreport.communication_ms
         report.constructions = mreport.constructions
         report.construction_bytes = mreport.construction_bytes
         report.plan_bank_hits += mreport.plan_bank_hits
+        report.selection_calls += mreport.selection_calls
+        report.fused_groups += mreport.fused_groups
+        report.fused_queries += mreport.fused_queries
+        report.shared_memory_units = mreport.shared_memory_units
         # A sharded dispatch moves real traffic: the per-shard pipeline bytes
         # (construction + query passes) plus the candidate gather.
         report.bytes_moved = (
@@ -720,7 +830,7 @@ class ServiceDispatcher:
         def make_engine() -> BatchTopK:
             # Units for one worker may overlap in the pool, so each unit gets
             # a fresh engine; the alpha cache is the shared state.
-            return BatchTopK(self.config, cache=self.cache)
+            return BatchTopK(self.config, cache=self.cache, fused=self.fused)
 
         units = self.router.streaming_units(
             chunks, parsed, self.chunk_elements, make_engine, chunk_memo=self.chunk_memo
@@ -753,6 +863,13 @@ class ServiceDispatcher:
                 wrep.compute_ms += chunk_report.total_ms
                 wrep.bytes_moved += chunk_report.total_bytes
                 report.construction_bytes += chunk_report.construction_bytes
+                report.selection_calls += chunk_report.selection_calls
+                report.fused_groups += chunk_report.fused_groups
+                report.fused_queries += chunk_report.fused_queries
+                for name, ms in chunk_report.fusion_stage_ms.items():
+                    report.fusion_stage_ms[name] = (
+                        report.fusion_stage_ms.get(name, 0.0) + ms
+                    )
             # The chunk's candidates travel from its worker to the primary.
             for local in by_largest.values():
                 if w != 0:

@@ -14,7 +14,10 @@ byte-budgeted LRU caches close that gap:
   delegate construction entirely — the zero-rescan hot path.  The batched
   route banks whole-vector plans, the sharded route banks one plan per shard
   (keyed by the *shard's* fingerprint), and both record bank hits with zero
-  construction traffic.
+  construction traffic.  A banked plan's memoised views also feed the fused
+  group selection (:func:`~repro.service.fusion.fused_group_topk`): a warm
+  replay of a plan-sharing group pays zero constructions *and* a single
+  shared selection pass, however many queries the group holds.
 * :class:`ChunkMemo` — ``(chunk fingerprint, k, largest) → TopKResult`` with
   *chunk-local* indices.  Streams cannot be fingerprinted without consuming
   them, so the streaming route memoises per chunk instead: a replayed stream

@@ -49,7 +49,7 @@ from repro.service.executor import WorkUnit
 from repro.service.planbank import ChunkMemo, PlanBank
 from repro.utils import ceil_div
 
-__all__ = ["Router", "GroupShare", "BatchedPlan"]
+__all__ = ["Router", "GroupShare", "BatchedPlan", "tune_min_split_work"]
 
 #: Route names emitted by :meth:`Router.classify`.
 ROUTES = ("batched", "sharded", "streaming")
@@ -57,6 +57,17 @@ ROUTES = ("batched", "sharded", "streaming")
 #: Default fraction of a dispatch's total modelled work above which one
 #: plan-sharing group is split across workers (``None`` pins groups whole).
 DEFAULT_SPLIT_THRESHOLD = 0.5
+
+#: Default floor on the modelled per-split element workload below which a
+#: dominant group is *not* split.  Splitting buys balance but costs a plan
+#: broadcast and per-worker merge overhead; on tiny groups the overhead
+#: dominates, so a group only splits when each resulting share still
+#: carries at least this much modelled work (in input elements).  The
+#: default is deliberately conservative — it only vetoes splits too small
+#: to cover even one broadcast handle; derive a workload-fitted floor from
+#: the ``splitgroup`` experiment's balance history with
+#: :func:`tune_min_split_work`.
+DEFAULT_MIN_SPLIT_WORK = 64.0
 
 #: Load slack (as a fraction of the dispatch's total weight) within which
 #: placement prefers a repeat vector's remembered worker over the strictly
@@ -134,6 +145,38 @@ class BatchedPlan:
         return len({s.group for s in self.shares if s.split_total > 1})
 
 
+def tune_min_split_work(
+    rows: Sequence[Dict], default: float = DEFAULT_MIN_SPLIT_WORK
+) -> float:
+    """Recommend a ``min_split_work`` floor from ``splitgroup`` history rows.
+
+    ``rows`` are the ``splitgroup`` experiment's records: ``unsplit`` rows
+    give each phase's baseline ``balance_ratio`` and ``split`` rows carry the
+    modelled ``per_split_work`` the split actually produced.  The
+    recommendation is the smallest per-split workload that *demonstrably*
+    improved balance (split ``balance_ratio`` strictly below the same
+    phase's unsplit baseline) — the measured point where splitting starts
+    paying for itself.  With no improving observation the ``default`` floor
+    stands: history that never shows a win is no licence to lower the gate.
+    """
+    baseline: Dict[Optional[str], float] = {}
+    for row in rows:
+        if row.get("mode") == "unsplit":
+            baseline[row.get("phase")] = float(row["balance_ratio"])
+    improved = [
+        float(row["per_split_work"])
+        for row in rows
+        if row.get("mode") == "split"
+        and float(row.get("per_split_work", 0.0)) > 0.0
+        and row.get("groups_split")
+        and row.get("phase") in baseline
+        and float(row["balance_ratio"]) < baseline[row.get("phase")]
+    ]
+    if not improved:
+        return float(default)
+    return min(improved)
+
+
 class Router:
     """Classify requests and emit per-worker :class:`WorkUnit`\\ s.
 
@@ -157,6 +200,13 @@ class Router:
         split across workers with a shared-plan broadcast.  ``None``
         disables splitting — every group pins whole to one worker, the
         pre-split behaviour and the differential baseline.
+    min_split_work:
+        Absolute floor on the modelled per-split workload (in input
+        elements): a dominant group whose per-query work spread over the
+        fleet would leave each split below this floor stays whole — tiny
+        groups never split, however dominant they look relatively.  ``0``
+        disables the floor (every relative-dominant group splits, the
+        pre-floor behaviour).
     """
 
     def __init__(
@@ -166,6 +216,7 @@ class Router:
         cache: PartitionCache,
         plan_bank: Optional[PlanBank] = None,
         split_threshold: Optional[float] = DEFAULT_SPLIT_THRESHOLD,
+        min_split_work: float = DEFAULT_MIN_SPLIT_WORK,
     ):
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
@@ -175,6 +226,8 @@ class Router:
             raise ConfigurationError(
                 "split_threshold must be in (0, 1], or None to disable splitting"
             )
+        if min_split_work < 0:
+            raise ConfigurationError("min_split_work must be >= 0")
         self.num_workers = int(num_workers)
         self.capacity_elements = int(capacity_elements)
         self.cache = cache
@@ -182,6 +235,7 @@ class Router:
         self.split_threshold = (
             float(split_threshold) if split_threshold is not None else None
         )
+        self.min_split_work = float(min_split_work)
         # Per-name (per-fingerprint) serving history: how many queries each
         # content has answered, and which worker its heaviest group last
         # landed on.  The named-vector front end feeds the history; placement
@@ -342,11 +396,19 @@ class Router:
 
         split_keys = set()
         if self.split_threshold is not None and self.num_workers > 1:
-            split_keys = {
-                key
-                for key, positions, weight, _ in group_info
-                if len(positions) >= 2 and weight > self.split_threshold * total_weight
-            }
+            for key, positions, weight, per_query in group_info:
+                if len(positions) < 2:
+                    continue
+                if weight <= self.split_threshold * total_weight:
+                    continue
+                # The absolute floor: splitting spreads only the per-query
+                # work (the broadcast pays the construction once), so each
+                # split's share must still be worth a broadcast handle and a
+                # merge — tiny groups stay whole however dominant they look.
+                splits = min(self.num_workers, len(positions))
+                if sum(per_query) / splits < self.min_split_work:
+                    continue
+                split_keys.add(key)
 
         # Placement items: whole groups, or — for split groups — one item
         # per query.  The stable descending sort keeps equal-weight items in

@@ -1,0 +1,140 @@
+"""Shared-memory views of admitted vectors for the process executor mode.
+
+Thread-mode workers read admitted :class:`~repro.service.store.VectorStore`
+arrays directly — one address space, zero copies.  Process-mode workers live
+in separate address spaces, and pickling a multi-gigabyte vector into each
+task would erase every gain of leaving the GIL.  This module keeps process
+mode zero-copy on the vector path:
+
+* :class:`SharedArray` — created **once at admission**: copies the vector
+  into a ``multiprocessing.shared_memory`` block owned by the dispatcher,
+  which closes and unlinks it when the vector leaves the working set.
+* :class:`SharedArrayRef` — the tiny picklable handle (segment name, shape,
+  dtype) a :class:`~repro.service.executor.ProcessTask` carries instead of
+  the array.  Workers :func:`attached` it to get a read-only numpy view over
+  the same physical pages.
+
+The one copy at admission is the price of the mode; every dispatch after that
+gathers straight from shared pages.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SharedArrayRef", "SharedArray", "attached"]
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Picklable handle to a shared-memory numpy array.
+
+    Carries everything a worker process needs to re-create a view — the
+    segment name plus the array geometry — in a few dozen bytes, regardless
+    of the array's size.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype_str: str
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the viewed array in bytes."""
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype_str).itemsize
+
+
+class SharedArray:
+    """Owner side of one shared-memory array (create once, unlink once).
+
+    The creating process (the dispatcher) holds the lifetime: workers attach
+    and detach freely through :func:`attached`, and :meth:`destroy` returns
+    the pages to the OS when the admitted vector is evicted or the dispatcher
+    shuts down.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, ref: SharedArrayRef):
+        self._shm = shm
+        self.ref = ref
+
+    @classmethod
+    def create(cls, array: np.ndarray, name_hint: str = "") -> "SharedArray":
+        """Copy ``array`` into a fresh shared-memory block (the one copy)."""
+        array = np.ascontiguousarray(array)
+        if array.nbytes == 0:
+            raise ConfigurationError("cannot share an empty array")
+        shm = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        np.copyto(view, array)
+        ref = SharedArrayRef(name=shm.name, shape=tuple(array.shape), dtype_str=array.dtype.str)
+        return cls(shm, ref)
+
+    def view(self) -> np.ndarray:
+        """Read-only numpy view over the owner's mapping."""
+        out = np.ndarray(
+            self.ref.shape, dtype=np.dtype(self.ref.dtype_str), buffer=self._shm.buf
+        )
+        out.setflags(write=False)
+        return out
+
+    def destroy(self) -> None:
+        """Close the owner mapping and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked elsewhere
+            pass
+        self._shm = None
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it for cleanup.
+
+    CPython < 3.13 registers *attached* (not just created) segments with the
+    resource tracker, which then warns at worker exit and double-unlinks
+    segments the owner already destroyed.  Ownership lives with the creator,
+    so attachers suppress the tracker registration for the duration of the
+    attach (``track=False`` is the 3.13+ spelling of the same thing).
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(rname: str, rtype: str) -> None:
+        if rtype != "shared_memory":  # pragma: no cover - no other types here
+            original(rname, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@contextmanager
+def attached(ref: SharedArrayRef) -> Iterator[np.ndarray]:
+    """Worker-side view of a :class:`SharedArrayRef` (detaches on exit).
+
+    The yielded array is read-only and valid only inside the ``with`` block:
+    anything kept past it must be copied first (``np.concatenate`` and fancy
+    indexing both copy, so ordinary result assembly is safe).
+    """
+    shm = _attach_untracked(ref.name)
+    try:
+        view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype_str), buffer=shm.buf)
+        view.setflags(write=False)
+        yield view
+    finally:
+        shm.close()

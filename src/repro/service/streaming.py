@@ -33,6 +33,7 @@ from repro.algorithms.keys import to_keys
 from repro.core.config import DrTopKConfig
 from repro.core.drtopk import DrTopK
 from repro.errors import ConfigurationError
+from repro.service.fusion import thread_arena
 from repro.types import TopKResult, WorkloadStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -69,6 +70,21 @@ def merge_candidate_pool(
     """
     if pool_values is None:
         merged_v, merged_i = values, indices
+    elif pool_values.shape[0] + values.shape[0] > k:
+        # The concatenation is a pure temporary here — only the trimmed
+        # fancy-indexed copy below survives the call — so it runs in
+        # scratch-arena buffers a hot stream reuses chunk after chunk
+        # instead of allocating per merge.
+        total = pool_values.shape[0] + values.shape[0]
+        arena = thread_arena()
+        with arena.scope():
+            merged_v = arena.take((total,), np.result_type(pool_values, values))
+            merged_i = arena.take((total,), np.int64)
+            np.concatenate([pool_values, values], out=merged_v)
+            np.concatenate([pool_indices, indices], out=merged_i)
+            keys = to_keys(merged_v, largest=largest)
+            keep = np.argpartition(keys, total - k)[-k:]
+            return merged_v[keep], merged_i[keep]
     else:
         merged_v = np.concatenate([pool_values, values])
         merged_i = np.concatenate([pool_indices, indices])

@@ -43,6 +43,7 @@ class TestRunnerRegistry:
             "hotpath",  # cold vs plan-bank-warm serving cost (not a paper figure)
             "multivector",  # named admit/query/evict lifecycle (not a paper figure)
             "splitgroup",  # dominant-group splitting vs pinned (not a paper figure)
+            "hotfuse",  # fused vs per-query group selection (not a paper figure)
             "loadgen",  # tail latency + admission control under load (not a paper figure)
         }
         assert expected == names

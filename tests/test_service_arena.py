@@ -1,0 +1,183 @@
+"""ScratchArena: pooling semantics, limits, and concurrency safety.
+
+The arena hands the fused hot path reusable gather/filter temporaries; the
+properties that must hold are (a) a borrowed buffer is exclusively the
+borrower's until its scope closes — no aliasing between concurrent in-flight
+results, even under the same hammer loads the service tests use — and
+(b) the global ledger's counters stay consistent after every thread
+quiesces.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.service.dispatcher import ServiceDispatcher
+from repro.service.fusion import (
+    ScratchArena,
+    arena_info,
+    reset_arenas,
+    thread_arena,
+)
+
+
+class TestScratchArenaUnit:
+    def test_miss_then_hit(self):
+        arena = ScratchArena()
+        with arena.scope():
+            first = arena.take((128,), np.float32)
+            assert first.shape == (128,) and first.dtype == np.float32
+        with arena.scope():
+            again = arena.take((128,), np.float32)
+            assert again.shape == (128,)
+        assert arena.misses >= 1
+        assert arena.hits >= 1
+
+    def test_resize_reuses_backing_bucket(self):
+        arena = ScratchArena()
+        with arena.scope():
+            arena.take((64,), np.int64)
+        with arena.scope():
+            big = arena.take((4096,), np.int64)
+            assert big.shape == (4096,)
+        assert arena.resizes == 1
+
+    def test_distinct_takes_never_alias_within_scope(self):
+        arena = ScratchArena()
+        with arena.scope():
+            a = arena.take((256,), np.int32)
+            b = arena.take((256,), np.int32)
+            a[:] = 1
+            b[:] = 2
+            assert not np.shares_memory(a, b)
+            np.testing.assert_array_equal(a, np.ones(256, dtype=np.int32))
+
+    def test_take_outside_scope_is_plain_allocation(self):
+        arena = ScratchArena()
+        buf = arena.take((32,), np.float64)
+        assert buf.shape == (32,)
+        assert arena.held_bytes == 0  # nothing was pooled
+
+    def test_limit_trims_largest_first(self):
+        arena = ScratchArena(limit_bytes=1024)
+        with arena.scope():
+            arena.take((4096,), np.int64)  # 32 KiB, over the limit
+            arena.take((16,), np.int64)
+        assert arena.held_bytes <= 1024
+
+    def test_clear_resets_everything(self):
+        arena = ScratchArena()
+        with arena.scope():
+            arena.take((64,), np.float32)
+        arena.clear()
+        assert arena.hits == arena.misses == arena.resizes == 0
+        assert arena.held_bytes == 0
+
+    def test_info_counts_are_consistent(self):
+        arena = ScratchArena()
+        with arena.scope():
+            for _ in range(5):
+                arena.take((100,), np.float32)
+        info = arena.info()
+        assert info.takes == info.hits + info.misses + info.resizes == 5
+
+
+class TestThreadArenas:
+    def test_thread_arena_is_per_thread(self):
+        reset_arenas()
+        seen = {}
+
+        def grab(name):
+            seen[name] = id(thread_arena())
+
+        threads = [
+            threading.Thread(target=grab, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen.values())) == 3
+
+    def test_ledger_consistent_after_concurrent_hammer(self):
+        """No aliasing between in-flight results; counters add up at quiesce.
+
+        Each worker thread borrows buffers, stamps them with a thread-unique
+        pattern, yields the scheduler, and verifies the pattern survived —
+        any cross-thread aliasing of pooled buffers would corrupt it.
+        """
+        reset_arenas()
+        errors = []
+        rounds = 50
+
+        def hammer(stamp):
+            try:
+                arena = thread_arena()
+                for i in range(rounds):
+                    with arena.scope():
+                        bufs = [
+                            arena.take((257,), np.int64),
+                            arena.take((63,), np.int64),
+                        ]
+                        for b in bufs:
+                            b[:] = stamp * 100_000 + i
+                        for b in bufs:
+                            assert int(b[0]) == stamp * 100_000 + i
+                            assert (b == b[0]).all()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        info = arena_info()
+        assert info.takes == info.hits + info.misses + info.resizes
+        assert info.takes >= 8 * rounds * 2
+        assert info.arenas >= 8
+
+    def test_concurrent_dispatches_return_exact_results(self, rng):
+        """The service-level hammer: parallel fused dispatches stay exact."""
+        n = 1 << 13
+        v = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        queries = [(64, True)] * 4 + [(17, False), (300, True)]
+        with ServiceDispatcher(num_workers=4, result_cache_capacity=0) as d:
+            expected = d.dispatch(v, queries)
+            errors = []
+
+            def worker():
+                try:
+                    for _ in range(5):
+                        got = d.dispatch(v, queries)
+                        for a, b in zip(got, expected):
+                            np.testing.assert_array_equal(a.values, b.values)
+                            np.testing.assert_array_equal(a.indices, b.indices)
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+        info = arena_info()
+        assert info.takes == info.hits + info.misses + info.resizes
+
+    def test_dispatch_report_surfaces_arena_deltas(self, rng):
+        reset_arenas()
+        n = 1 << 14
+        v = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        with ServiceDispatcher(num_workers=1, result_cache_capacity=0) as d:
+            d.dispatch(v, [(100, True)] * 8)
+            first = d.last_report
+            d.dispatch(v, [(100, True)] * 8)
+            second = d.last_report
+        assert first is not None and second is not None
+        assert first.arena is not None
+        assert first.arena_misses > 0  # cold pools allocate
+        assert second.arena_hits > 0  # warm dispatch reuses them

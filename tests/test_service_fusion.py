@@ -1,0 +1,241 @@
+"""Fused group selection: exact equivalence to the per-query pipeline.
+
+The contract of :mod:`repro.service.fusion` is strict: for every query of a
+plan-sharing group, the fused path must return the *same values and the same
+indices* as running :meth:`DrTopK.topk_prepared` per query — not merely a
+valid top-k under ties.  The differential tests here hold that line at the
+engine level (randomized dtype/tie/config grids), at the batch level
+(``BatchTopK(fused=...)``), and across all three dispatcher routes, cold and
+warm, including the mixed-``k`` regression the fused path exists to fix
+(groups prepared at ``min(k)`` but serving larger ``k``\\ s) and the
+``largest=False`` key order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import available_algorithms, get_algorithm
+from repro.core.config import DrTopKConfig
+from repro.core.drtopk import DrTopK
+from repro.service.batch import BatchTopK, TopKQuery
+from repro.service.dispatcher import ServiceDispatcher
+from repro.service.fusion import fused_group_topk
+
+from tests.helpers import assert_topk_correct
+
+
+def _assert_same_results(fused, reference):
+    for got, want in zip(fused, reference):
+        np.testing.assert_array_equal(got.values, want.values)
+        np.testing.assert_array_equal(got.indices, want.indices)
+
+
+def _random_config(rng) -> DrTopKConfig:
+    first = available_algorithms()[int(rng.integers(0, len(available_algorithms())))]
+    second = available_algorithms()[int(rng.integers(0, len(available_algorithms())))]
+    return DrTopKConfig(
+        beta=int(rng.integers(1, 4)),
+        use_filtering=bool(rng.integers(0, 2)),
+        use_beta_rule=bool(rng.integers(0, 2)),
+        first_algorithm=first,
+        second_algorithm=second,
+        skip_second_when_possible=bool(rng.integers(0, 2)),
+        collect_trace=bool(rng.integers(0, 2)),
+    )
+
+
+def _random_vector(rng, n):
+    dtype = [np.int32, np.float32, np.int64][int(rng.integers(0, 3))]
+    if rng.integers(0, 2):
+        # Heavy ties: the regime where "any valid top-k" and "the same
+        # top-k" differ, which is exactly what the contract forbids.
+        v = rng.integers(0, 16, size=n)
+    else:
+        v = rng.integers(0, 2**24, size=n)
+    return v.astype(dtype)
+
+
+class TestEngineLevelEquivalence:
+    """fused_group_topk vs topk_prepared on one shared plan."""
+
+    def test_randomized_grid(self, rng):
+        for _ in range(60):
+            n = int(rng.integers(64, 5000))
+            config = _random_config(rng)
+            engine = DrTopK(config)
+            v = _random_vector(rng, n)
+            largest = bool(rng.integers(0, 2))
+            ks = sorted(
+                int(rng.integers(1, n + 1)) for _ in range(int(rng.integers(1, 6)))
+            )
+            plan = engine.prepare(v, min(ks), largest=largest)
+            reference = [engine.topk_prepared(plan, k) for k in ks]
+            outcome = fused_group_topk(engine, plan, ks)
+            _assert_same_results(outcome.results, reference)
+            for k, res in zip(ks, outcome.results):
+                assert_topk_correct(res, v, k, largest)
+            assert outcome.selection_calls >= 1
+            assert outcome.fused_queries + outcome.fallback_queries == len(ks)
+
+    def test_stats_match_per_query_path(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(128, 3000))
+            engine = DrTopK(_random_config(rng))
+            v = _random_vector(rng, n)
+            ks = [int(rng.integers(1, n + 1)) for _ in range(3)]
+            plan = engine.prepare(v, min(ks), largest=True)
+            reference = [engine.topk_prepared(plan, k) for k in ks]
+            outcome = fused_group_topk(engine, plan, ks)
+            for got, want in zip(outcome.results, reference):
+                assert got.stats is not None and want.stats is not None
+                for fld in (
+                    "qualified_subranges",
+                    "fully_qualified_subranges",
+                    "concatenated_size",
+                    "filtered_out",
+                    "second_topk_skipped",
+                    "delegate_vector_size",
+                ):
+                    assert getattr(got.stats, fld) == getattr(want.stats, fld), fld
+
+    def test_mixed_k_beyond_delegate_size(self, rng):
+        """ks past the delegate regime take the exact degenerate fallback."""
+        n = 512
+        engine = DrTopK()
+        v = _random_vector(rng, n)
+        ks = [4, 16, n // 2, n - 1]  # the large ks cannot be served delegated
+        plan = engine.prepare(v, min(ks), largest=True)
+        reference = [engine.topk_prepared(plan, k) for k in ks]
+        outcome = fused_group_topk(engine, plan, ks)
+        _assert_same_results(outcome.results, reference)
+        assert outcome.fused_queries + outcome.fallback_queries == len(ks)
+
+
+class TestPrefixConsistency:
+    """The class attribute gating shared skip/degenerate passes is honest."""
+
+    @pytest.mark.parametrize("name", available_algorithms())
+    def test_flagged_algorithms_have_consistent_prefixes(self, name, rng):
+        algo = get_algorithm(name)
+        if not algo.prefix_consistent:
+            pytest.skip(f"{name} does not claim prefix consistency")
+        for _ in range(20):
+            n = int(rng.integers(32, 2000))
+            v = rng.integers(0, 8, size=n).astype(np.int64)  # heavy ties
+            kmax = int(rng.integers(2, n + 1))
+            full = algo.topk(v, kmax, largest=True)
+            for k in {1, kmax // 2 or 1, kmax}:
+                sliced = full.indices[:k]
+                single = algo.topk(v, k, largest=True)
+                np.testing.assert_array_equal(sliced, single.indices)
+
+
+class TestBatchLevelEquivalence:
+    """BatchTopK(fused=True) vs BatchTopK(fused=False), same queries."""
+
+    def test_randomized_batches(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(256, 6000))
+            v = _random_vector(rng, n)
+            queries = [
+                (int(rng.integers(1, n + 1)), bool(rng.integers(0, 2)))
+                for _ in range(int(rng.integers(2, 10)))
+            ]
+            config = _random_config(rng)
+            fused = BatchTopK(config, fused=True)
+            unfused = BatchTopK(config, fused=False)
+            _assert_same_results(fused.run(v, queries), unfused.run(v, queries))
+            assert fused.last_report is not None and unfused.last_report is not None
+            assert unfused.last_report.selection_calls == len(queries)
+            assert fused.last_report.selection_calls <= unfused.last_report.selection_calls
+
+    def test_mixed_k_group_prepares_at_max_k(self, rng):
+        """Regression: a group's plan must answer its largest k, not its min.
+
+        One group with ks spanning the delegate regime returns exact
+        per-query results (the old per-query path prepared at ``min_k`` and
+        served larger ks through per-query fallbacks; fused must match it
+        exactly while running one shared pass at ``max(k)``).
+        """
+        n = 1 << 13
+        v = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        ks = [8, 64, 512, 2048]
+        engine = DrTopK()
+        reference = [engine.topk(v, k) for k in ks]
+        batch = BatchTopK(DrTopKConfig(), fused=True)
+        results = batch.run(v, [(k, True) for k in ks])
+        _assert_same_results(results, reference)
+        for k, res in zip(ks, results):
+            assert_topk_correct(res, v, k)
+
+    def test_single_group_counts_one_selection(self, rng):
+        n = 1 << 16
+        v = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        queries = [(100 + i, True) for i in range(16)]
+        batch = BatchTopK(DrTopKConfig(), fused=True)
+        batch.run(v, queries)
+        report = batch.last_report
+        assert report is not None
+        assert report.num_groups == 1
+        assert report.selection_calls == 1
+        assert report.fused_groups == 1
+        assert report.fused_queries == 16
+        assert report.fusion_stage_ms  # per-stage wall-clocks were recorded
+
+
+class TestDispatcherRoutes:
+    """Fused vs unfused dispatchers agree on every route, cold and warm."""
+
+    def _differential(self, make_input, queries, rng, **kwargs):
+        with ServiceDispatcher(
+            num_workers=2, result_cache_capacity=0, fused=True, **kwargs
+        ) as fused, ServiceDispatcher(
+            num_workers=2, result_cache_capacity=0, fused=False, **kwargs
+        ) as unfused:
+            for phase in ("cold", "warm"):
+                got = fused.dispatch(make_input(), queries)
+                want = unfused.dispatch(make_input(), queries)
+                _assert_same_results(got, want)
+                assert fused.last_report is not None
+                assert unfused.last_report is not None
+                yield phase, fused.last_report, unfused.last_report
+
+    def test_batched_route(self, rng):
+        n = 1 << 14
+        v = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        queries = [(64, True)] * 6 + [(200, True), (32, False)]
+        for phase, frep, urep in self._differential(lambda: v, queries, rng):
+            assert frep.route == urep.route == "batched"
+            assert 0 < frep.selection_calls < urep.selection_calls
+            assert frep.fused_queries > 0
+            if phase == "warm":
+                assert frep.constructions == 0
+
+    def test_sharded_route(self, rng):
+        n = 1 << 14
+        v = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        queries = [(64, True)] * 5 + [(100, False)]
+        for _, frep, urep in self._differential(
+            lambda: v, queries, rng, capacity_elements=n // 2
+        ):
+            assert frep.route == urep.route == "sharded"
+            assert 0 < frep.selection_calls < urep.selection_calls
+            assert frep.fused_groups > 0
+
+    def test_streaming_route_with_memo_replay(self, rng):
+        n = 1 << 13
+        v = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        chunks = [v[i : i + 2048] for i in range(0, n, 2048)]
+        queries = [(64, True), (17, True), (8, False)]
+        for phase, frep, urep in self._differential(
+            lambda: iter(chunks), queries, rng, chunk_elements=2048
+        ):
+            assert frep.route == urep.route == "streaming"
+            if phase == "cold":
+                assert frep.selection_calls > 0
+            else:
+                # The warm replay serves every chunk from the memo: zero
+                # pipeline work means zero selection calls at all.
+                assert frep.chunk_memo_hits > 0

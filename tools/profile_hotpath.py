@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""One-command profile of the warm fused dispatch hot path.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hotpath.py [--n 65536] [--batch 16]
+
+Builds the ``hotfuse`` scenario — one batch whose ``k``\\ s share a single
+Rule-4 ``alpha`` group, dispatched by a single worker with the result cache
+disabled — dispatches it once cold (banking the plan, pooling the arena),
+then profiles one **warm** replay two ways:
+
+* the fusion path's own per-stage ``time.perf_counter`` wall-clocks
+  (``first/gather/refine/second/fallback``), printed as a stage table with
+  each stage's share of the measured dispatch wall; and
+* ``cProfile`` over the same replay, printed as the top cumulative-time
+  functions restricted to ``repro`` frames (pass ``--top 0`` to skip).
+
+The full ``hotfuse`` experiment rows (the same schema the harness runner
+and ``benchmarks/test_hotfuse.py`` emit) are written next to the benchmark
+series — ``<out>/hotfuse_profile.csv`` / ``.txt`` — so profiles land next
+to benchmarks, plus ``<out>/profile_hotpath.txt`` with the cProfile dump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results"
+
+
+def stage_table(report, wall_ms: float) -> str:
+    """The fused per-stage wall-clocks as a share-of-dispatch table."""
+    lines = [f"{'stage':<12} {'ms':>10} {'% of dispatch':>14}"]
+    for name, ms in sorted(report.fusion_stage_ms.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * ms / wall_ms if wall_ms else 0.0
+        lines.append(f"{name:<12} {ms:>10.4f} {share:>13.1f}%")
+    other = wall_ms - sum(report.fusion_stage_ms.values())
+    lines.append(f"{'(other)':<12} {other:>10.4f} "
+                 f"{100.0 * other / wall_ms if wall_ms else 0.0:>13.1f}%")
+    lines.append(f"{'total':<12} {wall_ms:>10.4f} {'100.0%':>14}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=1 << 16, help="vector size")
+    parser.add_argument("--batch", type=int, default=16, help="queries per batch")
+    parser.add_argument("--warm-rounds", type=int, default=3,
+                        help="warm replays per experiment row (min wall kept)")
+    parser.add_argument("--dataset", default="UD", help="dataset distribution")
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--top", type=int, default=15,
+                        help="cProfile rows to print (0 disables cProfile)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="directory for the emitted rows and profile dump")
+    args = parser.parse_args(argv)
+
+    from repro.harness import experiments
+    from repro.harness.reporting import format_table, rows_to_csv
+    from repro.service.dispatcher import ServiceDispatcher
+
+    # -- the harness rows: same schema as the runner / benchmark gate ------
+    rows = experiments.hotfuse(
+        n=args.n, batch=args.batch, dataset=args.dataset,
+        seed=args.seed, warm_rounds=args.warm_rounds,
+    )
+    args.out.mkdir(parents=True, exist_ok=True)
+    table = format_table(rows, title="hotfuse_profile")
+    (args.out / "hotfuse_profile.txt").write_text(table + "\n", encoding="utf-8")
+    (args.out / "hotfuse_profile.csv").write_text(
+        rows_to_csv(rows), encoding="utf-8")
+    print(table)
+    print()
+
+    # -- one instrumented warm replay: stage shares + cProfile -------------
+    v = experiments._dataset_vector(args.dataset, args.n, args.seed)
+    queries = [(100 + i, True) for i in range(args.batch)]
+    with ServiceDispatcher(num_workers=1, result_cache_capacity=0) as d:
+        d.dispatch(v, queries)  # cold: bank the plan, pool the arena
+        profiler = cProfile.Profile()
+        profiler.enable()
+        start = time.perf_counter()
+        d.dispatch(v, queries)
+        wall_ms = (time.perf_counter() - start) * 1e3
+        profiler.disable()
+        report = d.last_report
+    assert report is not None
+
+    print(f"warm fused dispatch: {args.batch} queries, n={args.n}, "
+          f"{report.selection_calls} selection pass(es), "
+          f"arena hits {report.arena_hits} / misses {report.arena_misses}")
+    print(stage_table(report, wall_ms))
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf).sort_stats("cumulative")
+    stats.print_stats("repro")
+    (args.out / "profile_hotpath.txt").write_text(buf.getvalue(), encoding="utf-8")
+    if args.top:
+        shown = 0
+        for line in buf.getvalue().splitlines():
+            print(line)
+            if line.strip() and line.lstrip()[0].isdigit() and "/" not in line[:12]:
+                shown += 1
+            if shown >= args.top:
+                break
+    print(f"\nrows -> {args.out / 'hotfuse_profile.csv'}")
+    print(f"profile -> {args.out / 'profile_hotpath.txt'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
