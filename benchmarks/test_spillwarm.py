@@ -1,0 +1,85 @@
+"""Service layer — durable spill tier and zero-rescan warm-restart acceptance.
+
+Not a paper figure: this benchmark holds the line on the out-of-core serving
+contract.  The ``spillwarm`` experiment admits a working set **4x** the
+store's RAM byte budget into a spill-backed dispatcher, serves every name,
+persists the state, then restarts into a brand-new dispatcher over the same
+directory.  The acceptance criteria:
+
+* **admit**: exactly one ``fingerprint_array`` call per vector — admission
+  is the only phase allowed to hash;
+* **serve**: every name answers with values *and* indices element-wise
+  identical to an all-resident reference dispatcher while the resident
+  bytes never exceed the budget, and at least one answer is served straight
+  off a spill-tier mmap view (the set cannot fit, so some must);
+* **restart**: ``load_state`` re-attaches the manifest with **zero**
+  fingerprint calls, and every name's first post-restart query reports zero
+  constructions and zero construction bytes (plans all bank hits, rebuilt
+  over the spill mmaps at load) with identical answers;
+* **readmit**: ``admit(name)`` with no vector re-warms a spilled name from
+  the manifest alone — zero fingerprint calls, zero constructions,
+  identical answers.
+
+Wall-clock is recorded but deliberately un-gated — the contract is the
+work accounting (hash/scan counters) and bit-exactness, which are
+deterministic per seed on any host.
+"""
+
+from benchmarks.conftest import scaled
+from repro.harness import experiments
+
+NAMES = 8
+
+
+def test_spillwarm_out_of_core_and_warm_restart(benchmark, record_rows):
+    rows = record_rows(
+        benchmark,
+        "spillwarm",
+        experiments.spillwarm,
+        n=scaled(1 << 14),
+        names=NAMES,
+    )
+    by_phase = {}
+    for row in rows:
+        by_phase.setdefault(row["phase"], []).append(row)
+    assert set(by_phase) == {"admit", "serve", "save", "load", "restart", "readmit"}
+
+    # The working set genuinely exceeds RAM: 4x the byte budget.
+    for row in rows:
+        assert row["working_set_bytes"] >= 4 * row["budget_bytes"]
+
+    admits = by_phase["admit"]
+    assert len(admits) == NAMES
+    for row in admits:
+        assert row["fingerprint_calls"] == 1, "admission must hash exactly once"
+
+    serves = by_phase["serve"]
+    assert len(serves) == NAMES
+    for row in serves:
+        assert row["identical"], f"{row['name']}: out-of-core answers differ"
+        assert row["within_budget"], f"{row['name']}: resident bytes over budget"
+        assert row["fingerprint_calls"] == 0
+    assert any(row["spill_serves"] > 0 for row in serves)
+
+    (save,) = by_phase["save"]
+    assert save["spilled_bytes"] >= save["budget_bytes"]
+    assert save["plan_bank_hits"] > 0, "save_state recorded no plan geometry"
+
+    (load,) = by_phase["load"]
+    assert load["fingerprint_calls"] == 0, "warm restart re-hashed content"
+    assert load["queries"] == NAMES
+    assert load["plan_bank_hits"] > 0, "warm restart rebuilt no plans"
+
+    restarts = by_phase["restart"]
+    assert len(restarts) == NAMES
+    for row in restarts:
+        assert row["identical"], f"{row['name']}: post-restart answers differ"
+        assert row["fingerprint_calls"] == 0
+        assert row["constructions"] == 0, "post-restart query re-scanned"
+        assert row["construction_bytes"] == 0.0
+        assert row["plan_bank_hits"] > 0
+
+    (readmit,) = by_phase["readmit"]
+    assert readmit["identical"]
+    assert readmit["fingerprint_calls"] == 0, "re-admission re-hashed content"
+    assert readmit["constructions"] == 0, "re-admission re-scanned content"

@@ -558,7 +558,16 @@ def _shard_batch_worker(
             shard_fp = (shard_fingerprints or {}).get((start, stop))
             if shard_fp is None:
                 shard_fp = fingerprint_array(sub_v)
-        groups = group_queries_by_plan([parsed[p] for p in served], sub_n, cache, engine)
+        # Bank-aware snapping keyed by the *shard's* fingerprint: a served
+        # shard regroups near-miss exponents onto its banked plans too.
+        groups = group_queries_by_plan(
+            [parsed[p] for p in served],
+            sub_n,
+            cache,
+            engine,
+            plan_bank=plan_bank,
+            fingerprint=shard_fp,
+        )
         for (alpha, largest), members in groups.items():
             positions = [served[m] for m in members]
             min_k = min(parsed[p].k for p in positions)

@@ -54,6 +54,7 @@ __all__ = [
     "splitgroup_dispatch",
     "hotfuse",
     "loadgen_slo",
+    "spillwarm",
 ]
 
 #: Default measured input size (kept modest so the full harness runs quickly).
@@ -1559,4 +1560,216 @@ def hotfuse(
             for a, b in zip(want, got)
         )
         row("process", "sharded", report, wall, identical)
+    return rows
+
+
+def spillwarm(
+    n: int = 1 << 14,
+    names: int = 8,
+    num_workers: int = 2,
+    dataset: str = "UD",
+    seed: int = DEFAULT_SEED,
+    spill_dir: Optional[str] = None,
+) -> List[Dict]:
+    """Out-of-core serving and warm restart through the durable spill tier.
+
+    A working set of ``names`` vectors — **4x** the store's RAM byte budget —
+    is admitted into a spill-backed dispatcher (plans pre-warmed with
+    ``warm_mode="prepare"``, one fingerprint call per vector and none after),
+    then five phases, one row each per name or per step:
+
+    * ``admit`` — admission cost: ``fingerprint_calls`` must be exactly 1
+      per vector; eviction pressure spills cold-and-large victims to disk
+      instead of dropping them.
+    * ``serve`` — every name answers the full ``k`` mix while only a quarter
+      of the set fits in RAM.  ``identical`` certifies values *and* indices
+      element-wise against an all-resident reference dispatcher;
+      ``within_budget`` certifies the resident bytes never exceeded the
+      budget; ``spill_serves`` counts answers served straight off read-only
+      mmap views.
+    * ``save`` — :meth:`ServiceDispatcher.save_state` persists the resident
+      remainder and the plan bank's geometry into the manifest.
+    * ``restart`` — a **new** dispatcher over the same directory:
+      ``load_state`` re-attaches the manifest and rebuilds plans over the
+      spill files' mmaps with **zero** ``fingerprint_array`` calls, then
+      every name's first query must show zero constructions and zero
+      construction bytes (``plan_bank_hits`` > 0) with identical answers.
+    * ``readmit`` — ``admit(name)`` with no vector re-warms one spilled
+      name from the manifest alone: zero fingerprint calls, zero
+      constructions, identical answers.
+
+    ``spill_dir=None`` uses a fresh temporary directory (removed at exit);
+    the result cache is disabled throughout so only the spill tier and the
+    plan bank can remove work.
+    """
+    import tempfile
+
+    from repro.service.cache import fingerprint_call_count
+    from repro.service.dispatcher import ServiceDispatcher
+
+    if names < 4:
+        raise ConfigurationError("names must be >= 4 (the budget is names/4)")
+    ks = [8, 32, 128]
+    queries = [(int(k), True) for k in ks if k <= n]
+    vectors = {
+        f"vec{i}": _dataset_vector(dataset, n, seed + i) for i in range(int(names))
+    }
+    one = next(iter(vectors.values())).nbytes
+    # RAM budget: a quarter of the working set, so serving the full set is
+    # necessarily out-of-core.
+    budget = one * (int(names) // 4)
+
+    rows: List[Dict] = []
+
+    def row(name: str, phase: str, **extra) -> None:
+        base = {
+            "name": name,
+            "phase": phase,
+            "queries": 0,
+            "constructions": 0,
+            "construction_bytes": 0.0,
+            "plan_bank_hits": 0,
+            "fingerprint_calls": 0,
+            "spill_serves": 0,
+            "resident_bytes": 0,
+            "spilled_bytes": 0,
+            "budget_bytes": budget,
+            "working_set_bytes": one * int(names),
+            "within_budget": True,
+            "identical": True,
+        }
+        base.update(extra)
+        rows.append(base)
+
+    # All-resident reference answers (budget covers the full set, no spill).
+    references = {}
+    with ServiceDispatcher(
+        num_workers=num_workers,
+        result_cache_capacity=0,
+        store_bytes=one * int(names),
+    ) as fresh:
+        for name, v in vectors.items():
+            fresh.admit(name, v.copy())
+            references[name] = fresh.query(name, queries)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = spill_dir or tmp
+        with ServiceDispatcher(
+            num_workers=num_workers,
+            result_cache_capacity=0,
+            store_bytes=budget,
+            spill_dir=path,
+        ) as d:
+            for name, v in vectors.items():
+                before = fingerprint_call_count()
+                d.admit(name, v, warm=queries, warm_mode="prepare")
+                warmup = d.last_report
+                assert warmup is not None
+                row(
+                    name,
+                    "admit",
+                    queries=len(queries),
+                    constructions=warmup.constructions,
+                    construction_bytes=warmup.construction_bytes,
+                    fingerprint_calls=fingerprint_call_count() - before,
+                )
+
+            assert d.store is not None
+            for name in vectors:
+                before = fingerprint_call_count()
+                results = d.query(name, queries)
+                report = d.last_report
+                assert report is not None
+                store_info = report.store
+                assert store_info is not None
+                row(
+                    name,
+                    "serve",
+                    queries=len(results),
+                    constructions=report.constructions,
+                    construction_bytes=report.construction_bytes,
+                    plan_bank_hits=report.plan_bank_hits,
+                    fingerprint_calls=fingerprint_call_count() - before,
+                    spill_serves=report.spill_serves,
+                    resident_bytes=store_info.bytes,
+                    spilled_bytes=store_info.spilled_bytes,
+                    within_budget=store_info.bytes <= budget,
+                    identical=all(
+                        np.array_equal(a.values, b.values)
+                        and np.array_equal(a.indices, b.indices)
+                        for a, b in zip(references[name], results)
+                    ),
+                )
+
+            save = d.save_state()
+            row(
+                "*",
+                "save",
+                queries=save.names_saved,
+                plan_bank_hits=save.plan_rows,
+                spilled_bytes=save.spilled_bytes,
+            )
+
+        # A brand-new process's dispatcher over the same directory: the warm
+        # restart must re-hash and re-scan nothing.
+        with ServiceDispatcher(
+            num_workers=num_workers,
+            result_cache_capacity=0,
+            store_bytes=budget,
+            spill_dir=path,
+        ) as d2:
+            before = fingerprint_call_count()
+            restore = d2.load_state()
+            row(
+                "*",
+                "load",
+                queries=restore.names,
+                plan_bank_hits=restore.plans_warmed,
+                fingerprint_calls=fingerprint_call_count() - before,
+                spilled_bytes=restore.spilled_bytes,
+            )
+            for name in vectors:
+                before = fingerprint_call_count()
+                results = d2.query(name, queries)
+                report = d2.last_report
+                assert report is not None
+                row(
+                    name,
+                    "restart",
+                    queries=len(results),
+                    constructions=report.constructions,
+                    construction_bytes=report.construction_bytes,
+                    plan_bank_hits=report.plan_bank_hits,
+                    fingerprint_calls=fingerprint_call_count() - before,
+                    spill_serves=report.spill_serves,
+                    identical=all(
+                        np.array_equal(a.values, b.values)
+                        and np.array_equal(a.indices, b.indices)
+                        for a, b in zip(references[name], results)
+                    ),
+                )
+
+            assert d2.store is not None
+            target = next(
+                name for name in vectors if name not in d2.store.names()
+            )
+            before = fingerprint_call_count()
+            d2.admit(target)
+            results = d2.query(target, queries)
+            report = d2.last_report
+            assert report is not None
+            row(
+                target,
+                "readmit",
+                queries=len(results),
+                constructions=report.constructions,
+                construction_bytes=report.construction_bytes,
+                plan_bank_hits=report.plan_bank_hits,
+                fingerprint_calls=fingerprint_call_count() - before,
+                identical=all(
+                    np.array_equal(a.values, b.values)
+                    and np.array_equal(a.indices, b.indices)
+                    for a, b in zip(references[target], results)
+                ),
+            )
     return rows

@@ -62,6 +62,10 @@ _EXPERIMENTS: Dict[str, Tuple[Callable[..., List[dict]], str]] = {
         experiments.loadgen_slo,
         "tail latency, queue wait and admission control under generated load",
     ),
+    "spillwarm": (
+        experiments.spillwarm,
+        "out-of-core serving over the spill tier and zero-rescan warm restart",
+    ),
 }
 
 

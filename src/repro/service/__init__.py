@@ -34,6 +34,15 @@ caching instead of owning private loops:
   device capacity, per shard), made read-only, and served with zero
   re-fingerprinting; a byte-budgeted LRU with pin/unpin whose evictions
   cascade into the plan bank and result cache.
+* :class:`~repro.service.spill.SpillDirectory` — the durable second tier
+  behind ``ServiceDispatcher(spill_dir=...)``: store eviction *spills*
+  vectors to content-addressed mmap-backed files (victims chosen
+  cold-and-large first from query history × resident bytes) instead of
+  dropping them, spilled names keep serving over read-only mmap views
+  (promoted back to RAM on hotness), and an atomic, lock-guarded JSON
+  manifest persists fingerprints, query history and banked plan geometry —
+  so ``save_state()`` / ``load_state()`` give a warm restart whose first
+  dispatch re-hashes and re-scans nothing.
 * :class:`~repro.service.executor.ServiceExecutor` /
   :class:`~repro.service.router.Router` — the execution core itself, usable
   directly by new routes.  ``mode="process"`` runs picklable work units on
@@ -100,9 +109,12 @@ from repro.service.loadgen import (
 from repro.service.planbank import ChunkMemo, PlanBank
 from repro.service.router import BatchedPlan, GroupShare, Router, tune_min_split_work
 from repro.service.sharedmem import SharedArray, SharedArrayRef, attached
+from repro.service.spill import SpillDirectory, SpillEntry, SpillInfo
 from repro.service.store import StoredVector, VectorStore
 from repro.service.dispatcher import (
     DispatchReport,
+    RestoreReport,
+    SaveReport,
     ServiceDispatcher,
     WorkerReport,
     dispatch_topk,
@@ -129,7 +141,12 @@ __all__ = [
     "ServiceDispatcher",
     "DispatchReport",
     "WorkerReport",
+    "SaveReport",
+    "RestoreReport",
     "dispatch_topk",
+    "SpillDirectory",
+    "SpillEntry",
+    "SpillInfo",
     "PartitionCache",
     "ResultCache",
     "PlanBank",

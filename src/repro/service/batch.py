@@ -52,10 +52,25 @@ from repro.service.planbank import PlanBank
 from repro.types import TopKResult, WorkloadStats
 from repro.utils import check_k, ensure_1d
 
-__all__ = ["TopKQuery", "BatchReport", "BatchTopK", "batch_topk", "group_queries_by_plan"]
+__all__ = [
+    "TopKQuery",
+    "BatchReport",
+    "BatchTopK",
+    "batch_topk",
+    "group_queries_by_plan",
+    "modelled_query_cost",
+    "DEFAULT_ALPHA_SNAP_TOLERANCE",
+]
 
 #: Accepted query spellings: ``k``, ``(k,)``, ``(k, largest)`` or TopKQuery.
 QueryLike = Union[int, Tuple, "TopKQuery"]
+
+#: Bank-aware alpha snapping: a query whose resolved Rule-4 ``alpha`` is a
+#: bank miss may be regrouped under a *banked* neighbouring exponent when the
+#: modelled per-query cost grows by at most this fraction.  ``alpha`` only
+#: tunes performance — any valid exponent returns exact answers — so a snap
+#: trades a bounded amount of modelled work for skipping an O(n) rebuild.
+DEFAULT_ALPHA_SNAP_TOLERANCE = 0.25
 
 
 @dataclass(frozen=True)
@@ -83,11 +98,67 @@ class TopKQuery:
         )
 
 
+def modelled_query_cost(n: int, k: int, alpha: int, beta: int) -> float:
+    """Modelled per-query serving cost at a given subrange exponent.
+
+    The concatenated second-pass vector holds ``min(num_subranges * beta, n)``
+    elements and selection work scales with ``k`` — the same first-order
+    model Rule 4 optimises and the router's placement weights use.  Only
+    *relative* costs matter (the alpha snap compares two exponents).
+    """
+    subrange = 1 << int(alpha)
+    num_subranges = -(-int(n) // subrange)
+    m = min(num_subranges * min(int(beta), subrange), int(n))
+    return float(m + 4 * int(k))
+
+
+def _snap_alpha(
+    n: int,
+    k: int,
+    alpha: int,
+    beta: int,
+    candidates: Sequence[QueryPlan],
+    tolerance: float,
+) -> int:
+    """Resolved exponent, possibly snapped to a banked neighbour.
+
+    Keeps ``alpha`` when it is already banked, when no compatible candidate
+    answers ``k`` exactly, or when every candidate's modelled cost exceeds
+    ``(1 + tolerance)`` times the resolved exponent's.  Deterministic:
+    ties prefer the cheapest candidate, then the nearest exponent.
+    """
+    if not candidates:
+        return alpha
+    for plan in candidates:
+        if int(plan.alpha) == alpha:
+            return alpha  # exact bank hit; nothing to snap
+    budget = (1.0 + tolerance) * modelled_query_cost(n, k, alpha, beta)
+    best: Optional[Tuple[Tuple[float, int, int], int]] = None
+    for plan in candidates:
+        if int(plan.n) != int(n):
+            continue
+        if plan.beta != min(int(beta), plan.partition.subrange_size):
+            continue  # banked under an incompatible configuration
+        if not plan.answers(k):
+            continue  # would force the exact-fallback path: not a warm hit
+        cand = int(plan.alpha)
+        cost = modelled_query_cost(n, k, cand, beta)
+        if cost > budget:
+            continue
+        rank = (cost, abs(cand - alpha), cand)
+        if best is None or rank < best[0]:
+            best = (rank, cand)
+    return alpha if best is None else best[1]
+
+
 def group_queries_by_plan(
     parsed: Sequence["TopKQuery"],
     n: int,
     cache: Optional[PartitionCache],
     engine: DrTopK,
+    plan_bank: Optional[PlanBank] = None,
+    fingerprint: Optional[str] = None,
+    snap_tolerance: Optional[float] = DEFAULT_ALPHA_SNAP_TOLERANCE,
 ) -> Dict[Tuple[int, bool], List[int]]:
     """Group query positions by the plan they can share.
 
@@ -97,13 +168,36 @@ def group_queries_by_plan(
     used by :class:`BatchTopK`, the router's worker placement and the sharded
     multi-GPU batch — keeping "what can be amortised" identical across every
     route.  ``cache`` (when given) memoises the ``(n, k) → alpha`` resolution.
+
+    With ``plan_bank`` and ``fingerprint`` both given, bank-aware snapping
+    applies on top: a query whose resolved exponent is *not* banked regroups
+    under a banked neighbouring exponent whenever the modelled cost gap stays
+    within ``snap_tolerance`` (and the banked plan answers the query's ``k``
+    exactly) — a near-miss becomes a warm hit instead of an O(n) rebuild.
+    Snapping never changes answers, only which exact plan serves them.
     """
     groups: Dict[Tuple[int, bool], List[int]] = {}
+    snapping = (
+        plan_bank is not None
+        and fingerprint is not None
+        and snap_tolerance is not None
+        and snap_tolerance > 0
+    )
+    banked: Optional[Dict[bool, List[QueryPlan]]] = None
+    beta = engine.config.beta
     for pos, q in enumerate(parsed):
         if cache is not None:
             alpha = cache.resolve(n, q.k, engine)
         else:
             alpha = engine._resolve_alpha(int(n), q.k)
+        if snapping:
+            if banked is None:  # one bank walk per call, not per query
+                banked = {}
+                for plan in plan_bank.banked_plans(fingerprint):
+                    banked.setdefault(bool(plan.largest), []).append(plan)
+            alpha = _snap_alpha(
+                n, q.k, alpha, beta, banked.get(q.largest, ()), snap_tolerance
+            )
         groups.setdefault((alpha, q.largest), []).append(pos)
     return groups
 
@@ -220,6 +314,9 @@ class BatchTopK:
         at the group's ``max(k)`` instead of one ``topk_prepared`` call per
         query, with per-query-identical results.  ``False`` keeps the
         per-query loop (the differential baseline).
+    snap_tolerance:
+        Modelled-cost headroom for bank-aware alpha snapping (see
+        :func:`group_queries_by_plan`); ``None`` or ``0`` disables snapping.
     """
 
     def __init__(
@@ -228,6 +325,7 @@ class BatchTopK:
         cache: Optional[PartitionCache] = None,
         plan_bank: Optional[PlanBank] = None,
         fused: bool = True,
+        snap_tolerance: Optional[float] = DEFAULT_ALPHA_SNAP_TOLERANCE,
     ):
         self.engine = DrTopK(config)
         # Not `cache or ...`: an empty cache is falsy (it has __len__ == 0)
@@ -235,6 +333,7 @@ class BatchTopK:
         self.cache = cache if cache is not None else PartitionCache()
         self.plan_bank = plan_bank
         self.fused = bool(fused)
+        self.snap_tolerance = snap_tolerance
         self.last_report: Optional[BatchReport] = None
 
     @property
@@ -288,14 +387,26 @@ class BatchTopK:
         for q in parsed:
             check_k(q.k, n)
 
-        # Group queries sharing a plan: same resolved alpha, same key order.
-        groups = group_queries_by_plan(parsed, n, self.cache, self.engine)
+        # Resolve the fingerprint *before* grouping: bank-aware alpha
+        # snapping needs to see the banked exponents for this content.
+        if self.plan_bank is not None and fingerprint is None:
+            fingerprint = fingerprint_array(v)
+
+        # Group queries sharing a plan: same resolved alpha, same key order
+        # — with near-miss exponents snapped onto banked neighbours.
+        groups = group_queries_by_plan(
+            parsed,
+            n,
+            self.cache,
+            self.engine,
+            plan_bank=self.plan_bank,
+            fingerprint=fingerprint,
+            snap_tolerance=self.snap_tolerance,
+        )
 
         results: List[Optional[TopKResult]] = [None] * len(parsed)
         report.num_groups = len(groups)
         collect = self.config.collect_trace
-        if self.plan_bank is not None and fingerprint is None:
-            fingerprint = fingerprint_array(v)
 
         for (alpha, largest), positions in groups.items():
             # The construction *gate* stays at min(k): the plan is built

@@ -87,7 +87,11 @@ class CacheInfo:
     ``bytes``/``capacity_bytes`` are only populated by byte-budgeted caches
     (the :class:`~repro.service.planbank.PlanBank` and
     :class:`~repro.service.planbank.ChunkMemo`); entry-count caches leave
-    them zero.
+    them zero.  The ``spilled*`` block is only populated by a
+    :class:`~repro.service.store.VectorStore` wired to a
+    :class:`~repro.service.spill.SpillDirectory`: entries demoted to the
+    mmap tier, bytes they hold on disk, queries served straight over spill
+    views, and promotions back into RAM.
     """
 
     hits: int = 0
@@ -97,6 +101,10 @@ class CacheInfo:
     capacity: int = 0
     bytes: int = 0
     capacity_bytes: int = 0
+    spilled: int = 0
+    spilled_bytes: int = 0
+    spill_hits: int = 0
+    promotions: int = 0
 
 
 def fingerprint_array(v: np.ndarray) -> str:

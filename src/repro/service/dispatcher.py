@@ -69,11 +69,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import DrTopKConfig
+from repro.core.plan import QueryPlan
 from repro.distributed.comm import CommCost, SimulatedComm
 from repro.distributed.multigpu import MultiGpuDrTopK
 from repro.distributed.partition import MAX_SUBVECTOR_ELEMENTS
 from repro.errors import ConfigurationError
-from repro.service.batch import BatchTopK, QueryLike, TopKQuery
+from repro.service.batch import (
+    DEFAULT_ALPHA_SNAP_TOLERANCE,
+    BatchTopK,
+    QueryLike,
+    TopKQuery,
+    group_queries_by_plan,
+)
 from repro.service.cache import CacheInfo, PartitionCache, ResultCache, fingerprint_array
 from repro.service.executor import ServiceExecutor, UnitResult
 from repro.service.fusion import ArenaInfo, arena_info
@@ -89,7 +96,13 @@ from repro.service.router import (
     Router,
 )
 from repro.service.sharedmem import SharedArray
-from repro.service.store import DEFAULT_STORE_BYTES, StoredVector, VectorStore
+from repro.service.spill import SpillDirectory
+from repro.service.store import (
+    DEFAULT_PROMOTE_AFTER,
+    DEFAULT_STORE_BYTES,
+    StoredVector,
+    VectorStore,
+)
 from repro.service.streaming import (
     DEFAULT_CHUNK_ELEMENTS,
     merge_candidate_pool,
@@ -98,7 +111,14 @@ from repro.service.streaming import (
 from repro.types import TopKResult
 from repro.utils import check_k, ensure_1d
 
-__all__ = ["ServiceDispatcher", "DispatchReport", "WorkerReport", "dispatch_topk"]
+__all__ = [
+    "ServiceDispatcher",
+    "DispatchReport",
+    "WorkerReport",
+    "SaveReport",
+    "RestoreReport",
+    "dispatch_topk",
+]
 
 
 @dataclass
@@ -194,6 +214,9 @@ class DispatchReport:
     unit_queue_ms_sum: float = 0.0
     max_unit_queue_ms: float = 0.0
     backpressure_waits: int = 0
+    #: Queries this dispatch served over a spill-tier mmap view (the named
+    #: vector was not resident in RAM; zero without a spill directory).
+    spill_serves: int = 0
 
     @property
     def compute_ms(self) -> float:
@@ -224,6 +247,42 @@ class DispatchReport:
         if not loads or total <= 0.0:
             return 1.0
         return max(loads) * len(loads) / total
+
+
+@dataclass(frozen=True)
+class SaveReport:
+    """Outcome of one :meth:`ServiceDispatcher.save_state` call."""
+
+    #: Resident vectors persisted to the spill directory this call.
+    names_saved: int = 0
+    #: Plan-geometry rows now recorded in the manifest (cumulative).
+    plan_rows: int = 0
+    #: Total bytes of vector data the spill directory references.
+    spilled_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class RestoreReport:
+    """Outcome of one :meth:`ServiceDispatcher.load_state` call.
+
+    ``plans_warmed`` counts manifest geometry rows now live in the plan bank
+    (rebuilt over the spill files' mmap views, or already banked); a warmed
+    row means the *serving path* records zero constructions and zero
+    construction bytes for that key.  The rebuild itself runs off the
+    serving path, at load time, and never re-fingerprints anything.
+    """
+
+    #: Spilled names the manifest restored (all serveable immediately).
+    names: int = 0
+    #: Bytes of spilled vector data backing them.
+    spilled_bytes: int = 0
+    #: Plan-geometry rows now banked (warm for the first dispatch).
+    plans_warmed: int = 0
+    #: Manifest rows skipped (unknown fingerprint, stale geometry, or an
+    #: unreadable spill file) — the restore degrades, never crashes.
+    plans_skipped: int = 0
+    #: Query-history counts replayed into the router.
+    queries_restored: int = 0
 
 
 class ServiceDispatcher:
@@ -284,6 +343,22 @@ class ServiceDispatcher:
         ``max(k)`` instead of one per query) on every route.  ``False``
         restores the per-query path — the differential baseline the fused
         path is certified against.
+    spill_dir:
+        Optional path of a durable :class:`~repro.service.spill.SpillDirectory`.
+        With one attached, store eviction *spills* instead of drops (victims
+        chosen cold-and-large first), queries over spilled names serve
+        directly from read-only mmap views, and
+        :meth:`save_state` / :meth:`load_state` persist and re-warm the whole
+        working set (vectors, fingerprints, query history and banked plan
+        geometry) across restarts.  Requires the named store
+        (``store_bytes > 0``).
+    promote_after:
+        Spill hits after which a spilled name is promoted back into RAM
+        (``0`` keeps serving over the mmap view forever).
+    snap_tolerance:
+        Modelled-cost headroom for bank-aware alpha snapping (see
+        :func:`~repro.service.batch.group_queries_by_plan`); ``None``/``0``
+        disables snapping.
     """
 
     def __init__(
@@ -304,6 +379,9 @@ class ServiceDispatcher:
         split_threshold: Optional[float] = DEFAULT_SPLIT_THRESHOLD,
         min_split_work: float = DEFAULT_MIN_SPLIT_WORK,
         fused: bool = True,
+        spill_dir: Optional[str] = None,
+        promote_after: int = DEFAULT_PROMOTE_AFTER,
+        snap_tolerance: Optional[float] = DEFAULT_ALPHA_SNAP_TOLERANCE,
     ):
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
@@ -335,8 +413,24 @@ class ServiceDispatcher:
         self.chunk_memo: Optional[ChunkMemo] = (
             ChunkMemo(chunk_memo_bytes) if chunk_memo_bytes else None
         )
+        if spill_dir is not None and not store_bytes:
+            raise ConfigurationError(
+                "spill_dir requires the named-vector store (store_bytes > 0)"
+            )
+        self._spill: Optional[SpillDirectory] = (
+            SpillDirectory(spill_dir) if spill_dir is not None else None
+        )
+        self._snap_tolerance = snap_tolerance
         self.store: Optional[VectorStore] = (
-            VectorStore(store_bytes, on_evict=self._release_vector)
+            VectorStore(
+                store_bytes,
+                on_evict=self._release_vector,
+                spill=self._spill,
+                promote_after=promote_after,
+                # Bound late: the router is created a few lines below, and
+                # the hook only runs at eviction time.
+                query_history=lambda fp: self.router.query_history(fp),
+            )
             if store_bytes
             else None
         )
@@ -347,6 +441,7 @@ class ServiceDispatcher:
                 cache=self.cache,
                 plan_bank=self.plan_bank,
                 fused=self.fused,
+                snap_tolerance=snap_tolerance,
             )
             for _ in range(self.num_workers)
         ]
@@ -360,6 +455,7 @@ class ServiceDispatcher:
             plan_bank=self.plan_bank,
             split_threshold=split_threshold,
             min_split_work=min_split_work,
+            snap_tolerance=snap_tolerance,
         )
         # Shared-memory copies of admitted sharded vectors (process mode),
         # keyed by content fingerprint; owned here, destroyed on evict or
@@ -462,9 +558,10 @@ class ServiceDispatcher:
     def admit(
         self,
         name: str,
-        vector,
+        vector=None,
         pin: bool = False,
         warm: Optional[Sequence[QueryLike]] = None,
+        warm_mode: str = "dispatch",
     ) -> StoredVector:
         """Admit one named vector into the serving working set.
 
@@ -474,43 +571,64 @@ class ServiceDispatcher:
         later :meth:`query` ever re-hashes it.  ``warm`` (optional) names
         queries to serve immediately at admission: their plans land in the
         :class:`PlanBank`, so even the *first* external query with any
-        same-``alpha`` ``k`` is zero-rescan.  Re-admitting a name with
-        changed content replaces the entry and releases the old content's
-        cached plans/results.
+        same-``alpha`` ``k`` is zero-rescan.  ``warm_mode`` picks how:
+        ``"dispatch"`` (default) serves the warm queries end to end,
+        ``"prepare"`` only *constructs and banks* their plans — per shard on
+        the sharded route — without routing, executing, or producing results
+        (cheaper, and available before the executor has ever spun up).
+        Re-admitting a name with changed content replaces the entry and
+        releases the old content's cached plans/results.
+
+        With a spill directory attached, ``vector=None`` re-admits a
+        previously spilled ``name`` from disk: content, fingerprints, and
+        query history come from the manifest, and any plan geometry recorded
+        for the content is rebuilt — zero ``fingerprint_array`` calls.
         """
         if self.store is None:
             raise ConfigurationError(
                 "the named-vector store is disabled (store_bytes=0)"
             )
-        vector = ensure_1d(vector)
-        shard_fps: Optional[Dict[Tuple[int, int], str]] = None
-        if vector.shape[0] > self.capacity_elements:
-            # The sharded route banks plans per shard, keyed by the shard's
-            # own fingerprint — precompute them against the exact partition
-            # topk_batch will use, so warm sharded queries hash nothing.
-            from repro.distributed.partition import plan_partition
-
-            plan = plan_partition(
-                vector.shape[0], self.num_workers, self.capacity_elements
+        if warm_mode not in ("dispatch", "prepare"):
+            raise ConfigurationError(
+                f"warm_mode must be 'dispatch' or 'prepare', got {warm_mode!r}"
             )
-            shard_fps = {
-                (start, stop): fingerprint_array(vector[start:stop])
-                for start, stop in plan.subvector_bounds
-            }
-        entry = self.store.admit(
-            name, vector, shard_fingerprints=shard_fps, pin=pin
-        )
+        if vector is None:
+            entry = self.store.admit(name, pin=pin)
+            self._rewarm_plans(entry)
+        else:
+            vector = ensure_1d(vector)
+            shard_fps: Optional[Dict[Tuple[int, int], str]] = None
+            if vector.shape[0] > self.capacity_elements:
+                # The sharded route banks plans per shard, keyed by the
+                # shard's own fingerprint — precompute them against the exact
+                # partition topk_batch will use, so warm sharded queries hash
+                # nothing.
+                from repro.distributed.partition import plan_partition
+
+                plan = plan_partition(
+                    vector.shape[0], self.num_workers, self.capacity_elements
+                )
+                shard_fps = {
+                    (start, stop): fingerprint_array(vector[start:stop])
+                    for start, stop in plan.subvector_bounds
+                }
+            entry = self.store.admit(
+                name, vector, shard_fingerprints=shard_fps, pin=pin
+            )
         # Process mode: give sharded dispatches of this vector a
         # shared-memory copy (the one copy), so every shard unit's process
         # task gathers from shared pages instead of pickling the vector.
         if (
             self.executor.mode == "process"
-            and shard_fps is not None
+            and entry.shard_fingerprints is not None
             and entry.fingerprint not in self._shared
         ):
             self._shared[entry.fingerprint] = SharedArray.create(entry.vector)
         if warm:
-            self.query(name, list(warm))
+            if warm_mode == "prepare":
+                self._warm_prepare(entry, [TopKQuery.of(q) for q in warm])
+            else:
+                self.query(name, list(warm))
         return entry
 
     def query(self, name: str, queries) -> List[TopKResult]:
@@ -534,6 +652,10 @@ class ServiceDispatcher:
             shard_fingerprints=entry.shard_fingerprints,
         )
         assert self.store is not None
+        if not entry.resident and self.last_report is not None:
+            # Served straight off the read-only mmap view of the spill tier —
+            # surfaced so callers can watch the out-of-core fraction.
+            self.last_report.spill_serves = len(results)
         self.store.note_queries(name, len(results))
         self.router.note_queries(entry.fingerprint, len(results))
         return results
@@ -559,18 +681,21 @@ class ServiceDispatcher:
             return [None] * len(parsed)
         return [self.results_cache.get(entry.fingerprint, q.k, q.largest) for q in parsed]
 
-    def evict(self, name: str) -> bool:
+    def evict(self, name: str, spill: Optional[bool] = None) -> bool:
         """Remove one named vector; its banked plans/results are released.
 
-        Returns whether the name was resident.  The release is observable:
-        the :class:`PlanBank`'s ``CacheInfo.bytes`` drops by the invalidated
+        Returns whether the name was known.  The release is observable: the
+        :class:`PlanBank`'s ``CacheInfo.bytes`` drops by the invalidated
         plans' sizes (unless another admitted name shares the content).
+        ``spill`` picks the tier semantics when a spill directory is
+        attached: ``None`` (default) demotes to the spill tier, ``True``
+        requires it, ``False`` hard-drops the name from RAM *and* disk.
         """
         if self.store is None:
             raise ConfigurationError(
                 "the named-vector store is disabled (store_bytes=0)"
             )
-        return self.store.evict(name) is not None
+        return self.store.evict(name, spill=spill) is not None
 
     def pin(self, name: str) -> None:
         """Exempt a named vector from the store's byte-budget eviction.
@@ -611,8 +736,17 @@ class ServiceDispatcher:
         """Store-eviction cascade: drop the content's cached serving state.
 
         Skips fingerprints still served by another resident name (aliased
-        admissions of identical content keep their shared plans).
+        admissions of identical content keep their shared plans).  When the
+        evicted content was just demoted to the spill tier, the plans'
+        *geometry* (alpha/largest/beta) is recorded in the spill manifest
+        first, so a later re-admission rebuilds them without re-tuning.
         """
+        if self._spill is not None and self.plan_bank is not None:
+            spilled = self._spill.get(entry.name)
+            if spilled is not None and spilled.fingerprint == entry.fingerprint:
+                rows = self.plan_bank.manifest_rows(entry.fingerprints())
+                if rows:
+                    self._spill.record_plans(rows)
         live = self.store.live_fingerprints() if self.store is not None else set()
         for fp in entry.fingerprints():
             if fp in live:
@@ -625,6 +759,264 @@ class ServiceDispatcher:
             shared = self._shared.pop(fp, None)
             if shared is not None:
                 shared.destroy()
+
+    # -- spill tier: admission warming and warm restart ------------------------
+    def _warm_prepare(
+        self, entry: StoredVector, parsed: List[TopKQuery]
+    ) -> None:
+        """Bank the warm queries' plans at admission without dispatching.
+
+        The ``warm_mode="prepare"`` counterpart of a full warm dispatch:
+        plans are constructed (or found banked) per plan-sharing group — per
+        shard on the sharded route, keyed by the exact shard fingerprints a
+        later dispatch will use — but nothing is routed, executed, or
+        returned.  Accounting lands in ``last_report`` under the
+        ``"admit-warm"`` route so the warm cost stays observable.
+        """
+        if self.plan_bank is None:
+            raise ConfigurationError(
+                "warm_mode='prepare' requires the plan bank "
+                "(plan_bank_bytes > 0)"
+            )
+        report = DispatchReport(
+            num_queries=len(parsed),
+            num_workers=self.num_workers,
+            route="admit-warm",
+            executor_mode=self.executor.mode,
+        )
+        engine = self.workers[0].engine
+        if entry.shard_fingerprints:
+            shards = sorted(entry.shard_fingerprints.items())
+        else:
+            shards = [((0, int(entry.vector.shape[0])), entry.fingerprint)]
+        for (start, stop), fp in shards:
+            view = entry.vector[start:stop]
+            groups = group_queries_by_plan(
+                parsed,
+                int(stop - start),
+                self.cache,
+                engine,
+                plan_bank=self.plan_bank,
+                fingerprint=fp,
+                snap_tolerance=self._snap_tolerance,
+            )
+            offset = start if entry.shard_fingerprints else 0
+            for (alpha, largest), positions in groups.items():
+                min_k = min(parsed[p].k for p in positions)
+                self._warm_one(fp, view, alpha, largest, min_k, offset, report)
+        self._finish(report, ran_units=False)
+
+    def _warm_one(
+        self,
+        fingerprint: str,
+        view: np.ndarray,
+        alpha: int,
+        largest: bool,
+        min_k: int,
+        offset: int,
+        report: DispatchReport,
+    ) -> None:
+        """Fetch-or-build one ``(fingerprint, alpha, largest)`` banked plan."""
+        assert self.plan_bank is not None
+        engine = self.workers[0].engine
+
+        def build() -> QueryPlan:
+            return engine.prepare_with_alpha(
+                view, alpha, largest=largest, k=min_k, offset=offset
+            )
+
+        plan, constructed = self.plan_bank.shared(
+            fingerprint, alpha, largest, engine.config.beta, build
+        )
+        if constructed and not plan.is_degenerate:
+            report.constructions += 1
+            report.construction_bytes += plan.construction_bytes
+        elif not constructed:
+            report.plan_bank_hits += 1
+
+    def _rewarm_plans(self, entry: StoredVector) -> Tuple[int, int]:
+        """Rebuild the manifest's plan geometry for one re-admitted entry.
+
+        Returns ``(warmed, skipped)``.  Rebuilding goes through the same
+        :meth:`PlanBank.shared` broadcast primitive a dispatch uses, with
+        ``k=None`` (never degenerate), so the first query after re-admission
+        is a plan-bank hit with zero construction bytes.
+        """
+        if self._spill is None or self.plan_bank is None:
+            return (0, 0)
+        rows = self._spill.plans_for(entry.fingerprints())
+        if not rows:
+            return (0, 0)
+        sources: Dict[str, Tuple[np.ndarray, int]] = {
+            entry.fingerprint: (entry.vector, 0)
+        }
+        if entry.shard_fingerprints:
+            for (start, stop), fp in entry.shard_fingerprints.items():
+                sources[fp] = (entry.vector[start:stop], int(start))
+        return self._rebuild_plan_rows(rows, sources)
+
+    def _rebuild_plan_rows(
+        self,
+        rows: List[dict],
+        sources: Dict[str, Tuple[np.ndarray, int]],
+    ) -> Tuple[int, int]:
+        """Rebuild manifest plan rows over the given content views.
+
+        A row is *skipped* (never fatal) when its fingerprint has no source
+        view, its recorded geometry disagrees with the view (length, offset)
+        or with the current configuration's ``beta``, or the rebuild itself
+        refuses — manifest rows written by a different configuration must
+        not poison the bank.
+        """
+        assert self.plan_bank is not None
+        engine = self.workers[0].engine
+        warmed = skipped = 0
+        for row in rows:
+            fp = str(row.get("fingerprint", ""))
+            source = sources.get(fp)
+            if source is None:
+                skipped += 1
+                continue
+            view, view_offset = source
+            try:
+                alpha = int(row["alpha"])
+                largest = bool(row["largest"])
+                beta = int(row["beta"])
+                n = int(row["n"])
+                offset = int(row["offset"])
+            except (KeyError, TypeError, ValueError):
+                skipped += 1
+                continue
+            if (
+                alpha < 0
+                or n != int(view.shape[0])
+                or offset != int(view_offset)
+                or beta != min(int(engine.config.beta), 1 << alpha)
+            ):
+                skipped += 1
+                continue
+
+            def build(
+                view: np.ndarray = view,
+                alpha: int = alpha,
+                largest: bool = largest,
+                offset: int = offset,
+            ) -> QueryPlan:
+                return engine.prepare_with_alpha(
+                    view, alpha, largest=largest, offset=offset
+                )
+
+            try:
+                self.plan_bank.shared(
+                    fp, alpha, largest, engine.config.beta, build
+                )
+            except (ConfigurationError, ValueError):
+                skipped += 1
+                continue
+            warmed += 1
+        return (warmed, skipped)
+
+    def save_state(self) -> SaveReport:
+        """Persist the resident working set into the spill directory.
+
+        Every resident entry is written (content-addressed, so unchanged
+        content already on disk is not rewritten) with its fingerprints and
+        accumulated query history, and the plan bank's live geometry for the
+        spilled content is recorded in the manifest.  After this call a new
+        process pointed at the same ``spill_dir`` can :meth:`load_state` and
+        serve its first dispatch with zero ``fingerprint_array`` calls and
+        zero construction bytes.
+        """
+        if self.store is None or self._spill is None:
+            raise ConfigurationError(
+                "save_state() requires a spill directory (spill_dir=...)"
+            )
+        names = 0
+        for entry in self.store.snapshot():
+            self._spill.store(
+                entry.name,
+                np.asarray(entry.vector),
+                entry.fingerprint,
+                shard_fingerprints=entry.shard_fingerprints,
+                queries=max(
+                    int(entry.queries),
+                    int(self.router.query_history(entry.fingerprint)),
+                ),
+            )
+            names += 1
+        plan_rows = 0
+        if self.plan_bank is not None:
+            known: set = set()
+            for se in self._spill.entries().values():
+                known.update(se.fingerprints())
+            plan_rows = self._spill.record_plans(
+                self.plan_bank.manifest_rows(known)
+            )
+        info = self._spill.info()
+        return SaveReport(
+            names_saved=names,
+            plan_rows=plan_rows,
+            spilled_bytes=info.spilled_bytes,
+        )
+
+    def load_state(self, warm_plans: bool = True) -> RestoreReport:
+        """Warm-restart from the spill directory — zero re-fingerprinting.
+
+        Re-reads the manifest, restores each spilled name's query history
+        into the router's placement affinity, and (``warm_plans``) rebuilds
+        the recorded plan geometry over the spill files' read-only mmap
+        views, hottest content first.  Nothing is copied into RAM and
+        nothing is hashed: fingerprints come from the manifest, plans from
+        :func:`~repro.core.drtopk.DrTopK.prepare_with_alpha` over the mmap.
+        Spilled names are immediately queryable (served over mmap, promoted
+        on hotness) or re-admittable via ``admit(name)``.
+        """
+        if self.store is None or self._spill is None:
+            raise ConfigurationError(
+                "load_state() requires a spill directory (spill_dir=...)"
+            )
+        self._spill.reload()
+        entries = sorted(
+            self._spill.entries().values(), key=lambda e: (-e.queries, e.name)
+        )
+        restored = 0
+        for se in entries:
+            if se.queries:
+                self.router.note_queries(se.fingerprint, int(se.queries))
+                restored += int(se.queries)
+        warmed = skipped = 0
+        if warm_plans and self.plan_bank is not None:
+            for se in entries:
+                rows = self._spill.plans_for(se.fingerprints())
+                if not rows:
+                    continue
+                loaded = self._spill.load(se.name)
+                if loaded is None:
+                    skipped += len(rows)
+                    continue
+                se, view = loaded
+                sources: Dict[str, Tuple[np.ndarray, int]] = {
+                    se.fingerprint: (view, 0)
+                }
+                if se.shard_fingerprints:
+                    for (start, stop), fp in se.shard_fingerprints.items():
+                        sources[fp] = (view[start:stop], int(start))
+                w, s = self._rebuild_plan_rows(rows, sources)
+                warmed += w
+                skipped += s
+        info = self._spill.info()
+        return RestoreReport(
+            names=info.entries,
+            spilled_bytes=info.spilled_bytes,
+            plans_warmed=warmed,
+            plans_skipped=skipped,
+            queries_restored=restored,
+        )
+
+    @property
+    def spill(self) -> Optional[SpillDirectory]:
+        """The attached spill directory, or ``None``."""
+        return self._spill
 
     def shutdown(self) -> None:
         """Stop the executor's workers and release shared-memory segments.

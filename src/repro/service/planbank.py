@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.core.plan import QueryPlan
 from repro.errors import ConfigurationError
@@ -231,6 +231,50 @@ class PlanBank(_ByteBudgetLru):
     def contains(self, fingerprint: str, alpha: int, largest: bool) -> bool:
         """Hit-state peek without LRU promotion or counter updates."""
         return self._contains((fingerprint, int(alpha), bool(largest)))
+
+    def banked_plans(
+        self, fingerprint: str, largest: Optional[bool] = None
+    ) -> List[QueryPlan]:
+        """Every banked plan for a fingerprint, without promotion or counters.
+
+        The bank-aware alpha snap peeks here: a near-miss ``alpha`` may be
+        snapped to one of these plans' exponents when the modelled cost gap
+        is small, turning a rebuild into a warm hit.  ``largest`` narrows to
+        one key order.
+        """
+        with self._lock:
+            return [
+                plan
+                for (fp, _alpha, order), plan in self._entries.items()
+                if fp == fingerprint and (largest is None or order == bool(largest))
+            ]
+
+    def manifest_rows(self, fingerprints: Optional[Iterable[str]] = None) -> List[dict]:
+        """Geometry rows for persisting banked plans across restarts.
+
+        Each row carries exactly what a restart needs to rebuild the plan
+        from the (spilled) vector bytes without re-resolving anything:
+        ``fingerprint, alpha, largest, beta, n, offset``.  ``fingerprints``
+        narrows the walk to the given content; ``None`` exports the whole
+        bank.  No promotion, no counters.
+        """
+        wanted = set(fingerprints) if fingerprints is not None else None
+        with self._lock:
+            rows: List[dict] = []
+            for (fp, alpha, order), plan in self._entries.items():
+                if wanted is not None and fp not in wanted:
+                    continue
+                rows.append(
+                    {
+                        "fingerprint": fp,
+                        "alpha": int(alpha),
+                        "largest": bool(order),
+                        "beta": int(plan.beta),
+                        "n": int(plan.n),
+                        "offset": int(plan.offset),
+                    }
+                )
+            return rows
 
     def _build_lock(self, key: _PlanKey) -> threading.Lock:
         with self._lock:

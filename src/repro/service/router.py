@@ -43,7 +43,12 @@ import numpy as np
 
 from repro.core.plan import QueryPlan
 from repro.errors import ConfigurationError
-from repro.service.batch import BatchTopK, TopKQuery, group_queries_by_plan
+from repro.service.batch import (
+    DEFAULT_ALPHA_SNAP_TOLERANCE,
+    BatchTopK,
+    TopKQuery,
+    group_queries_by_plan,
+)
 from repro.service.cache import PartitionCache, fingerprint_array
 from repro.service.executor import WorkUnit
 from repro.service.planbank import ChunkMemo, PlanBank
@@ -207,6 +212,10 @@ class Router:
         groups never split, however dominant they look relatively.  ``0``
         disables the floor (every relative-dominant group splits, the
         pre-floor behaviour).
+    snap_tolerance:
+        Modelled-cost headroom for bank-aware alpha snapping in the
+        placement grouping (must match the workers' tolerance so placement
+        and execution agree on the groups); ``None``/``0`` disables it.
     """
 
     def __init__(
@@ -217,6 +226,7 @@ class Router:
         plan_bank: Optional[PlanBank] = None,
         split_threshold: Optional[float] = DEFAULT_SPLIT_THRESHOLD,
         min_split_work: float = DEFAULT_MIN_SPLIT_WORK,
+        snap_tolerance: Optional[float] = DEFAULT_ALPHA_SNAP_TOLERANCE,
     ):
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
@@ -236,6 +246,7 @@ class Router:
             float(split_threshold) if split_threshold is not None else None
         )
         self.min_split_work = float(min_split_work)
+        self.snap_tolerance = snap_tolerance
         # Per-name (per-fingerprint) serving history: how many queries each
         # content has answered, and which worker its heaviest group last
         # landed on.  The named-vector front end feeds the history; placement
@@ -379,7 +390,17 @@ class Router:
         provenance, modelled loads and the split groups to broadcast).
         """
         n = int(v.shape[0])
-        groups = group_queries_by_plan(parsed, n, self.cache, engine)
+        # Same grouping call (bank-aware snapping included) the workers make:
+        # placement and execution must agree on the groups.
+        groups = group_queries_by_plan(
+            parsed,
+            n,
+            self.cache,
+            engine,
+            plan_bank=self.plan_bank,
+            fingerprint=fingerprint,
+            snap_tolerance=self.snap_tolerance,
+        )
         beta = engine.config.beta
         group_info = []  # (key, positions, group weight, per-query weights)
         for (alpha, largest), positions in groups.items():

@@ -1,0 +1,551 @@
+"""Durable spill tier: mmap-backed vector files plus an atomic JSON manifest.
+
+Eviction from the byte-budgeted :class:`~repro.service.store.VectorStore` used
+to be data loss: the vector, its admission-time fingerprints and its banked
+plans all died together, and a dispatcher restart threw away every piece of
+warm state the serving layer had paid O(n) scans to build.
+:class:`SpillDirectory` turns that working set into a real out-of-core tier:
+
+* **Data files are content-addressed.**  Each spilled vector's bytes live in
+  ``<fingerprint>.bin``; two names admitting identical content share one
+  file, a re-spill of unchanged content writes nothing, and readers map the
+  file with ``numpy.memmap(mode="r")`` — a query can serve straight over the
+  read-only view without the vector ever re-entering RAM.
+* **The manifest is one atomic JSON document.**  ``manifest.json`` maps each
+  name to its fingerprint, dtype/shape, per-shard fingerprints and
+  query-history stats, plus the persisted plan-geometry rows
+  (fingerprint, alpha, largest, beta, n, offset) that let a restart re-warm
+  the :class:`~repro.service.planbank.PlanBank` with zero re-fingerprinting.
+  Every write goes to a temporary file first and is published with
+  ``os.replace`` — a crash mid-write leaves the previous manifest intact,
+  never a torn one.
+* **Writers are guarded by a lock file.**  ``manifest.lock`` is created with
+  ``O_EXCL`` and holds the writer's pid; a lock whose pid is dead or whose
+  mtime exceeds the staleness window is broken (the crash-recovery path), a
+  genuinely live foreign lock times the writer out with a clean error.
+* **Corruption degrades to a cold start.**  An unreadable or torn manifest,
+  a manifest entry whose data file is missing or the wrong size, or a wrong
+  schema all read as "nothing spilled" — the service starts cold instead of
+  crashing or serving a wrong answer.
+
+One process owns a spill directory at a time (the lock guards concurrent
+*writers*, it does not make two live dispatchers share one directory); see
+``docs/operations.md`` for the operational caveats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SpillDirectory",
+    "SpillEntry",
+    "SpillInfo",
+    "MANIFEST_NAME",
+    "LOCK_NAME",
+]
+
+#: File name of the atomic JSON manifest inside a spill directory.
+MANIFEST_NAME = "manifest.json"
+#: File name of the writer lock inside a spill directory.
+LOCK_NAME = "manifest.lock"
+#: Manifest schema version; a manifest written under a different version is
+#: treated as empty (cold start) rather than misread.
+MANIFEST_VERSION = 1
+#: How long a writer waits on a live foreign lock before giving up.
+DEFAULT_LOCK_TIMEOUT_S = 10.0
+#: Age beyond which a lock file is considered abandoned even if its pid
+#: cannot be probed (e.g. a recycled pid); crash recovery breaks it.
+DEFAULT_STALE_LOCK_S = 60.0
+
+
+@dataclass(frozen=True)
+class SpillEntry:
+    """One spilled named vector as recorded in the manifest.
+
+    Attributes
+    ----------
+    name:
+        The admission name the vector serves under.
+    fingerprint:
+        Content fingerprint computed at admission — re-admission trusts it,
+        so restoring a spilled vector never re-hashes.
+    dtype:
+        Numpy dtype string of the spilled array.
+    shape:
+        Shape of the spilled array (always 1-D for admitted vectors).
+    shard_fingerprints:
+        ``(start, stop) → fingerprint`` for vectors that take the sharded
+        route, or ``None`` — preserved so a restored vector's sharded
+        dispatches hash nothing either.
+    queries:
+        Query-history count at spill time; restored into the router so
+        placement affinity and cold-and-large eviction survive a restart.
+    """
+
+    name: str
+    fingerprint: str
+    dtype: str
+    shape: Tuple[int, ...]
+    shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None
+    queries: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the spilled data file the entry references."""
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+    def fingerprints(self) -> List[str]:
+        """Every fingerprint the entry references (whole vector plus shards)."""
+        out = [self.fingerprint]
+        if self.shard_fingerprints:
+            out.extend(self.shard_fingerprints.values())
+        return out
+
+
+@dataclass(frozen=True)
+class SpillInfo:
+    """Occupancy snapshot of a :class:`SpillDirectory`."""
+
+    #: Spilled named vectors currently recorded in the manifest.
+    entries: int = 0
+    #: Total bytes of spilled vector data the manifest references.
+    spilled_bytes: int = 0
+    #: Persisted plan-geometry rows.
+    plan_rows: int = 0
+    #: Directory path (for operator tooling).
+    path: str = ""
+    #: Whether the last manifest read recovered from corruption (the
+    #: directory came up cold instead of crashing).
+    recovered: bool = False
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe of a pid (False only when surely dead)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    except OSError:
+        return True
+    return True
+
+
+class SpillDirectory:
+    """Crash-safe on-disk tier for evicted named vectors and plan geometry.
+
+    Parameters
+    ----------
+    path:
+        Directory holding the manifest, the lock file and the per-fingerprint
+        data files; created if missing.
+    lock_timeout_s:
+        How long a write waits on a genuinely live foreign lock before
+        raising :class:`~repro.errors.ConfigurationError`.
+    stale_lock_s:
+        Lock age beyond which crash recovery breaks the lock regardless of
+        the recorded pid.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        lock_timeout_s: float = DEFAULT_LOCK_TIMEOUT_S,
+        stale_lock_s: float = DEFAULT_STALE_LOCK_S,
+    ):
+        self.path = str(path)
+        self.lock_timeout_s = float(lock_timeout_s)
+        self.stale_lock_s = float(stale_lock_s)
+        os.makedirs(self.path, exist_ok=True)
+        self._mutex = threading.RLock()
+        self._vectors: Dict[str, SpillEntry] = {}
+        # (fingerprint, alpha, largest) -> full geometry row.
+        self._plans: Dict[Tuple[str, int, bool], dict] = {}
+        self._recovered = False
+        self._read_disk()
+
+    # -- paths -----------------------------------------------------------------
+    @property
+    def manifest_path(self) -> str:
+        """Absolute path of the manifest file."""
+        return os.path.join(self.path, MANIFEST_NAME)
+
+    @property
+    def lock_path(self) -> str:
+        """Absolute path of the writer lock file."""
+        return os.path.join(self.path, LOCK_NAME)
+
+    def data_path(self, fingerprint: str) -> str:
+        """Path of the content-addressed data file for ``fingerprint``."""
+        return os.path.join(self.path, f"{fingerprint}.bin")
+
+    # -- manifest I/O ----------------------------------------------------------
+    def _read_disk(self) -> None:
+        """Load the manifest, degrading any corruption to an empty state."""
+        vectors: Dict[str, SpillEntry] = {}
+        plans: Dict[Tuple[str, int, bool], dict] = {}
+        recovered = False
+        raw: Optional[dict] = None
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except FileNotFoundError:
+            raw = None
+        except (OSError, ValueError, UnicodeDecodeError):
+            raw = None
+            recovered = True  # torn/truncated/garbage manifest: cold start
+        if raw is not None:
+            if not isinstance(raw, dict) or raw.get("version") != MANIFEST_VERSION:
+                raw, recovered = None, True
+        if raw is not None:
+            for name, rec in (raw.get("vectors") or {}).items():
+                entry = self._parse_entry(name, rec)
+                if entry is None:
+                    recovered = True
+                    continue
+                vectors[entry.name] = entry
+            for rec in raw.get("plans") or []:
+                row = self._parse_plan_row(rec)
+                if row is None:
+                    recovered = True
+                    continue
+                plans[(row["fingerprint"], row["alpha"], row["largest"])] = row
+        with self._mutex:
+            self._vectors = vectors
+            self._plans = plans
+            self._recovered = recovered
+
+    @staticmethod
+    def _parse_entry(name: str, rec) -> Optional[SpillEntry]:
+        """Validate one manifest vector record; ``None`` when malformed."""
+        if not isinstance(rec, dict):
+            return None
+        try:
+            fingerprint = str(rec["fingerprint"])
+            dtype = str(rec["dtype"])
+            shape = tuple(int(d) for d in rec["shape"])
+            queries = int(rec.get("queries", 0))
+            np.dtype(dtype)  # must name a real dtype
+        except (KeyError, TypeError, ValueError):
+            return None
+        if not shape or any(d < 1 for d in shape):
+            return None
+        shards = None
+        raw_shards = rec.get("shards")
+        if raw_shards is not None:
+            try:
+                shards = {
+                    (int(start), int(stop)): str(fp)
+                    for start, stop, fp in raw_shards
+                }
+            except (TypeError, ValueError):
+                return None
+        return SpillEntry(
+            name=str(name),
+            fingerprint=fingerprint,
+            dtype=dtype,
+            shape=shape,
+            shard_fingerprints=shards,
+            queries=queries,
+        )
+
+    @staticmethod
+    def _parse_plan_row(rec) -> Optional[dict]:
+        """Validate one persisted plan-geometry row; ``None`` when malformed."""
+        if not isinstance(rec, dict):
+            return None
+        try:
+            return {
+                "fingerprint": str(rec["fingerprint"]),
+                "alpha": int(rec["alpha"]),
+                "largest": bool(rec["largest"]),
+                "beta": int(rec["beta"]),
+                "n": int(rec["n"]),
+                "offset": int(rec.get("offset", 0)),
+            }
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _flush(self) -> None:
+        """Publish the in-memory manifest atomically (temp write + rename)."""
+        doc = {
+            "version": MANIFEST_VERSION,
+            "vectors": {
+                entry.name: {
+                    "fingerprint": entry.fingerprint,
+                    "dtype": entry.dtype,
+                    "shape": list(entry.shape),
+                    "queries": int(entry.queries),
+                    "shards": (
+                        [
+                            [start, stop, fp]
+                            for (start, stop), fp in sorted(
+                                entry.shard_fingerprints.items()
+                            )
+                        ]
+                        if entry.shard_fingerprints
+                        else None
+                    ),
+                }
+                for entry in self._vectors.values()
+            },
+            "plans": [self._plans[key] for key in sorted(self._plans)],
+        }
+        tmp = f"{self.manifest_path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path)
+
+    @contextmanager
+    def _locked(self):
+        """Hold the writer lock file around one manifest mutation.
+
+        A lock left by a dead pid — or older than ``stale_lock_s`` — is
+        broken and re-acquired: crash recovery must never deadlock a fresh
+        service on its predecessor's corpse.  A live foreign lock times out
+        with a clean :class:`~repro.errors.ConfigurationError`.
+        """
+        deadline = time.monotonic() + self.lock_timeout_s
+        fd = None
+        while fd is None:
+            try:
+                fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if self._lock_is_stale():
+                    try:
+                        os.unlink(self.lock_path)
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    raise ConfigurationError(
+                        f"spill directory {self.path!r} is locked by a live "
+                        f"writer ({self.lock_path}); timed out after "
+                        f"{self.lock_timeout_s:.1f}s"
+                    )
+                time.sleep(0.005)
+        try:
+            os.write(fd, str(os.getpid()).encode())
+            os.close(fd)
+            yield
+        finally:
+            try:
+                os.unlink(self.lock_path)
+            except OSError:
+                pass
+
+    def _lock_is_stale(self) -> bool:
+        """Whether the current lock file belongs to a dead or ancient writer."""
+        try:
+            age = time.time() - os.stat(self.lock_path).st_mtime
+        except OSError:
+            return False  # lock vanished; the acquire loop retries anyway
+        if age > self.stale_lock_s:
+            return True
+        try:
+            with open(self.lock_path, "r", encoding="utf-8") as fh:
+                pid = int(fh.read().strip() or "0")
+        except (OSError, ValueError):
+            return False  # unreadable but fresh: assume live, keep waiting
+        if pid == os.getpid():
+            return False
+        return not _pid_alive(pid)
+
+    # -- vector tier -----------------------------------------------------------
+    def store(
+        self,
+        name: str,
+        vector: np.ndarray,
+        fingerprint: str,
+        shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None,
+        queries: int = 0,
+    ) -> SpillEntry:
+        """Persist one named vector (data file + manifest entry).
+
+        The data file is content-addressed by ``fingerprint``: an existing
+        file of the right size is trusted and not rewritten (same
+        fingerprint means same content), so re-spilling an unchanged vector
+        — or one that is itself a memmap over this directory — costs one
+        ``stat``.  The file is written to a temp name and published with an
+        atomic rename, like the manifest.
+        """
+        vector = np.asarray(vector)
+        if vector.ndim != 1:
+            raise ConfigurationError(
+                f"only 1-D vectors spill, got shape {vector.shape}"
+            )
+        entry = SpillEntry(
+            name=str(name),
+            fingerprint=str(fingerprint),
+            dtype=vector.dtype.str,
+            shape=tuple(int(d) for d in vector.shape),
+            shard_fingerprints=dict(shard_fingerprints) if shard_fingerprints else None,
+            queries=int(queries),
+        )
+        path = self.data_path(entry.fingerprint)
+        needs_write = True
+        try:
+            needs_write = os.stat(path).st_size != entry.nbytes
+        except OSError:
+            needs_write = True
+        if needs_write:
+            tmp = f"{path}.tmp.{os.getpid()}"
+            np.ascontiguousarray(vector).tofile(tmp)
+            os.replace(tmp, path)
+        with self._mutex:
+            with self._locked():
+                self._vectors[entry.name] = entry
+                self._flush()
+        return entry
+
+    def load(self, name: str) -> Optional[Tuple[SpillEntry, np.ndarray]]:
+        """Read-only memmap view of one spilled vector, or ``None``.
+
+        Returns ``None`` — never raises — when the name is not spilled or
+        when the manifest and the data file disagree (missing file, size
+        mismatch): a mismatch must degrade to a miss (cold start for that
+        name), not a crash or a wrong answer.
+        """
+        with self._mutex:
+            entry = self._vectors.get(str(name))
+        if entry is None:
+            return None
+        path = self.data_path(entry.fingerprint)
+        try:
+            if os.stat(path).st_size != entry.nbytes:
+                return None
+            view = np.memmap(path, dtype=np.dtype(entry.dtype), mode="r", shape=entry.shape)
+        except (OSError, ValueError):
+            return None
+        return entry, view
+
+    def get(self, name: str) -> Optional[SpillEntry]:
+        """Manifest entry for ``name`` (no data file access), or ``None``."""
+        with self._mutex:
+            return self._vectors.get(str(name))
+
+    def contains(self, name: str) -> bool:
+        """Whether the manifest records a spilled vector under ``name``."""
+        with self._mutex:
+            return str(name) in self._vectors
+
+    def entries(self) -> Dict[str, SpillEntry]:
+        """Snapshot of every spilled entry, keyed by name."""
+        with self._mutex:
+            return dict(self._vectors)
+
+    def remove(self, name: str) -> Optional[SpillEntry]:
+        """Drop one name from the spill tier (manifest, plans, data file).
+
+        The data file and the plan rows are deleted only when no *other*
+        manifest entry still references their fingerprint (aliased names
+        sharing content keep the shared state).  Returns the removed entry,
+        or ``None`` when the name was not spilled.
+        """
+        with self._mutex:
+            entry = self._vectors.get(str(name))
+            if entry is None:
+                return None
+            with self._locked():
+                del self._vectors[entry.name]
+                still_live: set = set()
+                for other in self._vectors.values():
+                    still_live.update(other.fingerprints())
+                orphaned = [fp for fp in entry.fingerprints() if fp not in still_live]
+                for key in [k for k in self._plans if k[0] in orphaned]:
+                    del self._plans[key]
+                self._flush()
+        for fp in orphaned:
+            try:
+                os.unlink(self.data_path(fp))
+            except OSError:
+                pass
+        return entry
+
+    # -- plan-geometry tier ------------------------------------------------------
+    def record_plans(self, rows: Iterable[dict]) -> int:
+        """Merge plan-geometry rows into the manifest; returns total rows.
+
+        Rows are deduplicated by ``(fingerprint, alpha, largest)`` — the
+        plan bank's own key — with the latest write winning; malformed rows
+        are dropped rather than persisted.
+        """
+        parsed = []
+        for rec in rows:
+            row = self._parse_plan_row(rec)
+            if row is not None:
+                parsed.append(row)
+        with self._mutex:
+            if parsed:
+                with self._locked():
+                    for row in parsed:
+                        self._plans[(row["fingerprint"], row["alpha"], row["largest"])] = row
+                    self._flush()
+            return len(self._plans)
+
+    def plans(self) -> List[dict]:
+        """Every persisted plan-geometry row."""
+        with self._mutex:
+            return [dict(row) for row in self._plans.values()]
+
+    def plans_for(self, fingerprints: Iterable[str]) -> List[dict]:
+        """Persisted plan rows whose fingerprint is in ``fingerprints``."""
+        wanted = set(fingerprints)
+        with self._mutex:
+            return [dict(row) for key, row in self._plans.items() if key[0] in wanted]
+
+    # -- maintenance -------------------------------------------------------------
+    def reload(self) -> None:
+        """Re-read the manifest from disk (restart / cross-process pickup)."""
+        self._read_disk()
+
+    def clear(self) -> None:
+        """Drop every spilled vector, plan row and data file."""
+        with self._mutex:
+            entries = list(self._vectors.values())
+            with self._locked():
+                self._vectors.clear()
+                self._plans.clear()
+                self._flush()
+        for entry in entries:
+            for fp in entry.fingerprints():
+                try:
+                    os.unlink(self.data_path(fp))
+                except OSError:
+                    pass
+
+    def info(self) -> SpillInfo:
+        """Occupancy snapshot (entries, spilled bytes, plan rows)."""
+        with self._mutex:
+            return SpillInfo(
+                entries=len(self._vectors),
+                spilled_bytes=sum(e.nbytes for e in self._vectors.values()),
+                plan_rows=len(self._plans),
+                path=self.path,
+                recovered=self._recovered,
+            )
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __contains__(self, name: str) -> bool:
+        return self.contains(name)

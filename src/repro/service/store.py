@@ -30,6 +30,26 @@ an operator's explicit decision outranks the pin).  Every eviction fires the
 cascade invalidation into the :class:`~repro.service.planbank.PlanBank` and
 :class:`~repro.service.cache.ResultCache`, so a vector leaving the working
 set immediately releases its banked plan bytes.
+
+With a :class:`~repro.service.spill.SpillDirectory` attached the store grows
+a second tier and eviction stops being data loss:
+
+* **Victims change.** Budget eviction scores unpinned residents by
+  *cold-and-large* — resident bytes divided by ``1 + query history`` (the
+  store's own counter, widened by the router's per-fingerprint history via
+  ``query_history``) — and spills the highest scorer first, instead of pure
+  LRU.  Without a spill directory the original LRU order is kept bit-for-bit.
+* **Eviction spills.** A victim's bytes land in a content-addressed mmap
+  file and its name, fingerprints and query stats land in the manifest;
+  nothing is re-hashed.
+* **Lookup falls through.** :meth:`get` of a non-resident name serves a
+  read-only ``numpy.memmap`` view straight off the spill file — the vector
+  never re-enters RAM and charges nothing against the budget — and promotes
+  it back to a resident copy only after ``promote_after`` spill hits.
+* **Re-admission is free.** :meth:`admit` with ``vector=None`` restores a
+  spilled name entirely from the manifest: the fingerprint (and any shard
+  fingerprints) recorded at original admission are trusted, so zero
+  :func:`~repro.service.cache.fingerprint_array` calls happen.
 """
 
 from __future__ import annotations
@@ -43,11 +63,20 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.service.cache import CacheInfo, fingerprint_array
+from repro.service.spill import SpillDirectory
 
-__all__ = ["StoredVector", "VectorStore", "DEFAULT_STORE_BYTES"]
+__all__ = [
+    "StoredVector",
+    "VectorStore",
+    "DEFAULT_STORE_BYTES",
+    "DEFAULT_PROMOTE_AFTER",
+]
 
 #: Default working-set budget — a generous number of laptop-scale vectors.
 DEFAULT_STORE_BYTES = 1 << 30
+#: Spill hits after which a spilled entry is promoted back to a resident RAM
+#: copy (0 disables promotion; serve over the mmap view forever).
+DEFAULT_PROMOTE_AFTER = 4
 
 
 @dataclass(eq=False)  # identity semantics: comparing numpy fields is ambiguous
@@ -70,6 +99,13 @@ class StoredVector:
     queries:
         Queries served through this entry (the router's per-name history
         feeds off the same counter).
+    resident:
+        ``True`` for entries holding a RAM copy charged to the byte budget;
+        ``False`` for spill-tier entries whose ``vector`` is a read-only
+        ``numpy.memmap`` view over the spill file.
+    spill_hits:
+        Lookups served over the spill view since the entry left RAM; the
+        promotion threshold compares against this counter.
     """
 
     name: str
@@ -78,6 +114,8 @@ class StoredVector:
     shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None
     pinned: bool = False
     queries: int = 0
+    resident: bool = True
+    spill_hits: int = 0
 
     @property
     def nbytes(self) -> int:
@@ -104,30 +142,55 @@ class VectorStore:
     on_evict:
         Called once per removed entry (budget eviction, explicit
         :meth:`evict`, and replacement by re-admission alike), outside the
-        store lock.  The dispatcher cascades cache invalidation here.
+        store lock.  The dispatcher cascades cache invalidation here.  When
+        an eviction *spills*, the spill-tier manifest entry is written
+        before the callback fires, so the callback can persist plan state
+        for the spilled content.
+    spill:
+        Optional :class:`~repro.service.spill.SpillDirectory` second tier;
+        without one the store behaves exactly as before (pure LRU, eviction
+        drops).
+    promote_after:
+        Spill hits after which a spilled entry is copied back into RAM
+        (``0`` disables promotion).
+    query_history:
+        Optional ``fingerprint → query count`` callable (the router's
+        history) folded into the cold-and-large eviction score.
     """
 
     def __init__(
         self,
         capacity_bytes: int = DEFAULT_STORE_BYTES,
         on_evict: Optional[Callable[[StoredVector], None]] = None,
+        spill: Optional[SpillDirectory] = None,
+        promote_after: int = DEFAULT_PROMOTE_AFTER,
+        query_history: Optional[Callable[[str], int]] = None,
     ):
         if capacity_bytes < 1:
             raise ConfigurationError("store byte budget must be >= 1")
+        if promote_after < 0:
+            raise ConfigurationError("promote_after must be >= 0")
         self.capacity_bytes = int(capacity_bytes)
         self.on_evict = on_evict
+        self.spill = spill
+        self.promote_after = int(promote_after)
+        self._query_history = query_history
         self._entries: "OrderedDict[str, StoredVector]" = OrderedDict()
+        self._spill_views: Dict[str, StoredVector] = {}
         self._bytes = 0
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._spills = 0
+        self._spill_hits = 0
+        self._promotions = 0
 
     # -- admission -------------------------------------------------------------
     def admit(
         self,
         name: str,
-        vector: np.ndarray,
+        vector: Optional[np.ndarray] = None,
         shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None,
         pin: bool = False,
         fingerprint: Optional[str] = None,
@@ -139,11 +202,35 @@ class VectorStore:
         Re-admitting an existing name replaces its entry (firing ``on_evict``
         for the old one when the content changed, so stale plans are
         released); an existing pin sticks across re-admission until
-        :meth:`unpin`.  Admission evicts unpinned LRU entries until the
-        budget holds; it fails — leaving the store and the caller's array
+        :meth:`unpin`.  Admission evicts unpinned entries until the budget
+        holds; it fails — leaving the store and the caller's array
         untouched — if the vector alone exceeds the budget or if every
         resident entry is pinned and the budget cannot be met.
+
+        With ``vector=None`` the name is restored from the spill tier: the
+        bytes are copied out of the spill file and the fingerprint (and any
+        shard fingerprints) recorded in the manifest are trusted, so the
+        restore performs **zero** fingerprint computations.
         """
+        restored_queries: Optional[int] = None
+        if vector is None:
+            if self.spill is None:
+                raise ConfigurationError(
+                    f"cannot re-admit {name!r} without a vector: "
+                    "no spill directory is configured"
+                )
+            loaded = self.spill.load(name)
+            if loaded is None:
+                raise ConfigurationError(
+                    f"no spilled vector named {name!r} to restore "
+                    f"(spill directory {self.spill.path!r})"
+                )
+            spilled, view = loaded
+            # A private RAM copy; the manifest fingerprint is pinned as-is.
+            vector = np.array(view)
+            fingerprint = spilled.fingerprint
+            shard_fingerprints = spilled.shard_fingerprints
+            restored_queries = spilled.queries
         vector = np.asarray(vector)
         if vector.ndim != 1:
             raise ConfigurationError(
@@ -175,7 +262,7 @@ class VectorStore:
             old = self._entries.get(entry.name)
             needed = self._bytes - (old.nbytes if old is not None else 0) + entry.nbytes
             victims: List[str] = []
-            for victim_name, resident in self._entries.items():
+            for victim_name, resident in self._victim_order():
                 if needed <= self.capacity_bytes:
                     break
                 if resident.pinned or victim_name == entry.name:
@@ -198,38 +285,167 @@ class VectorStore:
                     removed.append(old)
                 else:
                     entry.queries = old.queries
+            if restored_queries is not None and old is None:
+                entry.queries = restored_queries
             for victim_name in victims:
                 evicted = self._entries.pop(victim_name)
                 self._bytes -= evicted.nbytes
                 self._evictions += 1
+                if self.spill is not None:
+                    self._spill_out(evicted)
                 removed.append(evicted)
             self._entries[entry.name] = entry
             self._bytes += entry.nbytes
+            # The resident copy supersedes any open spill view of the name.
+            self._spill_views.pop(entry.name, None)
         # Enforce the fingerprint's immutability caveat only once admission
         # has succeeded: the admitted array object rejects writes from here
         # on.  (A caller holding a separate writable view of the same buffer
         # can still defeat this — the enforcement is the strongest numpy
         # offers without copying.)
         vector.setflags(write=False)
+        # Re-admission under a *new* content retires the name's stale spill
+        # manifest entry; identical content keeps sharing the spill file.
+        if self.spill is not None:
+            stale = self.spill.get(entry.name)
+            if stale is not None and stale.fingerprint != entry.fingerprint:
+                self.spill.remove(entry.name)
         self._fire_evictions(removed)
         return entry
 
+    def _victim_order(self) -> List[Tuple[str, StoredVector]]:
+        """Budget-eviction candidate order; caller holds the store lock.
+
+        Pure LRU without a spill tier (bit-for-bit the original policy);
+        with one, *cold-and-large* first — resident bytes over
+        ``1 + query history`` — so a hot large vector outlives a cold one of
+        the same size and spilling prefers the entries cheapest to lose.
+        The sort is stable, so ties keep LRU order.
+        """
+        items = list(self._entries.items())
+        if self.spill is None:
+            return items
+        return sorted(
+            items,
+            key=lambda kv: -(kv[1].nbytes / (1.0 + self._history(kv[1]))),
+        )
+
+    def _history(self, entry: StoredVector) -> int:
+        """Widest known query count for an entry (store counter ∪ router)."""
+        count = entry.queries
+        if self._query_history is not None:
+            try:
+                count = max(count, int(self._query_history(entry.fingerprint)))
+            except Exception:  # noqa: BLE001 — history is advisory, never fatal
+                pass
+        return count
+
+    def _spill_out(self, entry: StoredVector) -> None:
+        """Persist one eviction victim to the spill tier (lock held)."""
+        self.spill.store(
+            entry.name,
+            entry.vector,
+            entry.fingerprint,
+            shard_fingerprints=entry.shard_fingerprints,
+            queries=self._history(entry),
+        )
+        entry.resident = False
+        self._spills += 1
+        # Any previously open view maps the same content (the fingerprint is
+        # the file name); dropping it just forces a fresh mmap next get().
+        self._spill_views.pop(entry.name, None)
+
     # -- lookup ----------------------------------------------------------------
     def get(self, name: str) -> Optional[StoredVector]:
-        """The named entry (promoted to most recently used), or ``None``."""
+        """The named entry (promoted to most recently used), or ``None``.
+
+        A name absent from RAM falls through to the spill tier: the entry
+        returned then wraps a read-only ``numpy.memmap`` view
+        (``resident=False``) that charges nothing against the byte budget.
+        After ``promote_after`` such serves the entry is promoted — copied
+        back into RAM through the normal admission path (evicting others as
+        needed); if the budget refuses, the mmap view keeps serving.
+        """
+        name = str(name)
         with self._lock:
-            entry = self._entries.get(str(name))
-            if entry is None:
+            entry = self._entries.get(name)
+            if entry is not None:
+                self._entries.move_to_end(name)
+                self._hits += 1
+                return entry
+            view = self._spill_views.get(name)
+            if view is not None:
+                self._hits += 1
+                self._spill_hits += 1
+                view.spill_hits += 1
+                if not self._should_promote(view):
+                    return view
+                entry = view
+            elif self.spill is None:
                 self._misses += 1
                 return None
-            self._entries.move_to_end(str(name))
-            self._hits += 1
+        if entry is None:
+            loaded = self.spill.load(name)
+            if loaded is None:
+                with self._lock:
+                    self._misses += 1
+                return None
+            spilled, mm = loaded
+            fresh = StoredVector(
+                name=name,
+                vector=mm,
+                fingerprint=spilled.fingerprint,
+                shard_fingerprints=spilled.shard_fingerprints,
+                queries=spilled.queries,
+                resident=False,
+            )
+            with self._lock:
+                resident = self._entries.get(name)
+                if resident is not None:  # raced with a concurrent admit
+                    self._entries.move_to_end(name)
+                    self._hits += 1
+                    return resident
+                entry = self._spill_views.setdefault(name, fresh)
+                self._hits += 1
+                self._spill_hits += 1
+                entry.spill_hits += 1
+                if not self._should_promote(entry):
+                    return entry
+        # Promotion: re-admit through the normal restore path (outside the
+        # lock — admission takes it).  A refused budget keeps the mmap view.
+        try:
+            promoted = self.admit(name)
+        except ConfigurationError:
             return entry
+        with self._lock:
+            self._promotions += 1
+        return promoted
+
+    def _should_promote(self, view: StoredVector) -> bool:
+        """Whether a spill view has accumulated enough hits to re-enter RAM."""
+        return self.promote_after > 0 and view.spill_hits >= self.promote_after
 
     def names(self) -> List[str]:
-        """Admitted names, least recently used first."""
+        """Resident (RAM) names, least recently used first."""
         with self._lock:
             return list(self._entries)
+
+    def spilled_names(self) -> List[str]:
+        """Names currently held only by the spill tier (sorted)."""
+        if self.spill is None:
+            return []
+        with self._lock:
+            resident = set(self._entries)
+        return sorted(n for n in self.spill.entries() if n not in resident)
+
+    def snapshot(self) -> List[StoredVector]:
+        """Resident entries, LRU first, without perturbing recency or counters.
+
+        ``save_state`` walks this to persist the working set; a plain
+        :meth:`get` loop would rotate the LRU order and inflate hit counts.
+        """
+        with self._lock:
+            return list(self._entries.values())
 
     def live_fingerprints(self) -> set:
         """Every fingerprint still pinned by a resident entry.
@@ -261,19 +477,58 @@ class VectorStore:
                 raise ConfigurationError(f"no vector named {name!r} is admitted")
             entry.pinned = pinned
 
-    def evict(self, name: str) -> Optional[StoredVector]:
+    def evict(self, name: str, spill: Optional[bool] = None) -> Optional[StoredVector]:
         """Explicitly remove one named entry (pinned or not); returns it.
 
-        Returns ``None`` when the name is not resident.  Fires ``on_evict``
-        so the removal cascades exactly like a budget eviction.
+        Returns ``None`` when the name is in neither tier.  Fires
+        ``on_evict`` so the removal cascades exactly like a budget eviction.
+        ``spill`` controls the destination: ``None`` (default) demotes to
+        the spill tier when one is configured and drops otherwise;
+        ``False`` hard-drops from *both* tiers; ``True`` requires a spill
+        directory.
         """
+        name = str(name)
+        if spill is None:
+            to_spill = self.spill is not None
+        elif spill:
+            if self.spill is None:
+                raise ConfigurationError(
+                    f"cannot spill {name!r}: no spill directory is configured"
+                )
+            to_spill = True
+        else:
+            to_spill = False
         with self._lock:
-            entry = self._entries.pop(str(name), None)
-            if entry is None:
-                return None
-            self._bytes -= entry.nbytes
-            self._evictions += 1
-        self._fire_evictions([entry])
+            entry = self._entries.pop(name, None)
+            if entry is not None:
+                self._bytes -= entry.nbytes
+                self._evictions += 1
+                if to_spill:
+                    self._spill_out(entry)
+            else:
+                entry = self._spill_views.pop(name, None)
+        if entry is None and self.spill is not None and self.spill.contains(name):
+            loaded = self.spill.load(name)
+            if loaded is not None:
+                spilled, mm = loaded
+                entry = StoredVector(
+                    name=name,
+                    vector=mm,
+                    fingerprint=spilled.fingerprint,
+                    shard_fingerprints=spilled.shard_fingerprints,
+                    queries=spilled.queries,
+                    resident=False,
+                )
+        if entry is None:
+            return None
+        if not to_spill and self.spill is not None:
+            # Hard drop: the manifest entry (and any orphaned data file and
+            # plan rows) goes too.
+            self.spill.remove(name)
+        if entry.resident or not to_spill:
+            # Demoting an already-spilled name is a no-op that must not
+            # cascade (its plans may keep serving over the spill view).
+            self._fire_evictions([entry])
         return entry
 
     def clear(self) -> None:
@@ -281,6 +536,7 @@ class VectorStore:
         with self._lock:
             removed = list(self._entries.values())
             self._entries.clear()
+            self._spill_views.clear()
             self._bytes = 0
         self._fire_evictions(removed)
 
@@ -295,12 +551,21 @@ class VectorStore:
     def note_queries(self, name: str, count: int) -> None:
         """Record ``count`` served queries against the named entry."""
         with self._lock:
-            entry = self._entries.get(str(name))
+            entry = self._entries.get(str(name)) or self._spill_views.get(str(name))
             if entry is not None:
                 entry.queries += int(count)
 
     def info(self) -> CacheInfo:
-        """Occupancy and hit/miss/eviction statistics."""
+        """Occupancy and hit/miss/eviction statistics.
+
+        ``bytes`` counts resident RAM only; the ``spilled``/``spilled_bytes``
+        pair reports the mmap tier (which charges nothing to the budget),
+        and ``spill_hits``/``promotions`` its traffic.
+        """
+        spilled = spilled_bytes = 0
+        if self.spill is not None:
+            sinfo = self.spill.info()
+            spilled, spilled_bytes = sinfo.entries, sinfo.spilled_bytes
         with self._lock:
             return CacheInfo(
                 hits=self._hits,
@@ -309,10 +574,16 @@ class VectorStore:
                 size=len(self._entries),
                 bytes=self._bytes,
                 capacity_bytes=self.capacity_bytes,
+                spilled=spilled,
+                spilled_bytes=spilled_bytes,
+                spill_hits=self._spill_hits,
+                promotions=self._promotions,
             )
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, name: str) -> bool:
-        return str(name) in self._entries
+        if str(name) in self._entries:
+            return True
+        return self.spill is not None and self.spill.contains(str(name))

@@ -45,6 +45,7 @@ class TestRunnerRegistry:
             "splitgroup",  # dominant-group splitting vs pinned (not a paper figure)
             "hotfuse",  # fused vs per-query group selection (not a paper figure)
             "loadgen",  # tail latency + admission control under load (not a paper figure)
+            "spillwarm",  # out-of-core spill tier + warm restart (not a paper figure)
         }
         assert expected == names
 

@@ -311,3 +311,66 @@ def test_dispatch_report_carries_unit_queue_waits(uniform_u32):
         assert report.max_unit_queue_ms <= report.unit_queue_ms_sum or (
             report.unit_queue_ms_sum == 0.0
         )
+
+
+class TestAdmissionPrepareWarming:
+    """Satellite: ``admit(warm=..., warm_mode="prepare")`` banks without dispatching."""
+
+    def test_prepare_warm_banks_plans_without_results(self, rng):
+        from repro.service.cache import fingerprint_call_count
+
+        v = rng.integers(0, 2**32, size=1 << 12, dtype=np.uint32)
+        ks = [8, 64]
+        with ServiceDispatcher(num_workers=2, result_cache_capacity=0) as d:
+            before = fingerprint_call_count()
+            d.admit("a", v, warm=ks, warm_mode="prepare")
+            assert fingerprint_call_count() - before == 1
+            warm = d.last_report
+            assert warm is not None and warm.route == "admit-warm"
+            assert warm.constructions >= 1  # plans were genuinely built...
+            assert warm.workers == []  # ...but nothing was routed or executed
+            assert warm.wall_ms == 0.0
+            # The first real query is then pure bank hits: zero construction.
+            d.query("a", ks)
+            report = d.last_report
+            assert report is not None
+            assert report.constructions == 0
+            assert report.construction_bytes == 0.0
+            assert report.plan_bank_hits >= 1
+
+    def test_prepare_warm_matches_dispatch_warm_answers(self, rng):
+        v = rng.integers(0, 2**32, size=1 << 12, dtype=np.uint32)
+        ks = [16, 128]
+        with ServiceDispatcher(num_workers=2, result_cache_capacity=0) as ref:
+            ref.admit("a", v.copy(), warm=ks)  # default: dispatch warming
+            want = ref.query("a", ks)
+        with ServiceDispatcher(num_workers=2, result_cache_capacity=0) as d:
+            d.admit("a", v, warm=ks, warm_mode="prepare")
+            got = d.query("a", ks)
+        for a, b in zip(want, got):
+            np.testing.assert_array_equal(a.values, b.values)
+            np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_prepare_warm_covers_shards(self, rng):
+        n = 1 << 12
+        v = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        with ServiceDispatcher(
+            num_workers=2, capacity_elements=n // 2, result_cache_capacity=0
+        ) as d:
+            d.admit("a", v, warm=[32], warm_mode="prepare")
+            warm = d.last_report
+            assert warm is not None and warm.route == "admit-warm"
+            d.query("a", [32])
+            report = d.last_report
+            assert report is not None and report.route == "sharded"
+            assert report.constructions == 0, "sharded warm missed a shard plan"
+            assert report.plan_bank_hits >= 2  # one banked plan per shard
+
+    def test_prepare_warm_rejects_unknown_mode_and_no_bank(self, rng):
+        v = rng.integers(0, 2**32, size=1 << 10, dtype=np.uint32)
+        with ServiceDispatcher(num_workers=1) as d:
+            with pytest.raises(ConfigurationError, match="warm_mode"):
+                d.admit("a", v, warm=[8], warm_mode="eagerly")
+        with ServiceDispatcher(num_workers=1, plan_bank_bytes=0) as d:
+            with pytest.raises(ConfigurationError, match="plan bank"):
+                d.admit("a", v, warm=[8], warm_mode="prepare")

@@ -547,3 +547,81 @@ class TestSharedBroadcastConcurrency:
         assert _ledger_consistent(bank)
         info = bank.info()
         assert 0 <= info.bytes <= bank.capacity_bytes
+
+
+class TestBankAwareAlphaSnap:
+    """Satellite: near-miss alpha resolutions snap onto banked neighbours."""
+
+    # At n = 2^14 with the default beta, k=8 resolves to alpha=7 and k=32 to
+    # alpha=6 — but serving k=32 through the banked alpha-7 plan is modelled
+    # *cheaper* (256 + 4k vs 512 + 4k), so the snap must turn the second
+    # dispatch into a pure bank hit.
+    N_SNAP = 1 << 14
+
+    def test_near_miss_k_becomes_bank_hit(self, rng):
+        v = rng.integers(0, 2**32, size=self.N_SNAP, dtype=np.uint32)
+        with ServiceDispatcher(num_workers=1, result_cache_capacity=0) as d:
+            d.dispatch(v, [8])  # banks the alpha-7 plan
+            report = d.last_report
+            assert report is not None and report.constructions == 1
+            results = d.dispatch(v, [32])  # resolves alpha 6: a near miss
+            report = d.last_report
+            assert report is not None
+            assert report.constructions == 0, "near-miss k re-scanned the vector"
+            assert report.construction_bytes == 0.0
+            assert report.plan_bank_hits == 1
+        assert_topk_correct(results[0], v, 32, largest=True)
+
+    def test_snap_disabled_rebuilds(self, rng):
+        v = rng.integers(0, 2**32, size=self.N_SNAP, dtype=np.uint32)
+        with ServiceDispatcher(
+            num_workers=1, result_cache_capacity=0, snap_tolerance=None
+        ) as d:
+            d.dispatch(v, [8])
+            d.dispatch(v, [32])
+            report = d.last_report
+            assert report is not None
+            assert report.constructions == 1, "snap ran while disabled"
+            assert report.plan_bank_hits == 0
+
+    def test_snapped_answers_are_identical_to_unsnapped(self, rng):
+        v = rng.integers(0, 2**32, size=self.N_SNAP, dtype=np.uint32)
+        ks = [8, 32, 32, 8]
+        with ServiceDispatcher(
+            num_workers=1, result_cache_capacity=0, snap_tolerance=None
+        ) as ref:
+            ref.dispatch(v.copy(), [8])
+            want = ref.dispatch(v.copy(), ks)
+        with ServiceDispatcher(num_workers=1, result_cache_capacity=0) as d:
+            d.dispatch(v, [8])
+            got = d.dispatch(v, ks)
+        for a, b in zip(want, got):
+            np.testing.assert_array_equal(a.values, b.values)
+            np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_costlier_neighbour_does_not_snap(self, rng):
+        # k=512 resolves to alpha=4 and banks a fine partition; k=8 then
+        # resolves to alpha=7, and serving it through the banked alpha-4
+        # plan would cost ~7x the modelled base, far past the tolerance —
+        # the resolver must keep the Rule-4 exponent and rebuild.
+        v = rng.integers(0, 2**32, size=self.N_SNAP, dtype=np.uint32)
+        with ServiceDispatcher(num_workers=1, result_cache_capacity=0) as d:
+            d.dispatch(v, [512])
+            results = d.dispatch(v, [8])
+            report = d.last_report
+            assert report is not None
+            assert report.constructions == 1
+            assert report.plan_bank_hits == 0
+        assert_topk_correct(results[0], v, 8, largest=True)
+
+    def test_modelled_cost_matches_expected_work(self):
+        from repro.service.batch import modelled_query_cost
+
+        with ServiceDispatcher(num_workers=1) as d:
+            engine = DrTopK()
+            beta = engine.config.beta
+            for k in (4, 64, 512):
+                alpha = engine._resolve_alpha(self.N_SNAP, k)
+                assert modelled_query_cost(
+                    self.N_SNAP, k, alpha, beta
+                ) == d.router.expected_query_work(self.N_SNAP, k, alpha, beta)

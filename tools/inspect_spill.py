@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Pretty-print (and optionally verify) a spill directory's manifest.
+
+Usage::
+
+    PYTHONPATH=src python tools/inspect_spill.py /path/to/spill_dir [--verify]
+
+Prints the manifest's spilled vectors (name, fingerprint, dtype/shape,
+bytes, recorded query history, shard count) and the persisted plan-geometry
+rows (fingerprint, alpha, largest, beta, n, offset), plus the directory's
+occupancy totals — the operator's view of what a warm restart would pick up.
+
+``--verify`` additionally checks each entry against its data file: the file
+must exist and match the manifest's recorded byte size (the same check
+``SpillDirectory.load`` applies before serving), and with ``--verify`` the
+content is also re-hashed and compared to the manifest fingerprint — the one
+place in the codebase a spilled fingerprint is ever recomputed, because an
+operator asking "has this file rotted?" is exactly the case content
+addressing cannot answer by construction.  Exit status is non-zero when any
+entry fails verification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _fmt_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(count) < 1024.0 or unit == "GiB":
+            return f"{count:,.1f} {unit}" if unit != "B" else f"{int(count)} B"
+        count /= 1024.0
+    return f"{count:,.1f} GiB"
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        description="Inspect a spill directory's manifest."
+    )
+    parser.add_argument("path", help="spill directory (holds manifest.json)")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-hash each data file and compare against the manifest",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service.cache import fingerprint_array
+    from repro.service.spill import SpillDirectory
+
+    if not os.path.isdir(args.path):
+        print(f"error: {args.path!r} is not a directory", file=sys.stderr)
+        return 2
+    spill = SpillDirectory(args.path)
+    info = spill.info()
+
+    print(f"spill directory: {info.path}")
+    print(
+        f"  {info.entries} vector(s), {_fmt_bytes(info.spilled_bytes)} spilled, "
+        f"{info.plan_rows} plan row(s)"
+        + ("  [manifest recovered from corruption: cold start]" if info.recovered else "")
+    )
+
+    entries = sorted(spill.entries().values(), key=lambda e: (-e.queries, e.name))
+    failures = 0
+    if entries:
+        print("\nvectors (hottest first):")
+        header = f"  {'name':<16} {'fingerprint':<34} {'dtype':<6} {'n':>10} {'bytes':>12} {'queries':>8} {'shards':>6}"
+        print(header)
+        print("  " + "-" * (len(header) - 2))
+        for entry in entries:
+            shards = len(entry.shard_fingerprints or {})
+            status = ""
+            if args.verify:
+                loaded = spill.load(entry.name)
+                if loaded is None:
+                    status = "  MISSING/SIZE-MISMATCH"
+                    failures += 1
+                else:
+                    _, view = loaded
+                    import numpy as np
+
+                    if fingerprint_array(np.asarray(view)) != entry.fingerprint:
+                        status = "  CONTENT-MISMATCH"
+                        failures += 1
+                    else:
+                        status = "  ok"
+            print(
+                f"  {entry.name:<16} {entry.fingerprint:<34} {entry.dtype:<6} "
+                f"{entry.shape[0]:>10,} {_fmt_bytes(entry.nbytes):>12} "
+                f"{entry.queries:>8,} {shards:>6}{status}"
+            )
+
+    plans = spill.plans()
+    if plans:
+        print("\nplan geometry:")
+        header = f"  {'fingerprint':<34} {'alpha':>5} {'largest':>7} {'beta':>5} {'n':>10} {'offset':>10}"
+        print(header)
+        print("  " + "-" * (len(header) - 2))
+        for row in sorted(
+            plans, key=lambda r: (r["fingerprint"], r["alpha"], not r["largest"])
+        ):
+            print(
+                f"  {row['fingerprint']:<34} {row['alpha']:>5} "
+                f"{str(row['largest']):>7} {row['beta']:>5} {row['n']:>10,} "
+                f"{row['offset']:>10,}"
+            )
+
+    if args.verify:
+        print(
+            f"\nverify: {len(entries) - failures}/{len(entries)} entries ok"
+            + (f", {failures} FAILED" if failures else "")
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
