@@ -326,7 +326,7 @@ class BatchTopK:
         plan_bank: Optional[PlanBank] = None,
         fused: bool = True,
         snap_tolerance: Optional[float] = DEFAULT_ALPHA_SNAP_TOLERANCE,
-    ):
+    ) -> None:
         self.engine = DrTopK(config)
         # Not `cache or ...`: an empty cache is falsy (it has __len__ == 0)
         # but must still be shared.

@@ -152,7 +152,7 @@ class PartitionCache:
         recently used entry is evicted beyond that.
     """
 
-    def __init__(self, capacity: int = 128):
+    def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ConfigurationError("cache capacity must be >= 1")
         self.capacity = int(capacity)
@@ -204,10 +204,12 @@ class PartitionCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: _Key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
 
 class ResultCache:
@@ -224,7 +226,7 @@ class ResultCache:
         Maximum cached results; least recently used entries are evicted.
     """
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ConfigurationError("cache capacity must be >= 1")
         self.capacity = int(capacity)
@@ -285,4 +287,5 @@ class ResultCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -64,7 +64,7 @@ content's banked bytes unless another admitted name aliases it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -382,7 +382,7 @@ class ServiceDispatcher:
         spill_dir: Optional[str] = None,
         promote_after: int = DEFAULT_PROMOTE_AFTER,
         snap_tolerance: Optional[float] = DEFAULT_ALPHA_SNAP_TOLERANCE,
-    ):
+    ) -> None:
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
         if capacity_elements < 1:
@@ -466,7 +466,7 @@ class ServiceDispatcher:
     # -- public API -----------------------------------------------------------
     def dispatch(
         self,
-        v,
+        v: np.ndarray,
         queries: Sequence[QueryLike],
         fingerprint: Optional[str] = None,
         shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None,
@@ -558,7 +558,7 @@ class ServiceDispatcher:
     def admit(
         self,
         name: str,
-        vector=None,
+        vector: Optional[np.ndarray] = None,
         pin: bool = False,
         warm: Optional[Sequence[QueryLike]] = None,
         warm_mode: str = "dispatch",
@@ -631,7 +631,7 @@ class ServiceDispatcher:
                 self.query(name, list(warm))
         return entry
 
-    def query(self, name: str, queries) -> List[TopKResult]:
+    def query(self, name: str, queries: Sequence[QueryLike]) -> List[TopKResult]:
         """Answer queries against an admitted vector, zero re-fingerprinting.
 
         ``queries`` is a sequence of :class:`~repro.service.batch.TopKQuery`
@@ -660,7 +660,7 @@ class ServiceDispatcher:
         self.router.note_queries(entry.fingerprint, len(results))
         return results
 
-    def query_cached(self, name: str, queries) -> List[Optional[TopKResult]]:
+    def query_cached(self, name: str, queries: Sequence[QueryLike]) -> List[Optional[TopKResult]]:
         """Result-cache-only answers for an admitted name — the degrade path.
 
         Unlike :meth:`query`, nothing is dispatched: each query is looked up
@@ -1033,7 +1033,7 @@ class ServiceDispatcher:
     def __enter__(self) -> "ServiceDispatcher":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.shutdown()
 
     # -- shared bookkeeping ----------------------------------------------------
@@ -1215,7 +1215,10 @@ class ServiceDispatcher:
 
     # -- streaming route ----------------------------------------------------------
     def _dispatch_streaming(
-        self, chunks, parsed: List[TopKQuery], report: DispatchReport
+        self,
+        chunks: Union[np.ndarray, Iterable[np.ndarray]],
+        parsed: List[TopKQuery],
+        report: DispatchReport,
     ) -> List[TopKResult]:
         report.route = "streaming"
 
@@ -1305,11 +1308,11 @@ class ServiceDispatcher:
 
 
 def dispatch_topk(
-    v,
+    v: np.ndarray,
     queries: Sequence[QueryLike],
     num_workers: int = 4,
     config: Optional[DrTopKConfig] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> Tuple[List[TopKResult], DispatchReport]:
     """One-call convenience: dispatch a batch and return results + report."""
     dispatcher = ServiceDispatcher(num_workers=num_workers, config=config, **kwargs)

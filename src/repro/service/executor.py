@@ -76,7 +76,9 @@ class ProcessTask:
             return False
 
 
-def _run_process_task(fn: Callable[..., Any], args: Tuple, kwargs: Dict[str, Any]):
+def _run_process_task(
+    fn: Callable[..., Any], args: Tuple, kwargs: Dict[str, Any]
+) -> Tuple[Any, float]:
     """Child-process wrapper: run the task and measure its in-worker wall time."""
     t0 = time.perf_counter()
     value = fn(*args, **kwargs)
@@ -194,7 +196,7 @@ class ServiceExecutor:
         max_workers: int = 4,
         queue_capacity: Optional[int] = None,
         mode: str = "threads",
-    ):
+    ) -> None:
         if mode not in EXECUTION_MODES:
             raise ConfigurationError(
                 f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
@@ -256,7 +258,7 @@ class ServiceExecutor:
     def __enter__(self) -> "ServiceExecutor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.shutdown()
 
     # -- execution -------------------------------------------------------------
@@ -314,7 +316,7 @@ class ServiceExecutor:
         pool = self._ensure_pool()
         slots = threading.Semaphore(self.queue_capacity)
 
-        def timed(unit: WorkUnit, submitted_at: float):
+        def timed(unit: WorkUnit, submitted_at: float) -> Tuple[Any, float, float]:
             t0 = time.perf_counter()
             queued_ms = (t0 - submitted_at) * 1e3
             value = unit.fn()

@@ -51,6 +51,7 @@ from repro.algorithms import get_algorithm
 from repro.algorithms.base import ExecutionTrace
 from repro.core.drtopk import DrTopK, _collapse_steps
 from repro.core.plan import QueryPlan
+from repro.core.config import DrTopKConfig
 from repro.errors import ConfigurationError
 from repro.types import TopKResult, WorkloadStats
 
@@ -120,7 +121,7 @@ class ScratchArena:
         largest-first so one huge dispatch cannot pin memory forever.
     """
 
-    def __init__(self, limit_bytes: int = DEFAULT_ARENA_LIMIT_BYTES):
+    def __init__(self, limit_bytes: int = DEFAULT_ARENA_LIMIT_BYTES) -> None:
         self.limit_bytes = int(limit_bytes)
         self._free: Dict[str, List[np.ndarray]] = {}
         self._scopes: List[List[np.ndarray]] = []
@@ -144,7 +145,7 @@ class ScratchArena:
                 self.held_bytes += buf.nbytes
             self._trim()
 
-    def take(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+    def take(self, shape: Tuple[int, ...], dtype: "np.typing.DTypeLike") -> np.ndarray:
         """Borrow an uninitialised buffer of ``shape``/``dtype`` from the pool.
 
         Returns a view over a pooled 1-D backing buffer (contents arbitrary).
@@ -515,11 +516,17 @@ def _serve_fused(
             pieces_idx.append(flat_indices[extra_ge])
 
         if pieces_keys:
-            concat_keys = np.concatenate(pieces_keys)
-            concat_idx = np.concatenate(pieces_idx).astype(np.int64)
+            # Pure per-query temporaries (everything escaping below is a
+            # fancy-index copy), so they borrow from the group's arena scope
+            # instead of allocating per query.
+            total = sum(int(p.shape[0]) for p in pieces_keys)
+            concat_keys = arena.take((total,), key_dtype)
+            concat_idx = arena.take((total,), np.int64)
+            np.concatenate(pieces_keys, out=concat_keys)
+            np.concatenate(pieces_idx, out=concat_idx)
         else:  # pragma: no cover - >= k candidates always exist above t
-            concat_keys = np.empty(0, dtype=key_dtype)
-            concat_idx = np.empty(0, dtype=np.int64)
+            concat_keys = np.empty(0, dtype=key_dtype)  # reprolint: waive[HOT001] zero-element defensive branch, nothing to pool
+            concat_idx = np.empty(0, dtype=np.int64)  # reprolint: waive[HOT001] zero-element defensive branch, nothing to pool
         stats.concatenated_size = int(concat_keys.shape[0])
         if trace_q is not None:
             copied = float(concat_keys.shape[0])
@@ -628,7 +635,7 @@ def _finish_query(
     plan: QueryPlan,
     stats: WorkloadStats,
     trace_q: Optional[ExecutionTrace],
-    cfg,
+    cfg: DrTopKConfig,
 ) -> None:
     """Materialise one query's result and record its per-query accounting."""
     if trace_q is not None:

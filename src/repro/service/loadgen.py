@@ -60,7 +60,7 @@ import math
 import time
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -94,6 +94,14 @@ DEFAULT_SLO_MS = 50.0
 # ---------------------------------------------------------------------------
 
 
+class ArrivalProcess(Protocol):
+    """Structural interface shared by the open-loop arrival generators."""
+
+    def times(self, count: int) -> np.ndarray:
+        """The first ``count`` arrival timestamps, in virtual seconds."""
+        ...
+
+
 class PoissonArrivals:
     """Homogeneous Poisson arrival process at a fixed rate.
 
@@ -109,7 +117,7 @@ class PoissonArrivals:
         Seed of the dedicated random generator.
     """
 
-    def __init__(self, rate: float, seed: int = 0):
+    def __init__(self, rate: float, seed: int = 0) -> None:
         if not rate > 0.0:
             raise ConfigurationError("Poisson rate must be > 0")
         self.rate = float(rate)
@@ -150,7 +158,7 @@ class BurstyArrivals:
         on_seconds: float,
         off_seconds: float,
         seed: int = 0,
-    ):
+    ) -> None:
         if not on_rate > 0.0:
             raise ConfigurationError("on_rate must be > 0")
         if off_rate < 0.0:
@@ -213,7 +221,7 @@ class DiurnalArrivals:
         Seed of the dedicated random generator.
     """
 
-    def __init__(self, base_rate: float, peak_rate: float, period: float, seed: int = 0):
+    def __init__(self, base_rate: float, peak_rate: float, period: float, seed: int = 0) -> None:
         if base_rate < 0.0:
             raise ConfigurationError("base_rate must be >= 0")
         if not peak_rate > 0.0 or peak_rate < base_rate:
@@ -268,7 +276,7 @@ class ZipfPopularity:
         >= 0.
     """
 
-    def __init__(self, names: Sequence[str], exponent: float = 1.1):
+    def __init__(self, names: Sequence[str], exponent: float = 1.1) -> None:
         names = tuple(names)
         if not names:
             raise ConfigurationError("ZipfPopularity needs at least one name")
@@ -331,7 +339,7 @@ class RequestProfile:
     largest: bool = True
     weight: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.names:
             raise ConfigurationError("a RequestProfile needs at least one name")
         if not self.ks or any(k < 1 for k in self.ks):
@@ -605,7 +613,7 @@ class LoadHarness:
         policy: str = "shed",
         slo_ms: Union[float, Dict[str, float], None] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         if not profiles:
             raise ConfigurationError("LoadHarness needs at least one RequestProfile")
         if policy not in ADMISSION_POLICIES:
@@ -702,7 +710,7 @@ class LoadHarness:
         )
 
     # -- the two loop shapes -----------------------------------------------------
-    def run_open(self, arrivals, requests: int) -> LoadReport:
+    def run_open(self, arrivals: "ArrivalProcess", requests: int) -> LoadReport:
         """Open-loop run: requests arrive on the process's schedule.
 
         ``arrivals`` is any generator with a ``times(count)`` method

@@ -68,7 +68,7 @@ _ChunkKey = Tuple[str, int, bool]
 class _ByteBudgetLru:
     """Thread-safe LRU evicting by total resident bytes, not entry count."""
 
-    def __init__(self, capacity_bytes: int, size_of: Callable[[object], int]):
+    def __init__(self, capacity_bytes: int, size_of: Callable[[object], int]) -> None:
         if capacity_bytes < 1:
             raise ConfigurationError("cache byte budget must be >= 1")
         self.capacity_bytes = int(capacity_bytes)
@@ -165,7 +165,8 @@ class _ByteBudgetLru:
             self._bytes = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class PlanBank(_ByteBudgetLru):
@@ -189,7 +190,7 @@ class PlanBank(_ByteBudgetLru):
         beyond it.
     """
 
-    def __init__(self, capacity_bytes: int = DEFAULT_PLAN_BANK_BYTES):
+    def __init__(self, capacity_bytes: int = DEFAULT_PLAN_BANK_BYTES) -> None:
         super().__init__(capacity_bytes, size_of=lambda plan: plan.nbytes())
         # Per-key build locks backing shared(): N concurrent callers racing
         # on one cold key serialise on the key's lock, so exactly one runs
@@ -354,7 +355,7 @@ class ChunkMemo(_ByteBudgetLru):
     (k-bounded, so a generous number of chunks fits a small budget).
     """
 
-    def __init__(self, capacity_bytes: int = DEFAULT_CHUNK_MEMO_BYTES):
+    def __init__(self, capacity_bytes: int = DEFAULT_CHUNK_MEMO_BYTES) -> None:
         super().__init__(
             capacity_bytes,
             size_of=lambda r: int(r.values.nbytes) + int(r.indices.nbytes),

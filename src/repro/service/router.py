@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,12 +52,17 @@ from repro.service.batch import (
 from repro.service.cache import PartitionCache, fingerprint_array
 from repro.service.executor import WorkUnit
 from repro.service.planbank import ChunkMemo, PlanBank
+from repro.types import TopKResult
 from repro.utils import ceil_div
 
 __all__ = ["Router", "GroupShare", "BatchedPlan", "tune_min_split_work"]
 
 #: Route names emitted by :meth:`Router.classify`.
 ROUTES = ("batched", "sharded", "streaming")
+
+#: What one streaming work unit returns: ``(offset, length, {largest: result},
+#: engine report or None, memo hits)``.
+_ChunkOutcome = Tuple[int, int, Dict[bool, TopKResult], Any, int]
 
 #: Default fraction of a dispatch's total modelled work above which one
 #: plan-sharing group is split across workers (``None`` pins groups whole).
@@ -227,7 +232,7 @@ class Router:
         split_threshold: Optional[float] = DEFAULT_SPLIT_THRESHOLD,
         min_split_work: float = DEFAULT_MIN_SPLIT_WORK,
         snap_tolerance: Optional[float] = DEFAULT_ALPHA_SNAP_TOLERANCE,
-    ):
+    ) -> None:
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
         if capacity_elements < 1:
@@ -275,7 +280,7 @@ class Router:
             self._affinity.pop(fingerprint, None)
 
     # -- classification --------------------------------------------------------
-    def classify(self, v) -> str:
+    def classify(self, v: np.ndarray) -> str:
         """Name the route serving ``v``: batched, sharded or streaming.
 
         In-memory 1-D vectors route by size against the device capacity;
@@ -361,7 +366,7 @@ class Router:
         self,
         v: np.ndarray,
         parsed: Sequence[TopKQuery],
-        engine,
+        engine: BatchTopK,
         fingerprint: Optional[str] = None,
     ) -> BatchedPlan:
         """Work-weighted placement with dominant-group splitting.
@@ -517,7 +522,7 @@ class Router:
         self,
         v: np.ndarray,
         parsed: Sequence[TopKQuery],
-        engine,
+        engine: BatchTopK,
         fingerprint: Optional[str] = None,
     ) -> List[List[int]]:
         """Query positions per worker (possibly empty) — see :meth:`plan_batched`."""
@@ -556,7 +561,9 @@ class Router:
 
         for (alpha, largest), min_k in plan.split_min_k.items():
 
-            def build(alpha=alpha, largest=largest, min_k=min_k) -> QueryPlan:
+            def build(
+                alpha: float = alpha, largest: bool = largest, min_k: int = min_k
+            ) -> QueryPlan:
                 return engine.prepare_with_alpha(v, alpha, largest=largest, k=min_k)
 
             if self.plan_bank is not None and fingerprint is not None:
@@ -587,7 +594,9 @@ class Router:
             shares_by_worker.setdefault(share.worker, []).append(share)
         shared = plan.shared_plans or None
 
-        def unit_fn(worker: BatchTopK, positions: List[int]):
+        def unit_fn(
+            worker: BatchTopK, positions: List[int]
+        ) -> Callable[[], Tuple[List[int], List[TopKResult], Any]]:
             sub_queries = [parsed[p] for p in positions]
             return lambda: (
                 positions,
@@ -619,12 +628,12 @@ class Router:
     # -- streaming-route emission ----------------------------------------------
     def streaming_units(
         self,
-        chunks,
+        chunks: Union[np.ndarray, Iterable[np.ndarray]],
         parsed: Sequence[TopKQuery],
         chunk_elements: int,
-        make_engine,
+        make_engine: Callable[[], BatchTopK],
         chunk_memo: Optional[ChunkMemo] = None,
-    ):
+    ) -> Iterator[WorkUnit]:
         """Lazily emit one :class:`WorkUnit` per stream chunk, round-robin.
 
         ``chunks`` may be a single array (sliced transparently) or any
@@ -650,12 +659,12 @@ class Router:
         if isinstance(chunks, np.ndarray):
             chunks = [chunks]
 
-        def chunk_fn(piece: np.ndarray, offset: int):
+        def chunk_fn(piece: np.ndarray, offset: int) -> Callable[[], _ChunkOutcome]:
             local_queries = [
                 (min(k, piece.shape[0]), largest) for largest, k in sorted(kmax.items())
             ]
 
-            def run():
+            def run() -> _ChunkOutcome:
                 by_largest = {}
                 memo_hits = 0
                 pending = list(local_queries)
@@ -682,7 +691,7 @@ class Router:
 
             return run
 
-        def generate():
+        def generate() -> Iterator[WorkUnit]:
             offset = 0
             index = 0
             for chunk in chunks:

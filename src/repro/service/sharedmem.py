@@ -63,7 +63,7 @@ class SharedArray:
     shuts down.
     """
 
-    def __init__(self, shm: shared_memory.SharedMemory, ref: SharedArrayRef):
+    def __init__(self, shm: shared_memory.SharedMemory, ref: SharedArrayRef) -> None:
         self._shm = shm
         self.ref = ref
 

@@ -41,7 +41,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -169,7 +169,7 @@ class SpillDirectory:
         path: str,
         lock_timeout_s: float = DEFAULT_LOCK_TIMEOUT_S,
         stale_lock_s: float = DEFAULT_STALE_LOCK_S,
-    ):
+    ) -> None:
         self.path = str(path)
         self.lock_timeout_s = float(lock_timeout_s)
         self.stale_lock_s = float(stale_lock_s)
@@ -233,7 +233,7 @@ class SpillDirectory:
             self._recovered = recovered
 
     @staticmethod
-    def _parse_entry(name: str, rec) -> Optional[SpillEntry]:
+    def _parse_entry(name: str, rec: object) -> Optional[SpillEntry]:
         """Validate one manifest vector record; ``None`` when malformed."""
         if not isinstance(rec, dict):
             return None
@@ -267,7 +267,7 @@ class SpillDirectory:
         )
 
     @staticmethod
-    def _parse_plan_row(rec) -> Optional[dict]:
+    def _parse_plan_row(rec: object) -> Optional[dict]:
         """Validate one persisted plan-geometry row; ``None`` when malformed."""
         if not isinstance(rec, dict):
             return None
@@ -316,7 +316,7 @@ class SpillDirectory:
         os.replace(tmp, self.manifest_path)
 
     @contextmanager
-    def _locked(self):
+    def _locked(self) -> Iterator[None]:
         """Hold the writer lock file around one manifest mutation.
 
         A lock left by a dead pid — or older than ``stale_lock_s`` — is
@@ -545,7 +545,8 @@ class SpillDirectory:
             )
 
     def __len__(self) -> int:
-        return len(self._vectors)
+        with self._mutex:
+            return len(self._vectors)
 
     def __contains__(self, name: str) -> bool:
         return self.contains(name)

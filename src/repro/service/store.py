@@ -165,7 +165,7 @@ class VectorStore:
         spill: Optional[SpillDirectory] = None,
         promote_after: int = DEFAULT_PROMOTE_AFTER,
         query_history: Optional[Callable[[str], int]] = None,
-    ):
+    ) -> None:
         if capacity_bytes < 1:
             raise ConfigurationError("store byte budget must be >= 1")
         if promote_after < 0:
@@ -335,7 +335,11 @@ class VectorStore:
         count = entry.queries
         if self._query_history is not None:
             try:
-                count = max(count, int(self._query_history(entry.fingerprint)))
+                # By design: the router's history probe only takes its own
+                # short _history_lock and never calls back into the store, so
+                # holding the store lock across it cannot deadlock — and
+                # victim selection must see a consistent entry set.
+                count = max(count, int(self._query_history(entry.fingerprint)))  # reprolint: waive[LOCK002] router history probe is lock-local and never re-enters the store
             except Exception:  # noqa: BLE001 — history is advisory, never fatal
                 pass
         return count
@@ -581,9 +585,13 @@ class VectorStore:
             )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, name: str) -> bool:
-        if str(name) in self._entries:
-            return True
+        with self._lock:
+            if str(name) in self._entries:
+                return True
+        # The spill probe runs outside the store lock: SpillDirectory has its
+        # own mutex and holding both here would widen the lock-order surface.
         return self.spill is not None and self.spill.contains(str(name))

@@ -86,8 +86,11 @@ def merge_candidate_pool(
             keep = np.argpartition(keys, total - k)[-k:]
             return merged_v[keep], merged_i[keep]
     else:
-        merged_v = np.concatenate([pool_values, values])
-        merged_i = np.concatenate([pool_indices, indices])
+        # The merged pool *escapes* into the stream's persistent state here
+        # (<= k + chunk elements), so it cannot borrow an arena buffer whose
+        # lifetime ends with this call.
+        merged_v = np.concatenate([pool_values, values])  # reprolint: waive[HOT001] result escapes into the persistent pool
+        merged_i = np.concatenate([pool_indices, indices])  # reprolint: waive[HOT001] result escapes into the persistent pool
     if merged_v.shape[0] > k:
         keys = to_keys(merged_v, largest=largest)
         keep = np.argpartition(keys, merged_v.shape[0] - k)[-k:]
@@ -170,7 +173,7 @@ class StreamingTopK:
         config: Optional[DrTopKConfig] = None,
         chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
         chunk_memo: Optional["ChunkMemo"] = None,
-    ):
+    ) -> None:
         if not isinstance(k, (int, np.integer)) or int(k) < 1:
             raise ConfigurationError(f"k must be a positive integer, got {k!r}")
         if chunk_elements < 1:

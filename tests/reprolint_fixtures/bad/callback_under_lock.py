@@ -1,0 +1,22 @@
+"""LOCK002 fixture: a user-supplied callback invoked while holding a lock.
+
+``on_evict`` is recognised as a callback from its ``Callable`` constructor
+annotation; calling it inside the ``with self._lock`` region is the
+classic re-entrancy / lock-order hazard and must be flagged exactly once.
+"""
+
+import threading
+from typing import Callable, List, Optional
+
+
+class Notifier:
+    def __init__(self, on_evict: Optional[Callable[[str], None]] = None) -> None:
+        self._lock = threading.Lock()
+        self.on_evict = on_evict
+        self._names: List[str] = []
+
+    def evict(self, name: str) -> None:
+        with self._lock:
+            self._names.append(name)
+            if self.on_evict is not None:
+                self.on_evict(name)

@@ -1,0 +1,20 @@
+"""FRZ001 fixture: ``object.__setattr__`` on a frozen dataclass after init.
+
+The ``__post_init__`` normalisation is the sanctioned escape hatch; the
+module-level ``bump`` helper mutating a live instance must be flagged
+exactly once.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    total: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "total", int(self.total))
+
+
+def bump(snap: Snapshot) -> None:
+    object.__setattr__(snap, "total", snap.total + 1)

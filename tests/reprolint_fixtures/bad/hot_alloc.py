@@ -1,0 +1,14 @@
+"""HOT001 fixture: a raw numpy allocation inside a registered hot function.
+
+``hot_fn`` is registered via the test's ``LintConfig.hot_functions``; the
+``np.empty`` without an ``out=`` target must be flagged exactly once.
+"""
+
+import numpy as np
+
+
+def hot_fn(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    merged = np.empty(a.shape[0] + b.shape[0], dtype=a.dtype)
+    merged[: a.shape[0]] = a
+    merged[a.shape[0] :] = b
+    return merged

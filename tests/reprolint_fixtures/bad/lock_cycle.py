@@ -1,0 +1,40 @@
+"""LOCK003 fixture: two classes acquiring each other's locks in opposite order.
+
+``Left.poke`` holds ``Left._lock`` and calls into ``Right.poke_back``
+(which takes ``Right._lock``); ``Right.poke`` does the mirror image.  The
+inter-class lock-order graph therefore has the 2-cycle
+``Left._lock -> Right._lock -> Left._lock`` and must fail — once.
+"""
+
+import threading
+from typing import Optional
+
+
+class Left:
+    def __init__(self, peer: Optional["Right"] = None) -> None:
+        self._lock = threading.Lock()
+        self._peer = peer
+
+    def poke(self) -> None:
+        with self._lock:
+            if self._peer is not None:
+                self._peer.poke_back()
+
+    def poke_back(self) -> None:
+        with self._lock:
+            pass
+
+
+class Right:
+    def __init__(self, peer: Optional[Left] = None) -> None:
+        self._lock = threading.Lock()
+        self._peer = peer
+
+    def poke(self) -> None:
+        with self._lock:
+            if self._peer is not None:
+                self._peer.poke_back()
+
+    def poke_back(self) -> None:
+        with self._lock:
+            pass

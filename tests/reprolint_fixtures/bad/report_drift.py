@@ -1,0 +1,14 @@
+"""DOC001 fixture: a report dataclass whose glossary has drifted.
+
+``bad/glossary.md`` documents ``built``, ``failed`` *and* a ``retired``
+field that no longer exists here — the stale row must be flagged exactly
+once.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WidgetReport:
+    built: int = 0
+    failed: int = 0

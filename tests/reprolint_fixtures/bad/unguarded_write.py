@@ -1,0 +1,29 @@
+"""LOCK001 fixture: one unguarded write to an inferred lock-guarded attr.
+
+``_count`` is written under ``_lock`` in three methods (3/4 accesses, at
+the 0.75 inference ratio), so the lockless write in ``reset`` must be
+flagged — exactly once.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def incr(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def decr(self) -> None:
+        with self._lock:
+            self._count -= 1
+
+    def double(self) -> None:
+        with self._lock:
+            self._count *= 2
+
+    def reset(self) -> None:
+        self._count = 0

@@ -1,0 +1,45 @@
+"""Clean counterpart of the lock-discipline fixtures: zero findings.
+
+Every ``_count`` access holds the lock, and the eviction callback is
+snapshotted under the lock but *invoked outside it* — the pattern the
+bad fixtures violate.
+"""
+
+import threading
+from typing import Callable, List, Optional
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def incr(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def decr(self) -> None:
+        with self._lock:
+            self._count -= 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self._count = 0
+
+    def value(self) -> int:
+        with self._lock:
+            return self._count
+
+
+class Notifier:
+    def __init__(self, on_evict: Optional[Callable[[str], None]] = None) -> None:
+        self._lock = threading.Lock()
+        self.on_evict = on_evict
+        self._names: List[str] = []
+
+    def evict(self, name: str) -> None:
+        with self._lock:
+            self._names.append(name)
+            callback = self.on_evict
+        if callback is not None:
+            callback(name)

@@ -1,0 +1,30 @@
+"""Clean lock-order fixture: cross-class acquisition with one global order.
+
+``Front`` takes its own lock and calls into ``Back`` (which takes its
+lock) — and ``Back`` never calls ``Front`` while locked, so the graph is
+``Front._lock -> Back._lock`` and acyclic.
+"""
+
+import threading
+from typing import Optional
+
+
+class Back:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._hits = 0
+
+    def poke_back(self) -> None:
+        with self._lock:
+            self._hits += 1
+
+
+class Front:
+    def __init__(self, peer: Optional[Back] = None) -> None:
+        self._lock = threading.Lock()
+        self._peer = peer
+
+    def poke(self) -> None:
+        with self._lock:
+            if self._peer is not None:
+                self._peer.poke_back()

@@ -1,0 +1,12 @@
+"""Clean glossary fixture: dataclass fields and the doc table agree."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WidgetReport:
+    built: int = 0
+    failed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "built", int(self.built))

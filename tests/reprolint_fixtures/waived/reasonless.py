@@ -1,0 +1,9 @@
+"""Waiver fixture: a reason-less waiver that ``--strict`` must reject.
+
+The comment below suppresses nothing (there is no finding on the next
+line) and gives no justification; strict mode fails on it regardless,
+because every waiver must carry a reason.
+"""
+
+# reprolint: waive[HOT001]
+UNUSED = 1

@@ -1,0 +1,141 @@
+"""Regression tests for the LOCK001 fixes: sized/membership probes under churn.
+
+reprolint's lock-discipline pass flagged lockless ``__len__`` /
+``__contains__`` probes on every serving container (VectorStore,
+PartitionCache, ResultCache, the PlanBank/ChunkMemo LRU, SpillDirectory).
+Each was fixed to take its container's lock; these tests hammer the fixed
+probes from reader threads while writer threads mutate the underlying
+dict, so a regression to lockless iteration shows up as a
+``RuntimeError: dictionary changed size during iteration`` or a torn
+read, not a silent data race.
+
+The static side of the regression — "the probes hold the lock" — is
+enforced by ``tests/test_reprolint.py::test_real_tree_is_strict_clean``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.drtopk import DrTopK
+from repro.service.cache import PartitionCache, ResultCache
+from repro.service.planbank import ChunkMemo
+from repro.service.spill import SpillDirectory
+from repro.service.store import VectorStore
+from repro.types import TopKResult
+
+WRITER_ROUNDS = 200
+READER_ROUNDS = 400
+
+
+def _run_threads(workers):
+    errors = []
+
+    def wrap(fn):
+        def inner():
+            try:
+                fn()
+            except Exception as exc:  # noqa: BLE001 - surfaced via errors list
+                errors.append(exc)
+
+        return inner
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == [], errors
+
+
+def _result(k: int = 2) -> TopKResult:
+    values = np.arange(k, dtype=np.float64)[::-1].copy()
+    return TopKResult(values=values, indices=np.arange(k), k=k, largest=True)
+
+
+def test_vector_store_len_contains_under_admit_evict_churn():
+    store = VectorStore(capacity_bytes=1 << 20)
+
+    def writer():
+        rng = np.random.default_rng(7)
+        for i in range(WRITER_ROUNDS):
+            name = f"v{i % 8}"
+            store.admit(name, rng.standard_normal(64))
+            if i % 3 == 0:
+                store.evict(name)
+
+    def reader():
+        for i in range(READER_ROUNDS):
+            assert len(store) >= 0
+            (f"v{i % 8}" in store)
+
+    _run_threads([writer, writer, reader, reader])
+    assert len(store) <= 8
+
+
+def test_partition_cache_len_contains_under_resolve_churn():
+    cache = PartitionCache(capacity=16)
+    engine = DrTopK()
+
+    def writer():
+        for i in range(WRITER_ROUNDS):
+            cache.resolve(1024 + i % 64, 8 + i % 8, engine)
+
+    def reader():
+        for _ in range(READER_ROUNDS):
+            assert 0 <= len(cache) <= 16
+
+    _run_threads([writer, writer, reader, reader])
+
+
+def test_result_cache_len_under_put_get_churn():
+    cache = ResultCache(capacity=8)
+
+    def writer():
+        for i in range(WRITER_ROUNDS):
+            cache.put(f"fp{i % 12}", 2, True, _result())
+            cache.get(f"fp{(i + 3) % 12}", 2, True)
+
+    def reader():
+        for _ in range(READER_ROUNDS):
+            assert 0 <= len(cache) <= 8
+
+    _run_threads([writer, writer, reader, reader])
+
+
+def test_chunk_memo_len_under_put_churn():
+    memo = ChunkMemo(capacity_bytes=1 << 14)
+
+    def writer():
+        for i in range(WRITER_ROUNDS):
+            memo.put(f"fp{i % 10}", 2, True, _result())
+
+    def reader():
+        for _ in range(READER_ROUNDS):
+            assert len(memo) >= 0
+
+    _run_threads([writer, writer, reader, reader])
+
+
+@pytest.mark.parametrize("probes", [("len",), ("contains",), ("len", "contains")])
+def test_spill_directory_probes_under_store_remove_churn(tmp_path, probes):
+    spill = SpillDirectory(str(tmp_path / "spill"))
+    rng = np.random.default_rng(11)
+
+    def writer():
+        for i in range(40):
+            name = f"s{i % 4}"
+            spill.store(name, rng.standard_normal(32), fingerprint=f"fp{i % 4}")
+            if i % 2:
+                spill.remove(name)
+
+    def reader():
+        for i in range(120):
+            if "len" in probes:
+                assert len(spill) >= 0
+            if "contains" in probes:
+                (f"s{i % 4}" in spill)
+
+    _run_threads([writer, reader, reader])
+    assert len(spill) <= 4

@@ -1,0 +1,6 @@
+"""Repository tooling (reprolint, profilers, inspectors).
+
+This package marker exists so ``python -m tools.reprolint`` works from the
+repository root; the stand-alone scripts next to it (``check_links.py``,
+``profile_hotpath.py``, ``inspect_spill.py``) are still run directly.
+"""

@@ -53,7 +53,10 @@ def _slug(heading: str) -> str:
     """GitHub-style anchor slug of one heading line."""
     heading = re.sub(r"[`*_]", "", heading.strip().lower())
     heading = re.sub(r"[^\w\s-]", "", heading)
-    return re.sub(r"[\s]+", "-", heading).strip("-")
+    # GitHub hyphenates every whitespace character individually, so a
+    # heading like "DOC001 — drift" (em-dash dropped, two spaces left)
+    # slugs to a double hyphen — do not collapse runs.
+    return re.sub(r"\s", "-", heading)
 
 
 def _anchors(path: Path) -> set:

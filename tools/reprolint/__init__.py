@@ -1,0 +1,26 @@
+"""reprolint — AST-based invariant checker for this repository.
+
+Four passes over ``src/repro/**`` plus one git-hygiene rule, each mapped to
+stable rule ids (see ``docs/development.md`` for the full catalog):
+
+- **LOCK001/002/003** — lock discipline: unguarded access to lock-guarded
+  attributes, external/user code called under a lock, and cycles in the
+  inter-class lock-order graph.
+- **HOT001** — raw numpy allocations inside registered hot-path functions
+  that should borrow from ``ScratchArena``.
+- **DOC001** — drift between report dataclasses and the
+  ``docs/operations.md`` glossary tables (checked both ways).
+- **FRZ001/002** — frozen-report integrity: ``object.__setattr__`` outside
+  ``__post_init__`` and mutation of sealed (``setflags(write=False)``)
+  arrays.
+- **HYG001** — compiled artifacts tracked by git.
+
+Run ``python -m tools.reprolint --strict`` from the repo root; deliberate
+exceptions carry ``# reprolint: waive[RULE] reason`` inline comments.
+"""
+
+from .config import LintConfig
+from .model import Finding, LockGraph, Report, Waiver
+from .runner import run
+
+__all__ = ["Finding", "LintConfig", "LockGraph", "Report", "Waiver", "run"]

@@ -1,0 +1,94 @@
+"""CLI for reprolint: ``python -m tools.reprolint [--strict] [--json PATH]``.
+
+Exit status: ``--strict`` fails (1) on any unwaived finding or any waiver
+missing a reason; without it the run only reports.  ``--json`` writes the
+full machine-readable report (per-rule counts, findings, waiver inventory,
+lock-order graph) — CI uploads it as ``reprolint_report.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .config import LintConfig
+from .runner import run
+
+
+def main(argv=None) -> int:
+    """Run the checker; return the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST invariant checker: lock discipline, hot-path "
+        "allocations, glossary drift, frozen-report integrity, repo hygiene.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parents[2],
+        help="repository root to scan (default: this checkout)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on unwaived findings or reason-less waivers",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="write the full report as JSON"
+    )
+    parser.add_argument(
+        "--graph", action="store_true", help="print the lock-order graph"
+    )
+    parser.add_argument(
+        "--no-hygiene",
+        action="store_true",
+        help="skip the git tracked-artifact rule",
+    )
+    args = parser.parse_args(argv)
+
+    config = LintConfig(root=args.root, check_hygiene=not args.no_hygiene)
+    report = run(config)
+
+    for finding in report.findings:
+        print(finding.format())
+    counts = report.rule_counts()
+    unwaived = report.unwaived
+    print(
+        f"reprolint: {report.files_scanned} files, "
+        f"{len(report.findings)} findings "
+        f"({len(report.findings) - len(unwaived)} waived), "
+        f"{len(report.waivers)} waivers"
+    )
+    for rule in sorted(counts):
+        entry = counts[rule]
+        print(f"  {rule}: {entry['total']} ({entry['waived']} waived)")
+    if args.graph and report.lock_graph is not None:
+        print(report.lock_graph.render())
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+        print(f"report written to {args.json}")
+
+    if args.strict:
+        failed = False
+        if unwaived:
+            print(f"STRICT: {len(unwaived)} unwaived finding(s)", file=sys.stderr)
+            failed = True
+        reasonless = report.reasonless_waivers
+        if reasonless:
+            for waiver in reasonless:
+                print(
+                    f"STRICT: waiver without reason at "
+                    f"{waiver.path}:{waiver.line}",
+                    file=sys.stderr,
+                )
+            failed = True
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,192 @@
+"""Frozen-report integrity pass: FRZ001 / FRZ002.
+
+**FRZ001** — ``object.__setattr__(...)`` anywhere except inside the
+``__post_init__`` of a ``@dataclass(frozen=True)`` class.  Frozen reports
+are the repo's immutability contract; bypassing it after construction makes
+published reports mutate under their readers.
+
+**FRZ002** — mutating an array after it was sealed with
+``x.setflags(write=False)``: a later ``x[...] = ...``, ``x += ...`` or an
+in-place method (``sort``, ``fill``, ``partition``, ``put``, ``resize``)
+on the same name in the same function raises at runtime — flag it at
+authoring time instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from .model import Finding
+
+_INPLACE_METHODS = {"sort", "fill", "partition", "put", "resize", "setfield"}
+
+
+def _frozen_dataclasses(tree: ast.Module) -> Set[str]:
+    """Names of ``@dataclass(frozen=True)`` classes in this module."""
+    frozen: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for deco in node.decorator_list:
+            if (
+                isinstance(deco, ast.Call)
+                and isinstance(deco.func, ast.Name)
+                and deco.func.id == "dataclass"
+                and any(
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in deco.keywords
+                )
+            ):
+                frozen.add(node.name)
+    return frozen
+
+
+def _is_object_setattr(node: ast.Call) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "__setattr__"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "object"
+    )
+
+
+def _target_name(expr: ast.expr) -> str:
+    """A stable name for ``x`` / ``self.x`` targets; '' when unnameable."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+    ):
+        return f"{expr.value.id}.{expr.attr}"
+    return ""
+
+
+class FrozenPass:
+    """Scan one file for frozen-contract violations."""
+
+    def run(self, path_rel: str, tree: ast.Module) -> List[Finding]:
+        """Findings for one parsed file."""
+        findings: List[Finding] = []
+        findings += self._setattr_findings(path_rel, tree)
+        for fn in (
+            n
+            for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            findings += self._sealed_array_findings(path_rel, fn)
+        return findings
+
+    def _setattr_findings(self, path_rel: str, tree: ast.Module) -> List[Finding]:
+        findings: List[Finding] = []
+        allowed: Set[int] = set()  # line spans of frozen __post_init__ bodies
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                frozen_here = _frozen_dataclasses(ast.Module(body=[node], type_ignores=[]))
+                if node.name not in frozen_here:
+                    continue
+                for item in node.body:
+                    if (
+                        isinstance(item, ast.FunctionDef)
+                        and item.name == "__post_init__"
+                    ):
+                        end = item.end_lineno or item.lineno
+                        allowed.update(range(item.lineno, end + 1))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and _is_object_setattr(node):
+                if node.lineno in allowed:
+                    continue
+                findings.append(
+                    Finding(
+                        rule="FRZ001",
+                        path=path_rel,
+                        line=node.lineno,
+                        message="object.__setattr__ outside a frozen "
+                        "dataclass's __post_init__",
+                        hint="use dataclasses.replace() to derive a new report",
+                    )
+                )
+        return findings
+
+    def _sealed_array_findings(self, path_rel: str, fn) -> List[Finding]:
+        findings: List[Finding] = []
+        sealed: Set[str] = set()
+        # Line-ordered scan: a seal point must precede the mutation it flags.
+        for node in sorted(
+            (n for n in ast.walk(fn) if isinstance(n, (ast.Call, ast.Assign, ast.AugAssign))),
+            key=lambda n: (n.lineno, n.col_offset),
+        ):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "setflags"
+                    and any(
+                        kw.arg == "write"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False
+                        for kw in node.keywords
+                    )
+                ):
+                    name = _target_name(func.value)
+                    if name:
+                        sealed.add(name)
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _INPLACE_METHODS
+                    and _target_name(func.value) in sealed
+                ):
+                    findings.append(
+                        Finding(
+                            rule="FRZ002",
+                            path=path_rel,
+                            line=node.lineno,
+                            message=(
+                                f"in-place .{func.attr}() on "
+                                f"'{_target_name(func.value)}' after "
+                                "setflags(write=False)"
+                            ),
+                            hint="mutate before sealing, or copy first",
+                        )
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and _target_name(target.value) in sealed
+                    ):
+                        findings.append(
+                            Finding(
+                                rule="FRZ002",
+                                path=path_rel,
+                                line=node.lineno,
+                                message=(
+                                    f"write into '{_target_name(target.value)}' "
+                                    "after setflags(write=False)"
+                                ),
+                                hint="mutate before sealing, or copy first",
+                            )
+                        )
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                name = (
+                    _target_name(target.value)
+                    if isinstance(target, ast.Subscript)
+                    else _target_name(target)
+                )
+                if name in sealed:
+                    findings.append(
+                        Finding(
+                            rule="FRZ002",
+                            path=path_rel,
+                            line=node.lineno,
+                            message=f"augmented write to '{name}' after "
+                            "setflags(write=False)",
+                            hint="mutate before sealing, or copy first",
+                        )
+                    )
+        return findings

@@ -1,0 +1,175 @@
+"""Report/glossary drift pass: DOC001.
+
+Every report dataclass registered in
+:data:`tools.reprolint.config.DEFAULT_GLOSSARY_CLASSES` must be mirrored by
+a markdown table in ``docs/operations.md`` introduced by a marker comment::
+
+    <!-- reprolint:glossary DispatchReport -->
+    | Field | Meaning |
+    | --- | --- |
+    | `num_queries` | ... |
+
+The pass extracts the dataclass's annotated fields plus its ``@property``
+names from the AST and diffs them against the table's first-column code
+tokens, both ways: a field with no doc row fails (missing), and a doc row
+naming no field fails (stale).  Combined rows (`` `a` / `b` ``) list every
+token in one cell.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+from .config import LintConfig
+from .model import Finding
+
+MARKER_RE = re.compile(r"<!--\s*reprolint:glossary\s+(?P<cls>\w+)\s*-->")
+TOKEN_RE = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)`")
+
+
+def dataclass_fields(tree: ast.Module, class_name: str) -> Tuple[Set[str], int]:
+    """Annotated fields + property names of ``class_name``; (names, def line)."""
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == class_name):
+            continue
+        names: Set[str] = set()
+        for item in node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                ann = ast.dump(item.annotation)
+                if "ClassVar" in ann:
+                    continue
+                names.add(item.target.id)
+            elif isinstance(item, ast.FunctionDef):
+                if any(
+                    isinstance(d, ast.Name) and d.id == "property"
+                    for d in item.decorator_list
+                ):
+                    names.add(item.name)
+        return names, node.lineno
+    return set(), 0
+
+
+def doc_tables(doc_text: str) -> Dict[str, Tuple[Dict[str, int], int]]:
+    """Per marked class: ``{token: doc line}`` from the table after its marker."""
+    lines = doc_text.splitlines()
+    tables: Dict[str, Tuple[Dict[str, int], int]] = {}
+    i = 0
+    while i < len(lines):
+        match = MARKER_RE.search(lines[i])
+        if not match:
+            i += 1
+            continue
+        cls = match.group("cls")
+        marker_line = i + 1
+        tokens: Dict[str, int] = {}
+        j = i + 1
+        in_table = False
+        while j < len(lines):
+            row = lines[j].strip()
+            if row.startswith("|"):
+                in_table = True
+                cells = [c.strip() for c in row.strip("|").split("|")]
+                first = cells[0] if cells else ""
+                if first and not set(first) <= {"-", " ", ":"}:
+                    for token in TOKEN_RE.findall(first):
+                        tokens.setdefault(token, j + 1)
+            elif in_table and row:
+                break  # table ended
+            elif in_table and not row:
+                # blank line after the table body ends it too
+                break
+            j += 1
+        tables[cls] = (tokens, marker_line)
+        i = j
+    return tables
+
+
+class GlossaryPass:
+    """Cross-check report dataclasses against the operations glossary."""
+
+    def __init__(self, config: LintConfig):
+        self.config = config
+
+    def run(self, parsed: Dict[str, ast.Module]) -> List[Finding]:
+        """``parsed`` maps repo-relative paths to their module ASTs."""
+        findings: List[Finding] = []
+        doc_path = self.config.root / self.config.glossary_doc
+        if not doc_path.is_file():
+            return [
+                Finding(
+                    rule="DOC001",
+                    path=self.config.glossary_doc,
+                    line=1,
+                    message="glossary document missing",
+                    hint="create it or adjust LintConfig.glossary_doc",
+                )
+            ]
+        tables = doc_tables(doc_path.read_text())
+        # Drop the 'Field' header token that a header row would contribute.
+        for cls, (tokens, _marker) in tables.items():
+            tokens.pop("Field", None)
+        for cls, module_rel in sorted(self.config.glossary_classes.items()):
+            src_path = self.config.root / module_rel
+            tree = parsed.get(Path(module_rel).as_posix())
+            if tree is None:
+                if not src_path.is_file():
+                    findings.append(
+                        Finding(
+                            rule="DOC001",
+                            path=module_rel,
+                            line=1,
+                            message=f"glossary class {cls}: module not found",
+                            hint="fix the path in LintConfig.glossary_classes",
+                        )
+                    )
+                    continue
+                tree = ast.parse(src_path.read_text())
+            fields, def_line = dataclass_fields(tree, cls)
+            if not fields:
+                findings.append(
+                    Finding(
+                        rule="DOC001",
+                        path=module_rel,
+                        line=1,
+                        message=f"glossary class {cls} not found in module",
+                        hint="fix LintConfig.glossary_classes",
+                    )
+                )
+                continue
+            if cls not in tables:
+                findings.append(
+                    Finding(
+                        rule="DOC001",
+                        path=self.config.glossary_doc,
+                        line=1,
+                        message=f"no '<!-- reprolint:glossary {cls} -->' table",
+                        hint="add the marker comment ahead of the class's table",
+                    )
+                )
+                continue
+            tokens, marker_line = tables[cls]
+            for missing in sorted(fields - set(tokens)):
+                findings.append(
+                    Finding(
+                        rule="DOC001",
+                        path=module_rel,
+                        line=def_line,
+                        message=f"{cls}.{missing} has no row in the "
+                        f"{self.config.glossary_doc} glossary",
+                        hint=f"document `{missing}` in the {cls} table",
+                    )
+                )
+            for stale in sorted(set(tokens) - fields):
+                findings.append(
+                    Finding(
+                        rule="DOC001",
+                        path=self.config.glossary_doc,
+                        line=tokens[stale],
+                        message=f"glossary row `{stale}` matches no field of {cls}",
+                        hint="remove the stale row or rename it to the real field",
+                    )
+                )
+        return findings

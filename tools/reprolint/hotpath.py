@@ -1,0 +1,94 @@
+"""Hot-path allocation pass: HOT001.
+
+Functions registered in :data:`tools.reprolint.config.DEFAULT_HOT_FUNCTIONS`
+run once per dispatch/group on the serving fast path; a raw
+``np.empty/zeros/concatenate/full`` there is a per-call heap allocation the
+:class:`~repro.service.fusion.ScratchArena` exists to amortise.  The rule
+flags those calls inside registered functions; allocations that feed an
+``out=`` buffer already borrowed from the arena are fine as long as the
+destination came from ``arena.take`` (the rule only looks at the allocating
+call itself, so pass a pooled buffer via ``out=`` *and* waive, or restructure
+to ``arena.take`` + copy).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from .config import ALLOC_CALLS, LintConfig
+from .model import Finding
+
+
+def _alloc_name(node: ast.Call) -> str:
+    """``np.empty`` / ``numpy.zeros`` / bare ``empty`` → the alloc name, else ''."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in ALLOC_CALLS:
+        if isinstance(func.value, ast.Name) and func.value.id in ("np", "numpy"):
+            return func.attr
+    return ""
+
+
+def _has_out_kwarg(node: ast.Call) -> bool:
+    return any(kw.arg == "out" for kw in node.keywords)
+
+
+class HotPathPass:
+    """Scan registered hot functions for raw numpy allocations."""
+
+    def __init__(self, config: LintConfig):
+        #: module -> set of qualnames registered as hot in that module
+        self.registry: Dict[str, Set[str]] = {}
+        for entry in config.hot_functions:
+            module, _, qualname = entry.partition(":")
+            self.registry.setdefault(module, set()).add(qualname)
+
+    def run(self, path_rel: str, module: str, tree: ast.Module) -> List[Finding]:
+        """Findings for one parsed file."""
+        hot = self.registry.get(module)
+        if not hot:
+            return []
+        findings: List[Finding] = []
+        for qualname, fn in _functions_with_qualnames(tree):
+            if qualname not in hot:
+                continue
+            for sub in ast.walk(fn):
+                if not isinstance(sub, ast.Call):
+                    continue
+                alloc = _alloc_name(sub)
+                if not alloc:
+                    continue
+                if _has_out_kwarg(sub):
+                    # Writing into an existing (arena-borrowed) buffer
+                    # allocates nothing — this is the sanctioned pattern.
+                    continue
+                findings.append(
+                    Finding(
+                        rule="HOT001",
+                        path=path_rel,
+                        line=sub.lineno,
+                        message=(
+                            f"raw np.{alloc} in hot function "
+                            f"'{qualname}' allocates per call"
+                        ),
+                        hint="borrow the buffer from ScratchArena.scope()/take()",
+                    )
+                )
+        return findings
+
+
+def _functions_with_qualnames(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    """``(qualname, node)`` for every function, with ``Class.method`` names."""
+    out: List[Tuple[str, ast.AST]] = []
+
+    def visit(body, prefix: str) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append((prefix + node.name, node))
+                # Nested defs get dotted names but hot registration targets
+                # top-level functions and methods, so no recursion needed.
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, prefix + node.name + ".")
+
+    visit(tree.body, "")
+    return out

@@ -1,0 +1,43 @@
+"""Repo-hygiene pass: HYG001 — compiled artifacts tracked by git.
+
+``__pycache__`` directories and ``.pyc``/``.pyo`` files are build output;
+tracking them bloats diffs and goes stale against the sources.  The rule
+lists ``git ls-files`` and fails per tracked artifact.  Outside a git
+checkout (or with git unavailable) the pass is a no-op.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from typing import List
+
+from .config import LintConfig
+from .model import Finding
+
+
+def run_hygiene(config: LintConfig) -> List[Finding]:
+    """Findings for tracked compiled artifacts under the scan root."""
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(config.root), "ls-files"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if proc.returncode != 0:
+        return []
+    findings: List[Finding] = []
+    for path in proc.stdout.splitlines():
+        if path.endswith((".pyc", ".pyo")) or "__pycache__/" in path:
+            findings.append(
+                Finding(
+                    rule="HYG001",
+                    path=path,
+                    line=1,
+                    message="compiled artifact is tracked by git",
+                    hint="git rm --cached it and cover it in .gitignore",
+                )
+            )
+    return findings

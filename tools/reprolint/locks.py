@@ -1,0 +1,769 @@
+"""Lock-discipline pass: LOCK001 / LOCK002 / LOCK003.
+
+Works purely on the AST, in two phases:
+
+**Collect** — per module, find lock objects (``self._x = threading.Lock()``
+or module-level ``_X = threading.Lock()``), lock *factories* (methods whose
+return annotation is ``threading.Lock``), callback attributes (``__init__``
+params annotated ``Callable`` stored on ``self``), and attribute types
+(``__init__`` params annotated with a scanned class, stored on ``self``).
+
+**Analyze** — walk every method tracking the set of locks lexically held.
+Private methods whose intra-class call sites all hold a lock inherit that
+held set (fixpoint), so ``# caller holds the lock`` helpers don't
+false-positive.  From the events we derive:
+
+- **LOCK001**: an attribute written outside ``__init__`` whose accesses
+  overwhelmingly happen under one lock is *guarded*; any access of it off
+  the lock is flagged (torn reads / lost updates).
+- **LOCK002**: calls that reach external/user code (callback attributes,
+  ``fingerprint_array``, ``dispatch``) while any lock is held.
+- **LOCK003**: the inter-class lock-order graph — an edge ``A -> B`` for
+  every acquisition of ``B`` (lexical, or transitively through calls, with
+  cross-class calls resolved through attribute types) while ``A`` is held —
+  with a finding per cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .config import EXTERNAL_CALL_NAMES, LintConfig
+from .model import Finding, LockGraph
+
+_LOCK_CTORS = {"Lock", "RLock"}
+
+#: Method calls that mutate their receiver — ``self.x.pop(...)`` counts as a
+#: *write* to ``x`` for the guarded-attribute inference.
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "move_to_end",
+    "add",
+    "discard",
+    "remove",
+    "sort",
+}
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    """``threading.Lock()`` / ``threading.RLock()`` (or bare ``Lock()``)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_CTORS and isinstance(func.value, ast.Name)
+    return isinstance(func, ast.Name) and func.id in _LOCK_CTORS
+
+
+def _annotation_names(node: Optional[ast.expr]) -> Set[str]:
+    """Every bare identifier mentioned in an annotation expression."""
+    if node is None:
+        return set()
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String / forward-ref annotations: extract identifiers.
+            try:
+                names |= _annotation_names(ast.parse(sub.value, mode="eval").body)
+            except SyntaxError:
+                pass
+    return names
+
+
+@dataclass
+class ClassInfo:
+    """Everything the analyzer needs to know about one class."""
+
+    name: str
+    module: str
+    path: str
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    properties: Set[str] = field(default_factory=set)
+    lock_attrs: Dict[str, str] = field(default_factory=dict)
+    lock_factories: Set[str] = field(default_factory=set)
+    callback_attrs: Set[str] = field(default_factory=set)
+    attr_class: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Module-level lock context: global locks, mutable globals, functions."""
+
+    module: str
+    path: str
+    locks: Dict[str, str] = field(default_factory=dict)  # name -> lock id
+    functions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    mutable_globals: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class Event:
+    """One occurrence the walker recorded, with the locks held at it."""
+
+    kind: str  # access | acquire | call_name | call_self | call_attr | callback
+    name: str  # attr / lock id / callee
+    line: int
+    held: Tuple[str, ...]
+    is_store: bool = False
+    extra: str = ""  # call_attr: the attribute the call went through
+
+
+class _MethodWalker(ast.NodeVisitor):
+    """Walk one function body tracking lexically-held locks."""
+
+    def __init__(
+        self,
+        cls: Optional[ClassInfo],
+        mod: ModuleInfo,
+        effective_locks: Dict[str, str],
+        group_methods: Set[str],
+        group_props: Set[str],
+        callback_attrs: Set[str],
+        lock_factories: Dict[str, str],
+        entry_held: Tuple[str, ...],
+    ):
+        self.cls = cls
+        self.mod = mod
+        self.effective_locks = effective_locks
+        self.group_methods = group_methods
+        self.group_props = group_props
+        self.callback_attrs = callback_attrs
+        self.lock_factories = lock_factories
+        self.held: Tuple[str, ...] = entry_held
+        self.events: List[Event] = []
+
+    # -- lock classification ---------------------------------------------------
+    def _lock_of_item(self, expr: ast.expr) -> Optional[str]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return self.effective_locks.get(expr.attr)
+        if isinstance(expr, ast.Name):
+            return self.mod.locks.get(expr.id)
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and isinstance(expr.func.value, ast.Name)
+            and expr.func.value.id == "self"
+        ):
+            return self.lock_factories.get(expr.func.attr)
+        return None
+
+    # -- visitors --------------------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        self._with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with(node)
+
+    def _with(self, node) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            lock = self._lock_of_item(item.context_expr)
+            if lock is not None:
+                self.events.append(Event("acquire", lock, node.lineno, self.held))
+                # A factory item still *calls* the factory (it may take
+                # other locks transiently while handing the lock out).
+                if isinstance(item.context_expr, ast.Call):
+                    self.visit(item.context_expr)
+                acquired.append(lock)
+                self.held = self.held + (lock,)
+            else:
+                self.visit(item.context_expr)
+                if item.optional_vars is not None:
+                    self.visit(item.optional_vars)
+        for stmt in node.body:
+            self.visit(stmt)
+        if acquired:
+            self.held = self.held[: len(self.held) - len(acquired)]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        handled = False
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base == "self":
+                if attr in self.callback_attrs:
+                    self.events.append(
+                        Event("callback", attr, node.lineno, self.held)
+                    )
+                    handled = True
+                elif attr in self.group_methods:
+                    self.events.append(
+                        Event("call_self", attr, node.lineno, self.held)
+                    )
+                    handled = True
+        if (
+            not handled
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+        ):
+            # self.<attr>.<method>(...) — resolved through attr types.
+            self.events.append(
+                Event(
+                    "call_attr",
+                    func.attr,
+                    node.lineno,
+                    self.held,
+                    extra=func.value.attr,
+                )
+            )
+            self._record_self_attr(
+                func.value, is_store=func.attr in _MUTATOR_METHODS
+            )
+            handled = True
+        if isinstance(func, ast.Name):
+            self.events.append(Event("call_name", func.id, node.lineno, self.held))
+            handled = True
+        if not handled:
+            self.visit(func)
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    def _record_self_attr(self, node: ast.Attribute, is_store: bool) -> None:
+        attr = node.attr
+        if (
+            attr not in self.group_methods
+            and attr not in self.group_props
+            and attr not in self.effective_locks
+            and attr not in self.callback_attrs
+        ):
+            self.events.append(
+                Event("access", attr, node.lineno, self.held, is_store=is_store)
+            )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            self._record_self_attr(
+                node, is_store=isinstance(node.ctx, (ast.Store, ast.Del))
+            )
+            return
+        self.visit(node.value)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``self.x[k] = v`` / ``del self.x[k]`` mutate ``x`` even though the
+        # attribute node itself carries a Load context.
+        if (
+            isinstance(node.ctx, (ast.Store, ast.Del))
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == "self"
+        ):
+            self._record_self_attr(node.value, is_store=True)
+        else:
+            self.visit(node.value)
+        self.visit(node.slice)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in self.mod.mutable_globals:
+            self.events.append(
+                Event(
+                    "access",
+                    f"global:{node.id}",
+                    node.lineno,
+                    self.held,
+                    is_store=isinstance(node.ctx, (ast.Store, ast.Del)),
+                )
+            )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # The target of ``x += 1`` is both read and written; record a store.
+        self.visit(node.target)
+        self.visit(node.value)
+
+    # Nested defs run at another time, possibly without the lock — skip them.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return
+
+
+def _collect_module(path_rel: str, module: str, tree: ast.Module) -> Tuple[ModuleInfo, List[ClassInfo]]:
+    """Phase one over one file: locks, factories, callbacks, attr types."""
+    short = module.rsplit(".", 1)[-1] if module else path_rel
+    mod = ModuleInfo(module=short, path=path_rel)
+    classes: List[ClassInfo] = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and _is_lock_ctor(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    mod.locks[target.id] = f"{short}.{target.id}"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            mod.functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            classes.append(_collect_class(node, short, path_rel))
+    # Mutable module globals: Name-stored (or global-declared and augmented)
+    # inside some function — those are shared state worth guarding.
+    for fn in mod.functions.values():
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Global):
+                mod.mutable_globals.update(sub.names)
+    mod.mutable_globals &= _module_global_names(tree)
+    return mod, classes
+
+
+def _module_global_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _collect_class(node: ast.ClassDef, module_short: str, path_rel: str) -> ClassInfo:
+    info = ClassInfo(
+        name=node.name,
+        module=module_short,
+        path=path_rel,
+        bases=[b.id for b in node.bases if isinstance(b, ast.Name)],
+    )
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        info.methods[item.name] = item
+        for deco in item.decorator_list:
+            if isinstance(deco, ast.Name) and deco.id == "property":
+                info.properties.add(item.name)
+            if isinstance(deco, ast.Attribute) and deco.attr in ("setter", "deleter"):
+                info.properties.add(item.name)
+        returns = _annotation_names(item.returns)
+        if _LOCK_CTORS & returns:
+            info.lock_factories.add(item.name)
+        # self.<attr> = threading.Lock()  (any method, usually __init__)
+        for sub in ast.walk(item):
+            if isinstance(sub, ast.Assign) and _is_lock_ctor(sub.value):
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        info.lock_attrs[target.attr] = f"{info.name}.{target.attr}"
+    init = info.methods.get("__init__")
+    if init is not None:
+        param_ann = {
+            a.arg: _annotation_names(a.annotation)
+            for a in list(init.args.posonlyargs) + list(init.args.args) + list(init.args.kwonlyargs)
+        }
+        for sub in ast.walk(init):
+            if not (isinstance(sub, ast.Assign) and len(sub.targets) == 1):
+                continue
+            target = sub.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and isinstance(sub.value, ast.Name)
+            ):
+                continue
+            names = param_ann.get(sub.value.id, set())
+            if "Callable" in names:
+                info.callback_attrs.add(target.attr)
+            else:
+                info.attr_class[target.attr] = ""  # filled once all classes known
+                info.attr_class[target.attr + "\0ann"] = ",".join(sorted(names))
+    return info
+
+
+class LockAnalyzer:
+    """Run the lock-discipline pass over a set of parsed modules."""
+
+    def __init__(self, config: LintConfig):
+        self.config = config
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._events: Dict[Tuple[str, str], List[Event]] = {}
+        self._entry: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        self._summaries: Dict[Tuple[str, str], Set[str]] = {}
+
+    # -- phase one -------------------------------------------------------------
+    def collect(self, path_rel: str, module: str, tree: ast.Module) -> None:
+        """Register one parsed file."""
+        mod, classes = _collect_module(path_rel, module, tree)
+        self.modules[path_rel] = mod
+        for cls in classes:
+            self.classes[cls.name] = cls
+
+    def _resolve_attr_types(self) -> None:
+        for cls in self.classes.values():
+            for attr in list(cls.attr_class):
+                if attr.endswith("\0ann"):
+                    continue
+                ann = cls.attr_class.get(attr + "\0ann", "")
+                hit = next(
+                    (n for n in ann.split(",") if n in self.classes), ""
+                )
+                cls.attr_class[attr] = hit
+            for key in [k for k in cls.attr_class if k.endswith("\0ann")]:
+                del cls.attr_class[key]
+
+    # -- class groups (inheritance-connected components) -----------------------
+    def _group_of(self, cls: ClassInfo) -> List[ClassInfo]:
+        chain: List[ClassInfo] = []
+        seen: Set[str] = set()
+        stack = [cls.name]
+        while stack:
+            name = stack.pop()
+            if name in seen or name not in self.classes:
+                continue
+            seen.add(name)
+            info = self.classes[name]
+            chain.append(info)
+            stack.extend(info.bases)
+            # subclasses too: shared guarded-attr accounting
+            stack.extend(
+                c.name for c in self.classes.values() if name in c.bases
+            )
+        return chain
+
+    def _class_context(self, cls: ClassInfo):
+        chain = self._group_of(cls)
+        effective_locks: Dict[str, str] = {}
+        lock_factories: Dict[str, str] = {}
+        methods: Set[str] = set()
+        props: Set[str] = set()
+        callbacks: Set[str] = set()
+        for info in chain:
+            for attr, lock_id in info.lock_attrs.items():
+                effective_locks.setdefault(attr, lock_id)
+            for factory in info.lock_factories:
+                lock_factories.setdefault(factory, f"{info.name}.{factory}()")
+            methods |= set(info.methods)
+            props |= info.properties
+            callbacks |= info.callback_attrs
+        return chain, effective_locks, lock_factories, methods, props, callbacks
+
+    # -- phase two -------------------------------------------------------------
+    def analyze(self) -> Tuple[List[Finding], LockGraph]:
+        """Walk every method/function to a fixpoint; emit findings + graph."""
+        self._resolve_attr_types()
+        self._walk_all()
+        self._propagate_entry_held()
+        self._build_summaries()
+        findings = self._guarded_attr_findings() + self._external_call_findings()
+        graph = self._lock_graph()
+        for cycle in graph.cycles:
+            findings.append(
+                Finding(
+                    rule="LOCK003",
+                    path=self._edge_path(graph, cycle),
+                    line=self._edge_line(graph, cycle),
+                    message="lock-order cycle: " + " -> ".join(cycle),
+                    hint="acquire locks in one fixed global order",
+                )
+            )
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return findings, graph
+
+    def _walk_all(self) -> None:
+        for cls in self.classes.values():
+            _, locks, factories, methods, props, callbacks = self._class_context(cls)
+            mod = self.modules.get(cls.path) or ModuleInfo(cls.module, cls.path)
+            for name, fn in cls.methods.items():
+                key = (cls.name, name)
+                self._events[key] = self._walk(
+                    cls, mod, locks, factories, methods, props, callbacks, fn,
+                    self._entry.get(key, ()),
+                )
+        for mod in self.modules.values():
+            for name, fn in mod.functions.items():
+                key = (f"<module:{mod.path}>", name)
+                self._events[key] = self._walk(
+                    None, mod, {}, {}, set(mod.functions), set(), set(), fn, ()
+                )
+
+    def _walk(
+        self, cls, mod, locks, factories, methods, props, callbacks, fn, entry
+    ) -> List[Event]:
+        walker = _MethodWalker(
+            cls, mod, locks, methods, props, callbacks, factories, entry
+        )
+        for stmt in fn.body:
+            walker.visit(stmt)
+        return walker.events
+
+    def _propagate_entry_held(self) -> None:
+        """Private methods called only with a lock held inherit that held set."""
+        for _ in range(6):
+            call_sites: Dict[Tuple[str, str], List[Tuple[str, ...]]] = {}
+            for (owner, _method), events in self._events.items():
+                if owner.startswith("<module:"):
+                    for ev in events:
+                        if ev.kind == "call_name":
+                            key = (owner, ev.name)
+                            if key in self._events:
+                                call_sites.setdefault(key, []).append(ev.held)
+                    continue
+                cls = self.classes[owner]
+                chain = self._group_of(cls)
+                for ev in events:
+                    if ev.kind != "call_self":
+                        continue
+                    for info in chain:
+                        if ev.name in info.methods:
+                            call_sites.setdefault((info.name, ev.name), []).append(
+                                ev.held
+                            )
+                            break
+            changed = False
+            for key, sites in call_sites.items():
+                owner, method = key
+                if not method.startswith("_") or method.startswith("__"):
+                    continue
+                common = set(sites[0])
+                for held in sites[1:]:
+                    common &= set(held)
+                entry = tuple(sorted(common))
+                if entry and self._entry.get(key, ()) != entry:
+                    self._entry[key] = entry
+                    changed = True
+            if not changed:
+                break
+            self._walk_all()
+
+    def _callee_key(self, owner: str, ev: Event) -> Optional[Tuple[str, str]]:
+        if ev.kind == "call_self":
+            cls = self.classes.get(owner)
+            if cls is None:
+                return None
+            for info in self._group_of(cls):
+                if ev.name in info.methods:
+                    return (info.name, ev.name)
+        elif ev.kind == "call_attr":
+            cls = self.classes.get(owner)
+            if cls is None:
+                return None
+            for info in self._group_of(cls):
+                target = info.attr_class.get(ev.extra)
+                if target:
+                    callee_cls = self.classes.get(target)
+                    if callee_cls is not None:
+                        for cinfo in self._group_of(callee_cls):
+                            if ev.name in cinfo.methods:
+                                return (cinfo.name, ev.name)
+        elif ev.kind == "call_name" and owner.startswith("<module:"):
+            key = (owner, ev.name)
+            if key in self._events:
+                return key
+        return None
+
+    def _build_summaries(self) -> None:
+        """Transitive ``locks acquired somewhere inside`` per method."""
+        self._summaries = {key: set() for key in self._events}
+        for _ in range(8):
+            changed = False
+            for key, events in self._events.items():
+                acc = self._summaries[key]
+                before = len(acc)
+                for ev in events:
+                    if ev.kind == "acquire":
+                        acc.add(ev.name)
+                    else:
+                        callee = self._callee_key(key[0], ev)
+                        if callee is not None:
+                            acc |= self._summaries.get(callee, set())
+                if len(acc) != before:
+                    changed = True
+            if not changed:
+                break
+
+    # -- LOCK001 ---------------------------------------------------------------
+    def _guarded_attr_findings(self) -> List[Finding]:
+        findings: List[Finding] = []
+        stats: Dict[Tuple[str, str], Dict[str, object]] = {}
+        group_root: Dict[str, str] = {}
+        for cls in self.classes.values():
+            root = min(info.name for info in self._group_of(cls))
+            group_root[cls.name] = root
+        for (owner, method), events in self._events.items():
+            root = (
+                owner if owner.startswith("<module:") else group_root.get(owner, owner)
+            )
+            in_init = method in ("__init__", "__post_init__")
+            for ev in events:
+                if ev.kind != "access":
+                    continue
+                entry = stats.setdefault(
+                    (root, ev.name),
+                    {"occ": [], "written_outside_init": False, "by_lock": {}},
+                )
+                if in_init:
+                    continue
+                if ev.is_store:
+                    entry["written_outside_init"] = True
+                entry["occ"].append((owner, method, ev))
+                for lock in ev.held:
+                    entry["by_lock"][lock] = entry["by_lock"].get(lock, 0) + 1
+        for (root, attr), entry in stats.items():
+            if not entry["written_outside_init"] or not entry["by_lock"]:
+                continue
+            guard, guarded = max(entry["by_lock"].items(), key=lambda kv: kv[1])
+            total = len(entry["occ"])
+            if guarded < self.config.min_guarded_accesses:
+                continue
+            if guarded / total < self.config.guarded_ratio:
+                continue
+            for owner, method, ev in entry["occ"]:
+                if guard in ev.held:
+                    continue
+                path = (
+                    owner[len("<module:"):-1]
+                    if owner.startswith("<module:")
+                    else self.classes[owner].path
+                )
+                kind = "write" if ev.is_store else "read"
+                findings.append(
+                    Finding(
+                        rule="LOCK001",
+                        path=path,
+                        line=ev.line,
+                        message=(
+                            f"unguarded {kind} of '{ev.name.replace('global:', '')}' "
+                            f"in {owner.split(':')[-1].rstrip('>')}.{method} — "
+                            f"{guarded}/{total} accesses hold {guard}"
+                        ),
+                        hint=f"take {guard} around the access, or waive if a racy read is intended",
+                    )
+                )
+        return findings
+
+    # -- LOCK002 ---------------------------------------------------------------
+    def _external_call_findings(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for (owner, method), events in self._events.items():
+            path = (
+                owner[len("<module:"):-1]
+                if owner.startswith("<module:")
+                else self.classes[owner].path
+            )
+            for ev in events:
+                if not ev.held:
+                    continue
+                external = (
+                    ev.kind == "callback"
+                    or (
+                        ev.kind in ("call_name", "call_attr")
+                        and ev.name in EXTERNAL_CALL_NAMES
+                    )
+                )
+                if not external:
+                    continue
+                findings.append(
+                    Finding(
+                        rule="LOCK002",
+                        path=path,
+                        line=ev.line,
+                        message=(
+                            f"call to external/user code '{ev.name}' while holding "
+                            + ", ".join(ev.held)
+                        ),
+                        hint="snapshot state under the lock, call outside it",
+                    )
+                )
+        return findings
+
+    # -- LOCK003 ---------------------------------------------------------------
+    def _lock_graph(self) -> LockGraph:
+        graph = LockGraph()
+        nodes: Set[str] = set()
+        for mod in self.modules.values():
+            nodes |= set(mod.locks.values())
+        for cls in self.classes.values():
+            nodes |= set(cls.lock_attrs.values())
+            for factory in cls.lock_factories:
+                nodes.add(f"{cls.name}.{factory}()")
+        edges: Set[Tuple[str, str, str, int]] = set()
+        for (owner, _method), events in self._events.items():
+            path = (
+                owner[len("<module:"):-1]
+                if owner.startswith("<module:")
+                else self.classes[owner].path
+            )
+            for ev in events:
+                acquired: Set[str] = set()
+                if ev.kind == "acquire":
+                    acquired = {ev.name}
+                else:
+                    callee = self._callee_key(owner, ev)
+                    if callee is not None:
+                        acquired = self._summaries.get(callee, set())
+                for lock in acquired:
+                    for holder in ev.held:
+                        if holder != lock:
+                            edges.add((holder, lock, path, ev.line))
+        graph.nodes = sorted(nodes | {e[0] for e in edges} | {e[1] for e in edges})
+        graph.edges = sorted(edges)
+        graph.cycles = _find_cycles(graph.nodes, [(a, b) for a, b, _, _ in edges])
+        return graph
+
+    def _edge_path(self, graph: LockGraph, cycle: Sequence[str]) -> str:
+        for a, b, path, _line in graph.edges:
+            if a == cycle[0] and b == cycle[1]:
+                return path
+        return graph.edges[0][2] if graph.edges else "<unknown>"
+
+    def _edge_line(self, graph: LockGraph, cycle: Sequence[str]) -> int:
+        for a, b, _path, line in graph.edges:
+            if a == cycle[0] and b == cycle[1]:
+                return line
+        return 1
+
+
+def _find_cycles(nodes: Sequence[str], edges: Sequence[Tuple[str, str]]) -> List[List[str]]:
+    """Minimal cycle enumeration by DFS; each cycle reported once."""
+    adj: Dict[str, List[str]] = {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+    cycles: List[List[str]] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+
+    def dfs(node: str, stack: List[str], on_stack: Set[str]) -> None:
+        for nxt in adj.get(node, []):
+            if nxt in on_stack:
+                idx = stack.index(nxt)
+                cycle = stack[idx:] + [nxt]
+                canon = tuple(sorted(cycle[:-1]))
+                if canon not in seen_cycles:
+                    seen_cycles.add(canon)
+                    cycles.append(cycle)
+            elif len(stack) < 32:
+                stack.append(nxt)
+                on_stack.add(nxt)
+                dfs(nxt, stack, on_stack)
+                on_stack.discard(nxt)
+                stack.pop()
+
+    for node in nodes:
+        dfs(node, [node], {node})
+    return cycles

@@ -1,0 +1,185 @@
+"""Core datatypes for reprolint: findings, waivers, and the run report.
+
+A :class:`Finding` is one rule violation at a ``file:line``.  A
+:class:`Waiver` is an inline ``# reprolint: waive[RULE] reason`` comment; it
+silences findings of that rule on the same line, or — when the comment is
+alone on its line — on the next statement line.  Waived findings stay in the
+report (marked ``waived``) so deliberate exceptions remain visible.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: ``# reprolint: waive[LOCK001] reason`` (multiple rules comma-separated).
+WAIVE_RE = re.compile(
+    r"#\s*reprolint:\s*waive\[(?P<rules>[A-Z0-9,\s]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass
+class Finding:
+    """One rule violation: where it is, what fired, and how to fix it."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    waived: bool = False
+    waive_reason: str = ""
+
+    def format(self) -> str:
+        """Render ``path:line: RULE message (hint)`` for terminal output."""
+        tail = f"  [fix: {self.hint}]" if self.hint else ""
+        mark = " (waived: %s)" % self.waive_reason if self.waived else ""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}{tail}{mark}"
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable form for ``reprolint_report.json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+            "waived": self.waived,
+            "waive_reason": self.waive_reason,
+        }
+
+
+@dataclass
+class Waiver:
+    """One inline waiver comment and its bookkeeping."""
+
+    path: str
+    line: int
+    rules: List[str]
+    reason: str
+    own_line: bool  # comment-only line: applies to the next code line too
+    used: bool = False
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable form for the waiver inventory."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rules": self.rules,
+            "reason": self.reason,
+            "used": self.used,
+        }
+
+
+def parse_waivers(path: str, source: str) -> List[Waiver]:
+    """Extract every waiver comment from one file's source text."""
+    waivers: List[Waiver] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = WAIVE_RE.search(text)
+        if not match:
+            continue
+        rules = [r.strip() for r in match.group("rules").split(",") if r.strip()]
+        waivers.append(
+            Waiver(
+                path=path,
+                line=lineno,
+                rules=rules,
+                reason=match.group("reason").strip(),
+                own_line=text.lstrip().startswith("#"),
+            )
+        )
+    return waivers
+
+
+def apply_waivers(findings: List[Finding], waivers: List[Waiver]) -> None:
+    """Mark findings covered by a waiver; mark the waivers used.
+
+    A waiver on line ``N`` covers findings on line ``N``; a comment-only
+    waiver additionally covers line ``N + 1`` (the statement it annotates).
+    """
+    by_loc: Dict[tuple, List[Waiver]] = {}
+    for waiver in waivers:
+        for rule in waiver.rules:
+            by_loc.setdefault((waiver.path, waiver.line, rule), []).append(waiver)
+            if waiver.own_line:
+                by_loc.setdefault((waiver.path, waiver.line + 1, rule), []).append(
+                    waiver
+                )
+    for finding in findings:
+        for waiver in by_loc.get((finding.path, finding.line, finding.rule), []):
+            finding.waived = True
+            finding.waive_reason = waiver.reason
+            waiver.used = True
+            break
+
+
+@dataclass
+class LockGraph:
+    """The inter-class lock-order graph: nodes, edges, and any cycles."""
+
+    nodes: List[str] = field(default_factory=list)
+    edges: List[tuple] = field(default_factory=list)  # (holder, acquired, path, line)
+    cycles: List[List[str]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable form for the report artifact."""
+        return {
+            "nodes": sorted(self.nodes),
+            "edges": [
+                {"from": a, "to": b, "path": p, "line": n}
+                for a, b, p, n in sorted(set(self.edges))
+            ],
+            "cycles": self.cycles,
+        }
+
+    def render(self) -> str:
+        """Human-readable edge list (``A -> B`` per line)."""
+        lines = [f"lock-order graph: {len(self.nodes)} locks"]
+        for a, b, path, line in sorted(set((a, b, p, n) for a, b, p, n in self.edges)):
+            lines.append(f"  {a} -> {b}  ({path}:{line})")
+        if not self.edges:
+            lines.append("  (no nested acquisitions)")
+        for cycle in self.cycles:
+            lines.append("  CYCLE: " + " -> ".join(cycle))
+        return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """Everything one reprolint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    waivers: List[Waiver] = field(default_factory=list)
+    lock_graph: Optional[LockGraph] = None
+    files_scanned: int = 0
+
+    @property
+    def unwaived(self) -> List[Finding]:
+        """Findings no waiver covers — these fail ``--strict``."""
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def reasonless_waivers(self) -> List[Waiver]:
+        """Waivers with no reason text — these also fail ``--strict``."""
+        return [w for w in self.waivers if not w.reason]
+
+    def rule_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-rule ``{total, waived}`` counts for the summary."""
+        counts: Dict[str, Dict[str, int]] = {}
+        for finding in self.findings:
+            entry = counts.setdefault(finding.rule, {"total": 0, "waived": 0})
+            entry["total"] += 1
+            if finding.waived:
+                entry["waived"] += 1
+        return counts
+
+    def to_json(self) -> Dict[str, object]:
+        """The full ``reprolint_report.json`` payload."""
+        return {
+            "files_scanned": self.files_scanned,
+            "rule_counts": self.rule_counts(),
+            "findings": [f.to_json() for f in self.findings],
+            "waivers": [w.to_json() for w in self.waivers],
+            "lock_graph": self.lock_graph.to_json() if self.lock_graph else None,
+        }

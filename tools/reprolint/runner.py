@@ -1,0 +1,69 @@
+"""Orchestrate the reprolint passes over one file set.
+
+:func:`run` is the single entry point the CLI and the test suite share:
+parse every scanned file once, feed the ASTs to the four AST passes plus
+the git-hygiene rule, apply inline waivers, and return a
+:class:`~tools.reprolint.model.Report`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from .config import LintConfig
+from .frozen import FrozenPass
+from .glossary import GlossaryPass
+from .hotpath import HotPathPass
+from .hygiene import run_hygiene
+from .locks import LockAnalyzer
+from .model import Finding, Report, apply_waivers, parse_waivers
+
+
+def run(config: LintConfig) -> Report:
+    """Execute every pass and return the combined report."""
+    report = Report()
+    parsed: Dict[str, ast.Module] = {}
+    sources: Dict[str, str] = {}
+    for path in config.files():
+        rel = config.rel(path)
+        try:
+            source = path.read_text()
+            parsed[rel] = ast.parse(source)
+        except (OSError, SyntaxError) as exc:
+            report.findings.append(
+                Finding(
+                    rule="PARSE",
+                    path=rel,
+                    line=getattr(exc, "lineno", 1) or 1,
+                    message=f"cannot parse: {exc}",
+                    hint="fix the syntax error",
+                )
+            )
+            continue
+        sources[rel] = source
+    report.files_scanned = len(parsed)
+
+    lock_pass = LockAnalyzer(config)
+    hot_pass = HotPathPass(config)
+    frozen_pass = FrozenPass()
+    for rel, tree in parsed.items():
+        module = config.module_of(config.root / rel)
+        lock_pass.collect(rel, module, tree)
+        report.findings += hot_pass.run(rel, module, tree)
+        report.findings += frozen_pass.run(rel, tree)
+    lock_findings, lock_graph = lock_pass.analyze()
+    report.findings += lock_findings
+    report.lock_graph = lock_graph
+
+    report.findings += GlossaryPass(config).run(parsed)
+    if config.check_hygiene:
+        report.findings += run_hygiene(config)
+
+    waivers: List = []
+    for rel, source in sources.items():
+        waivers += parse_waivers(rel, source)
+    apply_waivers(report.findings, waivers)
+    report.waivers = waivers
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
