@@ -44,3 +44,16 @@ class RequestShedError(ReproError, RuntimeError):
     exists.  Typed so callers can distinguish overload rejections from
     configuration mistakes or capacity violations.
     """
+
+
+class TenantQuotaError(ReproError, RuntimeError):
+    """A tenant exceeded one of its registered policy limits.
+
+    Raised by the serving core when a :class:`~repro.service.tenancy.
+    TenantRegistry` is configured and a request would breach the calling
+    tenant's byte budget, QPS token bucket, or pin allowance — or would
+    touch another tenant's slice (evicting or unpinning a vector the caller
+    does not own).  Always raised *before* any store mutation, so a rejected
+    admission leaves no half-admitted state; the load harness counts these
+    per tenant as ``quota`` outcomes, distinct from saturation sheds.
+    """

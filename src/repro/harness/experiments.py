@@ -1773,3 +1773,275 @@ def spillwarm(
                 ),
             )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Service layer — multi-tenant serving: fairness and the noisy-neighbour proof
+# ---------------------------------------------------------------------------
+
+
+def tenantfair(
+    n: int = 1 << 13,
+    requests: int = 200,
+    num_workers: int = 2,
+    queue_capacity: int = 10,
+    hot_weight: float = 4.0,
+    dataset: str = "UD",
+    seed: int = DEFAULT_SEED,
+) -> List[Dict]:
+    """Noisy-neighbour isolation under weighted-fair multi-tenant serving.
+
+    Two tenants share one dispatcher: ``hot`` (scheduling weight
+    ``hot_weight``, its own byte budget) floods the service, ``quiet``
+    (weight 1, its own byte budget, one **pinned** vector) offers a light
+    trickle.  Three load phases plus two invariant probes, one row per
+    (phase, tenant):
+
+    * ``solo`` — the quiet tenant alone at a low open-loop rate: its
+      baseline, and the calibration for the overload rates (arrival rates
+      are derived from the *measured* mean service time, so "2x capacity"
+      means 2x on any host).
+    * ``contended`` — hot floods at ~2x capacity while quiet keeps its
+      light trickle.  Gated: the quiet tenant sheds **nothing** (its
+      weight-proportional carve of the queue is its own), hits no quota,
+      and every quiet request is answered.
+    * ``overload`` — both tenants flood at a combined ~2x capacity.  Gated:
+      each tenant's ``attained_share`` of the answered work lands within
+      0.15 of its ``configured_share`` (4:1 by default) — the
+      deficit-round-robin weights bite exactly when both keep backlog.
+    * ``pressure`` — after the phases, a burst of *new* hot admissions
+      overflows hot's byte budget.  Gated: every eviction victim is hot's
+      own (``cross_tenant_evictions == 0``) and quiet's pinned vector is
+      still resident.
+    * ``quota`` — a separate registry with an injected fake clock proves
+      the QPS token bucket deterministically: burst-deep queries pass,
+      the next is rejected with zero half-admitted state, and advancing
+      the fake clock refills exactly ``rate x elapsed`` tokens.
+    * ``differential`` — a single-tenant replay (cold + warm, batched and
+      streaming routes) against an unconfigured dispatcher must be
+      element-wise ``identical`` (values *and* indices): the default
+      tenant pays zero behaviour change for the tenancy machinery.
+
+    No raw-millisecond column is gated — shares, shed/quota counts,
+    eviction counts and residency are deterministic per seed; the
+    millisecond columns ride along for observability only.
+    """
+    from repro.errors import TenantQuotaError
+    from repro.service.dispatcher import ServiceDispatcher
+    from repro.service.loadgen import LoadHarness, PoissonArrivals, RequestProfile
+    from repro.service.tenancy import TenantPolicy, TenantRegistry
+
+    if requests < 40:
+        raise ConfigurationError("requests must be >= 40 for stable shares")
+
+    vectors = {f"hot-{i}": _dataset_vector(dataset, n, seed + i) for i in range(4)}
+    quiet_vec = _dataset_vector(dataset, n, seed + 99)
+    one = quiet_vec.nbytes
+    registry = TenantRegistry(
+        policies=[
+            TenantPolicy(tenant="hot", weight=float(hot_weight), byte_budget=3 * one),
+            TenantPolicy(tenant="quiet", weight=1.0, byte_budget=2 * one, max_pins=1),
+        ]
+    )
+    rows: List[Dict] = []
+
+    def row(phase: str, tenant: str, **extra) -> None:
+        base = {
+            "phase": phase,
+            "tenant": tenant,
+            "requests": 0,
+            "ok": 0,
+            "shed": 0,
+            "quota": 0,
+            "configured_share": 0.0,
+            "attained_share": 0.0,
+            "share_err": 0.0,
+            "p95_queue_ms": 0.0,
+            "mean_service_ms": 0.0,
+            "bytes_held": 0,
+            "cross_tenant_evictions": 0,
+            "pinned_resident": True,
+            "identical": True,
+        }
+        base.update(extra)
+        rows.append(base)
+
+    warm = [(8, True)]
+    with ServiceDispatcher(
+        num_workers=num_workers,
+        capacity_elements=n,
+        queue_capacity=queue_capacity,
+        result_cache_capacity=0,
+        store_bytes=8 * one,
+        tenants=registry,
+    ) as d:
+        assert d.store is not None
+        d.admit("quiet-pin", quiet_vec, tenant="quiet", pin=True, warm=warm)
+        for name, v in vectors.items():
+            d.admit(name, v, tenant="hot", warm=warm)
+        hot_names = tuple(m for m in d.store.names() if m.startswith("hot-"))
+
+        def tenant_rows(phase: str, report) -> None:
+            mean_ms = report.route_stats("all").mean_service_ms
+            for t in report.tenants:
+                row(
+                    phase,
+                    t.tenant,
+                    requests=t.requests,
+                    ok=t.ok,
+                    shed=t.shed,
+                    quota=t.quota,
+                    configured_share=t.configured_share,
+                    attained_share=t.attained_share,
+                    share_err=abs(t.attained_share - t.configured_share),
+                    p95_queue_ms=_percentile_of(report, t.tenant),
+                    mean_service_ms=mean_ms,
+                    bytes_held=t.bytes_held,
+                    cross_tenant_evictions=d.store.cross_tenant_evictions(),
+                    pinned_resident="quiet-pin" in d.store.names(),
+                )
+
+        def _percentile_of(report, tenant: str) -> float:
+            waits = [
+                s.queue_wait_ms
+                for s in report.samples
+                if s.tenant == tenant and s.outcome == "ok"
+            ]
+            if not waits:
+                return 0.0
+            return float(np.percentile(np.asarray(waits), 95))
+
+        quiet_profile = RequestProfile(
+            route="batched", names=("quiet-pin",), ks=(8,), tenant="quiet"
+        )
+        # Hot takes 15/16 of arrivals in the contended phase, leaving quiet
+        # ~0.125x capacity — safely below its 0.2 weighted share, so any
+        # quiet shed there would be a genuine fairness failure.
+        hot_profile = RequestProfile(
+            route="batched", names=hot_names, ks=(8,), weight=15.0, tenant="hot"
+        )
+
+        # solo: the quiet baseline, and the service-time calibration.
+        solo = LoadHarness(
+            d, [quiet_profile], queue_capacity=queue_capacity, policy="shed", seed=seed
+        ).run_open(PoissonArrivals(20.0, seed=seed), max(10, requests // 8))
+        tenant_rows("solo", solo)
+        mean_ms = solo.route_stats("all").mean_service_ms
+        capacity_rps = 1e3 / mean_ms if mean_ms > 0 else 1e3
+
+        # contended: hot floods ~2x capacity, quiet trickles below its share.
+        contended = LoadHarness(
+            d,
+            [quiet_profile, hot_profile],
+            queue_capacity=queue_capacity,
+            policy="shed",
+            seed=seed + 1,
+        ).run_open(PoissonArrivals(2.0 * capacity_rps, seed=seed + 1), requests)
+        tenant_rows("contended", contended)
+
+        # overload: both flood; shares must converge to the weights.
+        overload = LoadHarness(
+            d,
+            [
+                RequestProfile(
+                    route="batched",
+                    names=("quiet-pin",),
+                    ks=(8,),
+                    weight=5.0,
+                    tenant="quiet",
+                ),
+                hot_profile,
+            ],
+            queue_capacity=queue_capacity,
+            policy="shed",
+            seed=seed + 2,
+        ).run_open(PoissonArrivals(2.0 * capacity_rps, seed=seed + 2), requests)
+        tenant_rows("overload", overload)
+
+        # pressure: fresh hot admissions overflow hot's budget; every victim
+        # must be hot's own and the quiet pin must survive.
+        for i in range(4, 8):
+            d.admit(f"hot-{i}", _dataset_vector(dataset, n, seed + i), tenant="hot")
+        ledger = d.store.tenant_bytes()
+        row(
+            "pressure",
+            "hot",
+            bytes_held=ledger.get("hot", 0),
+            cross_tenant_evictions=d.store.cross_tenant_evictions(),
+            pinned_resident="quiet-pin" in d.store.names(),
+        )
+        row(
+            "pressure",
+            "quiet",
+            bytes_held=ledger.get("quiet", 0),
+            cross_tenant_evictions=d.store.cross_tenant_evictions(),
+            pinned_resident="quiet-pin" in d.store.names(),
+        )
+
+    # quota: deterministic token-bucket proof on an injected fake clock.
+    clock_now = [0.0]
+    quota_registry = TenantRegistry(
+        policies=[TenantPolicy(tenant="hot", weight=1.0, qps=2.0, burst=2)],
+        clock=lambda: clock_now[0],
+    )
+    with ServiceDispatcher(
+        num_workers=1,
+        capacity_elements=n,
+        result_cache_capacity=0,
+        store_bytes=4 * one,
+        tenants=quota_registry,
+    ) as q:
+        q.admit("hq", quiet_vec.copy(), tenant="hot")
+        outcomes = []
+        for _ in range(4):  # burst of 2 passes, the next two reject
+            try:
+                q.query("hq", [8], tenant="hot")
+                outcomes.append("ok")
+            except TenantQuotaError:
+                outcomes.append("quota")
+        clock_now[0] = 1.0  # refill rate x 1s = 2 tokens
+        refilled = 0
+        for _ in range(2):
+            try:
+                q.query("hq", [8], tenant="hot")
+                refilled += 1
+            except TenantQuotaError:
+                pass
+        row(
+            "quota",
+            "hot",
+            requests=len(outcomes) + 2,
+            ok=outcomes.count("ok") + refilled,
+            quota=outcomes.count("quota"),
+            identical=(outcomes == ["ok", "ok", "quota", "quota"] and refilled == 2),
+        )
+
+    # differential: the default tenant must be bit-for-bit the pre-tenancy
+    # dispatcher — values AND indices, cold and warm, batched and streaming.
+    v = _dataset_vector(dataset, n, seed + 7)
+    chunks = [v[i::4].copy() for i in range(4)]
+    queries = [(8, True), (32, False)]
+    identical = True
+    with ServiceDispatcher(
+        num_workers=num_workers, capacity_elements=n, store_bytes=4 * one
+    ) as plain, ServiceDispatcher(
+        num_workers=num_workers,
+        capacity_elements=n,
+        store_bytes=4 * one,
+        tenants=TenantRegistry(),
+    ) as tenanted:
+        plain.admit("dv", v)
+        tenanted.admit("dv", v)
+        for _ in range(2):  # cold, then warm replay
+            a = plain.query("dv", queries)
+            b = tenanted.query("dv", queries)
+            sa = plain.dispatch(list(chunks), queries)
+            sb = tenanted.dispatch(list(chunks), queries)
+            for x, y in list(zip(a, b)) + list(zip(sa, sb)):
+                identical = (
+                    identical
+                    and bool(np.array_equal(x.values, y.values))
+                    and bool(np.array_equal(x.indices, y.indices))
+                )
+    row("differential", "default", requests=len(queries) * 4, identical=identical)
+    return rows

@@ -66,6 +66,10 @@ _EXPERIMENTS: Dict[str, Tuple[Callable[..., List[dict]], str]] = {
         experiments.spillwarm,
         "out-of-core serving over the spill tier and zero-rescan warm restart",
     ),
+    "tenantfair": (
+        experiments.tenantfair,
+        "multi-tenant fairness, quota enforcement and noisy-neighbour isolation",
+    ),
 }
 
 

@@ -63,6 +63,22 @@ caching instead of owning private loops:
   queue-wait percentiles with SLO attainment in a
   :class:`~repro.service.loadgen.LoadReport`, and shed/degrade admission
   control that keeps the arrival loop non-blocking at saturation.
+* :mod:`~repro.service.tenancy` — multi-tenant serving:
+  :class:`~repro.service.tenancy.TenantRegistry` holds per-tenant
+  :class:`~repro.service.tenancy.TenantPolicy` rows (byte budget, QPS
+  quota via a seeded :class:`~repro.service.tenancy.TokenBucket`,
+  scheduling weight, pin allowance) and threads through the whole core:
+  the store partitions its byte budget into per-tenant ledgers (eviction
+  victims come only from the requesting tenant's slice), the executor
+  schedules units by weighted deficit-round-robin
+  (:class:`~repro.service.tenancy.WeightedFairQueue`), and the dispatcher
+  charges QPS and enforces ownership.  An unconfigured dispatcher keeps
+  the single-tenant behaviour bit-for-bit.
+* :class:`~repro.service.scrubber.SpillScrubber` — continuous bit-rot
+  detection for the spill tier: re-hashes every unique data file against
+  its admission fingerprint (the ``inspect_spill --verify`` check, as a
+  daemon), quarantines corrupt files aside and removes their names so
+  loads degrade to clean cold misses instead of wrong answers.
 """
 
 from repro.service.batch import (
@@ -104,9 +120,18 @@ from repro.service.loadgen import (
     PoissonArrivals,
     RequestProfile,
     RouteStats,
+    TenantStats,
     ZipfPopularity,
 )
 from repro.service.planbank import ChunkMemo, PlanBank
+from repro.service.scrubber import ScrubReport, SpillScrubber
+from repro.service.tenancy import (
+    DEFAULT_TENANT,
+    TenantPolicy,
+    TenantRegistry,
+    TokenBucket,
+    WeightedFairQueue,
+)
 from repro.service.router import BatchedPlan, GroupShare, Router, tune_min_split_work
 from repro.service.sharedmem import SharedArray, SharedArrayRef, attached
 from repro.service.spill import SpillDirectory, SpillEntry, SpillInfo
@@ -179,9 +204,17 @@ __all__ = [
     "LoadReport",
     "LoadSample",
     "RouteStats",
+    "TenantStats",
     "RequestProfile",
     "PoissonArrivals",
     "BurstyArrivals",
     "DiurnalArrivals",
     "ZipfPopularity",
+    "DEFAULT_TENANT",
+    "TenantPolicy",
+    "TenantRegistry",
+    "TokenBucket",
+    "WeightedFairQueue",
+    "SpillScrubber",
+    "ScrubReport",
 ]

@@ -27,8 +27,8 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -91,7 +91,13 @@ class CacheInfo:
     :class:`~repro.service.store.VectorStore` wired to a
     :class:`~repro.service.spill.SpillDirectory`: entries demoted to the
     mmap tier, bytes they hold on disk, queries served straight over spill
-    views, and promotions back into RAM.
+    views, and promotions back into RAM.  The tenancy block is likewise
+    store-only: ``tenant_bytes`` maps each tenant holding resident bytes to
+    its ledger (populated only when a
+    :class:`~repro.service.tenancy.TenantRegistry` is configured), and
+    ``cross_tenant_evictions`` counts budget evictions whose victim belonged
+    to a different tenant than the admitting one — provably zero under a
+    registry, non-zero only in untracked single-budget mode.
     """
 
     hits: int = 0
@@ -105,6 +111,8 @@ class CacheInfo:
     spilled_bytes: int = 0
     spill_hits: int = 0
     promotions: int = 0
+    cross_tenant_evictions: int = 0
+    tenant_bytes: Dict[str, int] = field(default_factory=dict)
 
 
 def fingerprint_array(v: np.ndarray) -> str:

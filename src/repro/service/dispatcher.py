@@ -73,7 +73,7 @@ from repro.core.plan import QueryPlan
 from repro.distributed.comm import CommCost, SimulatedComm
 from repro.distributed.multigpu import MultiGpuDrTopK
 from repro.distributed.partition import MAX_SUBVECTOR_ELEMENTS
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TenantQuotaError
 from repro.service.batch import (
     DEFAULT_ALPHA_SNAP_TOLERANCE,
     BatchTopK,
@@ -108,6 +108,7 @@ from repro.service.streaming import (
     merge_candidate_pool,
     order_candidate_pool,
 )
+from repro.service.tenancy import DEFAULT_TENANT, TenantRegistry
 from repro.types import TopKResult
 from repro.utils import check_k, ensure_1d
 
@@ -217,6 +218,9 @@ class DispatchReport:
     #: Queries this dispatch served over a spill-tier mmap view (the named
     #: vector was not resident in RAM; zero without a spill directory).
     spill_serves: int = 0
+    #: Tenant identity the dispatch ran under; the default tenant for every
+    #: anonymous or untenanted call, so single-tenant reports are unchanged.
+    tenant: str = DEFAULT_TENANT
 
     @property
     def compute_ms(self) -> float:
@@ -359,6 +363,15 @@ class ServiceDispatcher:
         Modelled-cost headroom for bank-aware alpha snapping (see
         :func:`~repro.service.batch.group_queries_by_plan`); ``None``/``0``
         disables snapping.
+    tenants:
+        Optional :class:`~repro.service.tenancy.TenantRegistry` turning the
+        serving core multi-tenant: the store partitions its working set into
+        per-tenant byte ledgers (eviction victims only from the requesting
+        tenant's slice), the executor schedules by weighted
+        deficit-round-robin, :meth:`query` charges each tenant's QPS token
+        bucket, and :meth:`evict`/:meth:`pin`/:meth:`unpin` enforce
+        ownership for non-default tenants.  ``None`` (default) keeps the
+        single-tenant behaviour bit-for-bit.
     """
 
     def __init__(
@@ -382,6 +395,7 @@ class ServiceDispatcher:
         spill_dir: Optional[str] = None,
         promote_after: int = DEFAULT_PROMOTE_AFTER,
         snap_tolerance: Optional[float] = DEFAULT_ALPHA_SNAP_TOLERANCE,
+        tenants: Optional[TenantRegistry] = None,
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
@@ -421,6 +435,7 @@ class ServiceDispatcher:
             SpillDirectory(spill_dir) if spill_dir is not None else None
         )
         self._snap_tolerance = snap_tolerance
+        self.tenants = tenants
         self.store: Optional[VectorStore] = (
             VectorStore(
                 store_bytes,
@@ -430,6 +445,7 @@ class ServiceDispatcher:
                 # Bound late: the router is created a few lines below, and
                 # the hook only runs at eviction time.
                 query_history=lambda fp: self.router.query_history(fp),
+                tenants=tenants,
             )
             if store_bytes
             else None
@@ -446,7 +462,10 @@ class ServiceDispatcher:
             for _ in range(self.num_workers)
         ]
         self.executor = ServiceExecutor(
-            max_workers=self.num_workers, queue_capacity=queue_capacity, mode=execution
+            max_workers=self.num_workers,
+            queue_capacity=queue_capacity,
+            mode=execution,
+            tenants=tenants,
         )
         self.router = Router(
             num_workers=self.num_workers,
@@ -470,6 +489,7 @@ class ServiceDispatcher:
         queries: Sequence[QueryLike],
         fingerprint: Optional[str] = None,
         shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> List[TopKResult]:
         """Answer every query against ``v``; results align with ``queries``.
 
@@ -478,13 +498,17 @@ class ServiceDispatcher:
         and ``shard_fingerprints`` (when the caller already fingerprinted
         ``v`` — the named-vector :meth:`query` path) are trusted as-is and
         suppress the per-dispatch hashing; pass them only for content they
-        actually describe.
+        actually describe.  ``tenant`` labels the report and, with a
+        :class:`~repro.service.tenancy.TenantRegistry` configured, schedules
+        the dispatch's work units under that tenant's fair-share weight; no
+        quota is charged here (:meth:`query` charges QPS before dispatching).
         """
         parsed = [TopKQuery.of(q) for q in queries]
         report = DispatchReport(
             num_queries=len(parsed),
             num_workers=self.num_workers,
             executor_mode=self.executor.mode,
+            tenant=tenant,
         )
         arena_before = arena_info()
         if not parsed:
@@ -506,7 +530,11 @@ class ServiceDispatcher:
 
         route = self.router.classify(v)
         if route == "streaming":
-            results = self._dispatch_streaming(v, parsed, report)
+            # tenant_context (not a tenant= plumb-through): route internals
+            # hand units to the executor via code that predates tenancy
+            # (e.g. the fleet's topk_batch), so identity rides a thread-local.
+            with self.executor.tenant_context(tenant):
+                results = self._dispatch_streaming(v, parsed, report)
             self._finish(report, ran_units=True, arena_before=arena_before)
             return results
 
@@ -535,12 +563,15 @@ class ServiceDispatcher:
 
         if pending:
             sub_parsed = [parsed[p] for p in pending]
-            if route == "sharded":
-                sub_results = self._dispatch_sharded(
-                    v, sub_parsed, report, shard_fingerprints, fingerprint
-                )
-            else:
-                sub_results = self._dispatch_batched(v, sub_parsed, report, fingerprint)
+            with self.executor.tenant_context(tenant):
+                if route == "sharded":
+                    sub_results = self._dispatch_sharded(
+                        v, sub_parsed, report, shard_fingerprints, fingerprint
+                    )
+                else:
+                    sub_results = self._dispatch_batched(
+                        v, sub_parsed, report, fingerprint
+                    )
             for pos, res in zip(pending, sub_results):
                 results[pos] = res
                 if self.results_cache is not None and fingerprint is not None:
@@ -562,6 +593,7 @@ class ServiceDispatcher:
         pin: bool = False,
         warm: Optional[Sequence[QueryLike]] = None,
         warm_mode: str = "dispatch",
+        tenant: str = DEFAULT_TENANT,
     ) -> StoredVector:
         """Admit one named vector into the serving working set.
 
@@ -571,7 +603,11 @@ class ServiceDispatcher:
         later :meth:`query` ever re-hashes it.  ``warm`` (optional) names
         queries to serve immediately at admission: their plans land in the
         :class:`PlanBank`, so even the *first* external query with any
-        same-``alpha`` ``k`` is zero-rescan.  ``warm_mode`` picks how:
+        same-``alpha`` ``k`` is zero-rescan.  Warm queries are an internal
+        admission cost, so they never charge the tenant's QPS bucket.
+        ``tenant`` records ownership in the store's per-tenant byte ledger;
+        re-admitting a spilled name with the default tenant inherits the
+        tenant recorded in the spill manifest.  ``warm_mode`` picks how:
         ``"dispatch"`` (default) serves the warm queries end to end,
         ``"prepare"`` only *constructs and banks* their plans — per shard on
         the sharded route — without routing, executing, or producing results
@@ -593,7 +629,7 @@ class ServiceDispatcher:
                 f"warm_mode must be 'dispatch' or 'prepare', got {warm_mode!r}"
             )
         if vector is None:
-            entry = self.store.admit(name, pin=pin)
+            entry = self.store.admit(name, pin=pin, tenant=tenant)
             self._rewarm_plans(entry)
         else:
             vector = ensure_1d(vector)
@@ -613,7 +649,7 @@ class ServiceDispatcher:
                     for start, stop in plan.subvector_bounds
                 }
             entry = self.store.admit(
-                name, vector, shard_fingerprints=shard_fps, pin=pin
+                name, vector, shard_fingerprints=shard_fps, pin=pin, tenant=tenant
             )
         # Process mode: give sharded dispatches of this vector a
         # shared-memory copy (the one copy), so every shard unit's process
@@ -628,10 +664,17 @@ class ServiceDispatcher:
             if warm_mode == "prepare":
                 self._warm_prepare(entry, [TopKQuery.of(q) for q in warm])
             else:
-                self.query(name, list(warm))
+                # Internal serve path: same accounting as query(), minus the
+                # QPS charge — warming is an admission cost, not tenant load.
+                self._serve_named(name, list(warm), tenant)
         return entry
 
-    def query(self, name: str, queries: Sequence[QueryLike]) -> List[TopKResult]:
+    def query(
+        self,
+        name: str,
+        queries: Sequence[QueryLike],
+        tenant: str = DEFAULT_TENANT,
+    ) -> List[TopKResult]:
         """Answer queries against an admitted vector, zero re-fingerprinting.
 
         ``queries`` is a sequence of :class:`~repro.service.batch.TopKQuery`
@@ -641,15 +684,38 @@ class ServiceDispatcher:
         pinned fingerprint(s) route the dispatch, so a warm query does zero
         fingerprint work on top of its zero-rescan plan reuse; per-name hit
         history feeds the router's placement affinity.
+
+        With a :class:`~repro.service.tenancy.TenantRegistry` configured,
+        ``tenant`` is charged one QPS token per query *before* any dispatch
+        work starts — a rejected burst raises
+        :class:`~repro.errors.TenantQuotaError` with zero half-served state —
+        and the dispatch's work units are scheduled under the tenant's
+        fair-share weight.
         """
-        entry = self._stored(name)
         if isinstance(queries, (int, np.integer, tuple, TopKQuery)):
             queries = [queries]
+        queries = list(queries)
+        if self.tenants is not None:
+            self.tenants.acquire(tenant, tokens=float(len(queries)))
+        return self._serve_named(name, queries, tenant)
+
+    def _serve_named(
+        self, name: str, queries: List[QueryLike], tenant: str
+    ) -> List[TopKResult]:
+        """Serve an admitted name end to end — shared by query() and warming.
+
+        Quota-free: the caller decides whether the QPS bucket is charged
+        (:meth:`query` does, admission warming does not).  Everything else —
+        store hit accounting, spill-serve surfacing, router affinity — is
+        identical on both paths.
+        """
+        entry = self._stored(name)
         results = self.dispatch(
             entry.vector,
             queries,
             fingerprint=entry.fingerprint,
             shard_fingerprints=entry.shard_fingerprints,
+            tenant=tenant,
         )
         assert self.store is not None
         if not entry.resident and self.last_report is not None:
@@ -657,7 +723,7 @@ class ServiceDispatcher:
             # surfaced so callers can watch the out-of-core fraction.
             self.last_report.spill_serves = len(results)
         self.store.note_queries(name, len(results))
-        self.router.note_queries(entry.fingerprint, len(results))
+        self.router.note_queries(entry.fingerprint, len(results), tenant=tenant)
         return results
 
     def query_cached(self, name: str, queries: Sequence[QueryLike]) -> List[Optional[TopKResult]]:
@@ -681,7 +747,9 @@ class ServiceDispatcher:
             return [None] * len(parsed)
         return [self.results_cache.get(entry.fingerprint, q.k, q.largest) for q in parsed]
 
-    def evict(self, name: str, spill: Optional[bool] = None) -> bool:
+    def evict(
+        self, name: str, spill: Optional[bool] = None, tenant: str = DEFAULT_TENANT
+    ) -> bool:
         """Remove one named vector; its banked plans/results are released.
 
         Returns whether the name was known.  The release is observable: the
@@ -690,33 +758,61 @@ class ServiceDispatcher:
         ``spill`` picks the tier semantics when a spill directory is
         attached: ``None`` (default) demotes to the spill tier, ``True``
         requires it, ``False`` hard-drops the name from RAM *and* disk.
+        With a tenant registry, a non-default ``tenant`` may only evict its
+        own names (the default tenant is the operator identity and may evict
+        anything).
         """
         if self.store is None:
             raise ConfigurationError(
                 "the named-vector store is disabled (store_bytes=0)"
             )
+        self._assert_owner(name, tenant, "evict")
         return self.store.evict(name, spill=spill) is not None
 
-    def pin(self, name: str) -> None:
+    def pin(self, name: str, tenant: str = DEFAULT_TENANT) -> None:
         """Exempt a named vector from the store's byte-budget eviction.
 
         Deliberately not a :meth:`_stored` lookup: pinning is not a query,
         so it must neither promote the entry in the LRU nor count as a
         store hit (the store raises its own error for unknown names).
+        A non-default ``tenant`` may only pin its own names, and only up to
+        its policy's pin allowance.
         """
         if self.store is None:
             raise ConfigurationError(
                 "the named-vector store is disabled (store_bytes=0)"
             )
+        self._assert_owner(name, tenant, "pin")
         self.store.pin(name)
 
-    def unpin(self, name: str) -> None:
+    def unpin(self, name: str, tenant: str = DEFAULT_TENANT) -> None:
         """Return a named vector to normal LRU eviction."""
         if self.store is None:
             raise ConfigurationError(
                 "the named-vector store is disabled (store_bytes=0)"
             )
+        self._assert_owner(name, tenant, "unpin")
         self.store.unpin(name)
+
+    def _assert_owner(self, name: str, tenant: str, action: str) -> None:
+        """Reject a non-default tenant acting on a name it does not own.
+
+        Active only when a tenant registry is configured *and* the caller
+        identified as a non-default tenant: the default tenant doubles as
+        the operator identity (and is the identity of every pre-tenancy
+        caller), so it retains full reach.  Unknown names fall through to
+        the store's own, richer error.
+        """
+        if self.tenants is None or tenant == DEFAULT_TENANT:
+            return
+        assert self.store is not None
+        owner = self.store.owner(name)
+        if owner is not None and owner != tenant:
+            self.tenants.note_rejection(tenant)
+            raise TenantQuotaError(
+                f"tenant {tenant!r} may not {action} {name!r}: "
+                f"it is owned by tenant {owner!r}"
+            )
 
     def _stored(self, name: str) -> StoredVector:
         """The admitted entry for ``name``, or a descriptive error."""
@@ -942,6 +1038,7 @@ class ServiceDispatcher:
                     int(entry.queries),
                     int(self.router.query_history(entry.fingerprint)),
                 ),
+                tenant=entry.tenant,
             )
             names += 1
         plan_rows = 0

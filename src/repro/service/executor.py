@@ -28,6 +28,15 @@ vector itself, so admitted arrays never cross the pipe).  A run whose units
 lack tasks, or whose tasks fail to pickle, **falls back to threads** for the
 whole run (recorded as ``process_fallbacks`` on the report) — process mode
 degrades, never errors, on unpicklable work.
+
+With a :class:`~repro.service.tenancy.TenantRegistry` attached, the threads
+path replaces strict FIFO submission with **weighted deficit-round-robin**
+over per-tenant queues: every concurrent :meth:`ServiceExecutor.run` pushes
+its units into one shared fair queue, the bounded in-flight capacity becomes
+executor-global, and each freed slot goes to the DRR-next unit across *all*
+tenants — a producer may submit another tenant's unit and wait for its own.
+Per-tenant queue-wait and in-flight probes measure the attained shares.
+Without a registry the original per-run FIFO path runs unchanged.
 """
 
 from __future__ import annotations
@@ -36,10 +45,12 @@ import pickle
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.service.tenancy import DEFAULT_TENANT, TenantRegistry, WeightedFairQueue
 
 __all__ = [
     "WorkUnit",
@@ -126,6 +137,24 @@ class WorkUnit:
 
 
 @dataclass
+class _FairItem:
+    """One queued unit inside the shared weighted-fair queue.
+
+    ``ready`` is set by whichever producer submits the item (possibly a
+    different tenant's ``run``); the owning producer waits on it before
+    collecting ``future``.  ``pushed_at`` anchors queue-wait measurement to
+    the moment the unit entered the fair queue, so DRR hold time is part of
+    the measured per-tenant wait.
+    """
+
+    unit: WorkUnit
+    tenant: str
+    pushed_at: float
+    ready: threading.Event = field(default_factory=threading.Event)
+    future: Optional[Future] = None
+
+
+@dataclass
 class UnitResult:
     """Outcome of one executed :class:`WorkUnit`.
 
@@ -189,6 +218,12 @@ class ServiceExecutor:
     mode:
         ``"threads"`` (the default) runs units on the pool; ``"sequential"``
         runs them inline in submission order, for baselines and determinism.
+    tenants:
+        Optional :class:`~repro.service.tenancy.TenantRegistry`.  When set,
+        the threads path schedules by weighted deficit-round-robin across
+        every concurrent ``run`` (see the module docstring) and the bounded
+        in-flight capacity is shared executor-wide instead of per run.
+        Sequential and process modes keep their submission-order semantics.
     """
 
     def __init__(
@@ -196,6 +231,7 @@ class ServiceExecutor:
         max_workers: int = 4,
         queue_capacity: Optional[int] = None,
         mode: str = "threads",
+        tenants: Optional[TenantRegistry] = None,
     ) -> None:
         if mode not in EXECUTION_MODES:
             raise ConfigurationError(
@@ -210,11 +246,26 @@ class ServiceExecutor:
         if self.queue_capacity < 1:
             raise ConfigurationError("queue_capacity must be positive")
         self.mode = mode
+        self.tenants = tenants
         self.last_report: Optional[ExecutorReport] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
         self._lock = threading.Lock()
         self._in_flight = 0
+        self._tls = threading.local()
+        # Fair-path state: the shared DRR queue under its own scheduler lock
+        # (never nested with self._lock), the executor-global slot semaphore,
+        # and cumulative per-tenant probes guarded by self._lock.
+        self._sched_lock = threading.Lock()
+        self._fair: WeightedFairQueue[_FairItem] = WeightedFairQueue(self._weight_of)
+        self._shared_slots = threading.Semaphore(self.queue_capacity)
+        self._tenant_in_flight: Dict[str, int] = {}
+        self._tenant_queue_ms_sum: Dict[str, float] = {}
+        self._tenant_units: Dict[str, int] = {}
+
+    def _weight_of(self, tenant: str) -> float:
+        """Scheduling weight of one tenant (1.0 without a registry)."""
+        return self.tenants.weight(tenant) if self.tenants is not None else 1.0
 
     # -- saturation probes -------------------------------------------------------
     @property
@@ -232,6 +283,41 @@ class ServiceExecutor:
         or degrades the request when the bounded queue is full.
         """
         return self.in_flight >= self.queue_capacity
+
+    def in_flight_for(self, tenant: str) -> int:
+        """Units of one tenant currently submitted but not finished.
+
+        Only populated by the weighted-fair threads path; always 0 without a
+        tenant registry.
+        """
+        with self._lock:
+            return self._tenant_in_flight.get(tenant, 0)
+
+    def tenant_queue_ms(self, tenant: str) -> float:
+        """Cumulative measured queue wait of one tenant's units (fair path)."""
+        with self._lock:
+            return self._tenant_queue_ms_sum.get(tenant, 0.0)
+
+    def tenant_units(self, tenant: str) -> int:
+        """Cumulative units one tenant has completed through the fair path."""
+        with self._lock:
+            return self._tenant_units.get(tenant, 0)
+
+    @contextmanager
+    def tenant_context(self, tenant: str) -> Iterator[None]:
+        """Attribute every :meth:`run` on this thread to ``tenant``.
+
+        The dispatcher wraps route execution in this so code that calls
+        ``executor.run(units)`` without a tenant argument (the multi-GPU
+        fleet, legacy routes) still schedules under the requesting tenant's
+        identity.  Thread-local, re-entrant, restores the previous identity.
+        """
+        previous = getattr(self._tls, "tenant", None)
+        self._tls.tenant = tenant
+        try:
+            yield
+        finally:
+            self._tls.tenant = previous
 
     # -- lifecycle -------------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -266,6 +352,7 @@ class ServiceExecutor:
         self,
         units: Iterable[WorkUnit],
         on_queue_full: Optional[Callable[[int], None]] = None,
+        tenant: Optional[str] = None,
     ) -> List[UnitResult]:
         """Execute every unit; results align with submission order.
 
@@ -280,13 +367,23 @@ class ServiceExecutor:
         callers use to observe saturation as it happens (admission decisions
         that must not block belong in front of :meth:`run`, via
         :meth:`saturated`).
+
+        ``tenant`` names the identity the run schedules under when a tenant
+        registry is configured; ``None`` falls back to the surrounding
+        :meth:`tenant_context`, then to the default tenant.  Without a
+        registry the argument is accepted and ignored (FIFO path).
         """
+        if tenant is None:
+            context = getattr(self._tls, "tenant", None)
+            tenant = context if context is not None else DEFAULT_TENANT
         started = time.perf_counter()
         report = ExecutorReport(mode=self.mode)
         if self.mode == "sequential":
             results = self._run_sequential(units, report)
         elif self.mode == "process":
             results = self._run_processes(units, report, on_queue_full)
+        elif self.tenants is not None:
+            results = self._run_threads_fair(units, report, on_queue_full, tenant)
         else:
             results = self._run_threads(units, report, on_queue_full)
         report.wall_ms = (time.perf_counter() - started) * 1e3
@@ -355,6 +452,128 @@ class ServiceExecutor:
                 report.unit_wall_ms_sum += wall
                 report.unit_queue_ms_sum += queued
                 report.max_unit_queue_ms = max(report.max_unit_queue_ms, queued)
+            if error is not None:
+                raise error
+        return results
+
+    def _run_threads_fair(
+        self,
+        units: Iterable[WorkUnit],
+        report: ExecutorReport,
+        on_queue_full: Optional[Callable[[int], None]],
+        tenant: str,
+    ) -> List[UnitResult]:
+        """Threads path under weighted deficit-round-robin (registry set).
+
+        Every producer pushes its units into the shared fair queue, then for
+        each pushed unit acquires one executor-global slot and submits the
+        DRR-next item across *all* tenants — possibly another producer's.
+        Each producer pops exactly as many items as it pushed (and only
+        after pushing), so globally pops never exceed pushes and a pop never
+        finds the queue empty.  Results still align with this run's own
+        submission order; queue wait is measured from the moment a unit
+        entered the fair queue, so scheduler hold time is part of the
+        per-tenant wait the probes report.
+        """
+        pool = self._ensure_pool()
+
+        def timed(unit: WorkUnit, pushed_at: float) -> Tuple[Any, float, float]:
+            t0 = time.perf_counter()
+            queued_ms = (t0 - pushed_at) * 1e3
+            value = unit.fn()
+            return value, (time.perf_counter() - t0) * 1e3, queued_ms
+
+        def make_release(owner: str) -> Callable[[Future], None]:
+            def release(_future: Future) -> None:
+                with self._lock:
+                    self._in_flight -= 1
+                    self._tenant_in_flight[owner] = (
+                        self._tenant_in_flight.get(owner, 1) - 1
+                    )
+                self._shared_slots.release()
+
+            return release
+
+        def submit_next() -> None:
+            """Pop the DRR-next item (never empty; see above) and submit it."""
+            with self._sched_lock:
+                popped = self._fair.pop()
+            if popped is None:  # pragma: no cover - invariant documented above
+                raise RuntimeError("fair queue empty with pops outstanding")
+            owner, chosen = popped
+            with self._lock:
+                self._in_flight += 1
+                report.max_in_flight = max(report.max_in_flight, self._in_flight)
+                self._tenant_in_flight[owner] = (
+                    self._tenant_in_flight.get(owner, 0) + 1
+                )
+            future = pool.submit(timed, chosen.unit, chosen.pushed_at)
+            future.add_done_callback(make_release(owner))
+            chosen.future = future
+            chosen.ready.set()
+
+        mine: List[_FairItem] = []
+        unpopped = 0  # our pushes not yet matched by one of our pops
+        try:
+            for unit in units:
+                item = _FairItem(unit=unit, tenant=tenant, pushed_at=time.perf_counter())
+                with self._sched_lock:
+                    self._fair.push(tenant, item)
+                mine.append(item)
+                unpopped += 1
+                # The push precedes the slot wait on purpose: a blocked
+                # producer's backlog must be visible to the DRR scheduler,
+                # otherwise slots would drain in semaphore-FIFO order and
+                # weights would never bite.
+                if not self._shared_slots.acquire(blocking=False):
+                    report.backpressure_waits += 1
+                    if on_queue_full is not None:
+                        on_queue_full(self.in_flight)
+                    self._shared_slots.acquire()
+                submit_next()
+                unpopped -= 1
+        finally:
+            # Exceptional exits (a raising units generator, an interrupt
+            # between push and pop) may leave pushes unmatched; serve them
+            # inline so no producer's wait below can deadlock on an item
+            # nobody will ever pop.
+            while unpopped > 0:
+                with self._sched_lock:
+                    popped = self._fair.pop()
+                unpopped -= 1
+                if popped is None:
+                    break
+                _owner, chosen = popped
+                stub: Future = Future()
+                try:
+                    stub.set_result(timed(chosen.unit, chosen.pushed_at))
+                except BaseException as exc:  # noqa: BLE001 - delivered via future
+                    stub.set_exception(exc)
+                chosen.future = stub
+                chosen.ready.set()
+            results: List[UnitResult] = []
+            error: Optional[BaseException] = None
+            for item in mine:
+                item.ready.wait()
+                future = item.future
+                assert future is not None  # set before ready in every path
+                try:
+                    value, wall, queued = future.result()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if error is None:
+                        error = exc
+                    continue
+                results.append(
+                    UnitResult(unit=item.unit, value=value, wall_ms=wall, queue_ms=queued)
+                )
+                report.unit_wall_ms_sum += wall
+                report.unit_queue_ms_sum += queued
+                report.max_unit_queue_ms = max(report.max_unit_queue_ms, queued)
+                with self._lock:
+                    self._tenant_queue_ms_sum[tenant] = (
+                        self._tenant_queue_ms_sum.get(tenant, 0.0) + queued
+                    )
+                    self._tenant_units[tenant] = self._tenant_units.get(tenant, 0) + 1
             if error is not None:
                 raise error
         return results

@@ -64,9 +64,10 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError, RequestShedError
+from repro.errors import ConfigurationError, RequestShedError, TenantQuotaError
 from repro.service.batch import TopKQuery
 from repro.service.dispatcher import ServiceDispatcher
+from repro.service.tenancy import DEFAULT_TENANT, WeightedFairQueue
 
 __all__ = [
     "PoissonArrivals",
@@ -76,6 +77,7 @@ __all__ = [
     "RequestProfile",
     "LoadSample",
     "RouteStats",
+    "TenantStats",
     "LoadReport",
     "LoadHarness",
     "ADMISSION_POLICIES",
@@ -331,6 +333,12 @@ class RequestProfile:
         Key order of the issued queries.
     weight:
         Relative probability of this profile in the request mix.
+    tenant:
+        Tenant identity the profile's requests run under.  With a
+        dispatcher configured for multi-tenancy, each request charges this
+        tenant's QPS bucket and the queue model schedules by the tenant's
+        fair-share weight; the default tenant keeps the harness's original
+        single-tenant behaviour.
     """
 
     route: str
@@ -338,6 +346,7 @@ class RequestProfile:
     ks: Tuple[int, ...]
     largest: bool = True
     weight: float = 1.0
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if not self.names:
@@ -357,7 +366,9 @@ class LoadSample:
     ``latency_ms`` is their sum (what the client saw).  ``unit_wall_ms`` /
     ``unit_queue_ms`` carry the executor's own per-unit measurements for the
     dispatch that served this request.  ``outcome`` is ``"ok"``, ``"shed"``
-    (rejected at admission) or ``"degraded"`` (result-cache-only answer).
+    (rejected at admission), ``"degraded"`` (result-cache-only answer) or
+    ``"quota"`` (rejected by the tenant's own policy —
+    :class:`~repro.errors.TenantQuotaError` — before any work started).
     """
 
     seq: int
@@ -372,6 +383,7 @@ class LoadSample:
     unit_wall_ms: float = 0.0
     unit_queue_ms: float = 0.0
     served_route: str = ""
+    tenant: str = DEFAULT_TENANT
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
@@ -390,6 +402,7 @@ class RouteStats:
     ok: int = 0
     shed: int = 0
     degraded: int = 0
+    quota: int = 0
     p50_latency_ms: float = 0.0
     p95_latency_ms: float = 0.0
     p99_latency_ms: float = 0.0
@@ -422,6 +435,7 @@ class RouteStats:
             ok=len(ok),
             shed=sum(1 for s in samples if s.outcome == "shed"),
             degraded=sum(1 for s in samples if s.outcome == "degraded"),
+            quota=sum(1 for s in samples if s.outcome == "quota"),
             p50_latency_ms=_percentile(latencies, 50),
             p95_latency_ms=_percentile(latencies, 95),
             p99_latency_ms=_percentile(latencies, 99),
@@ -435,6 +449,63 @@ class RouteStats:
         )
 
 
+@dataclass(frozen=True)
+class TenantStats:
+    """One tenant's attainment under a multi-tenant load run.
+
+    ``configured_share`` is the tenant's scheduling weight normalised over
+    the tenants that participated in the run; ``attained_share`` is its
+    fraction of every fully answered (``ok``) request.  A fair scheduler
+    drives the two together whenever the tenant keeps backlog — the
+    noisy-neighbour proof compares them directly.  ``bytes_held`` snapshots
+    the store's per-tenant byte ledger at report time.
+    """
+
+    tenant: str
+    weight: float
+    requests: int = 0
+    ok: int = 0
+    shed: int = 0
+    degraded: int = 0
+    quota: int = 0
+    configured_share: float = 0.0
+    attained_share: float = 0.0
+    p50_latency_ms: float = 0.0
+    p95_latency_ms: float = 0.0
+    p99_latency_ms: float = 0.0
+    bytes_held: int = 0
+
+    @classmethod
+    def of(
+        cls,
+        tenant: str,
+        weight: float,
+        samples: Sequence[LoadSample],
+        total_weight: float,
+        total_ok: int,
+        bytes_held: int,
+    ) -> "TenantStats":
+        """Aggregate one tenant's samples into its attainment row."""
+        mine = [s for s in samples if s.tenant == tenant]
+        ok = [s for s in mine if s.outcome == "ok"]
+        latencies = [s.latency_ms for s in mine if s.outcome in ("ok", "degraded")]
+        return cls(
+            tenant=tenant,
+            weight=weight,
+            requests=len(mine),
+            ok=len(ok),
+            shed=sum(1 for s in mine if s.outcome == "shed"),
+            degraded=sum(1 for s in mine if s.outcome == "degraded"),
+            quota=sum(1 for s in mine if s.outcome == "quota"),
+            configured_share=weight / total_weight if total_weight > 0.0 else 0.0,
+            attained_share=len(ok) / total_ok if total_ok > 0 else 0.0,
+            p50_latency_ms=_percentile(latencies, 50),
+            p95_latency_ms=_percentile(latencies, 95),
+            p99_latency_ms=_percentile(latencies, 99),
+            bytes_held=int(bytes_held),
+        )
+
+
 @dataclass
 class LoadReport:
     """Everything one load run produced: raw samples and per-route stats.
@@ -442,7 +513,9 @@ class LoadReport:
     ``makespan_s`` is the virtual span from the first arrival to the last
     completion, the denominator of the throughput columns.  The ``"all"``
     pseudo-route aggregates every sample; it is always the last entry of
-    :attr:`routes`.
+    :attr:`routes`.  ``tenants`` holds one :class:`TenantStats` row per
+    participating tenant (empty for single-tenant runs, so existing
+    consumers see identical reports).
     """
 
     mode: str
@@ -452,6 +525,7 @@ class LoadReport:
     makespan_s: float
     samples: List[LoadSample] = field(default_factory=list)
     routes: List[RouteStats] = field(default_factory=list)
+    tenants: List[TenantStats] = field(default_factory=list)
 
     @property
     def shed(self) -> int:
@@ -462,6 +536,18 @@ class LoadReport:
     def degraded(self) -> int:
         """Requests served result-cache-only across every route."""
         return sum(1 for s in self.samples if s.outcome == "degraded")
+
+    @property
+    def quota(self) -> int:
+        """Requests rejected by their own tenant's policy across every route."""
+        return sum(1 for s in self.samples if s.outcome == "quota")
+
+    def tenant_stats(self, tenant: str) -> TenantStats:
+        """The stats row of one tenant; raises if it did not participate."""
+        for stats in self.tenants:
+            if stats.tenant == tenant:
+                return stats
+        raise ConfigurationError(f"no stats for tenant {tenant!r}")
 
     @property
     def max_in_flight(self) -> int:
@@ -504,6 +590,7 @@ class LoadReport:
                     "ok": s.ok,
                     "shed": s.shed,
                     "degraded": s.degraded,
+                    "quota": s.quota,
                     "p50_ms": s.p50_latency_ms,
                     "p95_ms": s.p95_latency_ms,
                     "p99_ms": s.p99_latency_ms,
@@ -514,6 +601,31 @@ class LoadReport:
                     "slo_ms": s.slo_ms,
                     "slo_attainment": s.slo_attainment,
                     "throughput_rps": s.throughput_rps,
+                }
+            )
+        return rows
+
+    def tenant_rows(self) -> List[Dict]:
+        """One table/CSV row per participating tenant (empty single-tenant)."""
+        rows: List[Dict] = []
+        for t in self.tenants:
+            rows.append(
+                {
+                    "mode": self.mode,
+                    "policy": self.policy,
+                    "tenant": t.tenant,
+                    "weight": t.weight,
+                    "requests": t.requests,
+                    "ok": t.ok,
+                    "shed": t.shed,
+                    "degraded": t.degraded,
+                    "quota": t.quota,
+                    "configured_share": t.configured_share,
+                    "attained_share": t.attained_share,
+                    "p50_ms": t.p50_latency_ms,
+                    "p95_ms": t.p95_latency_ms,
+                    "p99_ms": t.p99_latency_ms,
+                    "bytes_held": t.bytes_held,
                 }
             )
         return rows
@@ -565,6 +677,32 @@ class LoadReport:
             lines.append(fmt("degraded_total", s.degraded, route=s.route))
             lines.append(fmt("slo_attainment", s.slo_attainment, route=s.route))
             lines.append(fmt("throughput_rps", s.throughput_rps, route=s.route))
+        if self.tenants:
+            lines.extend(
+                [
+                    f"# HELP {prefix}_tenant_requests_total Requests issued per tenant.",
+                    f"# TYPE {prefix}_tenant_requests_total counter",
+                    f"# HELP {prefix}_tenant_quota_total Requests rejected by tenant policy.",
+                    f"# TYPE {prefix}_tenant_quota_total counter",
+                    f"# HELP {prefix}_tenant_shed_total Requests shed per tenant.",
+                    f"# TYPE {prefix}_tenant_shed_total counter",
+                    f"# HELP {prefix}_tenant_attained_share Fraction of answered work.",
+                    f"# TYPE {prefix}_tenant_attained_share gauge",
+                    f"# HELP {prefix}_tenant_configured_share Weight-normalised target.",
+                    f"# TYPE {prefix}_tenant_configured_share gauge",
+                    f"# HELP {prefix}_tenant_bytes_held Store bytes held per tenant.",
+                    f"# TYPE {prefix}_tenant_bytes_held gauge",
+                ]
+            )
+            for t in self.tenants:
+                lines.append(fmt("tenant_requests_total", t.requests, tenant=t.tenant))
+                lines.append(fmt("tenant_quota_total", t.quota, tenant=t.tenant))
+                lines.append(fmt("tenant_shed_total", t.shed, tenant=t.tenant))
+                lines.append(fmt("tenant_attained_share", t.attained_share, tenant=t.tenant))
+                lines.append(
+                    fmt("tenant_configured_share", t.configured_share, tenant=t.tenant)
+                )
+                lines.append(fmt("tenant_bytes_held", t.bytes_held, tenant=t.tenant))
         return "\n".join(lines) + "\n"
 
 
@@ -639,6 +777,13 @@ class LoadHarness:
             raise ConfigurationError("queue_capacity must be >= 1")
         self.policy = policy
         self.seed = int(seed)
+        # Multi-tenant runs replace the FIFO queue model with a weighted-fair
+        # one; active only when the dispatcher actually enforces tenancy AND
+        # some profile identifies as a non-default tenant, so single-tenant
+        # runs replay the original model sample for sample.
+        self._fair = dispatcher.tenants is not None and any(
+            p.tenant != DEFAULT_TENANT for p in self.profiles
+        )
         weights = np.array([p.weight for p in self.profiles], dtype=np.float64)
         self._profile_probs = weights / weights.sum()
         self._popularity = {
@@ -674,9 +819,11 @@ class LoadHarness:
         """Execute one admitted request; measured (service, unit wall, unit queue, route)."""
         start = time.perf_counter()
         if profile.route == "streaming":
-            self.dispatcher.dispatch(list(self.streams[name]), [query])
+            self.dispatcher.dispatch(
+                list(self.streams[name]), [query], tenant=profile.tenant
+            )
         else:
-            self.dispatcher.query(name, [query])
+            self.dispatcher.query(name, [query], tenant=profile.tenant)
         service_ms = (time.perf_counter() - start) * 1e3
         report = self.dispatcher.last_report
         assert report is not None
@@ -718,9 +865,15 @@ class LoadHarness:
         :class:`DiurnalArrivals`).  Arrivals never wait for completions —
         exactly what inflates queues at saturation — and the admission
         policy keeps the loop non-blocking when the queue model is full.
+
+        Multi-tenant runs (a tenant-enforcing dispatcher plus non-default
+        profile tenants) swap the FIFO queue model for the weighted-fair
+        one — see :meth:`_run_fair`.
         """
-        schedule = arrivals.times(int(requests))
-        return self._run(np.asarray(schedule, dtype=np.float64), mode="open")
+        schedule = np.asarray(arrivals.times(int(requests)), dtype=np.float64)
+        if self._fair:
+            return self._run_fair(schedule)
+        return self._run(schedule, mode="open")
 
     def run_closed(
         self, concurrency: int, requests: int, think_seconds: float = 0.0
@@ -739,6 +892,11 @@ class LoadHarness:
             raise ConfigurationError("requests must be >= 1")
         if think_seconds < 0.0:
             raise ConfigurationError("think_seconds must be >= 0")
+        if self._fair:
+            raise ConfigurationError(
+                "closed-loop runs do not support multi-tenant profiles; "
+                "use run_open (the fair queue model needs open arrivals)"
+            )
         return self._run(
             None,
             mode="closed",
@@ -783,6 +941,7 @@ class LoadHarness:
                 k=query.k,
                 outcome="ok",
                 arrival_s=arrival,
+                tenant=profile.tenant,
             )
 
             waiting = len(starts) - bisect_right(starts, arrival)
@@ -797,18 +956,25 @@ class LoadHarness:
                     sample.latency_ms = degraded_ms
                 finish = arrival + sample.latency_ms / 1e3
             else:
-                served = self._serve(profile, name, query)
-                service_ms, unit_wall, unit_queue, served_route = served
-                start_s = max(arrival, server_free)
-                sample.queue_wait_ms = (start_s - arrival) * 1e3
-                sample.service_ms = service_ms
-                sample.latency_ms = sample.queue_wait_ms + service_ms
-                sample.unit_wall_ms = unit_wall
-                sample.unit_queue_ms = unit_queue
-                sample.served_route = served_route
-                server_free = start_s + service_ms / 1e3
-                starts.append(start_s)
-                finish = server_free
+                try:
+                    served = self._serve(profile, name, query)
+                except TenantQuotaError:
+                    # Rejected by the tenant's own policy before any work
+                    # started; the request never enters the queue model.
+                    sample.outcome = "quota"
+                    finish = arrival
+                else:
+                    service_ms, unit_wall, unit_queue, served_route = served
+                    start_s = max(arrival, server_free)
+                    sample.queue_wait_ms = (start_s - arrival) * 1e3
+                    sample.service_ms = service_ms
+                    sample.latency_ms = sample.queue_wait_ms + service_ms
+                    sample.unit_wall_ms = unit_wall
+                    sample.unit_queue_ms = unit_queue
+                    sample.served_route = served_route
+                    server_free = start_s + service_ms / 1e3
+                    starts.append(start_s)
+                    finish = server_free
             last_finish = max(last_finish, finish)
             samples.append(sample)
 
@@ -817,6 +983,13 @@ class LoadHarness:
                 user_ready[user] = finish + think
 
         makespan = max(last_finish - (first_arrival or 0.0), 0.0)
+        return self._report(mode, total, samples, makespan)
+
+    # -- report assembly ---------------------------------------------------------
+    def _report(
+        self, mode: str, total: int, samples: List[LoadSample], makespan: float
+    ) -> LoadReport:
+        """Aggregate samples into the per-route (and per-tenant) report."""
         report = LoadReport(
             mode=mode,
             policy=self.policy,
@@ -832,4 +1005,128 @@ class LoadHarness:
                 RouteStats.of(route, route_samples, self.slo_for(route), makespan)
             )
         report.routes.append(RouteStats.of("all", samples, self.slo_for("all"), makespan))
+        if self.dispatcher.tenants is not None:
+            participants = sorted({s.tenant for s in samples})
+            total_weight = sum(self._tenant_weight(t) for t in participants)
+            total_ok = sum(1 for s in samples if s.outcome == "ok")
+            held = (
+                self.dispatcher.store.tenant_bytes()
+                if self.dispatcher.store is not None
+                else {}
+            )
+            for tenant in participants:
+                report.tenants.append(
+                    TenantStats.of(
+                        tenant,
+                        self._tenant_weight(tenant),
+                        samples,
+                        total_weight,
+                        total_ok,
+                        held.get(tenant, 0),
+                    )
+                )
         return report
+
+    def _tenant_weight(self, tenant: str) -> float:
+        """The dispatcher-registered scheduling weight of one tenant."""
+        registry = self.dispatcher.tenants
+        return registry.weight(tenant) if registry is not None else 1.0
+
+    def _queue_carve(self, tenant: str, participants: Sequence[str]) -> int:
+        """``tenant``'s slice of the bounded queue, proportional to weight.
+
+        Every participant gets at least one slot, so a starved weight can
+        always hold *some* backlog; the carves are what isolates a quiet
+        tenant's queue space from a flooding neighbour.
+        """
+        total = sum(self._tenant_weight(t) for t in participants)
+        share = self._tenant_weight(tenant) / total if total > 0.0 else 1.0
+        return max(1, int(self.queue_capacity * share))
+
+    def _run_fair(self, schedule: np.ndarray) -> LoadReport:
+        """Open-loop DES over a *weighted-fair* single-server queue model.
+
+        Same hybrid methodology as :meth:`_run` — virtual arrivals, measured
+        service times — but the queue model is the serving core's own
+        :class:`~repro.service.tenancy.WeightedFairQueue`: queued requests
+        start in deficit-round-robin order over their tenants' weights
+        instead of FIFO, and each tenant's queue space is bounded by its
+        weight-proportional carve of ``queue_capacity`` (so admission
+        pressure from one tenant's flood never consumes another's slots).
+        Tenant-policy rejections (:class:`~repro.errors.TenantQuotaError`)
+        surface as ``"quota"`` outcomes and never enter the queue.
+        """
+        rng = np.random.default_rng(self.seed)
+        total = len(schedule)
+        samples: List[LoadSample] = []
+        participants = sorted({p.tenant for p in self.profiles})
+        fair: WeightedFairQueue[LoadSample] = WeightedFairQueue(self._tenant_weight)
+        server_free = 0.0
+        last_finish = 0.0
+        first_arrival: Optional[float] = None
+
+        def drain(until: Optional[float]) -> None:
+            """Start queued requests (fair order) while the server frees up.
+
+            Every queued request already arrived, so once the server is free
+            before ``until`` the next fair pick starts immediately; ``None``
+            drains the whole backlog after the last arrival.
+            """
+            nonlocal server_free, last_finish
+            while len(fair) and (until is None or server_free < until):
+                popped = fair.pop()
+                assert popped is not None  # len(fair) > 0
+                _, queued = popped
+                start_s = max(server_free, queued.arrival_s)
+                queued.queue_wait_ms = (start_s - queued.arrival_s) * 1e3
+                queued.latency_ms = queued.queue_wait_ms + queued.service_ms
+                server_free = start_s + queued.service_ms / 1e3
+                last_finish = max(last_finish, server_free)
+
+        for seq in range(total):
+            arrival = float(schedule[seq])
+            if first_arrival is None:
+                first_arrival = arrival
+            drain(arrival)
+
+            profile, name, query = self._draw(rng)
+            sample = LoadSample(
+                seq=seq,
+                route=profile.route,
+                name=name,
+                k=query.k,
+                outcome="ok",
+                arrival_s=arrival,
+                tenant=profile.tenant,
+            )
+
+            waiting = fair.pending(profile.tenant)
+            carve = self._queue_carve(profile.tenant, participants)
+            if waiting >= carve and self.policy != "block":
+                try:
+                    degraded_ms = self._admit_saturated(profile, name, query, waiting, arrival)
+                except RequestShedError:
+                    sample.outcome = "shed"
+                else:
+                    sample.outcome = "degraded"
+                    sample.service_ms = degraded_ms
+                    sample.latency_ms = degraded_ms
+                last_finish = max(last_finish, arrival + sample.latency_ms / 1e3)
+            else:
+                try:
+                    served = self._serve(profile, name, query)
+                except TenantQuotaError:
+                    sample.outcome = "quota"
+                    last_finish = max(last_finish, arrival)
+                else:
+                    service_ms, unit_wall, unit_queue, served_route = served
+                    sample.service_ms = service_ms
+                    sample.unit_wall_ms = unit_wall
+                    sample.unit_queue_ms = unit_queue
+                    sample.served_route = served_route
+                    fair.push(profile.tenant, sample)
+            samples.append(sample)
+
+        drain(None)
+        makespan = max(last_finish - (first_arrival or 0.0), 0.0)
+        return self._report("open-fair", total, samples, makespan)

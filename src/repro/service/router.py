@@ -52,6 +52,7 @@ from repro.service.batch import (
 from repro.service.cache import PartitionCache, fingerprint_array
 from repro.service.executor import WorkUnit
 from repro.service.planbank import ChunkMemo, PlanBank
+from repro.service.tenancy import DEFAULT_TENANT
 from repro.types import TopKResult
 from repro.utils import ceil_div
 
@@ -259,19 +260,35 @@ class Router:
         self._history_lock = threading.Lock()
         self._query_history: Dict[str, int] = {}
         self._affinity: Dict[str, int] = {}
+        self._tenant_history: Dict[str, int] = {}
 
     # -- per-name serving history ----------------------------------------------
-    def note_queries(self, fingerprint: str, count: int) -> None:
-        """Record ``count`` served queries against one vector's fingerprint."""
+    def note_queries(
+        self, fingerprint: str, count: int, tenant: str = DEFAULT_TENANT
+    ) -> None:
+        """Record ``count`` served queries against one vector's fingerprint.
+
+        ``tenant`` additionally accrues the count in a per-tenant total —
+        an observability ledger (who drove the traffic), deliberately *not*
+        dropped by :meth:`forget` when content leaves the working set.
+        """
         with self._history_lock:
             self._query_history[fingerprint] = (
                 self._query_history.get(fingerprint, 0) + int(count)
+            )
+            self._tenant_history[tenant] = (
+                self._tenant_history.get(tenant, 0) + int(count)
             )
 
     def query_history(self, fingerprint: str) -> int:
         """Queries previously recorded against the fingerprint."""
         with self._history_lock:
             return self._query_history.get(fingerprint, 0)
+
+    def tenant_history(self, tenant: str) -> int:
+        """Queries previously recorded as driven by ``tenant``."""
+        with self._history_lock:
+            return self._tenant_history.get(tenant, 0)
 
     def forget(self, fingerprint: str) -> None:
         """Drop one fingerprint's history and affinity (store-eviction cascade)."""

@@ -1,0 +1,191 @@
+"""Background integrity scrubber for the spill tier — bit-rot detection.
+
+The spill tier's data files are written once and then trusted: ``load``
+checks *size* before serving a memmap view, but a flipped bit inside a
+correctly-sized file would serve silently wrong answers until the content
+happened to be re-fingerprinted.  ``inspect_spill --verify`` closes that gap
+manually; this module closes it continuously.
+
+:class:`SpillScrubber` walks the spill manifest and re-hashes every unique
+data file against the fingerprint recorded at admission (the same
+:func:`~repro.service.cache.fingerprint_array` check the inspector applies).
+A mismatch is *quarantined*: the data file is atomically renamed aside with
+a ``.quarantine`` suffix — preserved for forensics, never served again —
+and every manifest name referencing the content is removed, so subsequent
+loads degrade to a clean cold miss instead of a wrong answer.  Content
+addressing makes the walk cheap: aliased names share one data file, and the
+scrubber hashes each file once per pass regardless of how many names
+reference it.
+
+Run one pass synchronously with :meth:`~SpillScrubber.scrub_once`, or
+:meth:`~SpillScrubber.start` the daemon thread to repeat passes on an
+interval.  The scrubber holds no spill locks while hashing (it memmaps the
+file read-only), so serving is never blocked by a scrub.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.service.cache import fingerprint_array
+from repro.service.spill import SpillDirectory, SpillEntry
+
+__all__ = ["SpillScrubber", "ScrubReport"]
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """One scrub pass's outcome.
+
+    ``checked`` counts unique data files hashed (not names: aliased names
+    share a file and are checked once).  ``missing`` counts entries whose
+    data file was absent or size-mismatched — already a cold miss for
+    ``load``, so nothing to quarantine.  ``quarantined_names`` lists every
+    manifest name removed because its content failed verification.
+    """
+
+    checked: int = 0
+    ok: int = 0
+    quarantined: int = 0
+    missing: int = 0
+    quarantined_names: Tuple[str, ...] = ()
+
+
+class SpillScrubber:
+    """Re-hash spilled data files against their admission fingerprints.
+
+    Parameters
+    ----------
+    spill:
+        The directory to scrub.
+    interval_s:
+        Seconds between background passes once :meth:`start`-ed; must be
+        > 0.  Irrelevant for synchronous :meth:`scrub_once` calls.
+    on_quarantine:
+        Optional callback invoked once per quarantined *name* (after the
+        data file was renamed aside and the name removed from the
+        manifest) — the hook an operator alert hangs off.
+    """
+
+    def __init__(
+        self,
+        spill: SpillDirectory,
+        interval_s: float = 60.0,
+        on_quarantine: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if not interval_s > 0.0:
+            raise ConfigurationError("scrub interval_s must be > 0")
+        self.spill = spill
+        self.interval_s = float(interval_s)
+        self.on_quarantine = on_quarantine
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._last_report: Optional[ScrubReport] = None
+        self._passes = 0
+
+    # -- one synchronous pass ----------------------------------------------------
+    def scrub_once(self) -> ScrubReport:
+        """Verify every unique spilled data file; quarantine what fails.
+
+        Safe to call while the directory serves traffic: hashing runs over
+        a read-only memmap without holding the spill mutex, and quarantine
+        uses the directory's own ``remove`` (which refcounts shared
+        fingerprints and rewrites the manifest atomically).
+        """
+        by_fingerprint: Dict[str, List[SpillEntry]] = {}
+        for entry in self.spill.entries().values():
+            by_fingerprint.setdefault(entry.fingerprint, []).append(entry)
+
+        checked = ok = quarantined = missing = 0
+        doomed: List[str] = []
+        for fingerprint, entries in sorted(by_fingerprint.items()):
+            checked += 1
+            loaded = self.spill.load(entries[0].name)
+            if loaded is None:
+                # Absent or size-mismatched file: load already degrades this
+                # to a cold miss, so there is nothing to take out of service.
+                missing += 1
+                continue
+            _, view = loaded
+            if fingerprint_array(np.asarray(view)) == fingerprint:
+                ok += 1
+                continue
+            quarantined += 1
+            self._quarantine_file(fingerprint)
+            for entry in entries:
+                self.spill.remove(entry.name)
+                doomed.append(entry.name)
+                if self.on_quarantine is not None:
+                    self.on_quarantine(entry.name)
+
+        report = ScrubReport(
+            checked=checked,
+            ok=ok,
+            quarantined=quarantined,
+            missing=missing,
+            quarantined_names=tuple(sorted(doomed)),
+        )
+        with self._lock:
+            self._last_report = report
+            self._passes += 1
+        return report
+
+    def _quarantine_file(self, fingerprint: str) -> None:
+        """Atomically rename a corrupt data file aside, preserving evidence.
+
+        Renamed *before* the manifest names are removed so there is no
+        window where a concurrent ``load`` can memmap the known-bad bytes;
+        ``remove``'s own best-effort unlink then finds nothing, which it
+        tolerates.
+        """
+        path = self.spill.data_path(fingerprint)
+        try:
+            os.replace(path, path + ".quarantine")
+        except OSError:
+            pass  # already gone: nothing left to serve from
+
+    # -- background operation ----------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic passes on a daemon thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-spill-scrubber", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the background thread (no-op when not running)."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.scrub_once()
+
+    # -- observability -----------------------------------------------------------
+    @property
+    def last_report(self) -> Optional[ScrubReport]:
+        """The most recent pass's report, or ``None`` before the first."""
+        with self._lock:
+            return self._last_report
+
+    @property
+    def passes(self) -> int:
+        """Completed scrub passes (synchronous and background)."""
+        with self._lock:
+            return self._passes

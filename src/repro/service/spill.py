@@ -60,8 +60,10 @@ MANIFEST_NAME = "manifest.json"
 #: File name of the writer lock inside a spill directory.
 LOCK_NAME = "manifest.lock"
 #: Manifest schema version; a manifest written under a different version is
-#: treated as empty (cold start) rather than misread.
-MANIFEST_VERSION = 1
+#: treated as empty (cold start) rather than misread.  v2 added the
+#: per-entry ``tenant`` column — a v1 manifest (or one whose tenant value is
+#: torn) degrades to a clean cold start instead of misattributing bytes.
+MANIFEST_VERSION = 2
 #: How long a writer waits on a live foreign lock before giving up.
 DEFAULT_LOCK_TIMEOUT_S = 10.0
 #: Age beyond which a lock file is considered abandoned even if its pid
@@ -91,6 +93,12 @@ class SpillEntry:
     queries:
         Query-history count at spill time; restored into the router so
         placement affinity and cold-and-large eviction survive a restart.
+    tenant:
+        The tenant that owned the entry when it spilled; a restore charges
+        the bytes back to the same ledger.  Aliased names (identical
+        content) from *different* tenants still share one data file by
+        refcount — content addressing is tenant-agnostic, only the
+        accounting is partitioned.
     """
 
     name: str
@@ -99,6 +107,7 @@ class SpillEntry:
     shape: Tuple[int, ...]
     shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None
     queries: int = 0
+    tenant: str = "default"
 
     @property
     def nbytes(self) -> int:
@@ -247,6 +256,11 @@ class SpillDirectory:
             return None
         if not shape or any(d < 1 for d in shape):
             return None
+        # A torn tenant column (wrong type, empty) drops the entry — cold
+        # start for that name beats charging its bytes to the wrong ledger.
+        tenant = rec.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            return None
         shards = None
         raw_shards = rec.get("shards")
         if raw_shards is not None:
@@ -264,6 +278,7 @@ class SpillDirectory:
             shape=shape,
             shard_fingerprints=shards,
             queries=queries,
+            tenant=tenant,
         )
 
     @staticmethod
@@ -293,6 +308,7 @@ class SpillDirectory:
                     "dtype": entry.dtype,
                     "shape": list(entry.shape),
                     "queries": int(entry.queries),
+                    "tenant": entry.tenant,
                     "shards": (
                         [
                             [start, stop, fp]
@@ -378,6 +394,7 @@ class SpillDirectory:
         fingerprint: str,
         shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None,
         queries: int = 0,
+        tenant: str = "default",
     ) -> SpillEntry:
         """Persist one named vector (data file + manifest entry).
 
@@ -400,6 +417,7 @@ class SpillDirectory:
             shape=tuple(int(d) for d in vector.shape),
             shard_fingerprints=dict(shard_fingerprints) if shard_fingerprints else None,
             queries=int(queries),
+            tenant=str(tenant),
         )
         path = self.data_path(entry.fingerprint)
         needs_write = True

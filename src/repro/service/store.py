@@ -61,9 +61,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TenantQuotaError
 from repro.service.cache import CacheInfo, fingerprint_array
 from repro.service.spill import SpillDirectory
+from repro.service.tenancy import DEFAULT_TENANT, TenantRegistry
 
 __all__ = [
     "StoredVector",
@@ -106,6 +107,10 @@ class StoredVector:
     spill_hits:
         Lookups served over the spill view since the entry left RAM; the
         promotion threshold compares against this counter.
+    tenant:
+        The identity that admitted the entry; its bytes are charged to this
+        tenant's ledger and, with a registry configured, only this tenant's
+        admissions may choose it as a budget-eviction victim.
     """
 
     name: str
@@ -116,6 +121,7 @@ class StoredVector:
     queries: int = 0
     resident: bool = True
     spill_hits: int = 0
+    tenant: str = DEFAULT_TENANT
 
     @property
     def nbytes(self) -> int:
@@ -156,6 +162,15 @@ class VectorStore:
     query_history:
         Optional ``fingerprint → query count`` callable (the router's
         history) folded into the cold-and-large eviction score.
+    tenants:
+        Optional :class:`~repro.service.tenancy.TenantRegistry`.  When set,
+        the working set is partitioned into per-tenant byte ledgers: an
+        admission may only evict entries owned by the *requesting* tenant,
+        a tenant's ``byte_budget`` caps its ledger, and its ``max_pins``
+        caps simultaneous pins — violations raise
+        :class:`~repro.errors.TenantQuotaError` before any mutation.
+        Without a registry the store behaves exactly as before (one global
+        budget, tenant labels are bookkeeping only).
     """
 
     def __init__(
@@ -165,6 +180,7 @@ class VectorStore:
         spill: Optional[SpillDirectory] = None,
         promote_after: int = DEFAULT_PROMOTE_AFTER,
         query_history: Optional[Callable[[str], int]] = None,
+        tenants: Optional[TenantRegistry] = None,
     ) -> None:
         if capacity_bytes < 1:
             raise ConfigurationError("store byte budget must be >= 1")
@@ -175,9 +191,11 @@ class VectorStore:
         self.spill = spill
         self.promote_after = int(promote_after)
         self._query_history = query_history
+        self.tenants = tenants
         self._entries: "OrderedDict[str, StoredVector]" = OrderedDict()
         self._spill_views: Dict[str, StoredVector] = {}
         self._bytes = 0
+        self._tenant_bytes: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -185,6 +203,7 @@ class VectorStore:
         self._spills = 0
         self._spill_hits = 0
         self._promotions = 0
+        self._cross_tenant_evictions = 0
 
     # -- admission -------------------------------------------------------------
     def admit(
@@ -194,6 +213,7 @@ class VectorStore:
         shard_fingerprints: Optional[Dict[Tuple[int, int], str]] = None,
         pin: bool = False,
         fingerprint: Optional[str] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> StoredVector:
         """Admit (or replace) one named vector; returns its entry.
 
@@ -207,12 +227,22 @@ class VectorStore:
         untouched — if the vector alone exceeds the budget or if every
         resident entry is pinned and the budget cannot be met.
 
+        With a tenant registry configured, eviction victims are drawn only
+        from ``tenant``'s own slice, the tenant's ``byte_budget`` and
+        ``max_pins`` are checked, and any violation raises
+        :class:`~repro.errors.TenantQuotaError` *before* the store mutates
+        (the check-then-commit structure above doubles as admission
+        rollback).
+
         With ``vector=None`` the name is restored from the spill tier: the
         bytes are copied out of the spill file and the fingerprint (and any
         shard fingerprints) recorded in the manifest are trusted, so the
-        restore performs **zero** fingerprint computations.
+        restore performs **zero** fingerprint computations.  A restore keeps
+        the tenant recorded in the manifest unless the caller names a
+        different one explicitly.
         """
         restored_queries: Optional[int] = None
+        tenant = str(tenant)
         if vector is None:
             if self.spill is None:
                 raise ConfigurationError(
@@ -231,6 +261,8 @@ class VectorStore:
             fingerprint = spilled.fingerprint
             shard_fingerprints = spilled.shard_fingerprints
             restored_queries = spilled.queries
+            if tenant == DEFAULT_TENANT:
+                tenant = spilled.tenant
         vector = np.asarray(vector)
         if vector.ndim != 1:
             raise ConfigurationError(
@@ -251,6 +283,7 @@ class VectorStore:
             fingerprint=fingerprint,
             shard_fingerprints=shard_fingerprints,
             pinned=bool(pin),
+            tenant=tenant,
         )
         removed: List[StoredVector] = []
         with self._lock:
@@ -258,18 +291,53 @@ class VectorStore:
             # and raise *before* mutating anything if the budget cannot be
             # met — a refused admission leaves the store (and the caller's
             # array) exactly as it found them, and every entry that does get
-            # evicted always fires its cascade.
+            # evicted always fires its cascade.  Tenant quota violations are
+            # raised from the same pre-mutation window, so a rejected
+            # admission never leaves half-admitted state.
             old = self._entries.get(entry.name)
             needed = self._bytes - (old.nbytes if old is not None else 0) + entry.nbytes
+            tenant_budget = (
+                self.tenants.byte_budget(tenant) if self.tenants is not None else None
+            )
+            tenant_needed = self._tenant_bytes.get(tenant, 0) + entry.nbytes
+            if old is not None and old.tenant == tenant:
+                tenant_needed -= old.nbytes
+            self._check_pin_allowance(entry, old)
+            blocked_by_others = False
             victims: List[str] = []
             for victim_name, resident in self._victim_order():
-                if needed <= self.capacity_bytes:
+                if needed <= self.capacity_bytes and (
+                    tenant_budget is None or tenant_needed <= tenant_budget
+                ):
                     break
                 if resident.pinned or victim_name == entry.name:
                     continue
+                if self.tenants is not None and resident.tenant != tenant:
+                    # Isolation: another tenant's residency is never this
+                    # admission's problem to solve — skip, and remember the
+                    # global budget was blocked by someone else's bytes.
+                    blocked_by_others = True
+                    continue
                 victims.append(victim_name)
                 needed -= resident.nbytes
+                if resident.tenant == tenant:
+                    tenant_needed -= resident.nbytes
+            if tenant_budget is not None and tenant_needed > tenant_budget:
+                self.tenants.note_rejection(tenant)
+                raise TenantQuotaError(
+                    f"cannot admit {name!r}: tenant {tenant!r} would hold "
+                    f"{tenant_needed} B, over its {tenant_budget} B budget "
+                    "even after evicting every unpinned vector it owns"
+                )
             if needed > self.capacity_bytes:
+                if self.tenants is not None and blocked_by_others:
+                    self.tenants.note_rejection(tenant)
+                    raise TenantQuotaError(
+                        f"cannot admit {name!r} for tenant {tenant!r}: "
+                        f"{needed} B needed but the remaining residency "
+                        "belongs to other tenants "
+                        f"(budget {self.capacity_bytes} B)"
+                    )
                 raise ConfigurationError(
                     f"cannot admit {name!r}: {needed} B needed even after "
                     "evicting every unpinned vector "
@@ -278,6 +346,7 @@ class VectorStore:
             if old is not None:
                 del self._entries[old.name]
                 self._bytes -= old.nbytes
+                self._ledger_add(old.tenant, -old.nbytes)
                 # A pin names the *name*, not one content version: it sticks
                 # across re-admission (refresh or replacement) until unpin().
                 entry.pinned = entry.pinned or old.pinned
@@ -290,12 +359,19 @@ class VectorStore:
             for victim_name in victims:
                 evicted = self._entries.pop(victim_name)
                 self._bytes -= evicted.nbytes
+                self._ledger_add(evicted.tenant, -evicted.nbytes)
                 self._evictions += 1
+                if evicted.tenant != entry.tenant:
+                    # Unreachable with a registry (victims are filtered to
+                    # the requesting tenant); counted so the isolation claim
+                    # is checkable rather than asserted.
+                    self._cross_tenant_evictions += 1
                 if self.spill is not None:
                     self._spill_out(evicted)
                 removed.append(evicted)
             self._entries[entry.name] = entry
             self._bytes += entry.nbytes
+            self._ledger_add(entry.tenant, entry.nbytes)
             # The resident copy supersedes any open spill view of the name.
             self._spill_views.pop(entry.name, None)
         # Enforce the fingerprint's immutability caveat only once admission
@@ -312,6 +388,47 @@ class VectorStore:
                 self.spill.remove(entry.name)
         self._fire_evictions(removed)
         return entry
+
+    def _ledger_add(self, tenant: str, delta: int) -> None:
+        """Adjust one tenant's byte ledger; caller holds the store lock.
+
+        Ledgers that reach zero are dropped so ``tenant_bytes()`` only ever
+        lists tenants that actually hold bytes.
+        """
+        total = self._tenant_bytes.get(tenant, 0) + delta
+        if total:
+            self._tenant_bytes[tenant] = total
+        else:
+            self._tenant_bytes.pop(tenant, None)
+
+    def _check_pin_allowance(
+        self, entry: StoredVector, old: Optional[StoredVector]
+    ) -> None:
+        """Raise before mutation if admitting ``entry`` would exceed its pin cap.
+
+        Caller holds the store lock.  Counts the tenant's currently pinned
+        entries excluding the name being (re-)admitted — a sticking pin on a
+        replaced name does not double-count.
+        """
+        if self.tenants is None:
+            return
+        will_pin = entry.pinned or (old is not None and old.pinned)
+        if not will_pin:
+            return
+        allowance = self.tenants.max_pins(entry.tenant)
+        if allowance is None:
+            return
+        held = sum(
+            1
+            for name, resident in self._entries.items()
+            if resident.pinned and resident.tenant == entry.tenant and name != entry.name
+        )
+        if held + 1 > allowance:
+            self.tenants.note_rejection(entry.tenant)
+            raise TenantQuotaError(
+                f"cannot pin {entry.name!r}: tenant {entry.tenant!r} already "
+                f"holds {held} of its {allowance} allowed pins"
+            )
 
     def _victim_order(self) -> List[Tuple[str, StoredVector]]:
         """Budget-eviction candidate order; caller holds the store lock.
@@ -352,6 +469,7 @@ class VectorStore:
             entry.fingerprint,
             shard_fingerprints=entry.shard_fingerprints,
             queries=self._history(entry),
+            tenant=entry.tenant,
         )
         entry.resident = False
         self._spills += 1
@@ -402,6 +520,7 @@ class VectorStore:
                 shard_fingerprints=spilled.shard_fingerprints,
                 queries=spilled.queries,
                 resident=False,
+                tenant=spilled.tenant,
             )
             with self._lock:
                 resident = self._entries.get(name)
@@ -465,6 +584,25 @@ class VectorStore:
                 live.update(entry.fingerprints())
             return live
 
+    def owner(self, name: str) -> Optional[str]:
+        """Owning tenant of a name on any tier, or ``None`` when unknown.
+
+        A pure probe for ownership guards: unlike :meth:`get` it never
+        promotes the entry in the LRU, counts a hit, or accumulates spill
+        hits.  Checks RAM and live spill views under the lock, then falls
+        through to the spill manifest (its own mutex) outside it.
+        """
+        name = str(name)
+        with self._lock:
+            entry = self._entries.get(name) or self._spill_views.get(name)
+            if entry is not None:
+                return entry.tenant
+        if self.spill is not None:
+            spilled = self.spill.entries().get(name)
+            if spilled is not None:
+                return spilled.tenant
+        return None
+
     # -- pinning / eviction ------------------------------------------------------
     def pin(self, name: str) -> None:
         """Exempt the named entry from byte-budget eviction."""
@@ -479,6 +617,21 @@ class VectorStore:
             entry = self._entries.get(str(name))
             if entry is None:
                 raise ConfigurationError(f"no vector named {name!r} is admitted")
+            if pinned and not entry.pinned and self.tenants is not None:
+                allowance = self.tenants.max_pins(entry.tenant)
+                if allowance is not None:
+                    held = sum(
+                        1
+                        for resident in self._entries.values()
+                        if resident.pinned and resident.tenant == entry.tenant
+                    )
+                    if held + 1 > allowance:
+                        self.tenants.note_rejection(entry.tenant)
+                        raise TenantQuotaError(
+                            f"cannot pin {entry.name!r}: tenant "
+                            f"{entry.tenant!r} already holds {held} of its "
+                            f"{allowance} allowed pins"
+                        )
             entry.pinned = pinned
 
     def evict(self, name: str, spill: Optional[bool] = None) -> Optional[StoredVector]:
@@ -506,6 +659,7 @@ class VectorStore:
             entry = self._entries.pop(name, None)
             if entry is not None:
                 self._bytes -= entry.nbytes
+                self._ledger_add(entry.tenant, -entry.nbytes)
                 self._evictions += 1
                 if to_spill:
                     self._spill_out(entry)
@@ -522,6 +676,7 @@ class VectorStore:
                     shard_fingerprints=spilled.shard_fingerprints,
                     queries=spilled.queries,
                     resident=False,
+                    tenant=spilled.tenant,
                 )
         if entry is None:
             return None
@@ -542,6 +697,7 @@ class VectorStore:
             self._entries.clear()
             self._spill_views.clear()
             self._bytes = 0
+            self._tenant_bytes.clear()
         self._fire_evictions(removed)
 
     def _fire_evictions(self, removed: List[StoredVector]) -> None:
@@ -559,12 +715,33 @@ class VectorStore:
             if entry is not None:
                 entry.queries += int(count)
 
+    def tenant_bytes(self) -> Dict[str, int]:
+        """Per-tenant resident-byte ledgers (tenants holding zero are absent).
+
+        The ledgers partition ``bytes``: their sum always equals the global
+        resident total, an invariant the tenancy stress suite hammers.
+        """
+        with self._lock:
+            return dict(self._tenant_bytes)
+
+    def cross_tenant_evictions(self) -> int:
+        """Budget evictions whose victim belonged to a different tenant.
+
+        Provably zero while a registry is configured (victim selection is
+        filtered to the requesting tenant's slice); may be non-zero in
+        untracked single-budget mode where tenant labels are bookkeeping.
+        """
+        with self._lock:
+            return self._cross_tenant_evictions
+
     def info(self) -> CacheInfo:
         """Occupancy and hit/miss/eviction statistics.
 
         ``bytes`` counts resident RAM only; the ``spilled``/``spilled_bytes``
         pair reports the mmap tier (which charges nothing to the budget),
-        and ``spill_hits``/``promotions`` its traffic.
+        and ``spill_hits``/``promotions`` its traffic.  With a tenant
+        registry configured the per-tenant ledgers ride along in
+        ``tenant_bytes``.
         """
         spilled = spilled_bytes = 0
         if self.spill is not None:
@@ -582,6 +759,10 @@ class VectorStore:
                 spilled_bytes=spilled_bytes,
                 spill_hits=self._spill_hits,
                 promotions=self._promotions,
+                cross_tenant_evictions=self._cross_tenant_evictions,
+                tenant_bytes=(
+                    dict(self._tenant_bytes) if self.tenants is not None else {}
+                ),
             )
 
     def __len__(self) -> int:

@@ -46,6 +46,7 @@ class TestRunnerRegistry:
             "hotfuse",  # fused vs per-query group selection (not a paper figure)
             "loadgen",  # tail latency + admission control under load (not a paper figure)
             "spillwarm",  # out-of-core spill tier + warm restart (not a paper figure)
+            "tenantfair",  # multi-tenant fairness + isolation (not a paper figure)
         }
         assert expected == names
 

@@ -1,0 +1,138 @@
+"""Spill-tier scrubber: bit-rot detection, quarantine, cold-miss degradation.
+
+The spill tier trusts its data files after the size check; the scrubber is
+the component that re-earns that trust continuously.  The injected-corruption
+tests flip bytes *without changing the file size* — precisely the failure
+``load`` cannot see — and assert the full quarantine contract: the bad file
+is renamed aside before any manifest mutation, every aliased name goes with
+it, subsequent loads degrade to a clean cold miss, and untouched entries
+keep serving.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.cache import fingerprint_array
+from repro.service.scrubber import SpillScrubber
+from repro.service.spill import SpillDirectory
+
+N = 1 << 10
+
+
+def vec(seed, n=N):
+    return np.random.default_rng(seed).standard_normal(n).astype(np.float32)
+
+
+def spill_with(tmp_path, names):
+    spill = SpillDirectory(str(tmp_path))
+    for i, name in enumerate(names):
+        v = vec(i)
+        spill.store(name, v, fingerprint_array(v))
+    return spill
+
+
+def corrupt(spill, name):
+    """Flip one mid-file byte of ``name``'s data file, size unchanged."""
+    entry = spill.get(name)
+    path = spill.data_path(entry.fingerprint)
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.seek(size // 2)
+        byte = fh.read(1)
+        fh.seek(size // 2)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+    assert os.path.getsize(path) == size  # the failure load cannot see
+    return path
+
+
+def test_interval_validation(tmp_path):
+    spill = spill_with(tmp_path, ["a"])
+    with pytest.raises(ConfigurationError):
+        SpillScrubber(spill, interval_s=0.0)
+
+
+def test_clean_pass_checks_each_unique_file_once(tmp_path):
+    spill = spill_with(tmp_path, ["a", "b"])
+    # An alias: same content as "a", so it shares the data file.
+    spill.store("a2", vec(0), fingerprint_array(vec(0)))
+    scrubber = SpillScrubber(spill)
+    report = scrubber.scrub_once()
+    assert report.checked == 2  # two unique fingerprints, not three names
+    assert report.ok == 2
+    assert report.quarantined == 0 and report.missing == 0
+    assert report.quarantined_names == ()
+    assert scrubber.passes == 1
+    assert scrubber.last_report == report
+
+
+def test_corruption_is_quarantined_and_loads_become_cold_misses(tmp_path):
+    spill = spill_with(tmp_path, ["bad", "good"])
+    reference = spill.load("good")
+    path = corrupt(spill, "bad")
+    seen = []
+    scrubber = SpillScrubber(spill, on_quarantine=seen.append)
+    report = scrubber.scrub_once()
+    assert report.quarantined == 1 and report.ok == 1
+    assert report.quarantined_names == ("bad",)
+    assert seen == ["bad"]
+    # Forensic evidence preserved; the live path never serves it again.
+    assert not os.path.exists(path)
+    assert os.path.exists(path + ".quarantine")
+    assert spill.load("bad") is None  # clean cold miss, not wrong answers
+    assert "bad" not in spill.entries()
+    # The untouched entry keeps serving, byte-identical.
+    _, view = spill.load("good")
+    np.testing.assert_array_equal(np.asarray(view), np.asarray(reference[1]))
+    # The next pass has nothing left to flag.
+    again = scrubber.scrub_once()
+    assert again.quarantined == 0 and again.checked == 1
+
+
+def test_corruption_takes_every_aliased_name_out_of_service(tmp_path):
+    spill = spill_with(tmp_path, ["a"])
+    spill.store("alias", vec(0), fingerprint_array(vec(0)))
+    assert spill.get("a").fingerprint == spill.get("alias").fingerprint
+    corrupt(spill, "a")
+    report = SpillScrubber(spill).scrub_once()
+    assert report.checked == 1
+    assert report.quarantined == 1
+    assert report.quarantined_names == ("a", "alias")
+    assert spill.entries() == {}
+    assert spill.load("a") is None and spill.load("alias") is None
+
+
+def test_missing_file_is_counted_not_quarantined(tmp_path):
+    spill = spill_with(tmp_path, ["gone", "ok"])
+    os.remove(spill.data_path(spill.get("gone").fingerprint))
+    report = SpillScrubber(spill).scrub_once()
+    # Already a cold miss for load: counted, nothing renamed or removed.
+    assert report.missing == 1 and report.ok == 1 and report.quarantined == 0
+    assert "gone" in spill.entries()
+
+
+def test_background_thread_runs_passes_and_stops(tmp_path):
+    spill = spill_with(tmp_path, ["a"])
+    first_pass = threading.Event()
+    scrubber = SpillScrubber(
+        spill, interval_s=0.01, on_quarantine=None
+    )
+    original = scrubber.scrub_once
+
+    def noticed():
+        report = original()
+        first_pass.set()
+        return report
+
+    scrubber.scrub_once = noticed  # type: ignore[method-assign]
+    scrubber.start()
+    scrubber.start()  # idempotent
+    assert first_pass.wait(timeout=5.0), "background pass never ran"
+    scrubber.stop()
+    settled = scrubber.passes
+    assert settled >= 1
+    assert scrubber.last_report is not None
+    scrubber.stop()  # no-op when not running

@@ -1,0 +1,678 @@
+"""Multi-tenant serving: quotas, fairness, isolation — the proof suite.
+
+The tenancy machinery claims properties, not tendencies, and everything
+here is deterministic so they can be *proved* per seed:
+
+* the token bucket's refill is monotone in an injected clock and a
+  rejected burst leaves no half-admitted state;
+* the weighted deficit-round-robin queue degrades to exact FIFO with one
+  tenant (or equal weights over interleaved arrivals), serves backlogged
+  tenants in their weight ratio, and is a pure function of the push
+  sequence (property-tested over seeded random weights and arrivals);
+* the store's per-tenant byte ledgers always sum to the resident total —
+  including under a four-thread admission hammer — and eviction victims
+  only ever come from the requesting tenant's slice;
+* a noisy neighbour flooding its own budget can never evict a quiet
+  tenant's pinned vector nor trip ``cross_tenant_evictions``;
+* a torn ``tenant`` column (or a v1 manifest) degrades to a clean cold
+  start instead of mis-attributed bytes;
+* and with no registry — or an *empty* one — the single-tenant path is
+  element-wise identical (values and indices, cold and warm, on all three
+  routes) to a dispatcher that has never heard of tenants.
+"""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TenantQuotaError
+from repro.service import ServiceDispatcher
+from repro.service.loadgen import LoadHarness, PoissonArrivals, RequestProfile
+from repro.service.spill import MANIFEST_NAME, SpillDirectory
+from repro.service.store import VectorStore
+from repro.service.cache import fingerprint_array
+from repro.service.tenancy import (
+    DEFAULT_TENANT,
+    TenantPolicy,
+    TenantRegistry,
+    TokenBucket,
+    WeightedFairQueue,
+)
+
+N = 1 << 12
+
+
+def vec(seed, n=N):
+    return np.random.default_rng(seed).standard_normal(n).astype(np.float32)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# TenantPolicy / TokenBucket
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"tenant": ""},
+        {"tenant": "t", "byte_budget": 0},
+        {"tenant": "t", "qps": 0.0},
+        {"tenant": "t", "qps": -1.0},
+        {"tenant": "t", "burst": 0},
+        {"tenant": "t", "weight": 0.0},
+        {"tenant": "t", "weight": -2.0},
+        {"tenant": "t", "max_pins": -1},
+    ],
+)
+def test_policy_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        TenantPolicy(**kwargs)
+
+
+def test_token_bucket_starts_full_and_rejects_past_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+    assert [bucket.try_acquire() for _ in range(5)] == [True, True, True, False, False]
+
+
+def test_token_bucket_refill_is_monotone_and_capped():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=4, clock=clock)
+    for _ in range(4):
+        assert bucket.try_acquire()
+    # A non-advancing clock never refills.
+    assert bucket.available() == pytest.approx(0.0)
+    assert not bucket.try_acquire()
+    # Refill is exactly rate x elapsed, monotone in the clock...
+    previous = 0.0
+    for step in (0.25, 0.5, 1.0, 1.5):
+        clock.now = step
+        available = bucket.available()
+        assert available >= previous
+        assert available == pytest.approx(min(4.0, 2.0 * step))
+        previous = available
+    # ...and capped at burst no matter how far the clock jumps.
+    clock.now = 1e6
+    assert bucket.available() == pytest.approx(4.0)
+    # A clock that moves *backwards* (paused fake, clock skew) never drains.
+    clock.now = 1.0
+    assert bucket.available() == pytest.approx(4.0)
+
+
+def test_token_bucket_fractional_refill_readmits_exactly():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=4.0, burst=2, clock=clock)
+    assert bucket.try_acquire() and bucket.try_acquire()
+    clock.now = 0.5  # 4/s x 0.5s = exactly 2 tokens
+    assert bucket.try_acquire() and bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_registry_quota_counts_rejections_per_tenant():
+    clock = FakeClock()
+    registry = TenantRegistry(
+        policies=[TenantPolicy(tenant="hot", qps=1.0, burst=2)], clock=clock
+    )
+    registry.acquire("hot")
+    registry.acquire("hot")
+    for _ in range(3):
+        with pytest.raises(TenantQuotaError):
+            registry.acquire("hot")
+    # Unregistered tenants are never charged.
+    for _ in range(10):
+        registry.acquire("unmetered")
+    assert registry.rejections("hot") == 3
+    assert registry.rejections("unmetered") == 0
+    assert registry.rejections() == 3
+    assert registry.rejections_by_tenant() == {"hot": 3}
+    clock.now = 2.0  # refill re-admits
+    registry.acquire("hot")
+    assert registry.rejections("hot") == 3
+
+
+# ---------------------------------------------------------------------------
+# WeightedFairQueue — provable scheduling properties
+# ---------------------------------------------------------------------------
+
+
+def test_wfq_single_tenant_is_exact_fifo():
+    fair = WeightedFairQueue(lambda t: 7.0)
+    items = list(range(50))
+    for item in items:
+        fair.push("solo", item)
+    assert [fair.pop() for _ in items] == [("solo", i) for i in items]
+    assert fair.pop() is None and len(fair) == 0
+
+
+def test_wfq_equal_weights_interleaved_is_fifo():
+    fair = WeightedFairQueue(lambda t: 1.0)
+    pushes = [("a", 0), ("b", 1), ("a", 2), ("b", 3), ("a", 4), ("b", 5)]
+    for tenant, item in pushes:
+        fair.push(tenant, item)
+    popped = [fair.pop()[1] for _ in pushes]
+    assert popped == [0, 1, 2, 3, 4, 5]
+
+
+def test_wfq_converges_to_weight_ratio_under_backlog():
+    weights = {"hot": 4.0, "quiet": 1.0}
+    fair = WeightedFairQueue(weights.__getitem__)
+    for i in range(200):
+        fair.push("hot", i)
+        fair.push("quiet", i)
+    served = {"hot": 0, "quiet": 0}
+    for _ in range(100):  # both stay backlogged throughout
+        tenant, _ = fair.pop()
+        served[tenant] += 1
+    assert served == {"hot": 80, "quiet": 20}
+
+
+def test_wfq_head_of_line_wait_bounded_by_one_round():
+    # With weights 4:1 the quiet tenant waits at most one hot quantum (4
+    # units) between its services while both stay backlogged.
+    fair = WeightedFairQueue(lambda t: 4.0 if t == "hot" else 1.0)
+    for i in range(100):
+        fair.push("hot", i)
+        fair.push("quiet", i)
+    gap, worst = 0, 0
+    for _ in range(50):
+        tenant, _ = fair.pop()
+        if tenant == "quiet":
+            worst, gap = max(worst, gap), 0
+        else:
+            gap += 1
+    assert worst <= 4
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_wfq_property_deterministic_and_fifo_per_tenant(seed):
+    rng = np.random.default_rng(seed)
+    tenants = [f"t{i}" for i in range(int(rng.integers(2, 5)))]
+    weights = {t: float(rng.uniform(0.5, 8.0)) for t in tenants}
+
+    def run():
+        fair = WeightedFairQueue(weights.__getitem__)
+        order = []
+        pushed = {t: [] for t in tenants}
+        arrivals = rng.integers(0, len(tenants), size=120)
+        rng_state = arrivals.tolist()  # identical across both runs below
+        for i, which in enumerate(rng_state):
+            tenant = tenants[which]
+            fair.push(tenant, i)
+            pushed[tenant].append(i)
+            if i % 3 == 0 and len(fair):  # interleave pops with pushes
+                order.append(fair.pop())
+        while len(fair):
+            order.append(fair.pop())
+        return order, pushed
+
+    # rng must be re-seeded so both runs see the same arrival sequence.
+    rng = np.random.default_rng(seed)
+    first, pushed = run()
+    rng = np.random.default_rng(seed)
+    second, _ = run()
+    # Pure function of the push sequence and weights: bit-identical replay.
+    assert first == second
+    # Per-tenant FIFO: each tenant's items pop in its own push order.
+    for tenant in tenants:
+        got = [item for t, item in first if t == tenant]
+        assert got == pushed[tenant]
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_wfq_property_backlogged_shares_match_weights(seed):
+    rng = np.random.default_rng(100 + seed)
+    weights = {"a": float(rng.uniform(1, 6)), "b": float(rng.uniform(1, 6))}
+    fair = WeightedFairQueue(weights.__getitem__)
+    for i in range(600):
+        fair.push("a", i)
+        fair.push("b", i)
+    served = {"a": 0, "b": 0}
+    pops = 300  # both backlogged for all 300 pops
+    for _ in range(pops):
+        tenant, _ = fair.pop()
+        served[tenant] += 1
+    share = served["a"] / pops
+    want = weights["a"] / (weights["a"] + weights["b"])
+    # DRR quantisation bounds the error by one round, not a percentage.
+    round_units = sum(w / min(weights.values()) for w in weights.values())
+    assert abs(share - want) <= round_units / pops
+
+
+# ---------------------------------------------------------------------------
+# VectorStore — ledgers, isolation, atomic rejection
+# ---------------------------------------------------------------------------
+
+
+def registry_two(hot_budget, quiet_budget, quiet_pins=None):
+    return TenantRegistry(
+        policies=[
+            TenantPolicy(tenant="hot", weight=4.0, byte_budget=hot_budget),
+            TenantPolicy(
+                tenant="quiet", weight=1.0, byte_budget=quiet_budget,
+                max_pins=quiet_pins,
+            ),
+        ]
+    )
+
+
+def test_store_ledgers_sum_to_resident_bytes():
+    one = vec(0).nbytes
+    store = VectorStore(capacity_bytes=10 * one, tenants=registry_two(4 * one, 4 * one))
+    for i in range(3):
+        store.admit(f"h{i}", vec(i), tenant="hot")
+    for i in range(2):
+        store.admit(f"q{i}", vec(10 + i), tenant="quiet")
+    ledgers = store.tenant_bytes()
+    assert ledgers == {"hot": 3 * one, "quiet": 2 * one}
+    assert sum(ledgers.values()) == sum(e.nbytes for e in store.snapshot())
+    store.evict("h0")
+    assert store.tenant_bytes() == {"hot": 2 * one, "quiet": 2 * one}
+
+
+def test_store_victims_come_only_from_own_tenant():
+    one = vec(0).nbytes
+    store = VectorStore(capacity_bytes=4 * one, tenants=registry_two(3 * one, 2 * one))
+    for i in range(3):
+        store.admit(f"h{i}", vec(i), tenant="hot")
+    store.admit("q0", vec(10), tenant="quiet")
+    # Hot is at its own budget: the next hot admission evicts hot's LRU,
+    # never the quiet vector, even though the global budget is also full.
+    store.admit("h3", vec(3), tenant="hot")
+    assert "q0" in store.names()
+    assert "h0" not in store.names()
+    assert store.cross_tenant_evictions() == 0
+
+
+def test_store_admission_blocked_by_other_tenants_is_quota_not_config():
+    one = vec(0).nbytes
+    registry = registry_two(hot_budget=4 * one, quiet_budget=2 * one)
+    store = VectorStore(capacity_bytes=3 * one, tenants=registry)
+    for i in range(3):
+        store.admit(f"h{i}", vec(i), tenant="hot")
+    # The global budget is exhausted by *hot's* residency: quiet's admission
+    # must not steal it, and the refusal is tenant-attributed.
+    with pytest.raises(TenantQuotaError, match="belongs to other tenants"):
+        store.admit("q0", vec(10), tenant="quiet")
+    assert registry.rejections("quiet") == 1
+    assert sorted(store.names()) == ["h0", "h1", "h2"]
+
+
+def test_store_quota_rejection_leaves_no_half_admitted_state():
+    one = vec(0).nbytes
+    store = VectorStore(capacity_bytes=10 * one, tenants=registry_two(2 * one, 2 * one))
+    store.admit("h0", vec(0), tenant="hot")
+    store.admit("h1", vec(1), pin=True, tenant="hot")
+    store.admit("h2", vec(2), pin=True, tenant="hot")  # budget full, all pinned bar h0
+    before = (store.names(), store.tenant_bytes(), store.info().bytes)
+    rejected = vec(99)
+    with pytest.raises(TenantQuotaError, match="over its"):
+        store.admit("h3", rejected, tenant="hot")
+    assert (store.names(), store.tenant_bytes(), store.info().bytes) == before
+    # The caller's array was not touched: admission freezes only on success.
+    assert rejected.flags.writeable
+
+
+def test_store_pin_allowance():
+    one = vec(0).nbytes
+    store = VectorStore(
+        capacity_bytes=10 * one, tenants=registry_two(8 * one, 8 * one, quiet_pins=1)
+    )
+    store.admit("q0", vec(0), pin=True, tenant="quiet")
+    with pytest.raises(TenantQuotaError, match="pin"):
+        store.admit("q1", vec(1), pin=True, tenant="quiet")
+    assert "q1" not in store.names()
+    store.admit("q1", vec(1), tenant="quiet")
+    with pytest.raises(TenantQuotaError, match="pin"):
+        store.pin("q1")
+    store.unpin("q0")
+    store.pin("q1")  # the allowance freed by unpinning is reusable
+
+
+def test_store_ledger_invariant_under_concurrent_admissions():
+    one = vec(0).nbytes
+    registry = registry_two(hot_budget=6 * one, quiet_budget=6 * one)
+    store = VectorStore(capacity_bytes=12 * one, tenants=registry)
+    errors = []
+
+    def hammer(tenant, base):
+        rng = np.random.default_rng(base)
+        try:
+            for i in range(40):
+                name = f"{tenant}-{int(rng.integers(0, 8))}"
+                store.admit(name, vec(base * 100 + i), tenant=tenant)
+                if rng.integers(0, 4) == 0 and store.names():
+                    store.evict(name)
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(tenant, base))
+        for base, tenant in enumerate(["hot", "hot", "quiet", "quiet"])
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # After quiesce the ledgers are exactly the per-tenant residency sums.
+    by_tenant = {}
+    for entry in store.snapshot():
+        by_tenant[entry.tenant] = by_tenant.get(entry.tenant, 0) + entry.nbytes
+    assert store.tenant_bytes() == by_tenant
+    assert sum(by_tenant.values()) == store.info().bytes
+    assert store.cross_tenant_evictions() == 0
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher — ownership, QPS, the noisy neighbour
+# ---------------------------------------------------------------------------
+
+
+def test_dispatcher_ownership_guard():
+    registry = registry_two(None, None)
+    with ServiceDispatcher(num_workers=2, capacity_elements=N, tenants=registry) as d:
+        d.admit("hv", vec(0), tenant="hot")
+        d.admit("qv", vec(1), tenant="quiet")
+        with pytest.raises(TenantQuotaError, match="owned by tenant 'quiet'"):
+            d.evict("qv", tenant="hot")
+        with pytest.raises(TenantQuotaError, match="may not pin"):
+            d.pin("qv", tenant="hot")
+        d.pin("qv", tenant="quiet")
+        d.unpin("qv", tenant="quiet")
+        assert d.evict("hv", tenant="hot")
+        assert registry.rejections("hot") == 2
+        # The default tenant is the operator: no ownership guard applies.
+        assert d.evict("qv")
+
+
+def test_dispatcher_qps_quota_is_deterministic_and_atomic():
+    clock = FakeClock()
+    registry = TenantRegistry(
+        policies=[TenantPolicy(tenant="hot", qps=2.0, burst=2)], clock=clock
+    )
+    with ServiceDispatcher(num_workers=1, capacity_elements=N, tenants=registry) as d:
+        d.admit("hv", vec(0), tenant="hot")
+        outcomes = []
+        for _ in range(4):
+            try:
+                d.query("hv", [8], tenant="hot")
+                outcomes.append("ok")
+            except TenantQuotaError:
+                outcomes.append("quota")
+        assert outcomes == ["ok", "ok", "quota", "quota"]
+        assert registry.rejections("hot") == 2
+        # A rejected query did no work and left no half-admitted state.
+        assert d.last_report is None or d.last_report.tenant == "hot"
+        clock.now = 1.0  # 2/s x 1s: exactly two more queries pass
+        d.query("hv", [8], tenant="hot")
+        d.query("hv", [8], tenant="hot")
+        with pytest.raises(TenantQuotaError):
+            d.query("hv", [8], tenant="hot")
+        # A multi-query batch charges len(queries): reject it atomically.
+        clock.now = 2.0
+        with pytest.raises(TenantQuotaError):
+            d.query("hv", [(8, True), (16, True), (32, True)], tenant="hot")
+        assert d.query("hv", [(8, True), (16, True)], tenant="hot")
+
+
+def test_noisy_neighbour_never_touches_quiet_tenant():
+    one = vec(0).nbytes
+    registry = registry_two(hot_budget=3 * one, quiet_budget=2 * one, quiet_pins=1)
+    with ServiceDispatcher(
+        num_workers=4,
+        capacity_elements=N,
+        store_bytes=8 * one,
+        result_cache_capacity=0,
+        tenants=registry,
+    ) as d:
+        quiet_v = vec(999)
+        d.admit("quiet-pin", quiet_v, tenant="quiet", pin=True)
+        want = d.query("quiet-pin", [(8, True)], tenant="quiet")[0]
+        errors = []
+
+        def hammer(worker):
+            rng = np.random.default_rng(worker)
+            try:
+                for i in range(30):
+                    # Zipf-ish skew: low indices dominate, forcing constant
+                    # churn through hot's 3-vector budget over 6 names.
+                    idx = min(int(rng.zipf(1.3)) - 1, 5)
+                    name = f"hot-{idx}"
+                    try:
+                        d.admit(name, vec(idx), tenant="hot")
+                        d.query(name, [(8, True)], tenant="hot")
+                    except (TenantQuotaError, ConfigurationError):
+                        pass  # evicted-under-us / budget races are expected
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert d.store is not None
+        # The quiet tenant is untouched: pinned vector resident, answers
+        # identical, ledger exact, zero cross-tenant evictions.
+        assert "quiet-pin" in d.store.names()
+        got = d.query("quiet-pin", [(8, True)], tenant="quiet")[0]
+        np.testing.assert_array_equal(got.values, want.values)
+        np.testing.assert_array_equal(
+            np.asarray(got.indices), np.asarray(want.indices)
+        )
+        assert d.store.cross_tenant_evictions() == 0
+        by_tenant = {}
+        for entry in d.store.snapshot():
+            by_tenant[entry.tenant] = by_tenant.get(entry.tenant, 0) + entry.nbytes
+        assert d.store.tenant_bytes() == by_tenant
+        assert by_tenant["quiet"] == one
+        assert by_tenant["hot"] <= 3 * one
+        # The executor's fair path attributed work to both tenants.
+        assert d.executor.tenant_units("quiet") > 0
+        assert d.executor.tenant_units("hot") > 0
+        assert d.executor.in_flight_for("hot") == 0
+
+
+# ---------------------------------------------------------------------------
+# Spill manifest v2 — tenant round-trip and torn-column degradation
+# ---------------------------------------------------------------------------
+
+
+def test_spill_tenant_round_trip(tmp_path):
+    spill = SpillDirectory(str(tmp_path))
+    v = vec(0)
+    spill.store("hv", v, fingerprint_array(v), tenant="hot")
+    reopened = SpillDirectory(str(tmp_path))
+    assert reopened.entries()["hv"].tenant == "hot"
+    assert not reopened.info().recovered
+
+
+def test_spill_torn_tenant_column_degrades_to_cold_start(tmp_path):
+    spill = SpillDirectory(str(tmp_path))
+    a, b = vec(0), vec(1)
+    spill.store("torn", a, fingerprint_array(a), tenant="hot")
+    spill.store("fine", b, fingerprint_array(b), tenant="quiet")
+    manifest_path = os.path.join(str(tmp_path), MANIFEST_NAME)
+    with open(manifest_path) as fh:
+        raw = json.load(fh)
+    raw["vectors"]["torn"]["tenant"] = 0  # torn column: wrong type
+    with open(manifest_path, "w") as fh:
+        json.dump(raw, fh)
+    reopened = SpillDirectory(str(tmp_path))
+    # The torn entry is dropped (a clean cold miss), the rest survive, and
+    # the recovery is reported rather than silent.
+    assert "torn" not in reopened.entries()
+    assert reopened.entries()["fine"].tenant == "quiet"
+    assert reopened.info().recovered
+    assert reopened.load("torn") is None
+
+
+def test_spill_v1_manifest_cold_starts_clean(tmp_path):
+    spill = SpillDirectory(str(tmp_path))
+    v = vec(0)
+    spill.store("old", v, fingerprint_array(v), tenant="hot")
+    manifest_path = os.path.join(str(tmp_path), MANIFEST_NAME)
+    with open(manifest_path) as fh:
+        raw = json.load(fh)
+    raw["version"] = 1
+    with open(manifest_path, "w") as fh:
+        json.dump(raw, fh)
+    reopened = SpillDirectory(str(tmp_path))
+    assert reopened.entries() == {}
+    assert reopened.info().recovered
+
+
+def test_spill_restore_inherits_manifest_tenant(tmp_path):
+    one = vec(0).nbytes
+    registry = registry_two(4 * one, 4 * one)
+    with ServiceDispatcher(
+        num_workers=2,
+        capacity_elements=N,
+        spill_dir=str(tmp_path),
+        tenants=registry,
+    ) as d:
+        d.admit("hv", vec(0), tenant="hot")
+        d.save_state()
+    with ServiceDispatcher(
+        num_workers=2,
+        capacity_elements=N,
+        spill_dir=str(tmp_path),
+        tenants=registry_two(4 * one, 4 * one),
+    ) as d2:
+        d2.load_state()
+        assert d2.store is not None
+        # Re-admission under the default tenant inherits the spilled owner.
+        d2.admit("hv")
+        assert d2.store.owner("hv") == "hot"
+        assert d2.store.tenant_bytes() == {"hot": one}
+
+
+# ---------------------------------------------------------------------------
+# Differential: single tenant ≡ the pre-tenancy dispatcher
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("registry", [None, "empty"])
+def test_single_tenant_differential_all_routes(registry):
+    tenants = TenantRegistry() if registry == "empty" else None
+    big = 4 * N  # four shards through capacity_elements=N: the sharded route
+    v_small, v_big = vec(0), vec(1, n=big)
+    chunks = [v_big[i::4].copy() for i in range(4)]
+    queries = [(8, True), (16, False), (8, True)]
+
+    def run(d):
+        d.admit("small", v_small.copy())
+        d.admit("big", v_big.copy())
+        out = []
+        for _ in range(2):  # cold, then warm replay
+            out.append(d.query("small", queries))  # batched
+            out.append(d.query("big", queries))  # sharded
+            out.append(d.dispatch(list(chunks), queries))  # streaming
+        return out
+
+    kwargs = dict(num_workers=2, capacity_elements=N, result_cache_capacity=0)
+    with ServiceDispatcher(**kwargs) as baseline:
+        want = run(baseline)
+    with ServiceDispatcher(**kwargs, tenants=tenants) as tenanted:
+        got = run(tenanted)
+    for want_batch, got_batch in zip(want, got):
+        for a, b in zip(want_batch, got_batch):
+            np.testing.assert_array_equal(a.values, b.values)
+            np.testing.assert_array_equal(np.asarray(a.indices), np.asarray(b.indices))
+
+
+def test_default_tenant_report_and_ledger_behaviour():
+    with ServiceDispatcher(num_workers=2, capacity_elements=N) as d:
+        d.admit("v", vec(0))
+        d.query("v", [8])
+        assert d.last_report.tenant == DEFAULT_TENANT
+        assert d.store is not None
+        # Without a registry the per-tenant ledger map stays empty in info().
+        assert d.store.info().tenant_bytes == {}
+        assert d.store.info().cross_tenant_evictions == 0
+
+
+# ---------------------------------------------------------------------------
+# Load harness — quota outcomes and TenantStats
+# ---------------------------------------------------------------------------
+
+
+def fair_dispatcher(registry):
+    d = ServiceDispatcher(
+        num_workers=2, capacity_elements=N, queue_capacity=8, tenants=registry
+    )
+    d.admit("hv", vec(0), tenant="hot", warm=[(8, True)])
+    d.admit("qv", vec(1), tenant="quiet", warm=[(8, True)])
+    return d
+
+
+def test_loadgen_multi_tenant_report_and_prometheus():
+    registry = registry_two(None, None)
+    with fair_dispatcher(registry) as d:
+        harness = LoadHarness(
+            d,
+            [
+                RequestProfile(route="batched", names=("hv",), ks=(8,), weight=4.0, tenant="hot"),
+                RequestProfile(route="batched", names=("qv",), ks=(8,), tenant="quiet"),
+            ],
+            seed=3,
+        )
+        report = harness.run_open(PoissonArrivals(500.0, seed=3), 60)
+    assert report.mode == "open-fair"
+    tenants = {t.tenant: t for t in report.tenants}
+    assert set(tenants) == {"hot", "quiet"}
+    assert sum(t.attained_share for t in tenants.values()) == pytest.approx(1.0)
+    assert tenants["hot"].configured_share == pytest.approx(0.8)
+    assert tenants["quiet"].configured_share == pytest.approx(0.2)
+    assert {row["tenant"] for row in report.tenant_rows()} == {"hot", "quiet"}
+    text = report.to_prometheus()
+    assert "repro_loadgen_tenant_attained_share" in text
+    assert 'tenant="quiet"' in text
+
+
+def test_loadgen_quota_outcome_counted():
+    clock = FakeClock()
+    registry = TenantRegistry(
+        policies=[
+            TenantPolicy(tenant="hot", qps=1000.0, burst=2),
+            TenantPolicy(tenant="quiet", weight=1.0),
+        ],
+        clock=clock,  # frozen: the bucket never refills mid-run
+    )
+    with fair_dispatcher(registry) as d:
+        harness = LoadHarness(
+            d,
+            [RequestProfile(route="batched", names=("hv",), ks=(8,), tenant="hot")],
+            seed=0,
+        )
+        report = harness.run_open(PoissonArrivals(50.0, seed=0), 6)
+    stats = report.tenant_stats("hot")
+    assert stats.ok == 2  # the burst
+    assert stats.quota == 4  # everything after it, counted not crashed
+    assert report.quota == 4
+    assert report.route_stats("all").quota == 4
+    assert registry.rejections("hot") == 4
+
+
+def test_loadgen_closed_loop_rejects_multi_tenant():
+    registry = registry_two(None, None)
+    with fair_dispatcher(registry) as d:
+        harness = LoadHarness(
+            d,
+            [RequestProfile(route="batched", names=("hv",), ks=(8,), tenant="hot")],
+            seed=0,
+        )
+        with pytest.raises(ConfigurationError, match="closed-loop"):
+            harness.run_closed(concurrency=2, requests=4)

@@ -42,6 +42,9 @@ DEFAULT_GLOSSARY_CLASSES: Dict[str, str] = {
     "CacheInfo": "src/repro/service/cache.py",
     "LoadReport": "src/repro/service/loadgen.py",
     "RouteStats": "src/repro/service/loadgen.py",
+    "TenantStats": "src/repro/service/loadgen.py",
+    "TenantPolicy": "src/repro/service/tenancy.py",
+    "ScrubReport": "src/repro/service/scrubber.py",
 }
 
 
